@@ -1,0 +1,77 @@
+//! E1 / Figure 1: throughput of the specification functions `f_o` on
+//! contexts of growing size — the cost of *checking* a response against
+//! the register/MVR/ORset/counter specifications.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use haec_core::{AbstractExecution, AbstractExecutionBuilder, OperationContext, SpecKind};
+use haec_model::{ObjectId, Op, ReplicaId, ReturnValue, Value};
+use std::hint::black_box;
+
+/// Builds an execution with `writes` prior updates all visible to one
+/// final read, alternating replicas so roughly half the updates are
+/// mutually concurrent.
+fn context_execution(kind: SpecKind, updates: usize) -> (AbstractExecution, usize) {
+    let x = ObjectId::new(0);
+    let mut b = AbstractExecutionBuilder::new();
+    let mut ids = Vec::new();
+    for i in 0..updates {
+        let replica = ReplicaId::new((i % 2) as u32);
+        let op = match kind {
+            SpecKind::Mvr | SpecKind::LwwRegister => Op::Write(Value::new(i as u64 + 1)),
+            SpecKind::OrSet => {
+                if i % 3 == 2 {
+                    Op::Remove(Value::new((i % 7) as u64))
+                } else {
+                    Op::Add(Value::new((i % 7) as u64))
+                }
+            }
+            SpecKind::Counter => Op::Inc,
+            SpecKind::EwFlag => {
+                if i % 3 == 2 {
+                    Op::Disable
+                } else {
+                    Op::Enable
+                }
+            }
+        };
+        ids.push(b.push(replica, x, op, ReturnValue::Ok));
+    }
+    let rd = b.push(ReplicaId::new(2), x, Op::Read, ReturnValue::empty());
+    for id in ids {
+        b.vis(id, rd);
+    }
+    (b.build().expect("valid"), rd)
+}
+
+fn bench_specs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_spec_eval");
+    for &updates in &[8usize, 32, 128] {
+        for kind in [
+            SpecKind::LwwRegister,
+            SpecKind::Mvr,
+            SpecKind::OrSet,
+            SpecKind::Counter,
+            SpecKind::EwFlag,
+        ] {
+            let (a, rd) = context_execution(kind, updates);
+            group.bench_with_input(
+                BenchmarkId::new(kind.to_string(), updates),
+                &updates,
+                |bencher, _| {
+                    bencher.iter(|| {
+                        let ctx = OperationContext::of(black_box(&a), rd);
+                        black_box(kind.expected_rval(&ctx))
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_specs
+}
+criterion_main!(benches);

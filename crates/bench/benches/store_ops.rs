@@ -1,0 +1,70 @@
+//! Store operation latency: do/flush/deliver cycles per store — the cost
+//! of high availability in each implementation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use haec_model::{ObjectId, Op, ReplicaId, StoreConfig, StoreFactory, Value};
+use haec_stores::{BoundedStore, DvvMvrStore, LwwStore, OrSetStore};
+use std::hint::black_box;
+
+const OPS: usize = 200;
+
+fn run_cycle(factory: &dyn StoreFactory) -> u64 {
+    let config = StoreConfig::new(3, 4);
+    let mut machines: Vec<_> = (0..3)
+        .map(|i| factory.spawn(ReplicaId::new(i), config))
+        .collect();
+    let mut acc = 0u64;
+    for i in 0..OPS {
+        let src = i % 3;
+        let obj = ObjectId::new((i % 4) as u32);
+        let op = match factory.name() {
+            "orset" => {
+                if i % 2 == 0 {
+                    Op::Add(Value::new((i % 8) as u64))
+                } else {
+                    Op::Remove(Value::new((i % 8) as u64))
+                }
+            }
+            _ => Op::Write(Value::new(i as u64 + 1)),
+        };
+        machines[src].do_op(obj, &op);
+        if let Some(msg) = machines[src].pending_message() {
+            machines[src].on_send();
+            for (t, m) in machines.iter_mut().enumerate() {
+                if t != src {
+                    m.on_receive(&msg);
+                }
+            }
+            acc += msg.bits() as u64;
+        }
+        let out = machines[(src + 1) % 3].do_op(obj, &Op::Read);
+        acc += out.visible.len() as u64;
+    }
+    acc
+}
+
+fn bench_stores(c: &mut Criterion) {
+    let mut group = c.benchmark_group("store_op_cycle");
+    group.throughput(Throughput::Elements(OPS as u64));
+    let factories: Vec<Box<dyn StoreFactory>> = vec![
+        Box::new(DvvMvrStore),
+        Box::new(OrSetStore),
+        Box::new(LwwStore),
+        Box::new(BoundedStore),
+    ];
+    for factory in factories {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(factory.name()),
+            &(),
+            |b, ()| b.iter(|| black_box(run_cycle(factory.as_ref()))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_stores
+}
+criterion_main!(benches);

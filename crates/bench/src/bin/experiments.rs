@@ -1,0 +1,63 @@
+//! The experiment driver: regenerates every figure/theorem of the paper as
+//! a table.
+//!
+//! Usage:
+//!   experiments            # run everything
+//!   experiments --fig1 --thm12 ...   # selected experiments
+//!
+//! Flags: --fig1 --figures --thm6 --thm12 --growth --sec53 --lemmas
+//!        --space --ablation --sessions --cost --classify
+
+use haec_bench as bench;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty() || args.iter().any(|a| a == "--all");
+    let want = |flag: &str| all || args.iter().any(|a| a == flag);
+
+    let mut tables = Vec::new();
+    if want("--fig1") {
+        tables.push(bench::fig1_spec_table());
+    }
+    if want("--figures") || want("--fig2") || want("--fig3") {
+        tables.push(bench::figures_table());
+    }
+    if want("--thm6") {
+        tables.push(bench::thm6_table(20));
+    }
+    if want("--thm12") {
+        tables.push(bench::thm12_table(6));
+    }
+    if want("--growth") {
+        tables.push(bench::growth_table(3));
+    }
+    if want("--sec53") {
+        tables.push(bench::sec53_table());
+    }
+    if want("--lemmas") {
+        tables.push(bench::lemmas_table(3));
+    }
+    if want("--space") {
+        tables.push(bench::space_table());
+        tables.push(bench::space_lower_table());
+    }
+    if want("--ablation") {
+        tables.push(bench::ablation_table());
+    }
+    if want("--sessions") {
+        tables.push(bench::sessions_table(5));
+    }
+    if want("--cost") {
+        tables.push(bench::cost_table(3));
+    }
+    if want("--classify") {
+        tables.push(bench::classify_table(6));
+    }
+    if tables.is_empty() {
+        eprintln!("unknown flags {args:?}; running everything");
+        tables = bench::all_experiments();
+    }
+    for t in tables {
+        print!("{}", t.render());
+    }
+}

@@ -1,0 +1,596 @@
+//! Abstract executions `(H, vis)` (Definition 4) and prefixes (Definition 5).
+
+use haec_model::{ObjectId, Op, Relation, ReplicaId, ReturnValue, Value};
+use std::fmt;
+
+/// A `do` event of an abstract execution: the client-observable part of an
+/// operation invocation.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct AbstractDo {
+    /// The replica at which the operation was invoked.
+    pub replica: ReplicaId,
+    /// The object operated on.
+    pub obj: ObjectId,
+    /// The operation.
+    pub op: Op,
+    /// The response received.
+    pub rval: ReturnValue,
+}
+
+impl fmt::Display for AbstractDo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "do_{}({}, {}) -> {}",
+            self.replica, self.obj, self.op, self.rval
+        )
+    }
+}
+
+/// Violations of the structural conditions of Definition 4.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum AbstractExecutionError {
+    /// Condition (1): same-replica events must be related by `vis` in
+    /// program order.
+    MissingProgramOrderEdge {
+        /// The earlier event.
+        from: usize,
+        /// The later event at the same replica.
+        to: usize,
+    },
+    /// Condition (2): `e1 vis e2` and `e2` precedes `e3` at the same
+    /// replica must imply `e1 vis e3`.
+    MissingSessionClosureEdge {
+        /// The source event `e1`.
+        from: usize,
+        /// The event `e3` that must see `e1`.
+        to: usize,
+        /// The intermediate event `e2`.
+        via: usize,
+    },
+    /// Condition (3): `vis` must respect the order of `H`.
+    VisAgainstHistoryOrder {
+        /// The source event (later in `H`).
+        from: usize,
+        /// The target event (earlier in `H`).
+        to: usize,
+    },
+    /// The vis relation has the wrong domain size.
+    DomainMismatch {
+        /// Number of events in `H`.
+        events: usize,
+        /// Domain size of `vis`.
+        vis_domain: usize,
+    },
+}
+
+impl fmt::Display for AbstractExecutionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbstractExecutionError::MissingProgramOrderEdge { from, to } => {
+                write!(f, "missing program-order vis edge {from} -> {to}")
+            }
+            AbstractExecutionError::MissingSessionClosureEdge { from, to, via } => {
+                write!(
+                    f,
+                    "missing session-closure vis edge {from} -> {to} (via {via})"
+                )
+            }
+            AbstractExecutionError::VisAgainstHistoryOrder { from, to } => {
+                write!(f, "vis edge {from} -> {to} contradicts history order")
+            }
+            AbstractExecutionError::DomainMismatch { events, vis_domain } => {
+                write!(
+                    f,
+                    "vis domain size {vis_domain} does not match {events} events"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AbstractExecutionError {}
+
+/// An abstract execution `A = (H, vis)` (Definition 4): a sequence `H` of
+/// `do` events and an acyclic visibility relation over them satisfying
+///
+/// 1. same-replica program order is contained in `vis`;
+/// 2. `vis` is closed under same-replica continuation (`e1 vis e2`, `e2`
+///    precedes `e3` at `R(e2)` implies `e1 vis e3`);
+/// 3. `vis` respects the order of `H`.
+///
+/// Construct via [`AbstractExecutionBuilder`], which can auto-insert the
+/// edges required by conditions (1) and (2).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AbstractExecution {
+    events: Vec<AbstractDo>,
+    vis: Relation,
+}
+
+impl AbstractExecution {
+    /// Assembles an abstract execution from parts, validating Definition 4.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first structural violation found.
+    pub fn from_parts(
+        events: Vec<AbstractDo>,
+        vis: Relation,
+    ) -> Result<Self, AbstractExecutionError> {
+        let a = AbstractExecution { events, vis };
+        a.validate()?;
+        Ok(a)
+    }
+
+    /// The event sequence `H`.
+    pub fn events(&self) -> &[AbstractDo] {
+        &self.events
+    }
+
+    /// Number of events in `H`.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if `H` is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The event at position `i` of `H`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    pub fn event(&self, i: usize) -> &AbstractDo {
+        &self.events[i]
+    }
+
+    /// The visibility relation.
+    pub fn vis(&self) -> &Relation {
+        &self.vis
+    }
+
+    /// Tests `e1 vis e2`.
+    pub fn sees(&self, e1: usize, e2: usize) -> bool {
+        self.vis.contains(e1, e2)
+    }
+
+    /// Validates the conditions of Definition 4.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> Result<(), AbstractExecutionError> {
+        let n = self.events.len();
+        if self.vis.domain_size() != n {
+            return Err(AbstractExecutionError::DomainMismatch {
+                events: n,
+                vis_domain: self.vis.domain_size(),
+            });
+        }
+        // (3) vis respects H order (also implies acyclicity/irreflexivity).
+        for (i, j) in self.vis.iter_pairs() {
+            if i >= j {
+                return Err(AbstractExecutionError::VisAgainstHistoryOrder { from: i, to: j });
+            }
+        }
+        // (1) program order within a replica.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if self.events[i].replica == self.events[j].replica && !self.vis.contains(i, j) {
+                    return Err(AbstractExecutionError::MissingProgramOrderEdge { from: i, to: j });
+                }
+            }
+        }
+        // (2) session closure.
+        for (e1, e2) in self.vis.iter_pairs() {
+            for e3 in (e2 + 1)..n {
+                if self.events[e3].replica == self.events[e2].replica
+                    && !self.vis.contains(e1, e3)
+                {
+                    return Err(AbstractExecutionError::MissingSessionClosureEdge {
+                        from: e1,
+                        to: e3,
+                        via: e2,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The prefix of length `len` (Definition 5).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len > self.len()`.
+    #[must_use]
+    pub fn prefix(&self, len: usize) -> AbstractExecution {
+        assert!(len <= self.events.len(), "prefix longer than execution");
+        let keep: Vec<usize> = (0..len).collect();
+        AbstractExecution {
+            events: self.events[..len].to_vec(),
+            vis: self.vis.restrict(&keep),
+        }
+    }
+
+    /// The projection `A|o` onto a single object (Definition 8). Returns the
+    /// projected execution together with the original indices of its events.
+    #[must_use]
+    pub fn project_object(&self, obj: ObjectId) -> (AbstractExecution, Vec<usize>) {
+        let keep: Vec<usize> = (0..self.events.len())
+            .filter(|&i| self.events[i].obj == obj)
+            .collect();
+        let events = keep.iter().map(|&i| self.events[i].clone()).collect();
+        let vis = self.vis.restrict(&keep);
+        (AbstractExecution { events, vis }, keep)
+    }
+
+    /// The per-replica projection `H|R` as a sequence of event indices.
+    pub fn replica_projection(&self, replica: ReplicaId) -> Vec<usize> {
+        (0..self.events.len())
+            .filter(|&i| self.events[i].replica == replica)
+            .collect()
+    }
+
+    /// Equivalence of abstract executions (paper, §3.2): `A ≡ A'` iff each
+    /// replica observes the same sequence of operations and responses.
+    pub fn is_equivalent(&self, other: &AbstractExecution) -> bool {
+        let max_r = self
+            .events
+            .iter()
+            .chain(other.events.iter())
+            .map(|e| e.replica.index() + 1)
+            .max()
+            .unwrap_or(0);
+        for r in 0..max_r {
+            let rid = ReplicaId::new(r as u32);
+            let mine: Vec<&AbstractDo> = self
+                .replica_projection(rid)
+                .into_iter()
+                .map(|i| &self.events[i])
+                .collect();
+            let theirs: Vec<&AbstractDo> = other
+                .replica_projection(rid)
+                .into_iter()
+                .map(|i| &other.events[i])
+                .collect();
+            if mine != theirs {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Indices of write events on `obj` that wrote `v`.
+    ///
+    /// Under the paper's distinct-writes assumption the result has at most
+    /// one element; the method returns all matches so checkers can detect
+    /// violations of that assumption.
+    pub fn writes_of_value(&self, obj: ObjectId, v: Value) -> Vec<usize> {
+        (0..self.events.len())
+            .filter(|&i| {
+                self.events[i].obj == obj && self.events[i].op == Op::Write(v)
+            })
+            .collect()
+    }
+
+    /// Indices of update (non-read) events, in `H` order.
+    pub fn update_events(&self) -> Vec<usize> {
+        (0..self.events.len())
+            .filter(|&i| self.events[i].op.is_update())
+            .collect()
+    }
+
+    /// Renders the execution as a readable multi-line listing.
+    pub fn display(&self) -> String {
+        let mut out = String::new();
+        for (i, e) in self.events.iter().enumerate() {
+            let seen: Vec<String> = self
+                .vis
+                .predecessors(i)
+                .map(|p| p.to_string())
+                .collect();
+            out.push_str(&format!("{i:3}  {e}   vis⁻¹={{{}}}\n", seen.join(",")));
+        }
+        out
+    }
+}
+
+/// Incremental builder for [`AbstractExecution`].
+///
+/// `push` appends events to `H`; `vis` adds visibility edges. [`build`]
+/// automatically inserts the edges required by Definition 4 conditions (1)
+/// (program order) and (2) (session closure), then validates.
+///
+/// [`build`]: AbstractExecutionBuilder::build
+#[derive(Clone, Debug, Default)]
+pub struct AbstractExecutionBuilder {
+    events: Vec<AbstractDo>,
+    edges: Vec<(usize, usize)>,
+}
+
+impl AbstractExecutionBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a `do` event to `H` and returns its index.
+    pub fn push(
+        &mut self,
+        replica: ReplicaId,
+        obj: ObjectId,
+        op: Op,
+        rval: ReturnValue,
+    ) -> usize {
+        self.events.push(AbstractDo {
+            replica,
+            obj,
+            op,
+            rval,
+        });
+        self.events.len() - 1
+    }
+
+    /// Appends an already-assembled event.
+    pub fn push_event(&mut self, e: AbstractDo) -> usize {
+        self.events.push(e);
+        self.events.len() - 1
+    }
+
+    /// Number of events pushed so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if no events were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Declares `from vis to`.
+    pub fn vis(&mut self, from: usize, to: usize) -> &mut Self {
+        self.edges.push((from, to));
+        self
+    }
+
+    /// Finalizes the execution: inserts program-order and session-closure
+    /// edges, then validates Definition 4.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an explicit edge contradicts the order of `H`
+    /// (condition 3) or refers to an out-of-range event.
+    pub fn build(&self) -> Result<AbstractExecution, AbstractExecutionError> {
+        let n = self.events.len();
+        let mut vis = Relation::new(n);
+        for &(i, j) in &self.edges {
+            if i >= n || j >= n || i >= j {
+                return Err(AbstractExecutionError::VisAgainstHistoryOrder { from: i, to: j });
+            }
+            vis.insert(i, j);
+        }
+        // Condition (1): program order.
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if self.events[i].replica == self.events[j].replica {
+                    vis.insert(i, j);
+                }
+            }
+        }
+        // Condition (2): session closure, to fixpoint. Processing targets in
+        // increasing order suffices because closure edges always point
+        // forward.
+        for e2 in 0..n {
+            let preds: Vec<usize> = vis.predecessors(e2).collect();
+            for e3 in (e2 + 1)..n {
+                if self.events[e3].replica == self.events[e2].replica {
+                    for &e1 in &preds {
+                        vis.insert(e1, e3);
+                    }
+                }
+            }
+        }
+        AbstractExecution::from_parts(self.events.clone(), vis)
+    }
+
+    /// Like [`build`](Self::build), but additionally takes the transitive
+    /// closure of `vis` — convenient for constructing causally consistent
+    /// executions (Definition 12).
+    ///
+    /// # Errors
+    ///
+    /// As for [`build`](Self::build).
+    pub fn build_transitive(&self) -> Result<AbstractExecution, AbstractExecutionError> {
+        let a = self.build()?;
+        let vis = a.vis.transitive_closure();
+        AbstractExecution::from_parts(a.events, vis)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+    fn x(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+    fn v(i: u64) -> Value {
+        Value::new(i)
+    }
+
+    fn two_replica_exec() -> AbstractExecution {
+        let mut b = AbstractExecutionBuilder::new();
+        let w = b.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let rd = b.push(r(1), x(0), Op::Read, ReturnValue::values([v(1)]));
+        b.vis(w, rd);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn builder_inserts_program_order() {
+        let mut b = AbstractExecutionBuilder::new();
+        b.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        b.push(r(0), x(0), Op::Write(v(2)), ReturnValue::Ok);
+        let a = b.build().unwrap();
+        assert!(a.sees(0, 1));
+    }
+
+    #[test]
+    fn builder_session_closure() {
+        // w at R0 visible to e at R1; later event at R1 must also see w.
+        let mut b = AbstractExecutionBuilder::new();
+        let w = b.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let e = b.push(r(1), x(0), Op::Read, ReturnValue::values([v(1)]));
+        let later = b.push(r(1), x(1), Op::Write(v(2)), ReturnValue::Ok);
+        b.vis(w, e);
+        let a = b.build().unwrap();
+        assert!(a.sees(w, later), "session closure must add w -> later");
+    }
+
+    #[test]
+    fn vis_against_history_rejected() {
+        let mut b = AbstractExecutionBuilder::new();
+        let e0 = b.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let e1 = b.push(r(1), x(0), Op::Write(v(2)), ReturnValue::Ok);
+        b.vis(e1, e0);
+        assert!(matches!(
+            b.build().unwrap_err(),
+            AbstractExecutionError::VisAgainstHistoryOrder { .. }
+        ));
+    }
+
+    #[test]
+    fn validate_catches_missing_program_order() {
+        let events = vec![
+            AbstractDo {
+                replica: r(0),
+                obj: x(0),
+                op: Op::Write(v(1)),
+                rval: ReturnValue::Ok,
+            },
+            AbstractDo {
+                replica: r(0),
+                obj: x(0),
+                op: Op::Write(v(2)),
+                rval: ReturnValue::Ok,
+            },
+        ];
+        let vis = Relation::new(2);
+        let err = AbstractExecution::from_parts(events, vis).unwrap_err();
+        assert!(matches!(
+            err,
+            AbstractExecutionError::MissingProgramOrderEdge { from: 0, to: 1 }
+        ));
+    }
+
+    #[test]
+    fn validate_catches_domain_mismatch() {
+        let events = vec![AbstractDo {
+            replica: r(0),
+            obj: x(0),
+            op: Op::Read,
+            rval: ReturnValue::empty(),
+        }];
+        let err = AbstractExecution::from_parts(events, Relation::new(3)).unwrap_err();
+        assert!(matches!(err, AbstractExecutionError::DomainMismatch { .. }));
+    }
+
+    #[test]
+    fn prefix_is_prefix_closed() {
+        let a = two_replica_exec();
+        let p = a.prefix(1);
+        assert_eq!(p.len(), 1);
+        assert!(p.validate().is_ok());
+        assert_eq!(a.prefix(2), a);
+        assert_eq!(a.prefix(0).len(), 0);
+    }
+
+    #[test]
+    fn project_object_keeps_indices() {
+        let mut b = AbstractExecutionBuilder::new();
+        b.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        b.push(r(0), x(1), Op::Write(v(2)), ReturnValue::Ok);
+        b.push(r(0), x(0), Op::Read, ReturnValue::values([v(1)]));
+        let a = b.build().unwrap();
+        let (proj, keep) = a.project_object(x(0));
+        assert_eq!(keep, vec![0, 2]);
+        assert_eq!(proj.len(), 2);
+        assert!(proj.sees(0, 1));
+        assert!(proj.validate().is_ok());
+    }
+
+    #[test]
+    fn equivalence_ignores_interleaving() {
+        // Same per-replica observations, different global order.
+        let mut b1 = AbstractExecutionBuilder::new();
+        b1.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        b1.push(r(1), x(0), Op::Write(v(2)), ReturnValue::Ok);
+        let a1 = b1.build().unwrap();
+
+        let mut b2 = AbstractExecutionBuilder::new();
+        b2.push(r(1), x(0), Op::Write(v(2)), ReturnValue::Ok);
+        b2.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let a2 = b2.build().unwrap();
+
+        assert!(a1.is_equivalent(&a2));
+        assert!(a1.is_equivalent(&a1));
+    }
+
+    #[test]
+    fn equivalence_detects_response_difference() {
+        let mut b1 = AbstractExecutionBuilder::new();
+        b1.push(r(0), x(0), Op::Read, ReturnValue::empty());
+        let a1 = b1.build().unwrap();
+        let mut b2 = AbstractExecutionBuilder::new();
+        b2.push(r(0), x(0), Op::Read, ReturnValue::values([v(1)]));
+        let a2 = b2.build().unwrap();
+        assert!(!a1.is_equivalent(&a2));
+    }
+
+    #[test]
+    fn writes_of_value_lookup() {
+        let a = two_replica_exec();
+        assert_eq!(a.writes_of_value(x(0), v(1)), vec![0]);
+        assert!(a.writes_of_value(x(0), v(9)).is_empty());
+        assert!(a.writes_of_value(x(1), v(1)).is_empty());
+    }
+
+    #[test]
+    fn update_events_filter() {
+        let a = two_replica_exec();
+        assert_eq!(a.update_events(), vec![0]);
+    }
+
+    #[test]
+    fn build_transitive_closes_vis() {
+        let mut b = AbstractExecutionBuilder::new();
+        let w0 = b.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let w1 = b.push(r(1), x(1), Op::Write(v(2)), ReturnValue::Ok);
+        let w2 = b.push(r(2), x(2), Op::Write(v(3)), ReturnValue::Ok);
+        b.vis(w0, w1).vis(w1, w2);
+        let a = b.build_transitive().unwrap();
+        assert!(a.sees(w0, w2));
+        let plain = {
+            let mut b2 = AbstractExecutionBuilder::new();
+            b2.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+            b2.push(r(1), x(1), Op::Write(v(2)), ReturnValue::Ok);
+            b2.push(r(2), x(2), Op::Write(v(3)), ReturnValue::Ok);
+            b2.vis(0, 1).vis(1, 2);
+            b2.build().unwrap()
+        };
+        assert!(!plain.sees(w0, w2));
+    }
+
+    #[test]
+    fn display_lists_vis_predecessors() {
+        let a = two_replica_exec();
+        let s = a.display();
+        assert!(s.contains("vis⁻¹={0}"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Compliance of concrete executions with abstract executions
+//! (Definitions 9/10).
+
+use crate::abstract_execution::AbstractExecution;
+use haec_model::{Execution, ReplicaId};
+use std::fmt;
+
+/// A replica whose observed operation sequence differs between the concrete
+/// and abstract execution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ComplianceError {
+    /// The replica with mismatching projections.
+    pub replica: ReplicaId,
+    /// Position of the first mismatch within the replica's projection, or
+    /// the shorter length if one projection is a proper prefix.
+    pub position: usize,
+    /// Human-readable description of the mismatch.
+    pub detail: String,
+}
+
+impl fmt::Display for ComplianceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "projection mismatch at {} position {}: {}",
+            self.replica, self.position, self.detail
+        )
+    }
+}
+
+impl std::error::Error for ComplianceError {}
+
+/// Checks Definition 9: execution `α` complies with abstract execution
+/// `A = (H, vis)` iff for every replica `R`, `H|R = α|R^do` — the same
+/// operations, on the same objects, with the same responses, in the same
+/// order.
+///
+/// # Errors
+///
+/// Returns the first mismatching replica.
+pub fn complies(ex: &Execution, a: &AbstractExecution) -> Result<(), ComplianceError> {
+    let n = ex
+        .n_replicas()
+        .max(a.events().iter().map(|e| e.replica.index() + 1).max().unwrap_or(0));
+    for ri in 0..n {
+        let rid = ReplicaId::new(ri as u32);
+        let conc: Vec<_> = ex
+            .do_projection(rid)
+            .into_iter()
+            .map(|i| {
+                let (obj, op, rval) = ex.event(i).as_do().expect("do projection");
+                (obj, op.clone(), rval.clone())
+            })
+            .collect();
+        let abst: Vec<_> = a
+            .replica_projection(rid)
+            .into_iter()
+            .map(|i| {
+                let e = a.event(i);
+                (e.obj, e.op.clone(), e.rval.clone())
+            })
+            .collect();
+        if conc.len() != abst.len() {
+            return Err(ComplianceError {
+                replica: rid,
+                position: conc.len().min(abst.len()),
+                detail: format!(
+                    "concrete has {} do events, abstract has {}",
+                    conc.len(),
+                    abst.len()
+                ),
+            });
+        }
+        for (p, (c, ab)) in conc.iter().zip(abst.iter()).enumerate() {
+            if c != ab {
+                return Err(ComplianceError {
+                    replica: rid,
+                    position: p,
+                    detail: format!(
+                        "concrete do({}, {}) -> {} vs abstract do({}, {}) -> {}",
+                        c.0, c.1, c.2, ab.0, ab.1, ab.2
+                    ),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstract_execution::AbstractExecutionBuilder;
+    use haec_model::{ObjectId, Op, Payload, ReturnValue, Value};
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+    fn x(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+    fn v(i: u64) -> Value {
+        Value::new(i)
+    }
+
+    fn concrete() -> Execution {
+        let mut ex = Execution::new(2);
+        ex.push_do(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let m = ex.push_send(r(0), Payload::from_bytes(vec![1])).unwrap();
+        ex.push_receive(r(1), m).unwrap();
+        ex.push_do(r(1), x(0), Op::Read, ReturnValue::values([v(1)]));
+        ex
+    }
+
+    #[test]
+    fn matching_projections_comply() {
+        let ex = concrete();
+        let mut b = AbstractExecutionBuilder::new();
+        let w = b.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let rd = b.push(r(1), x(0), Op::Read, ReturnValue::values([v(1)]));
+        b.vis(w, rd);
+        let a = b.build().unwrap();
+        assert!(complies(&ex, &a).is_ok());
+    }
+
+    #[test]
+    fn interleaving_does_not_matter() {
+        // Abstract H reorders the cross-replica events; compliance is
+        // per-replica so it still holds.
+        let mut ex = Execution::new(2);
+        ex.push_do(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        ex.push_do(r(1), x(1), Op::Write(v(2)), ReturnValue::Ok);
+        let mut b = AbstractExecutionBuilder::new();
+        b.push(r(1), x(1), Op::Write(v(2)), ReturnValue::Ok);
+        b.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let a = b.build().unwrap();
+        assert!(complies(&ex, &a).is_ok());
+    }
+
+    #[test]
+    fn response_mismatch_detected() {
+        let ex = concrete();
+        let mut b = AbstractExecutionBuilder::new();
+        b.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        b.push(r(1), x(0), Op::Read, ReturnValue::empty()); // wrong rval
+        let a = b.build().unwrap();
+        let err = complies(&ex, &a).unwrap_err();
+        assert_eq!(err.replica, r(1));
+        assert_eq!(err.position, 0);
+    }
+
+    #[test]
+    fn length_mismatch_detected() {
+        let ex = concrete();
+        let mut b = AbstractExecutionBuilder::new();
+        b.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let a = b.build().unwrap();
+        let err = complies(&ex, &a).unwrap_err();
+        assert_eq!(err.replica, r(1));
+        assert!(err.detail.contains("1 do events"));
+    }
+
+    #[test]
+    fn send_receive_events_ignored() {
+        // Only do events participate in compliance.
+        let mut ex = Execution::new(2);
+        let m = ex.push_send(r(0), Payload::from_bytes(vec![])).unwrap();
+        ex.push_receive(r(1), m).unwrap();
+        let a = AbstractExecutionBuilder::new().build().unwrap();
+        assert!(complies(&ex, &a).is_ok());
+    }
+}

@@ -1,0 +1,108 @@
+//! Causal consistency (Definition 12): `vis` is transitive.
+
+use crate::abstract_execution::AbstractExecution;
+use std::fmt;
+
+/// A missing transitivity edge: `e1 vis e2` and `e2 vis e3` but not
+/// `e1 vis e3`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CausalityViolation {
+    /// The source event `e1`.
+    pub e1: usize,
+    /// The intermediate event `e2`.
+    pub e2: usize,
+    /// The event `e3` that fails to see `e1`.
+    pub e3: usize,
+}
+
+impl fmt::Display for CausalityViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "vis not transitive: {} vis {} vis {} but not {} vis {}",
+            self.e1, self.e2, self.e3, self.e1, self.e3
+        )
+    }
+}
+
+impl std::error::Error for CausalityViolation {}
+
+/// Checks that an abstract execution is causally consistent
+/// (Definition 12): effects are visible only after their causes, i.e. `vis`
+/// is transitive.
+///
+/// Correctness (Definition 8) is checked separately by
+/// [`check_correct`](crate::check_correct); the paper's definition of a
+/// causally consistent execution presumes correctness.
+///
+/// # Errors
+///
+/// Returns a witness of the first missing transitive edge.
+pub fn check(a: &AbstractExecution) -> Result<(), CausalityViolation> {
+    let vis = a.vis();
+    for (e1, e2) in vis.iter_pairs() {
+        for e3 in vis.successors(e2) {
+            if !vis.contains(e1, e3) {
+                return Err(CausalityViolation { e1, e2, e3 });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstract_execution::AbstractExecutionBuilder;
+    use haec_model::{ObjectId, Op, ReplicaId, ReturnValue, Value};
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+    fn x(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+    fn v(i: u64) -> Value {
+        Value::new(i)
+    }
+
+    #[test]
+    fn transitive_vis_passes() {
+        let mut b = AbstractExecutionBuilder::new();
+        let a0 = b.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let a1 = b.push(r(1), x(1), Op::Write(v(2)), ReturnValue::Ok);
+        let a2 = b.push(r(2), x(2), Op::Write(v(3)), ReturnValue::Ok);
+        b.vis(a0, a1).vis(a1, a2).vis(a0, a2);
+        let a = b.build().unwrap();
+        assert!(check(&a).is_ok());
+    }
+
+    #[test]
+    fn missing_transitive_edge_caught() {
+        let mut b = AbstractExecutionBuilder::new();
+        let a0 = b.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let a1 = b.push(r(1), x(1), Op::Write(v(2)), ReturnValue::Ok);
+        let a2 = b.push(r(2), x(2), Op::Write(v(3)), ReturnValue::Ok);
+        b.vis(a0, a1).vis(a1, a2);
+        let a = b.build().unwrap();
+        let viol = check(&a).unwrap_err();
+        assert_eq!((viol.e1, viol.e2, viol.e3), (0, 1, 2));
+        assert!(viol.to_string().contains("not transitive"));
+    }
+
+    #[test]
+    fn empty_execution_is_causal() {
+        let a = AbstractExecutionBuilder::new().build().unwrap();
+        assert!(check(&a).is_ok());
+    }
+
+    #[test]
+    fn single_replica_program_order_is_causal() {
+        let mut b = AbstractExecutionBuilder::new();
+        for i in 0..5 {
+            b.push(r(0), x(0), Op::Write(v(i)), ReturnValue::Ok);
+        }
+        let a = b.build().unwrap();
+        assert!(check(&a).is_ok());
+    }
+}

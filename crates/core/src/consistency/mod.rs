@@ -1,0 +1,243 @@
+//! Consistency models (paper, §3.2, §3.3, §5.1).
+//!
+//! A consistency model is a prefix-closed, equivalence-closed set of
+//! abstract executions. This module provides checkers for the three models
+//! the paper reasons about — causal consistency (Definition 12), observable
+//! causal consistency (Definition 18) and eventual consistency (Definitions
+//! 13/14) — plus a small algebra for comparing model strength on finite
+//! families of executions ("C′ is stronger than C iff C′ ⊆ C").
+
+pub mod causal;
+pub mod eventual;
+pub mod occ;
+pub mod sessions;
+
+use crate::abstract_execution::AbstractExecution;
+use crate::correctness::check_correct;
+use crate::specs::ObjectSpecs;
+use std::fmt;
+
+/// A decidable consistency model: a predicate on abstract executions.
+///
+/// All models here include correctness (Definition 8) — the paper considers
+/// only correct data stores — parameterised by the object specifications.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum ConsistencyModel {
+    /// Correct abstract executions (Definition 8) with no further
+    /// constraint.
+    Correct,
+    /// Causally consistent executions (Definition 12): correct and `vis`
+    /// transitive.
+    Causal,
+    /// Observably causally consistent executions (Definition 18).
+    Occ,
+    /// Single-order ("strong") executions: correct, causal, and `vis`
+    /// totally orders all update events — a deliberately stronger-than-OCC
+    /// model used in comparisons and counterexample demos.
+    SingleOrder,
+}
+
+impl fmt::Display for ConsistencyModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ConsistencyModel::Correct => "correct",
+            ConsistencyModel::Causal => "causal",
+            ConsistencyModel::Occ => "OCC",
+            ConsistencyModel::SingleOrder => "single-order",
+        };
+        f.write_str(s)
+    }
+}
+
+impl ConsistencyModel {
+    /// Does the model admit this abstract execution?
+    pub fn admits(&self, a: &AbstractExecution, specs: &ObjectSpecs) -> bool {
+        if check_correct(a, specs).is_err() {
+            return false;
+        }
+        match self {
+            ConsistencyModel::Correct => true,
+            ConsistencyModel::Causal => causal::check(a).is_ok(),
+            ConsistencyModel::Occ => causal::check(a).is_ok() && occ::check(a).is_ok(),
+            ConsistencyModel::SingleOrder => {
+                if causal::check(a).is_err() {
+                    return false;
+                }
+                let updates = a.update_events();
+                updates.iter().enumerate().all(|(pi, &i)| {
+                    updates
+                        .iter()
+                        .skip(pi + 1)
+                        .all(|&j| a.sees(i, j) || a.sees(j, i))
+                })
+            }
+        }
+    }
+}
+
+/// Outcome of comparing two models on a finite family of executions.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ModelComparison {
+    /// Both models admit exactly the same executions of the family.
+    EquivalentOn,
+    /// The left model admits a proper subset: strictly stronger on the
+    /// family.
+    LeftStronger,
+    /// The right model admits a proper subset.
+    RightStronger,
+    /// Each admits an execution the other rejects.
+    Incomparable,
+}
+
+/// Compares two models on a finite family of abstract executions.
+///
+/// This is necessarily a *relative* comparison: genuine model containment
+/// quantifies over all executions, but on a family that witnesses the
+/// differences (e.g. the Figure 3 scenarios) the comparison reproduces the
+/// paper's strength ordering `SingleOrder ⊂ OCC ⊂ Causal ⊂ Correct`.
+pub fn compare_on(
+    left: &ConsistencyModel,
+    right: &ConsistencyModel,
+    family: &[AbstractExecution],
+    specs: &ObjectSpecs,
+) -> ModelComparison {
+    let mut left_only = false;
+    let mut right_only = false;
+    for a in family {
+        let l = left.admits(a, specs);
+        let r = right.admits(a, specs);
+        if l && !r {
+            left_only = true;
+        }
+        if r && !l {
+            right_only = true;
+        }
+    }
+    match (left_only, right_only) {
+        (false, false) => ModelComparison::EquivalentOn,
+        (false, true) => ModelComparison::LeftStronger,
+        (true, false) => ModelComparison::RightStronger,
+        (true, true) => ModelComparison::Incomparable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstract_execution::AbstractExecutionBuilder;
+    use crate::specs::SpecKind;
+    use haec_model::{ObjectId, Op, ReplicaId, ReturnValue, Value};
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+    fn x(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+    fn v(i: u64) -> Value {
+        Value::new(i)
+    }
+
+    fn specs() -> ObjectSpecs {
+        ObjectSpecs::uniform(SpecKind::Mvr)
+    }
+
+    /// Two concurrent writes, read sees both: causal & correct, updates not
+    /// totally ordered.
+    fn concurrent_exec() -> AbstractExecution {
+        let mut b = AbstractExecutionBuilder::new();
+        let w1 = b.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let w2 = b.push(r(1), x(0), Op::Write(v(2)), ReturnValue::Ok);
+        let rd = b.push(r(2), x(0), Op::Read, ReturnValue::values([v(1), v(2)]));
+        b.vis(w1, rd).vis(w2, rd);
+        b.build_transitive().unwrap()
+    }
+
+    /// A single totally ordered chain: admitted by every model here.
+    fn chain_exec() -> AbstractExecution {
+        let mut b = AbstractExecutionBuilder::new();
+        let w1 = b.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let w2 = b.push(r(1), x(0), Op::Write(v(2)), ReturnValue::Ok);
+        let rd = b.push(r(1), x(0), Op::Read, ReturnValue::values([v(2)]));
+        b.vis(w1, w2).vis(w1, rd).vis(w2, rd);
+        b.build_transitive().unwrap()
+    }
+
+    #[test]
+    fn single_order_rejects_concurrency() {
+        let a = concurrent_exec();
+        assert!(ConsistencyModel::Causal.admits(&a, &specs()));
+        assert!(!ConsistencyModel::SingleOrder.admits(&a, &specs()));
+    }
+
+    #[test]
+    fn all_models_admit_chain() {
+        let a = chain_exec();
+        for m in [
+            ConsistencyModel::Correct,
+            ConsistencyModel::Causal,
+            ConsistencyModel::Occ,
+            ConsistencyModel::SingleOrder,
+        ] {
+            assert!(m.admits(&a, &specs()), "{m} must admit the chain");
+        }
+    }
+
+    #[test]
+    fn incorrect_execution_rejected_by_all() {
+        let mut b = AbstractExecutionBuilder::new();
+        b.push(r(0), x(0), Op::Read, ReturnValue::values([v(1)]));
+        let a = b.build().unwrap();
+        for m in [
+            ConsistencyModel::Correct,
+            ConsistencyModel::Causal,
+            ConsistencyModel::Occ,
+            ConsistencyModel::SingleOrder,
+        ] {
+            assert!(!m.admits(&a, &specs()));
+        }
+    }
+
+    #[test]
+    fn single_order_stronger_than_causal_on_family() {
+        let family = vec![concurrent_exec(), chain_exec()];
+        assert_eq!(
+            compare_on(
+                &ConsistencyModel::SingleOrder,
+                &ConsistencyModel::Causal,
+                &family,
+                &specs()
+            ),
+            ModelComparison::LeftStronger
+        );
+        assert_eq!(
+            compare_on(
+                &ConsistencyModel::Causal,
+                &ConsistencyModel::SingleOrder,
+                &family,
+                &specs()
+            ),
+            ModelComparison::RightStronger
+        );
+    }
+
+    #[test]
+    fn model_equivalent_on_trivial_family() {
+        let family = vec![chain_exec()];
+        assert_eq!(
+            compare_on(
+                &ConsistencyModel::Causal,
+                &ConsistencyModel::Occ,
+                &family,
+                &specs()
+            ),
+            ModelComparison::EquivalentOn
+        );
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ConsistencyModel::Occ.to_string(), "OCC");
+        assert_eq!(ConsistencyModel::SingleOrder.to_string(), "single-order");
+    }
+}

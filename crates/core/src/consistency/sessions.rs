@@ -1,0 +1,262 @@
+//! Session guarantees, as refinements between correctness and causal
+//! consistency.
+//!
+//! The classic four session guarantees (Terry et al.) sit between plain
+//! correctness and causal consistency. In this framework a *session* is a
+//! replica's sequence of operations, and two of the four are built into the
+//! very definition of an abstract execution:
+//!
+//! * **read your writes** — session order is contained in `vis`
+//!   (Definition 4, condition 1);
+//! * **monotonic reads** — visibility persists along a session
+//!   (Definition 4, condition 2).
+//!
+//! The remaining two are genuine extra axioms, each a fragment of
+//! transitivity — so causal consistency (Definition 12) implies both:
+//!
+//! * **monotonic writes** — if `u1` precedes `u2` in a session and `u2` is
+//!   visible to `e`, then `u1` is visible to `e`;
+//! * **writes follow reads** — if `u` is visible to a read `r` and `r`
+//!   precedes `u2` in its session, then `u` is visible wherever `u2` is.
+
+use crate::abstract_execution::AbstractExecution;
+use std::fmt;
+
+/// A violated session guarantee.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SessionViolation {
+    /// Monotonic writes: `earlier` precedes `later` in a session, `later`
+    /// is visible to `event`, but `earlier` is not.
+    MonotonicWrites {
+        /// The earlier update of the session.
+        earlier: usize,
+        /// The later update of the session.
+        later: usize,
+        /// The event that sees `later` but not `earlier`.
+        event: usize,
+    },
+    /// Writes follow reads: `read` saw `seen`, `update` follows `read` in
+    /// its session and is visible to `event`, but `seen` is not.
+    WritesFollowReads {
+        /// The update observed by the read.
+        seen: usize,
+        /// The read that observed it.
+        read: usize,
+        /// The session-later update.
+        update: usize,
+        /// The event that sees `update` but not `seen`.
+        event: usize,
+    },
+}
+
+impl fmt::Display for SessionViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SessionViolation::MonotonicWrites {
+                earlier,
+                later,
+                event,
+            } => write!(
+                f,
+                "monotonic writes: {event} sees update {later} but not its session predecessor {earlier}"
+            ),
+            SessionViolation::WritesFollowReads {
+                seen,
+                read,
+                update,
+                event,
+            } => write!(
+                f,
+                "writes follow reads: {event} sees {update} (after read {read}) but not {seen} which {read} saw"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SessionViolation {}
+
+/// Checks **monotonic writes**: for same-replica updates `u1` before `u2`,
+/// `u2 vis e` implies `u1 vis e`.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check_monotonic_writes(a: &AbstractExecution) -> Result<(), SessionViolation> {
+    let updates = a.update_events();
+    for (i, &u1) in updates.iter().enumerate() {
+        for &u2 in &updates[i + 1..] {
+            if a.event(u1).replica != a.event(u2).replica {
+                continue;
+            }
+            for e in a.vis().successors(u2) {
+                if e != u1 && !a.sees(u1, e) {
+                    return Err(SessionViolation::MonotonicWrites {
+                        earlier: u1,
+                        later: u2,
+                        event: e,
+                    });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks **writes follow reads**: if `u vis r` (a read), `r` precedes an
+/// update `u2` in its session, and `u2 vis e`, then `u vis e`.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check_writes_follow_reads(a: &AbstractExecution) -> Result<(), SessionViolation> {
+    for r in 0..a.len() {
+        if !a.event(r).op.is_read() {
+            continue;
+        }
+        let seen: Vec<usize> = a
+            .vis()
+            .predecessors(r)
+            .filter(|&u| a.event(u).op.is_update())
+            .collect();
+        if seen.is_empty() {
+            continue;
+        }
+        for u2 in (r + 1)..a.len() {
+            if a.event(u2).replica != a.event(r).replica || !a.event(u2).op.is_update() {
+                continue;
+            }
+            for e in a.vis().successors(u2) {
+                for &u in &seen {
+                    if e != u && !a.sees(u, e) {
+                        return Err(SessionViolation::WritesFollowReads {
+                            seen: u,
+                            read: r,
+                            update: u2,
+                            event: e,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks all (non-trivial) session guarantees.
+///
+/// # Errors
+///
+/// Returns the first violation found.
+pub fn check_all(a: &AbstractExecution) -> Result<(), SessionViolation> {
+    check_monotonic_writes(a)?;
+    check_writes_follow_reads(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstract_execution::AbstractExecutionBuilder;
+    use crate::consistency::causal;
+    use haec_model::{ObjectId, Op, ReplicaId, ReturnValue, Value};
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+    fn x(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+    fn v(i: u64) -> Value {
+        Value::new(i)
+    }
+
+    #[test]
+    fn causal_implies_both_guarantees() {
+        let mut b = AbstractExecutionBuilder::new();
+        let w1 = b.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let w2 = b.push(r(0), x(1), Op::Write(v(2)), ReturnValue::Ok);
+        let rd = b.push(r(1), x(1), Op::Read, ReturnValue::values([v(2)]));
+        let w3 = b.push(r(1), x(0), Op::Write(v(3)), ReturnValue::Ok);
+        let e = b.push(r(2), x(0), Op::Read, ReturnValue::values([v(3)]));
+        b.vis(w1, rd).vis(w2, rd).vis(w3, e).vis(w1, e).vis(w2, e);
+        let a = b.build_transitive().unwrap();
+        assert!(causal::check(&a).is_ok());
+        assert!(check_all(&a).is_ok());
+        let _ = (w1, w2, w3);
+    }
+
+    #[test]
+    fn monotonic_writes_violation_detected() {
+        // R0 writes twice; a remote event sees the second but not the
+        // first.
+        let mut b = AbstractExecutionBuilder::new();
+        let w1 = b.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let w2 = b.push(r(0), x(1), Op::Write(v(2)), ReturnValue::Ok);
+        let e = b.push(r(1), x(1), Op::Read, ReturnValue::values([v(2)]));
+        b.vis(w2, e);
+        let a = b.build().unwrap();
+        let viol = check_monotonic_writes(&a).unwrap_err();
+        assert_eq!(
+            viol,
+            SessionViolation::MonotonicWrites {
+                earlier: w1,
+                later: w2,
+                event: e
+            }
+        );
+        assert!(viol.to_string().contains("monotonic writes"));
+    }
+
+    #[test]
+    fn writes_follow_reads_violation_detected() {
+        // R1 reads R0's write, then writes; a remote event sees R1's write
+        // but not what R1 had read.
+        let mut b = AbstractExecutionBuilder::new();
+        let w = b.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let rd = b.push(r(1), x(0), Op::Read, ReturnValue::values([v(1)]));
+        let w2 = b.push(r(1), x(1), Op::Write(v(2)), ReturnValue::Ok);
+        let e = b.push(r(2), x(1), Op::Read, ReturnValue::values([v(2)]));
+        b.vis(w, rd).vis(w2, e);
+        let a = b.build().unwrap();
+        // Monotonic writes alone is fine (w and w2 are different sessions).
+        assert!(check_monotonic_writes(&a).is_ok());
+        let viol = check_writes_follow_reads(&a).unwrap_err();
+        assert_eq!(
+            viol,
+            SessionViolation::WritesFollowReads {
+                seen: w,
+                read: rd,
+                update: w2,
+                event: e
+            }
+        );
+    }
+
+    #[test]
+    fn empty_and_single_sessions_pass() {
+        let a = AbstractExecutionBuilder::new().build().unwrap();
+        assert!(check_all(&a).is_ok());
+        let mut b = AbstractExecutionBuilder::new();
+        b.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        b.push(r(0), x(0), Op::Read, ReturnValue::values([v(1)]));
+        let a = b.build().unwrap();
+        assert!(check_all(&a).is_ok());
+    }
+
+    #[test]
+    fn guarantees_weaker_than_causal() {
+        // An execution satisfying both guarantees but not causal: a
+        // cross-session two-step chain with the transitive edge missing
+        // and no session involvement.
+        let mut b = AbstractExecutionBuilder::new();
+        let w0 = b.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let w1 = b.push(r(1), x(1), Op::Write(v(2)), ReturnValue::Ok);
+        let e = b.push(r(2), x(2), Op::Write(v(3)), ReturnValue::Ok);
+        b.vis(w0, w1).vis(w1, e);
+        let a = b.build().unwrap();
+        assert!(causal::check(&a).is_err());
+        // Monotonic writes: fails? w0 and w1 are different sessions, so MW
+        // does not apply; WFR: no reads. Both guarantees hold.
+        assert!(check_all(&a).is_ok());
+        let _ = (w0, w1, e);
+    }
+}

@@ -1,0 +1,173 @@
+//! Operation contexts (Definition 7).
+
+use crate::abstract_execution::{AbstractDo, AbstractExecution};
+use haec_model::Relation;
+
+/// The operation context `ctxt(A, e)` of an event `e` (Definition 7): the
+/// same-object events visible to `e`, plus `e` itself, with the visibility
+/// relation restricted to them.
+///
+/// `members` holds the original indices (in `H` order); `vis` is the induced
+/// relation over positions in `members`. The position of `e` itself is
+/// [`OperationContext::event_pos`].
+#[derive(Clone, Debug)]
+pub struct OperationContext<'a> {
+    exec: &'a AbstractExecution,
+    members: Vec<usize>,
+    vis: Relation,
+    event_pos: usize,
+}
+
+impl<'a> OperationContext<'a> {
+    /// Computes `ctxt(A, e)` for the event at index `event`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `event` is out of bounds.
+    pub fn of(exec: &'a AbstractExecution, event: usize) -> Self {
+        let e = exec.event(event);
+        let mut members: Vec<usize> = (0..exec.len())
+            .filter(|&i| {
+                i == event || (exec.sees(i, event) && exec.event(i).obj == e.obj)
+            })
+            .collect();
+        members.sort_unstable();
+        let vis = exec.vis().restrict(&members);
+        let event_pos = members
+            .iter()
+            .position(|&i| i == event)
+            .expect("event is a member of its own context");
+        OperationContext {
+            exec,
+            members,
+            vis,
+            event_pos,
+        }
+    }
+
+    /// The original indices of the context events, in `H` order.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// The event the context is for (original index).
+    pub fn event_index(&self) -> usize {
+        self.members[self.event_pos]
+    }
+
+    /// Position of the event within [`members`](Self::members).
+    pub fn event_pos(&self) -> usize {
+        self.event_pos
+    }
+
+    /// The event itself.
+    pub fn event(&self) -> &AbstractDo {
+        self.exec.event(self.event_index())
+    }
+
+    /// The context event at position `pos` of `members`.
+    pub fn member(&self, pos: usize) -> &AbstractDo {
+        self.exec.event(self.members[pos])
+    }
+
+    /// Number of events in the context, including the event itself.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if the context contains only the event itself.
+    pub fn is_empty(&self) -> bool {
+        self.members.len() == 1
+    }
+
+    /// Tests `members[p1] vis' members[p2]` in the restricted relation.
+    pub fn sees(&self, p1: usize, p2: usize) -> bool {
+        self.vis.contains(p1, p2)
+    }
+
+    /// Positions of the *prior* events of the context (everything except the
+    /// event itself) — the `H'` over which Figure 1's spec functions
+    /// quantify, minus `e`.
+    pub fn prior_positions(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.members.len()).filter(move |&p| p != self.event_pos)
+    }
+
+    /// Tests whether the original event index `i` is in the context
+    /// (`e' ∈ ctxt(A, e)` in the paper's notation).
+    pub fn contains_event(&self, i: usize) -> bool {
+        self.members.binary_search(&i).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstract_execution::AbstractExecutionBuilder;
+    use haec_model::{ObjectId, Op, ReplicaId, ReturnValue, Value};
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+    fn x(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+    fn v(i: u64) -> Value {
+        Value::new(i)
+    }
+
+    #[test]
+    fn context_filters_same_object_visible_events() {
+        let mut b = AbstractExecutionBuilder::new();
+        let w_x = b.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let w_y = b.push(r(0), x(1), Op::Write(v(2)), ReturnValue::Ok);
+        let w_other = b.push(r(1), x(0), Op::Write(v(3)), ReturnValue::Ok); // not visible
+        let rd = b.push(r(0), x(0), Op::Read, ReturnValue::values([v(1)]));
+        let a = b.build().unwrap();
+        let ctx = OperationContext::of(&a, rd);
+        assert!(ctx.contains_event(w_x));
+        assert!(!ctx.contains_event(w_y), "different object excluded");
+        assert!(!ctx.contains_event(w_other), "invisible event excluded");
+        assert!(ctx.contains_event(rd), "event itself included");
+        assert_eq!(ctx.len(), 2);
+        assert_eq!(ctx.event_index(), rd);
+    }
+
+    #[test]
+    fn context_vis_is_induced() {
+        let mut b = AbstractExecutionBuilder::new();
+        let w1 = b.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let w2 = b.push(r(0), x(0), Op::Write(v(2)), ReturnValue::Ok);
+        let rd = b.push(r(1), x(0), Op::Read, ReturnValue::values([v(2)]));
+        b.vis(w1, rd).vis(w2, rd);
+        let a = b.build().unwrap();
+        let ctx = OperationContext::of(&a, rd);
+        assert_eq!(ctx.len(), 3);
+        // w1 vis w2 by program order; induced relation keeps it.
+        assert!(ctx.sees(0, 1));
+        assert!(!ctx.sees(1, 0));
+    }
+
+    #[test]
+    fn empty_context_for_first_event() {
+        let mut b = AbstractExecutionBuilder::new();
+        let rd = b.push(r(0), x(0), Op::Read, ReturnValue::empty());
+        let a = b.build().unwrap();
+        let ctx = OperationContext::of(&a, rd);
+        assert!(ctx.is_empty());
+        assert_eq!(ctx.prior_positions().count(), 0);
+        assert_eq!(ctx.event().op, Op::Read);
+    }
+
+    #[test]
+    fn prior_positions_exclude_self() {
+        let mut b = AbstractExecutionBuilder::new();
+        let w = b.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let rd = b.push(r(0), x(0), Op::Read, ReturnValue::values([v(1)]));
+        let a = b.build().unwrap();
+        let ctx = OperationContext::of(&a, rd);
+        let prior: Vec<usize> = ctx.prior_positions().collect();
+        assert_eq!(prior.len(), 1);
+        assert_eq!(ctx.member(prior[0]).op, Op::Write(v(1)));
+        let _ = w;
+    }
+}

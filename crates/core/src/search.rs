@@ -1,0 +1,675 @@
+//! Brute-force explanation search over abstract executions.
+//!
+//! Given only the *client observations* — per replica, the sequence of
+//! operations invoked and responses received — this module decides whether
+//! **any** correct (optionally causally consistent) abstract execution
+//! explains them, independent of any store implementation. It is the ground
+//! truth behind the Figure 2 and Figure 3 reproductions: "can the data store
+//! hide the concurrency of `w0` and `w1`?" becomes "does an explanation
+//! exist in which the read returns only one of them?".
+//!
+//! ## Method
+//!
+//! Rather than enumerating raw visibility relations (exponential in pairs),
+//! the search enumerates *visible-update sets*: for each event, the set of
+//! update operations visible to it. For abstract executions this is
+//! complete — Definition 4's session closure forces per-replica
+//! monotonicity, and causal consistency (Definition 12) corresponds exactly
+//! to the sets being closed under each update's own context. The search
+//! interleaves replica sessions (choosing `H`) while assigning sets,
+//! pruning any branch where a response contradicts the object
+//! specification.
+//!
+//! The search is exponential and intended for scenario-sized histories
+//! (≈ a dozen events, up to 32 updates).
+
+use crate::abstract_execution::{AbstractExecution, AbstractExecutionBuilder};
+use crate::specs::{ObjectSpecs, SpecKind};
+use haec_model::{ObjectId, Op, ReplicaId, ReturnValue, Value};
+use std::collections::BTreeSet;
+
+/// One client observation: an operation and the response received.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Observation {
+    /// The object operated on.
+    pub obj: ObjectId,
+    /// The operation invoked.
+    pub op: Op,
+    /// The response received.
+    pub rval: ReturnValue,
+}
+
+impl Observation {
+    /// Convenience constructor.
+    pub fn new(obj: ObjectId, op: Op, rval: ReturnValue) -> Self {
+        Observation { obj, op, rval }
+    }
+}
+
+/// Identifies the `k`-th update operation (0-based) in replica `replica`'s
+/// session.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct UpdateRef {
+    /// The session (replica index).
+    pub replica: usize,
+    /// 0-based index among that session's update operations.
+    pub nth_update: usize,
+}
+
+/// Identifies the `k`-th observation (0-based) in replica `replica`'s
+/// session.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct EventRef {
+    /// The session (replica index).
+    pub replica: usize,
+    /// 0-based index within the session.
+    pub index: usize,
+}
+
+/// A search problem: per-replica observation sequences plus constraints.
+#[derive(Clone, Debug)]
+pub struct SearchProblem {
+    sessions: Vec<Vec<Observation>>,
+    specs: ObjectSpecs,
+    require_causal: bool,
+    forbidden: Vec<(UpdateRef, EventRef)>,
+}
+
+impl SearchProblem {
+    /// Creates a problem with the given object specifications, requiring
+    /// causal consistency (Definition 12) by default.
+    pub fn new(specs: ObjectSpecs) -> Self {
+        SearchProblem {
+            sessions: Vec::new(),
+            specs,
+            require_causal: true,
+            forbidden: Vec::new(),
+        }
+    }
+
+    /// Disables the causal-consistency requirement, searching for merely
+    /// *correct* explanations (Definition 8).
+    #[must_use]
+    pub fn without_causality(mut self) -> Self {
+        self.require_causal = false;
+        self
+    }
+
+    /// Appends a replica session; returns its index.
+    pub fn session<I: IntoIterator<Item = Observation>>(&mut self, obs: I) -> usize {
+        self.sessions.push(obs.into_iter().collect());
+        self.sessions.len() - 1
+    }
+
+    /// Forbids the given update from being visible to the given event —
+    /// used to encode external knowledge such as Proposition 2 ("a read can
+    /// only return writes that happen-before it").
+    pub fn forbid(&mut self, update: UpdateRef, event: EventRef) -> &mut Self {
+        self.forbidden.push((update, event));
+        self
+    }
+
+    /// Total number of observations across sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.iter().map(Vec::len).sum()
+    }
+
+    /// Returns `true` if no observations were added.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Searches for an explanation; returns a witness abstract execution if
+    /// one exists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the problem contains more than 32 update operations.
+    pub fn explain(&self) -> Option<AbstractExecution> {
+        self.run(1).into_iter().next()
+    }
+
+    /// Returns `true` iff an explanation exists.
+    pub fn is_explainable(&self) -> bool {
+        self.explain().is_some()
+    }
+
+    /// Collects up to `limit` distinct explanations (distinct `H`/set
+    /// assignments; equivalent executions may repeat).
+    pub fn explanations(&self, limit: usize) -> Vec<AbstractExecution> {
+        self.run(limit)
+    }
+
+    fn run(&self, limit: usize) -> Vec<AbstractExecution> {
+        let total_updates: usize = self
+            .sessions
+            .iter()
+            .flatten()
+            .filter(|o| o.op.is_update())
+            .count();
+        assert!(total_updates <= 32, "search supports at most 32 updates");
+        let mut st = SearchState {
+            problem: self,
+            pos: vec![0; self.sessions.len()],
+            visible: vec![0u32; self.sessions.len()],
+            updates: Vec::new(),
+            placed: Vec::new(),
+            update_label: vec![Vec::new(); self.sessions.len()],
+            update_seen: vec![0; self.sessions.len()],
+            solutions: Vec::new(),
+            limit,
+        };
+        st.dfs();
+        st.solutions
+    }
+}
+
+/// A placed update operation.
+#[derive(Clone, Debug)]
+struct PlacedUpdate {
+    obj: ObjectId,
+    op: Op,
+    /// Mask of updates visible when this update was issued (its context).
+    ctx: u32,
+    /// Index of the corresponding placed event.
+    event_index: usize,
+}
+
+/// A placed event (one observation assigned a position in `H`).
+#[derive(Clone, Debug)]
+struct PlacedEvent {
+    replica: usize,
+    obs: usize,
+    /// Mask of updates visible to this event.
+    visible: u32,
+}
+
+struct SearchState<'a> {
+    problem: &'a SearchProblem,
+    pos: Vec<usize>,
+    visible: Vec<u32>,
+    updates: Vec<PlacedUpdate>,
+    placed: Vec<PlacedEvent>,
+    /// update_label[r][k] = global update id of the k-th update in session r.
+    update_label: Vec<Vec<usize>>,
+    update_seen: Vec<usize>,
+    solutions: Vec<AbstractExecution>,
+    limit: usize,
+}
+
+impl SearchState<'_> {
+    fn dfs(&mut self) {
+        if self.solutions.len() >= self.limit {
+            return;
+        }
+        let done = (0..self.problem.sessions.len())
+            .all(|r| self.pos[r] >= self.problem.sessions[r].len());
+        if done {
+            self.solutions.push(self.reconstruct());
+            return;
+        }
+        for r in 0..self.problem.sessions.len() {
+            if self.pos[r] >= self.problem.sessions[r].len() {
+                continue;
+            }
+            self.try_place(r);
+            if self.solutions.len() >= self.limit {
+                return;
+            }
+        }
+    }
+
+    fn try_place(&mut self, r: usize) {
+        let obs_idx = self.pos[r];
+        let obs = self.problem.sessions[r][obs_idx].clone();
+        let placed_mask: u32 = if self.updates.is_empty() {
+            0
+        } else {
+            (1u32 << self.updates.len()) - 1
+        };
+        let base = self.visible[r];
+        let addable = placed_mask & !base;
+        // Enumerate all submasks of `addable` (including 0 and addable).
+        let mut sub = addable;
+        loop {
+            let candidate = base | sub;
+            if self.set_admissible(candidate, r, obs_idx, &obs) {
+                self.place_with(r, obs_idx, &obs, candidate);
+                if self.solutions.len() >= self.limit {
+                    return;
+                }
+            }
+            if sub == 0 {
+                break;
+            }
+            sub = (sub - 1) & addable;
+        }
+    }
+
+    fn set_admissible(&self, candidate: u32, r: usize, obs_idx: usize, obs: &Observation) -> bool {
+        // Causal closure: every visible update's context is visible.
+        if self.problem.require_causal {
+            let mut m = candidate;
+            while m != 0 {
+                let id = m.trailing_zeros() as usize;
+                m &= m - 1;
+                if self.updates[id].ctx & !candidate != 0 {
+                    return false;
+                }
+            }
+        }
+        // Forbidden-visibility constraints.
+        for (upd, ev) in &self.problem.forbidden {
+            if ev.replica == r && ev.index == obs_idx {
+                if let Some(&id) = self
+                    .update_label
+                    .get(upd.replica)
+                    .and_then(|v| v.get(upd.nth_update))
+                    .into_iter()
+                    .next()
+                {
+                    if candidate & (1u32 << id) != 0 {
+                        return false;
+                    }
+                }
+            }
+        }
+        // Specification check.
+        let expected = self.expected_rval(candidate, obs);
+        expected == obs.rval
+    }
+
+    fn expected_rval(&self, visible: u32, obs: &Observation) -> ReturnValue {
+        if obs.op.is_update() {
+            return ReturnValue::Ok;
+        }
+        let spec = self.problem.specs.spec_of(obs.obj);
+        let ctx_ids: Vec<usize> = (0..self.updates.len())
+            .filter(|&id| visible & (1u32 << id) != 0 && self.updates[id].obj == obs.obj)
+            .collect();
+        match spec {
+            SpecKind::Mvr => {
+                let mut frontier = BTreeSet::new();
+                for &id in &ctx_ids {
+                    if let Op::Write(v) = self.updates[id].op {
+                        let superseded = ctx_ids.iter().any(|&id2| {
+                            matches!(self.updates[id2].op, Op::Write(_))
+                                && self.updates[id2].ctx & (1u32 << id) != 0
+                        });
+                        if !superseded {
+                            frontier.insert(v);
+                        }
+                    }
+                }
+                ReturnValue::Values(frontier)
+            }
+            SpecKind::LwwRegister => {
+                let last = ctx_ids
+                    .iter()
+                    .filter(|&&id| matches!(self.updates[id].op, Op::Write(_)))
+                    .max();
+                match last {
+                    Some(&id) => match self.updates[id].op {
+                        Op::Write(v) => ReturnValue::values([v]),
+                        _ => unreachable!(),
+                    },
+                    None => ReturnValue::empty(),
+                }
+            }
+            SpecKind::OrSet => {
+                let mut live = BTreeSet::new();
+                for &id in &ctx_ids {
+                    if let Op::Add(v) = self.updates[id].op {
+                        let removed = ctx_ids.iter().any(|&id2| {
+                            self.updates[id2].op == Op::Remove(v)
+                                && self.updates[id2].ctx & (1u32 << id) != 0
+                        });
+                        if !removed {
+                            live.insert(v);
+                        }
+                    }
+                }
+                ReturnValue::Values(live)
+            }
+            SpecKind::Counter => {
+                let count = ctx_ids
+                    .iter()
+                    .filter(|&&id| self.updates[id].op == Op::Inc)
+                    .count();
+                ReturnValue::values([Value::new(count as u64)])
+            }
+            SpecKind::EwFlag => {
+                let raised = ctx_ids.iter().any(|&id| {
+                    self.updates[id].op == Op::Enable
+                        && !ctx_ids.iter().any(|&id2| {
+                            self.updates[id2].op == Op::Disable
+                                && self.updates[id2].ctx & (1u32 << id) != 0
+                        })
+                });
+                if raised {
+                    ReturnValue::values([Value::new(1)])
+                } else {
+                    ReturnValue::empty()
+                }
+            }
+        }
+    }
+
+    fn place_with(&mut self, r: usize, obs_idx: usize, obs: &Observation, visible: u32) {
+        let saved_visible = self.visible[r];
+        let is_update = obs.op.is_update();
+        self.placed.push(PlacedEvent {
+            replica: r,
+            obs: obs_idx,
+            visible,
+        });
+        self.pos[r] += 1;
+        if is_update {
+            let id = self.updates.len();
+            self.updates.push(PlacedUpdate {
+                obj: obs.obj,
+                op: obs.op.clone(),
+                ctx: visible,
+                event_index: self.placed.len() - 1,
+            });
+            self.update_label[r].push(id);
+            self.update_seen[r] += 1;
+            self.visible[r] = visible | (1u32 << id);
+        } else {
+            self.visible[r] = visible;
+        }
+
+        self.dfs();
+
+        // Undo.
+        self.visible[r] = saved_visible;
+        self.pos[r] -= 1;
+        self.placed.pop();
+        if is_update {
+            self.updates.pop();
+            self.update_label[r].pop();
+            self.update_seen[r] -= 1;
+        }
+    }
+
+    fn reconstruct(&self) -> AbstractExecution {
+        let mut b = AbstractExecutionBuilder::new();
+        for pe in &self.placed {
+            let obs = &self.problem.sessions[pe.replica][pe.obs];
+            b.push(
+                ReplicaId::new(pe.replica as u32),
+                obs.obj,
+                obs.op.clone(),
+                obs.rval.clone(),
+            );
+        }
+        // Visibility edges: each visible update, plus (for causal mode) the
+        // update's whole session prefix so that vis is transitive over
+        // reads as well.
+        for (j, pe) in self.placed.iter().enumerate() {
+            let mut m = pe.visible;
+            while m != 0 {
+                let id = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let u_ev = self.updates[id].event_index;
+                if u_ev != j {
+                    b.vis(u_ev, j);
+                }
+                if self.problem.require_causal {
+                    let u_replica = self.placed[u_ev].replica;
+                    for (f, pf) in self.placed.iter().enumerate().take(u_ev) {
+                        if pf.replica == u_replica && f != j {
+                            b.vis(f, j);
+                        }
+                    }
+                }
+            }
+        }
+        b.build().expect("search reconstruction is structurally valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consistency::causal;
+    use crate::correctness::check_correct;
+    use crate::specs::SpecKind;
+
+    fn x(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+    fn v(i: u64) -> Value {
+        Value::new(i)
+    }
+    fn w(i: u64) -> Observation {
+        Observation::new(x(0), Op::Write(v(i)), ReturnValue::Ok)
+    }
+    fn rd(vals: &[u64]) -> Observation {
+        Observation::new(
+            x(0),
+            Op::Read,
+            ReturnValue::values(vals.iter().map(|&i| v(i))),
+        )
+    }
+
+    fn mvr_problem() -> SearchProblem {
+        SearchProblem::new(ObjectSpecs::uniform(SpecKind::Mvr))
+    }
+
+    #[test]
+    fn empty_problem_explainable() {
+        let p = mvr_problem();
+        assert!(p.is_explainable());
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn simple_write_read_explained() {
+        let mut p = mvr_problem();
+        p.session([w(1)]);
+        p.session([rd(&[1])]);
+        let a = p.explain().expect("explanation exists");
+        assert!(check_correct(&a, &ObjectSpecs::uniform(SpecKind::Mvr)).is_ok());
+        assert!(causal::check(&a).is_ok());
+    }
+
+    #[test]
+    fn read_of_unwritten_value_unexplainable() {
+        let mut p = mvr_problem();
+        p.session([rd(&[7])]);
+        assert!(!p.is_explainable());
+    }
+
+    #[test]
+    fn stale_then_fresh_read_explained() {
+        let mut p = mvr_problem();
+        p.session([w(1)]);
+        p.session([rd(&[]), rd(&[1])]);
+        assert!(p.is_explainable());
+    }
+
+    #[test]
+    fn fresh_then_stale_read_unexplainable() {
+        // Once visible, a write cannot become invisible at the same replica
+        // (session monotonicity / Definition 4(2)).
+        let mut p = mvr_problem();
+        p.session([w(1)]);
+        p.session([rd(&[1]), rd(&[])]);
+        assert!(!p.is_explainable());
+    }
+
+    #[test]
+    fn concurrent_writes_both_orderings_explainable() {
+        // Single object: a read returning just one of two writes is
+        // explainable by ordering them (Perrin et al.'s point, §3.4).
+        let mut p = mvr_problem();
+        p.session([w(1)]);
+        p.session([w(2)]);
+        p.session([rd(&[2])]);
+        assert!(p.is_explainable());
+        let mut p2 = mvr_problem();
+        p2.session([w(1)]);
+        p2.session([w(2)]);
+        p2.session([rd(&[1])]);
+        assert!(p2.is_explainable());
+        let mut p3 = mvr_problem();
+        p3.session([w(1)]);
+        p3.session([w(2)]);
+        p3.session([rd(&[1, 2])]);
+        assert!(p3.is_explainable());
+    }
+
+    #[test]
+    fn session_order_constrains_mvr() {
+        // Same session writes are ordered: a read seeing both must return
+        // only the later one.
+        let mut p = mvr_problem();
+        p.session([w(1), w(2)]);
+        p.session([rd(&[1, 2])]);
+        assert!(
+            !p.is_explainable(),
+            "same-session writes are never concurrent"
+        );
+        let mut ok = mvr_problem();
+        ok.session([w(1), w(2)]);
+        ok.session([rd(&[2])]);
+        assert!(ok.is_explainable());
+    }
+
+    #[test]
+    fn causality_matters() {
+        // R0: w1; R1: reads w1 then writes w2; R2: reads {w2} without w1.
+        // Causally consistent: w1 vis w2 forces a read seeing w2 to have
+        // w1 in context, but w2 supersedes it: {w2} is fine.
+        let mut p = mvr_problem();
+        p.session([w(1)]);
+        p.session([rd(&[1]), w(2)]);
+        p.session([rd(&[2])]);
+        assert!(p.is_explainable());
+
+        // But returning {1,2} at R2 is impossible: w2's context contains w1.
+        let mut p2 = mvr_problem();
+        p2.session([w(1)]);
+        p2.session([rd(&[1]), w(2)]);
+        p2.session([rd(&[1, 2])]);
+        assert!(!p2.is_explainable());
+    }
+
+    #[test]
+    fn non_causal_mode_admits_more() {
+        // R1 observed w1 before writing w2 (so w1 vis w2 in any
+        // explanation); R2 sees w2 but claims not to see w1 — impossible
+        // causally, fine without causality... except MVR only needs w1
+        // invisible. Construct a case distinguishable only by transitivity:
+        // R2 reads y=2 (written by R1 after seeing x=1), then reads x empty.
+        let y = ObjectId::new(1);
+        let mut p = SearchProblem::new(ObjectSpecs::uniform(SpecKind::Mvr));
+        p.session([Observation::new(x(0), Op::Write(v(1)), ReturnValue::Ok)]);
+        p.session([
+            Observation::new(x(0), Op::Read, ReturnValue::values([v(1)])),
+            Observation::new(y, Op::Write(v(2)), ReturnValue::Ok),
+        ]);
+        p.session([
+            Observation::new(y, Op::Read, ReturnValue::values([v(2)])),
+            Observation::new(x(0), Op::Read, ReturnValue::empty()),
+        ]);
+        assert!(!p.is_explainable(), "causal transitivity forbids this");
+        let p_weak = p.clone().without_causality();
+        assert!(
+            p_weak.is_explainable(),
+            "without causality the stale read is fine"
+        );
+    }
+
+    #[test]
+    fn forbidden_visibility_respected() {
+        let mut p = mvr_problem();
+        p.session([w(1)]);
+        p.session([rd(&[1])]);
+        p.forbid(
+            UpdateRef {
+                replica: 0,
+                nth_update: 0,
+            },
+            EventRef {
+                replica: 1,
+                index: 0,
+            },
+        );
+        assert!(!p.is_explainable());
+    }
+
+    #[test]
+    fn witness_execution_is_valid_and_causal() {
+        let mut p = mvr_problem();
+        p.session([w(1), rd(&[1])]);
+        p.session([w(2)]);
+        p.session([rd(&[1, 2])]);
+        let a = p.explain().expect("explainable");
+        assert!(a.validate().is_ok());
+        assert!(check_correct(&a, &ObjectSpecs::uniform(SpecKind::Mvr)).is_ok());
+        assert!(causal::check(&a).is_ok());
+    }
+
+    #[test]
+    fn multiple_explanations_enumerated() {
+        let mut p = mvr_problem();
+        p.session([w(1)]);
+        p.session([rd(&[])]);
+        let sols = p.explanations(10);
+        // Different interleavings of the two events.
+        assert!(!sols.is_empty());
+        for a in &sols {
+            assert!(check_correct(a, &ObjectSpecs::uniform(SpecKind::Mvr)).is_ok());
+        }
+    }
+
+    #[test]
+    fn orset_search() {
+        let mut p = SearchProblem::new(ObjectSpecs::uniform(SpecKind::OrSet));
+        p.session([Observation::new(x(0), Op::Add(v(1)), ReturnValue::Ok)]);
+        p.session([Observation::new(x(0), Op::Remove(v(1)), ReturnValue::Ok)]);
+        // Concurrent add/remove: a later read may see {1} (add wins) ...
+        let mut p1 = p.clone();
+        p1.session([Observation::new(
+            x(0),
+            Op::Read,
+            ReturnValue::values([v(1)]),
+        )]);
+        assert!(p1.is_explainable());
+        // ... or {} (remove observed the add).
+        let mut p2 = p;
+        p2.session([Observation::new(x(0), Op::Read, ReturnValue::empty())]);
+        assert!(p2.is_explainable());
+    }
+
+    #[test]
+    fn ewflag_search() {
+        let mut p = SearchProblem::new(ObjectSpecs::uniform(SpecKind::EwFlag));
+        p.session([Observation::new(x(0), Op::Enable, ReturnValue::Ok)]);
+        p.session([Observation::new(x(0), Op::Disable, ReturnValue::Ok)]);
+        // Concurrent enable/disable: a read may see the flag raised...
+        let mut p1 = p.clone();
+        p1.session([Observation::new(
+            x(0),
+            Op::Read,
+            ReturnValue::values([v(1)]),
+        )]);
+        assert!(p1.is_explainable());
+        // ...or lowered (the disable observed the enable).
+        let mut p2 = p;
+        p2.session([Observation::new(x(0), Op::Read, ReturnValue::empty())]);
+        assert!(p2.is_explainable());
+    }
+
+    #[test]
+    fn lww_search_uses_history_order() {
+        let mut p = SearchProblem::new(ObjectSpecs::uniform(SpecKind::LwwRegister));
+        p.session([w(1)]);
+        p.session([w(2)]);
+        p.session([rd(&[1])]);
+        // H can order w2 before w1, so the read may return either value.
+        assert!(p.is_explainable());
+    }
+}

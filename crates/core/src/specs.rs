@@ -1,0 +1,408 @@
+//! Replicated object specifications (Figure 1) plus a counter extension.
+//!
+//! A replicated object specification determines the return value of every
+//! operation from its *operation context* (Definition 7):
+//! `rval(e) = f_o(ctxt(A, e))`.
+
+use crate::context::OperationContext;
+use haec_model::{ObjectId, Op, ReturnValue, Value};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// The specification function `f_o` of a replicated object, as in Figure 1.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum SpecKind {
+    /// Figure 1(a): read/write register — a read returns the value of the
+    /// *last* write event in the context (in `H'` order).
+    LwwRegister,
+    /// Figure 1(b): multi-valued register — a read returns the set of values
+    /// written by currently conflicting writes (writes in the context not
+    /// superseded by another visible write).
+    Mvr,
+    /// Figure 1(c): observed-remove set — an element is in the set iff some
+    /// `add(v)` is in the context with no `remove(v)` that saw it ("add
+    /// wins").
+    OrSet,
+    /// Extension: an operation-based counter — a read returns the number of
+    /// `inc` operations in the context.
+    Counter,
+    /// Extension: an enable-wins flag — a read returns `{1}` iff some
+    /// `enable` in the context has no visible `disable` that observed it
+    /// ("enable wins", the boolean cousin of the ORset).
+    EwFlag,
+}
+
+impl fmt::Display for SpecKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SpecKind::LwwRegister => "lww-register",
+            SpecKind::Mvr => "mvr",
+            SpecKind::OrSet => "orset",
+            SpecKind::Counter => "counter",
+            SpecKind::EwFlag => "ew-flag",
+        };
+        f.write_str(s)
+    }
+}
+
+impl SpecKind {
+    /// Does this object type accept the given operation?
+    pub fn accepts(&self, op: &Op) -> bool {
+        match self {
+            SpecKind::LwwRegister | SpecKind::Mvr => {
+                matches!(op, Op::Write(_) | Op::Read)
+            }
+            SpecKind::OrSet => matches!(op, Op::Add(_) | Op::Remove(_) | Op::Read),
+            SpecKind::Counter => matches!(op, Op::Inc | Op::Read),
+            SpecKind::EwFlag => matches!(op, Op::Enable | Op::Disable | Op::Read),
+        }
+    }
+
+    /// Evaluates `f_o(ctxt)`: the response the specification requires for
+    /// the context's event.
+    ///
+    /// Update operations always return [`ReturnValue::Ok`]; reads are
+    /// computed per Figure 1.
+    pub fn expected_rval(&self, ctxt: &OperationContext<'_>) -> ReturnValue {
+        let e = ctxt.event();
+        if e.op.is_update() {
+            return ReturnValue::Ok;
+        }
+        match self {
+            SpecKind::LwwRegister => {
+                // Last write event in H' order.
+                let mut last: Option<Value> = None;
+                for p in ctxt.prior_positions() {
+                    if let Op::Write(v) = ctxt.member(p).op {
+                        last = Some(v);
+                    }
+                }
+                match last {
+                    Some(v) => ReturnValue::values([v]),
+                    None => ReturnValue::empty(),
+                }
+            }
+            SpecKind::Mvr => {
+                // { v : ∃e1 write(v) ∈ H', ¬∃e2 write(·) ∈ H' with e1 vis' e2 }
+                let writes: Vec<usize> = ctxt
+                    .prior_positions()
+                    .filter(|&p| matches!(ctxt.member(p).op, Op::Write(_)))
+                    .collect();
+                let mut frontier = BTreeSet::new();
+                for &p1 in &writes {
+                    let superseded = writes.iter().any(|&p2| ctxt.sees(p1, p2));
+                    if !superseded {
+                        if let Op::Write(v) = ctxt.member(p1).op {
+                            frontier.insert(v);
+                        }
+                    }
+                }
+                ReturnValue::Values(frontier)
+            }
+            SpecKind::OrSet => {
+                // { v : ∃e1 add(v) ∈ H', ¬∃e2 remove(v) ∈ H' with e1 vis' e2 }
+                let mut live = BTreeSet::new();
+                let positions: Vec<usize> = ctxt.prior_positions().collect();
+                for &p1 in &positions {
+                    if let Op::Add(v) = ctxt.member(p1).op {
+                        let removed = positions.iter().any(|&p2| {
+                            ctxt.member(p2).op == Op::Remove(v) && ctxt.sees(p1, p2)
+                        });
+                        if !removed {
+                            live.insert(v);
+                        }
+                    }
+                }
+                ReturnValue::Values(live)
+            }
+            SpecKind::Counter => {
+                let count = ctxt
+                    .prior_positions()
+                    .filter(|&p| ctxt.member(p).op == Op::Inc)
+                    .count();
+                ReturnValue::values([Value::new(count as u64)])
+            }
+            SpecKind::EwFlag => {
+                // {1} iff ∃ enable e1 ∈ H', ¬∃ disable e2 ∈ H' with e1 vis' e2.
+                let positions: Vec<usize> = ctxt.prior_positions().collect();
+                let raised = positions.iter().any(|&p1| {
+                    ctxt.member(p1).op == Op::Enable
+                        && !positions.iter().any(|&p2| {
+                            ctxt.member(p2).op == Op::Disable && ctxt.sees(p1, p2)
+                        })
+                });
+                if raised {
+                    ReturnValue::values([Value::new(1)])
+                } else {
+                    ReturnValue::empty()
+                }
+            }
+        }
+    }
+}
+
+/// Assignment of a [`SpecKind`] to every object of an execution.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ObjectSpecs {
+    uniform: SpecKind,
+    overrides: Vec<(ObjectId, SpecKind)>,
+}
+
+impl ObjectSpecs {
+    /// Every object has the same specification.
+    pub fn uniform(kind: SpecKind) -> Self {
+        ObjectSpecs {
+            uniform: kind,
+            overrides: Vec::new(),
+        }
+    }
+
+    /// Overrides the specification of one object.
+    #[must_use]
+    pub fn with(mut self, obj: ObjectId, kind: SpecKind) -> Self {
+        self.overrides.retain(|(o, _)| *o != obj);
+        self.overrides.push((obj, kind));
+        self
+    }
+
+    /// The specification of `obj`.
+    pub fn spec_of(&self, obj: ObjectId) -> SpecKind {
+        self.overrides
+            .iter()
+            .find(|(o, _)| *o == obj)
+            .map(|(_, k)| *k)
+            .unwrap_or(self.uniform)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstract_execution::{AbstractExecution, AbstractExecutionBuilder};
+    use haec_model::ReplicaId;
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+    fn x(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+    fn v(i: u64) -> Value {
+        Value::new(i)
+    }
+
+    fn ctx_rval(a: &AbstractExecution, e: usize, kind: SpecKind) -> ReturnValue {
+        kind.expected_rval(&OperationContext::of(a, e))
+    }
+
+    #[test]
+    fn accepts_matrix() {
+        assert!(SpecKind::Mvr.accepts(&Op::Write(v(1))));
+        assert!(SpecKind::Mvr.accepts(&Op::Read));
+        assert!(!SpecKind::Mvr.accepts(&Op::Add(v(1))));
+        assert!(SpecKind::OrSet.accepts(&Op::Remove(v(1))));
+        assert!(!SpecKind::OrSet.accepts(&Op::Write(v(1))));
+        assert!(SpecKind::Counter.accepts(&Op::Inc));
+        assert!(!SpecKind::LwwRegister.accepts(&Op::Inc));
+    }
+
+    #[test]
+    fn mvr_read_empty_context() {
+        let mut b = AbstractExecutionBuilder::new();
+        let rd = b.push(r(0), x(0), Op::Read, ReturnValue::empty());
+        let a = b.build().unwrap();
+        assert_eq!(ctx_rval(&a, rd, SpecKind::Mvr), ReturnValue::empty());
+    }
+
+    #[test]
+    fn mvr_read_single_visible_write() {
+        let mut b = AbstractExecutionBuilder::new();
+        let w = b.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let rd = b.push(r(1), x(0), Op::Read, ReturnValue::values([v(1)]));
+        b.vis(w, rd);
+        let a = b.build().unwrap();
+        assert_eq!(
+            ctx_rval(&a, rd, SpecKind::Mvr),
+            ReturnValue::values([v(1)])
+        );
+    }
+
+    #[test]
+    fn mvr_read_concurrent_writes_both_returned() {
+        let mut b = AbstractExecutionBuilder::new();
+        let w1 = b.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let w2 = b.push(r(1), x(0), Op::Write(v(2)), ReturnValue::Ok);
+        let rd = b.push(r(2), x(0), Op::Read, ReturnValue::values([v(1), v(2)]));
+        b.vis(w1, rd).vis(w2, rd);
+        let a = b.build().unwrap();
+        assert_eq!(
+            ctx_rval(&a, rd, SpecKind::Mvr),
+            ReturnValue::values([v(1), v(2)])
+        );
+    }
+
+    #[test]
+    fn mvr_read_superseding_write_hides_older() {
+        let mut b = AbstractExecutionBuilder::new();
+        let w1 = b.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let w2 = b.push(r(1), x(0), Op::Write(v(2)), ReturnValue::Ok);
+        let rd = b.push(r(2), x(0), Op::Read, ReturnValue::values([v(2)]));
+        b.vis(w1, w2).vis(w1, rd).vis(w2, rd);
+        let a = b.build().unwrap();
+        assert_eq!(
+            ctx_rval(&a, rd, SpecKind::Mvr),
+            ReturnValue::values([v(2)])
+        );
+    }
+
+    #[test]
+    fn mvr_write_returns_ok() {
+        let mut b = AbstractExecutionBuilder::new();
+        let w = b.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let a = b.build().unwrap();
+        assert_eq!(ctx_rval(&a, w, SpecKind::Mvr), ReturnValue::Ok);
+    }
+
+    #[test]
+    fn lww_returns_last_write_in_history_order() {
+        let mut b = AbstractExecutionBuilder::new();
+        let w1 = b.push(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let w2 = b.push(r(1), x(0), Op::Write(v(2)), ReturnValue::Ok);
+        let rd = b.push(r(2), x(0), Op::Read, ReturnValue::values([v(2)]));
+        b.vis(w1, rd).vis(w2, rd);
+        let a = b.build().unwrap();
+        // w2 is later in H, so it wins even though concurrent by vis.
+        assert_eq!(
+            ctx_rval(&a, rd, SpecKind::LwwRegister),
+            ReturnValue::values([v(2)])
+        );
+    }
+
+    #[test]
+    fn lww_empty_context_reads_empty() {
+        let mut b = AbstractExecutionBuilder::new();
+        let rd = b.push(r(0), x(0), Op::Read, ReturnValue::empty());
+        let a = b.build().unwrap();
+        assert_eq!(ctx_rval(&a, rd, SpecKind::LwwRegister), ReturnValue::empty());
+    }
+
+    #[test]
+    fn orset_add_wins_over_concurrent_remove() {
+        let mut b = AbstractExecutionBuilder::new();
+        let add = b.push(r(0), x(0), Op::Add(v(1)), ReturnValue::Ok);
+        let rem = b.push(r(1), x(0), Op::Remove(v(1)), ReturnValue::Ok);
+        let rd = b.push(r(2), x(0), Op::Read, ReturnValue::values([v(1)]));
+        b.vis(add, rd).vis(rem, rd);
+        // add and remove concurrent: add wins.
+        let a = b.build().unwrap();
+        assert_eq!(
+            ctx_rval(&a, rd, SpecKind::OrSet),
+            ReturnValue::values([v(1)])
+        );
+    }
+
+    #[test]
+    fn orset_observed_remove_removes() {
+        let mut b = AbstractExecutionBuilder::new();
+        let add = b.push(r(0), x(0), Op::Add(v(1)), ReturnValue::Ok);
+        let rem = b.push(r(1), x(0), Op::Remove(v(1)), ReturnValue::Ok);
+        let rd = b.push(r(2), x(0), Op::Read, ReturnValue::empty());
+        b.vis(add, rem).vis(add, rd).vis(rem, rd);
+        let a = b.build().unwrap();
+        assert_eq!(ctx_rval(&a, rd, SpecKind::OrSet), ReturnValue::empty());
+    }
+
+    #[test]
+    fn orset_re_add_after_remove_survives() {
+        let mut b = AbstractExecutionBuilder::new();
+        let add1 = b.push(r(0), x(0), Op::Add(v(1)), ReturnValue::Ok);
+        let rem = b.push(r(0), x(0), Op::Remove(v(1)), ReturnValue::Ok);
+        let add2 = b.push(r(0), x(0), Op::Add(v(1)), ReturnValue::Ok);
+        let rd = b.push(r(0), x(0), Op::Read, ReturnValue::values([v(1)]));
+        let a = b.build().unwrap();
+        // add1 vis rem, but add2 is not removed by rem.
+        assert_eq!(
+            ctx_rval(&a, rd, SpecKind::OrSet),
+            ReturnValue::values([v(1)])
+        );
+        let _ = (add1, rem, add2);
+    }
+
+    #[test]
+    fn counter_counts_visible_incs() {
+        let mut b = AbstractExecutionBuilder::new();
+        b.push(r(0), x(0), Op::Inc, ReturnValue::Ok);
+        b.push(r(0), x(0), Op::Inc, ReturnValue::Ok);
+        let i3 = b.push(r(1), x(0), Op::Inc, ReturnValue::Ok); // not visible
+        let rd = b.push(r(0), x(0), Op::Read, ReturnValue::values([v(2)]));
+        let a = b.build().unwrap();
+        assert_eq!(
+            ctx_rval(&a, rd, SpecKind::Counter),
+            ReturnValue::values([v(2)])
+        );
+        let _ = i3;
+    }
+
+    #[test]
+    fn ewflag_enable_wins_over_concurrent_disable() {
+        let mut b = AbstractExecutionBuilder::new();
+        let en = b.push(r(0), x(0), Op::Enable, ReturnValue::Ok);
+        let dis = b.push(r(1), x(0), Op::Disable, ReturnValue::Ok);
+        let rd = b.push(r(2), x(0), Op::Read, ReturnValue::values([v(1)]));
+        b.vis(en, rd).vis(dis, rd);
+        let a = b.build().unwrap();
+        assert_eq!(
+            ctx_rval(&a, rd, SpecKind::EwFlag),
+            ReturnValue::values([v(1)]),
+            "concurrent disable loses"
+        );
+    }
+
+    #[test]
+    fn ewflag_observed_disable_lowers() {
+        let mut b = AbstractExecutionBuilder::new();
+        let en = b.push(r(0), x(0), Op::Enable, ReturnValue::Ok);
+        let dis = b.push(r(1), x(0), Op::Disable, ReturnValue::Ok);
+        let rd = b.push(r(2), x(0), Op::Read, ReturnValue::empty());
+        b.vis(en, dis).vis(en, rd).vis(dis, rd);
+        let a = b.build().unwrap();
+        assert_eq!(ctx_rval(&a, rd, SpecKind::EwFlag), ReturnValue::empty());
+    }
+
+    #[test]
+    fn ewflag_reenable_after_disable() {
+        let mut b = AbstractExecutionBuilder::new();
+        b.push(r(0), x(0), Op::Enable, ReturnValue::Ok);
+        b.push(r(0), x(0), Op::Disable, ReturnValue::Ok);
+        b.push(r(0), x(0), Op::Enable, ReturnValue::Ok);
+        let rd = b.push(r(0), x(0), Op::Read, ReturnValue::values([v(1)]));
+        let a = b.build().unwrap();
+        assert_eq!(
+            ctx_rval(&a, rd, SpecKind::EwFlag),
+            ReturnValue::values([v(1)])
+        );
+    }
+
+    #[test]
+    fn ewflag_empty_context_is_lowered() {
+        let mut b = AbstractExecutionBuilder::new();
+        let rd = b.push(r(0), x(0), Op::Read, ReturnValue::empty());
+        let a = b.build().unwrap();
+        assert_eq!(ctx_rval(&a, rd, SpecKind::EwFlag), ReturnValue::empty());
+    }
+
+    #[test]
+    fn object_specs_overrides() {
+        let specs = ObjectSpecs::uniform(SpecKind::Mvr).with(x(1), SpecKind::OrSet);
+        assert_eq!(specs.spec_of(x(0)), SpecKind::Mvr);
+        assert_eq!(specs.spec_of(x(1)), SpecKind::OrSet);
+        let specs2 = specs.with(x(1), SpecKind::Counter);
+        assert_eq!(specs2.spec_of(x(1)), SpecKind::Counter);
+    }
+
+    #[test]
+    fn spec_kind_display() {
+        assert_eq!(SpecKind::Mvr.to_string(), "mvr");
+        assert_eq!(SpecKind::LwwRegister.to_string(), "lww-register");
+    }
+}

@@ -1,0 +1,179 @@
+//! Graphviz export for abstract executions.
+//!
+//! Renders `(H, vis)` as a DOT digraph: one node per event (grouped by
+//! replica), one edge per visibility pair. For causally consistent
+//! executions the transitive closure is huge, so the export emits the
+//! *transitive reduction* by default — the Hasse diagram of `vis` — which
+//! is what the paper's figures draw.
+
+use crate::abstract_execution::AbstractExecution;
+use haec_model::Relation;
+use std::fmt::Write as _;
+
+/// Computes the transitive reduction of an acyclic relation: the minimal
+/// relation with the same transitive closure.
+#[must_use]
+pub fn transitive_reduction(rel: &Relation) -> Relation {
+    let closure = rel.transitive_closure();
+    let mut out = closure.clone();
+    for (i, j) in closure.iter_pairs() {
+        // (i, j) is redundant if some intermediate k has i -> k -> j.
+        let redundant = closure
+            .successors(i)
+            .any(|k| k != j && closure.contains(k, j));
+        if redundant {
+            out.remove(i, j);
+        }
+    }
+    out
+}
+
+/// Options for [`to_dot`].
+#[derive(Clone, Debug)]
+pub struct DotOptions {
+    /// Emit only the transitive reduction of `vis` (default `true`).
+    pub reduce: bool,
+    /// Cluster events by replica (default `true`).
+    pub cluster_replicas: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            reduce: true,
+            cluster_replicas: true,
+        }
+    }
+}
+
+/// Renders an abstract execution as a Graphviz DOT digraph.
+///
+/// ```
+/// use haec_core::{AbstractExecutionBuilder, viz};
+/// use haec_model::{ReplicaId, ObjectId, Op, Value, ReturnValue};
+/// let mut b = AbstractExecutionBuilder::new();
+/// let w = b.push(ReplicaId::new(0), ObjectId::new(0),
+///                Op::Write(Value::new(1)), ReturnValue::Ok);
+/// let r = b.push(ReplicaId::new(1), ObjectId::new(0),
+///                Op::Read, ReturnValue::values([Value::new(1)]));
+/// b.vis(w, r);
+/// let dot = viz::to_dot(&b.build().unwrap(), &viz::DotOptions::default());
+/// assert!(dot.contains("digraph vis"));
+/// ```
+pub fn to_dot(a: &AbstractExecution, options: &DotOptions) -> String {
+    let mut out = String::from("digraph vis {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
+    let replicas: Vec<u32> = {
+        let mut r: Vec<u32> = a.events().iter().map(|e| e.replica.as_u32()).collect();
+        r.sort_unstable();
+        r.dedup();
+        r
+    };
+    if options.cluster_replicas {
+        for &r in &replicas {
+            let _ = writeln!(out, "  subgraph cluster_r{r} {{\n    label=\"R{r}\";");
+            for (i, e) in a.events().iter().enumerate() {
+                if e.replica.as_u32() == r {
+                    let _ = writeln!(
+                        out,
+                        "    e{i} [label=\"{i}: {}({}) -> {}\"];",
+                        e.op, e.obj, e.rval
+                    );
+                }
+            }
+            out.push_str("  }\n");
+        }
+    } else {
+        for (i, e) in a.events().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  e{i} [label=\"{i}@{}: {}({}) -> {}\"];",
+                e.replica, e.op, e.obj, e.rval
+            );
+        }
+    }
+    let rel = if options.reduce {
+        transitive_reduction(a.vis())
+    } else {
+        a.vis().clone()
+    };
+    for (i, j) in rel.iter_pairs() {
+        let _ = writeln!(out, "  e{i} -> e{j};");
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstract_execution::AbstractExecutionBuilder;
+    use haec_model::{ObjectId, Op, ReplicaId, ReturnValue, Value};
+
+    fn sample() -> AbstractExecution {
+        let mut b = AbstractExecutionBuilder::new();
+        let w1 = b.push(
+            ReplicaId::new(0),
+            ObjectId::new(0),
+            Op::Write(Value::new(1)),
+            ReturnValue::Ok,
+        );
+        let w2 = b.push(
+            ReplicaId::new(0),
+            ObjectId::new(0),
+            Op::Write(Value::new(2)),
+            ReturnValue::Ok,
+        );
+        let rd = b.push(
+            ReplicaId::new(1),
+            ObjectId::new(0),
+            Op::Read,
+            ReturnValue::values([Value::new(2)]),
+        );
+        b.vis(w1, rd).vis(w2, rd);
+        b.build_transitive().unwrap()
+    }
+
+    #[test]
+    fn reduction_removes_implied_edges() {
+        let a = sample();
+        // w1 -> rd is implied by w1 -> w2 -> rd.
+        let red = transitive_reduction(a.vis());
+        assert!(red.contains(0, 1));
+        assert!(red.contains(1, 2));
+        assert!(!red.contains(0, 2), "implied edge must be dropped");
+        // Reduction preserves the closure.
+        assert_eq!(red.transitive_closure(), a.vis().transitive_closure());
+    }
+
+    #[test]
+    fn dot_contains_nodes_edges_and_clusters() {
+        let a = sample();
+        let dot = to_dot(&a, &DotOptions::default());
+        assert!(dot.contains("digraph vis"));
+        assert!(dot.contains("cluster_r0"));
+        assert!(dot.contains("cluster_r1"));
+        assert!(dot.contains("e1 -> e2;"));
+        assert!(!dot.contains("e0 -> e2;"), "reduced edge must be absent");
+    }
+
+    #[test]
+    fn dot_unreduced_and_unclustered() {
+        let a = sample();
+        let dot = to_dot(
+            &a,
+            &DotOptions {
+                reduce: false,
+                cluster_replicas: false,
+            },
+        );
+        assert!(dot.contains("e0 -> e2;"));
+        assert!(!dot.contains("cluster"));
+        assert!(dot.contains("0@R0"));
+    }
+
+    #[test]
+    fn reduction_of_empty_relation() {
+        let r = Relation::new(4);
+        assert_eq!(transitive_reduction(&r), r);
+    }
+}

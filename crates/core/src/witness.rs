@@ -1,0 +1,387 @@
+//! Building a candidate abstract execution from a concrete execution plus
+//! the visibility witnesses an instrumented store reports.
+//!
+//! A concrete execution records *what happened on the wire*; compliance
+//! (Definition 9) asks whether some abstract execution in a consistency
+//! model explains the client-visible part. Searching all abstract executions
+//! is exponential, so instrumented stores report, with each `do`, the
+//! [`Dot`]s of the update operations that were visible at the replica. This
+//! module turns those reports into an [`AbstractExecution`] candidate, which
+//! the independent checkers (`check_correct`, `causal::check`, `occ::check`)
+//! then validate — a buggy witness cannot make a broken store pass, it can
+//! only make a correct store fail.
+
+use crate::abstract_execution::{AbstractExecution, AbstractExecutionBuilder, AbstractExecutionError};
+use haec_model::{Dot, Execution};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The visibility witness reported for one `do` event.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DoWitness {
+    /// Index of the `do` event in the concrete execution.
+    pub event: usize,
+    /// Dots of all update operations visible at the replica at that point
+    /// (the operation's own dot, if any, is ignored).
+    pub visible: Vec<Dot>,
+}
+
+/// Errors raised while assembling the candidate.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WitnessError {
+    /// A witness refers to an event index that is not a `do` event.
+    NotADoEvent {
+        /// The offending index.
+        event: usize,
+    },
+    /// A witness dot does not correspond to any update operation in the
+    /// execution.
+    UnknownDot {
+        /// The do event whose witness is broken.
+        event: usize,
+        /// The dangling dot.
+        dot: Dot,
+    },
+    /// A witness dot refers to an update that occurs *later* in the
+    /// execution — visibility cannot point forward in time.
+    FutureDot {
+        /// The do event whose witness is broken.
+        event: usize,
+        /// The offending dot.
+        dot: Dot,
+    },
+    /// The assembled relation violated Definition 4.
+    Structural(AbstractExecutionError),
+}
+
+impl fmt::Display for WitnessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WitnessError::NotADoEvent { event } => {
+                write!(f, "witness for event {event} which is not a do event")
+            }
+            WitnessError::UnknownDot { event, dot } => {
+                write!(f, "witness of event {event} names unknown update {dot}")
+            }
+            WitnessError::FutureDot { event, dot } => {
+                write!(f, "witness of event {event} names future update {dot}")
+            }
+            WitnessError::Structural(e) => write!(f, "structural violation: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WitnessError {}
+
+impl From<AbstractExecutionError> for WitnessError {
+    fn from(e: AbstractExecutionError) -> Self {
+        WitnessError::Structural(e)
+    }
+}
+
+/// Assembles the candidate abstract execution for a concrete execution:
+/// `H` is the subsequence of `do` events in execution order; `vis` contains
+/// per-replica program order, the witness edges (update `u` visible to event
+/// `e` whenever `dot(u)` appears in `e`'s witness), and the session-closure
+/// edges Definition 4 requires.
+///
+/// Dots are resolved by replaying the execution: the `q`-th update `do`
+/// event at replica `r` has dot `(r, q)` — the same convention
+/// [`ReplicaMachine`](haec_model::ReplicaMachine) implementations follow.
+///
+/// # Errors
+///
+/// Returns an error if a witness is dangling, refers forward in time, or the
+/// assembled relation violates Definition 4.
+pub fn abstract_from_witness(
+    ex: &Execution,
+    witnesses: &[DoWitness],
+) -> Result<AbstractExecution, WitnessError> {
+    abstract_from_witness_ordered(ex, witnesses, &ex.do_events())
+}
+
+/// Like [`abstract_from_witness`], but with an explicit order for `H`.
+///
+/// `order` must be a permutation of the execution's `do` event indices; it
+/// becomes the order of `H`. This matters for stores whose specification
+/// resolves conflicts by `H` order — e.g. the LWW register store orders `H`
+/// by its Lamport arbitration timestamps, which is an equivalent abstract
+/// execution (per-replica projections are unchanged) in which the LWW
+/// specification's "last write in `H'`" matches the store's winner.
+///
+/// # Errors
+///
+/// As for [`abstract_from_witness`]; additionally fails structurally if
+/// `order` breaks per-replica program order.
+///
+/// # Panics
+///
+/// Panics if `order` is not a permutation of the `do` event indices.
+pub fn abstract_from_witness_ordered(
+    ex: &Execution,
+    witnesses: &[DoWitness],
+    order: &[usize],
+) -> Result<AbstractExecution, WitnessError> {
+    let do_events = order.to_vec();
+    {
+        let mut sorted = do_events.clone();
+        sorted.sort_unstable();
+        let mut canonical = ex.do_events();
+        canonical.sort_unstable();
+        assert_eq!(
+            sorted, canonical,
+            "order must be a permutation of the do events"
+        );
+    }
+    // Position of each do event within H.
+    let mut h_pos: HashMap<usize, usize> = HashMap::new();
+    let mut builder = AbstractExecutionBuilder::new();
+    for (h, &ix) in do_events.iter().enumerate() {
+        let ev = ex.event(ix);
+        let (obj, op, rval) = ev.as_do().expect("order contains do events");
+        builder.push(ev.replica, obj, op.clone(), rval.clone());
+        h_pos.insert(ix, h);
+    }
+    // Dots are assigned by *execution* order (the machine convention), then
+    // mapped to H positions.
+    let mut dot_pos: HashMap<Dot, usize> = HashMap::new();
+    let mut update_counts = vec![0u32; ex.n_replicas()];
+    for &ix in &ex.do_events() {
+        let ev = ex.event(ix);
+        let (_, op, _) = ev.as_do().expect("do_events yields do events");
+        if op.is_update() {
+            let r = ev.replica.index();
+            update_counts[r] += 1;
+            dot_pos.insert(Dot::new(ev.replica, update_counts[r]), h_pos[&ix]);
+        }
+    }
+    // Replica and read-ness of each H position, for the read-prefix rule
+    // below.
+    let h_replica: Vec<_> = do_events.iter().map(|&ix| ex.event(ix).replica).collect();
+    let h_reads: Vec<bool> = do_events
+        .iter()
+        .map(|&ix| {
+            ex.event(ix)
+                .as_do()
+                .map(|(_, op, _)| op.is_read())
+                .unwrap_or(false)
+        })
+        .collect();
+    for w in witnesses {
+        let Some(&target) = h_pos.get(&w.event) else {
+            return Err(WitnessError::NotADoEvent { event: w.event });
+        };
+        for &dot in &w.visible {
+            let Some(&source) = dot_pos.get(&dot) else {
+                return Err(WitnessError::UnknownDot {
+                    event: w.event,
+                    dot,
+                });
+            };
+            if source == target {
+                continue; // the operation's own dot
+            }
+            if source > target {
+                return Err(WitnessError::FutureDot {
+                    event: w.event,
+                    dot,
+                });
+            }
+            builder.vis(source, target);
+            // Reads that precede the update at its replica are in the
+            // update's causal past, so they must be visible wherever the
+            // update is — otherwise `vis` could never be transitive
+            // (Definition 12). Update-update dependencies are already
+            // covered by the dots, and only update events influence spec
+            // return values, so this adds exactly the read sources. (For a
+            // non-causal store the induced transitivity demands then fail
+            // the causal checker — which is the correct verdict.)
+            for f in 0..source {
+                if h_replica[f] == h_replica[source]
+                    && f != target
+                    && h_reads[f]
+                {
+                    builder.vis(f, target);
+                }
+            }
+        }
+    }
+    Ok(builder.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consistency::causal;
+    use crate::correctness::check_correct;
+    use crate::specs::{ObjectSpecs, SpecKind};
+    use haec_model::{ObjectId, Op, Payload, ReplicaId, ReturnValue, Value};
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+    fn x(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+    fn v(i: u64) -> Value {
+        Value::new(i)
+    }
+
+    /// R0 writes, sends; R1 receives, reads (witnessing R0's write).
+    fn concrete_with_witness() -> (Execution, Vec<DoWitness>) {
+        let mut ex = Execution::new(2);
+        let w = ex.push_do(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let m = ex.push_send(r(0), Payload::from_bytes(vec![1])).unwrap();
+        ex.push_receive(r(1), m).unwrap();
+        let rd = ex.push_do(r(1), x(0), Op::Read, ReturnValue::values([v(1)]));
+        let witnesses = vec![
+            DoWitness {
+                event: w,
+                visible: vec![],
+            },
+            DoWitness {
+                event: rd,
+                visible: vec![Dot::new(r(0), 1)],
+            },
+        ];
+        (ex, witnesses)
+    }
+
+    #[test]
+    fn witness_edges_become_vis() {
+        let (ex, ws) = concrete_with_witness();
+        let a = abstract_from_witness(&ex, &ws).unwrap();
+        assert_eq!(a.len(), 2);
+        assert!(a.sees(0, 1));
+        assert!(check_correct(&a, &ObjectSpecs::uniform(SpecKind::Mvr)).is_ok());
+        assert!(causal::check(&a).is_ok());
+    }
+
+    #[test]
+    fn own_dot_ignored() {
+        let mut ex = Execution::new(1);
+        let w = ex.push_do(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let ws = vec![DoWitness {
+            event: w,
+            visible: vec![Dot::new(r(0), 1)], // its own dot
+        }];
+        let a = abstract_from_witness(&ex, &ws).unwrap();
+        assert_eq!(a.len(), 1);
+        assert!(!a.sees(0, 0));
+    }
+
+    #[test]
+    fn unknown_dot_rejected() {
+        let (ex, mut ws) = concrete_with_witness();
+        ws[1].visible = vec![Dot::new(r(0), 9)];
+        let err = abstract_from_witness(&ex, &ws).unwrap_err();
+        assert!(matches!(err, WitnessError::UnknownDot { .. }));
+    }
+
+    #[test]
+    fn future_dot_rejected() {
+        let mut ex = Execution::new(2);
+        let rd = ex.push_do(r(1), x(0), Op::Read, ReturnValue::empty());
+        ex.push_do(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let ws = vec![DoWitness {
+            event: rd,
+            visible: vec![Dot::new(r(0), 1)],
+        }];
+        let err = abstract_from_witness(&ex, &ws).unwrap_err();
+        assert!(matches!(err, WitnessError::FutureDot { .. }));
+    }
+
+    #[test]
+    fn witness_for_non_do_event_rejected() {
+        let mut ex = Execution::new(2);
+        let m = ex.push_send(r(0), Payload::from_bytes(vec![])).unwrap();
+        let _ = m;
+        let ws = vec![DoWitness {
+            event: 0, // the send event
+            visible: vec![],
+        }];
+        let err = abstract_from_witness(&ex, &ws).unwrap_err();
+        assert!(matches!(err, WitnessError::NotADoEvent { event: 0 }));
+    }
+
+    #[test]
+    fn candidate_complies_with_concrete() {
+        let (ex, ws) = concrete_with_witness();
+        let a = abstract_from_witness(&ex, &ws).unwrap();
+        assert!(crate::compliance::complies(&ex, &a).is_ok());
+    }
+
+    #[test]
+    fn per_replica_dot_counting() {
+        // Two updates at R0, one at R1; dots must resolve by per-replica
+        // counters, not global order.
+        let mut ex = Execution::new(2);
+        ex.push_do(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok); // R0:1
+        ex.push_do(r(1), x(0), Op::Write(v(2)), ReturnValue::Ok); // R1:1
+        ex.push_do(r(0), x(0), Op::Write(v(3)), ReturnValue::Ok); // R0:2
+        let rd = ex.push_do(r(1), x(0), Op::Read, ReturnValue::values([v(2), v(3)]));
+        let ws = vec![DoWitness {
+            event: rd,
+            visible: vec![Dot::new(r(0), 2), Dot::new(r(1), 1), Dot::new(r(0), 1)],
+        }];
+        let a = abstract_from_witness(&ex, &ws).unwrap();
+        assert!(a.sees(0, 3));
+        assert!(a.sees(1, 3));
+        assert!(a.sees(2, 3));
+    }
+
+    #[test]
+    fn ordered_variant_reorders_history() {
+        // Two concurrent writes recorded in one order; the ordered variant
+        // flips them in H while preserving per-replica projections.
+        let mut ex = Execution::new(2);
+        let w0 = ex.push_do(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let w1 = ex.push_do(r(1), x(0), Op::Write(v(2)), ReturnValue::Ok);
+        let ws = vec![
+            DoWitness { event: w0, visible: vec![] },
+            DoWitness { event: w1, visible: vec![] },
+        ];
+        let a = crate::witness::abstract_from_witness_ordered(&ex, &ws, &[w1, w0]).unwrap();
+        assert_eq!(a.event(0).op, Op::Write(v(2)));
+        assert_eq!(a.event(1).op, Op::Write(v(1)));
+        assert!(crate::compliance::complies(&ex, &a).is_ok());
+    }
+
+    #[test]
+    fn ordered_variant_rejects_backward_visibility() {
+        // If the chosen H order puts a visible update after its observer,
+        // the builder reports the structural violation.
+        let mut ex = Execution::new(2);
+        let w = ex.push_do(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let m = ex.push_send(r(0), Payload::from_bytes(vec![1])).unwrap();
+        ex.push_receive(r(1), m).unwrap();
+        let rd = ex.push_do(r(1), x(0), Op::Read, ReturnValue::values([v(1)]));
+        let ws = vec![
+            DoWitness { event: w, visible: vec![] },
+            DoWitness { event: rd, visible: vec![Dot::new(r(0), 1)] },
+        ];
+        let err =
+            crate::witness::abstract_from_witness_ordered(&ex, &ws, &[rd, w]).unwrap_err();
+        assert!(
+            matches!(err, WitnessError::FutureDot { .. }),
+            "visibility pointing forward in H is rejected: {err}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "permutation")]
+    fn ordered_variant_requires_permutation() {
+        let mut ex = Execution::new(1);
+        ex.push_do(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
+        let _ = crate::witness::abstract_from_witness_ordered(&ex, &[], &[0, 0]);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = WitnessError::UnknownDot {
+            event: 1,
+            dot: Dot::new(r(0), 4),
+        };
+        assert!(e.to_string().contains("unknown update R0:4"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Events of a concrete execution.
+
+use crate::ids::{MsgId, ObjectId, ReplicaId};
+use crate::op::{Op, ReturnValue};
+use std::fmt;
+
+/// The kind (and attributes) of an event, following Section 2 of the paper:
+/// `act(e) ∈ {do, send, receive}`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub enum EventKind {
+    /// `do(o, op, v)`: a client invokes `op` on object `o` and immediately
+    /// receives response `v`.
+    Do {
+        /// `obj(e)` — the object operated on.
+        obj: ObjectId,
+        /// `op(e)` — the operation invoked.
+        op: Op,
+        /// `rval(e)` — the response the client receives.
+        rval: ReturnValue,
+    },
+    /// `send(m)`: the replica broadcasts message `m`.
+    Send {
+        /// `msg(e)` — the broadcast message.
+        msg: MsgId,
+    },
+    /// `receive(m)`: the replica receives message `m`.
+    Receive {
+        /// `msg(e)` — the received message.
+        msg: MsgId,
+    },
+}
+
+impl EventKind {
+    /// Returns `true` for a `do` event.
+    pub fn is_do(&self) -> bool {
+        matches!(self, EventKind::Do { .. })
+    }
+
+    /// Returns `true` for a `send` event.
+    pub fn is_send(&self) -> bool {
+        matches!(self, EventKind::Send { .. })
+    }
+
+    /// Returns `true` for a `receive` event.
+    pub fn is_receive(&self) -> bool {
+        matches!(self, EventKind::Receive { .. })
+    }
+
+    /// The message attribute `msg(e)` of a send/receive event.
+    pub fn msg(&self) -> Option<MsgId> {
+        match self {
+            EventKind::Send { msg } | EventKind::Receive { msg } => Some(*msg),
+            EventKind::Do { .. } => None,
+        }
+    }
+}
+
+/// An event of a concrete execution: `R(e)` plus its kind and attributes.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Event {
+    /// `R(e)` — the replica at which the event occurs.
+    pub replica: ReplicaId,
+    /// The action and its attributes.
+    pub kind: EventKind,
+}
+
+impl Event {
+    /// Returns `true` if this is a `do` event.
+    pub fn is_do(&self) -> bool {
+        self.kind.is_do()
+    }
+
+    /// Returns the object, operation and return value of a `do` event.
+    pub fn as_do(&self) -> Option<(ObjectId, &Op, &ReturnValue)> {
+        match &self.kind {
+            EventKind::Do { obj, op, rval } => Some((*obj, op, rval)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            EventKind::Do { obj, op, rval } => {
+                write!(f, "do_{}({obj}, {op}) -> {rval}", self.replica)
+            }
+            EventKind::Send { msg } => write!(f, "send_{}({msg})", self.replica),
+            EventKind::Receive { msg } => write!(f, "receive_{}({msg})", self.replica),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Value;
+
+    #[test]
+    fn kind_predicates() {
+        let d = EventKind::Do {
+            obj: ObjectId::new(0),
+            op: Op::Read,
+            rval: ReturnValue::empty(),
+        };
+        assert!(d.is_do());
+        assert!(!d.is_send());
+        assert_eq!(d.msg(), None);
+
+        let s = EventKind::Send { msg: MsgId::new(1) };
+        assert!(s.is_send());
+        assert_eq!(s.msg(), Some(MsgId::new(1)));
+
+        let r = EventKind::Receive { msg: MsgId::new(2) };
+        assert!(r.is_receive());
+        assert_eq!(r.msg(), Some(MsgId::new(2)));
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = Event {
+            replica: ReplicaId::new(1),
+            kind: EventKind::Do {
+                obj: ObjectId::new(0),
+                op: Op::Write(Value::new(5)),
+                rval: ReturnValue::Ok,
+            },
+        };
+        assert_eq!(e.to_string(), "do_R1(x0, write(v5)) -> ok");
+        let s = Event {
+            replica: ReplicaId::new(0),
+            kind: EventKind::Send { msg: MsgId::new(3) },
+        };
+        assert_eq!(s.to_string(), "send_R0(m3)");
+    }
+
+    #[test]
+    fn as_do_extracts_attributes() {
+        let e = Event {
+            replica: ReplicaId::new(0),
+            kind: EventKind::Do {
+                obj: ObjectId::new(2),
+                op: Op::Read,
+                rval: ReturnValue::values([Value::new(9)]),
+            },
+        };
+        let (obj, op, rval) = e.as_do().unwrap();
+        assert_eq!(obj, ObjectId::new(2));
+        assert!(op.is_read());
+        assert!(rval.contains(Value::new(9)));
+    }
+}

@@ -1,0 +1,438 @@
+//! Concrete executions and well-formedness (Definition 1).
+
+use crate::event::{Event, EventKind};
+use crate::ids::{MsgId, ObjectId, ReplicaId};
+use crate::machine::Payload;
+use crate::op::{Op, ReturnValue};
+use std::fmt;
+
+/// The payload and provenance of a broadcast message.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MessageRecord {
+    /// The replica that broadcast the message.
+    pub sender: ReplicaId,
+    /// Index (into the execution's event sequence) of the `send` event.
+    pub send_index: usize,
+    /// The message content.
+    pub payload: Payload,
+}
+
+/// Violations of well-formedness (Definition 1).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WellFormednessError {
+    /// A `receive(m)` event refers to a message never sent.
+    UnknownMessage {
+        /// Index of the offending receive event.
+        event: usize,
+        /// The unknown message id.
+        msg: MsgId,
+    },
+    /// A `receive(m)` event occurs before the `send(m)` event.
+    ReceiveBeforeSend {
+        /// Index of the offending receive event.
+        event: usize,
+        /// The message id.
+        msg: MsgId,
+    },
+    /// A replica received a message it broadcast itself.
+    SelfDelivery {
+        /// Index of the offending receive event.
+        event: usize,
+        /// The message id.
+        msg: MsgId,
+    },
+    /// A replica id is out of range for the execution.
+    ReplicaOutOfRange {
+        /// Index of the offending event.
+        event: usize,
+        /// The offending replica.
+        replica: ReplicaId,
+    },
+}
+
+impl fmt::Display for WellFormednessError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WellFormednessError::UnknownMessage { event, msg } => {
+                write!(f, "event {event}: receive of unknown message {msg}")
+            }
+            WellFormednessError::ReceiveBeforeSend { event, msg } => {
+                write!(f, "event {event}: message {msg} received before it was sent")
+            }
+            WellFormednessError::SelfDelivery { event, msg } => {
+                write!(f, "event {event}: replica received its own message {msg}")
+            }
+            WellFormednessError::ReplicaOutOfRange { event, replica } => {
+                write!(f, "event {event}: replica {replica} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WellFormednessError {}
+
+/// Result alias for well-formedness checks.
+pub type WellFormedness = Result<(), WellFormednessError>;
+
+/// A concrete execution: an interleaved sequence of events at `n` replicas,
+/// together with the payloads of all broadcast messages.
+///
+/// `Execution` enforces well-formedness *by construction*: the push methods
+/// return an error for a receive that has no matching earlier send at a
+/// different replica. Messages may still be dropped (never received),
+/// delivered out of order, or delivered multiple times — exactly the network
+/// behaviours Definition 1 permits.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct Execution {
+    n_replicas: usize,
+    events: Vec<Event>,
+    messages: Vec<MessageRecord>,
+}
+
+impl Execution {
+    /// Creates an empty execution over `n_replicas` replicas.
+    pub fn new(n_replicas: usize) -> Self {
+        Execution {
+            n_replicas,
+            events: Vec::new(),
+            messages: Vec::new(),
+        }
+    }
+
+    /// Number of replicas.
+    pub fn n_replicas(&self) -> usize {
+        self.n_replicas
+    }
+
+    /// Number of events appended so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns `true` if no events have been appended.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The events, in execution order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// The event at the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn event(&self, index: usize) -> &Event {
+        &self.events[index]
+    }
+
+    /// All message records, indexed by [`MsgId`].
+    pub fn messages(&self) -> &[MessageRecord] {
+        &self.messages
+    }
+
+    /// The record of message `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` was never sent in this execution.
+    pub fn message(&self, m: MsgId) -> &MessageRecord {
+        &self.messages[m.index()]
+    }
+
+    fn check_replica(&self, replica: ReplicaId) -> WellFormedness {
+        if replica.index() >= self.n_replicas {
+            return Err(WellFormednessError::ReplicaOutOfRange {
+                event: self.events.len(),
+                replica,
+            });
+        }
+        Ok(())
+    }
+
+    /// Appends a `do` event and returns its index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replica` is out of range.
+    pub fn push_do(
+        &mut self,
+        replica: ReplicaId,
+        obj: ObjectId,
+        op: Op,
+        rval: ReturnValue,
+    ) -> usize {
+        self.check_replica(replica)
+            .expect("replica out of range for execution");
+        self.events.push(Event {
+            replica,
+            kind: EventKind::Do { obj, op, rval },
+        });
+        self.events.len() - 1
+    }
+
+    /// Appends a `send` event broadcasting `payload` and returns the fresh
+    /// [`MsgId`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `replica` is out of range.
+    pub fn push_send(
+        &mut self,
+        replica: ReplicaId,
+        payload: Payload,
+    ) -> Result<MsgId, WellFormednessError> {
+        self.check_replica(replica)?;
+        let msg = MsgId::new(self.messages.len() as u64);
+        self.messages.push(MessageRecord {
+            sender: replica,
+            send_index: self.events.len(),
+            payload,
+        });
+        self.events.push(Event {
+            replica,
+            kind: EventKind::Send { msg },
+        });
+        Ok(msg)
+    }
+
+    /// Appends a `receive(m)` event at `replica` and returns its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error (and appends nothing) if `m` was never sent, or was
+    /// sent by `replica` itself — the well-formedness conditions of
+    /// Definition 1. (The "received before sent" case cannot arise with this
+    /// append-only API; it is reported by [`validate`](Self::validate) for
+    /// externally constructed sequences.)
+    pub fn push_receive(&mut self, replica: ReplicaId, m: MsgId) -> Result<usize, WellFormednessError> {
+        self.check_replica(replica)?;
+        let Some(rec) = self.messages.get(m.index()) else {
+            return Err(WellFormednessError::UnknownMessage {
+                event: self.events.len(),
+                msg: m,
+            });
+        };
+        if rec.sender == replica {
+            return Err(WellFormednessError::SelfDelivery {
+                event: self.events.len(),
+                msg: m,
+            });
+        }
+        self.events.push(Event {
+            replica,
+            kind: EventKind::Receive { msg: m },
+        });
+        Ok(self.events.len() - 1)
+    }
+
+    /// Re-validates the whole execution against Definition 1.
+    ///
+    /// Useful for executions assembled by hand or mutated by test harnesses.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn validate(&self) -> WellFormedness {
+        for (i, e) in self.events.iter().enumerate() {
+            if e.replica.index() >= self.n_replicas {
+                return Err(WellFormednessError::ReplicaOutOfRange {
+                    event: i,
+                    replica: e.replica,
+                });
+            }
+            if let EventKind::Receive { msg } = &e.kind {
+                let Some(rec) = self.messages.get(msg.index()) else {
+                    return Err(WellFormednessError::UnknownMessage { event: i, msg: *msg });
+                };
+                if rec.send_index >= i {
+                    return Err(WellFormednessError::ReceiveBeforeSend { event: i, msg: *msg });
+                }
+                if rec.sender == e.replica {
+                    return Err(WellFormednessError::SelfDelivery { event: i, msg: *msg });
+                }
+            }
+            if let EventKind::Send { msg } = &e.kind {
+                debug_assert_eq!(self.messages[msg.index()].send_index, i);
+            }
+        }
+        Ok(())
+    }
+
+    /// Indices of events at `replica`, in order: the projection `α|_R`.
+    pub fn replica_projection(&self, replica: ReplicaId) -> Vec<usize> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.replica == replica)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of `do` events at `replica`, in order: the projection
+    /// `α|_R^do` of Definition 9.
+    pub fn do_projection(&self, replica: ReplicaId) -> Vec<usize> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.replica == replica && e.is_do())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of all `do` events, in execution order.
+    pub fn do_events(&self) -> Vec<usize> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.is_do())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of receive events for message `m`, in order.
+    pub fn receivers_of(&self, m: MsgId) -> Vec<usize> {
+        self.events
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| matches!(e.kind, EventKind::Receive { msg } if msg == m))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Renders the execution as a per-line event trace.
+    pub fn trace(&self) -> String {
+        let mut out = String::new();
+        for (i, e) in self.events.iter().enumerate() {
+            out.push_str(&format!("{i:4}  {e}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Value;
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+
+    fn x(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+
+    #[test]
+    fn build_simple_execution() {
+        let mut ex = Execution::new(2);
+        let w = ex.push_do(r(0), x(0), Op::Write(Value::new(1)), ReturnValue::Ok);
+        let m = ex.push_send(r(0), Payload::from_bytes(vec![1])).unwrap();
+        let rcv = ex.push_receive(r(1), m).unwrap();
+        let rd = ex.push_do(r(1), x(0), Op::Read, ReturnValue::values([Value::new(1)]));
+        assert_eq!(ex.len(), 4);
+        assert_eq!((w, rcv, rd), (0, 2, 3));
+        assert!(ex.validate().is_ok());
+        assert_eq!(ex.message(m).sender, r(0));
+        assert_eq!(ex.message(m).send_index, 1);
+    }
+
+    #[test]
+    fn receive_unknown_message_rejected() {
+        let mut ex = Execution::new(2);
+        let err = ex.push_receive(r(1), MsgId::new(0)).unwrap_err();
+        assert!(matches!(err, WellFormednessError::UnknownMessage { .. }));
+        assert!(ex.is_empty());
+    }
+
+    #[test]
+    fn self_delivery_rejected() {
+        let mut ex = Execution::new(2);
+        let m = ex.push_send(r(0), Payload::from_bytes(vec![])).unwrap();
+        let err = ex.push_receive(r(0), m).unwrap_err();
+        assert!(matches!(err, WellFormednessError::SelfDelivery { .. }));
+        // The send is still there; the receive was not appended.
+        assert_eq!(ex.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_delivery_is_well_formed() {
+        let mut ex = Execution::new(3);
+        let m = ex.push_send(r(0), Payload::from_bytes(vec![9])).unwrap();
+        ex.push_receive(r(1), m).unwrap();
+        ex.push_receive(r(1), m).unwrap();
+        ex.push_receive(r(2), m).unwrap();
+        assert!(ex.validate().is_ok());
+        assert_eq!(ex.receivers_of(m).len(), 3);
+    }
+
+    #[test]
+    fn dropped_message_is_well_formed() {
+        let mut ex = Execution::new(2);
+        let m = ex.push_send(r(0), Payload::from_bytes(vec![9])).unwrap();
+        assert!(ex.validate().is_ok());
+        assert!(ex.receivers_of(m).is_empty());
+    }
+
+    #[test]
+    fn projections() {
+        let mut ex = Execution::new(2);
+        ex.push_do(r(0), x(0), Op::Write(Value::new(1)), ReturnValue::Ok);
+        let m = ex.push_send(r(0), Payload::from_bytes(vec![])).unwrap();
+        ex.push_receive(r(1), m).unwrap();
+        ex.push_do(r(1), x(0), Op::Read, ReturnValue::empty());
+        assert_eq!(ex.replica_projection(r(0)), vec![0, 1]);
+        assert_eq!(ex.replica_projection(r(1)), vec![2, 3]);
+        assert_eq!(ex.do_projection(r(0)), vec![0]);
+        assert_eq!(ex.do_projection(r(1)), vec![3]);
+        assert_eq!(ex.do_events(), vec![0, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn do_on_unknown_replica_panics() {
+        let mut ex = Execution::new(1);
+        ex.push_do(r(5), x(0), Op::Read, ReturnValue::empty());
+    }
+
+    #[test]
+    fn send_on_unknown_replica_errors() {
+        let mut ex = Execution::new(1);
+        assert!(ex.push_send(r(3), Payload::from_bytes(vec![])).is_err());
+    }
+
+    #[test]
+    fn trace_contains_events() {
+        let mut ex = Execution::new(1);
+        ex.push_do(r(0), x(0), Op::Read, ReturnValue::empty());
+        let t = ex.trace();
+        assert!(t.contains("do_R0(x0, read) -> {}"));
+    }
+
+    #[test]
+    fn validate_catches_tampered_receive_order() {
+        // Assemble a structurally broken execution by hand via clone+swap.
+        let mut ex = Execution::new(2);
+        let m = ex.push_send(r(0), Payload::from_bytes(vec![])).unwrap();
+        ex.push_receive(r(1), m).unwrap();
+        // Swap events so the receive precedes the send.
+        let mut broken = ex.clone();
+        broken.events.swap(0, 1);
+        // send_index in the message record still points at 0, so the receive
+        // at index 0 now precedes it.
+        broken.messages[0].send_index = 1;
+        let err = broken.validate().unwrap_err();
+        assert!(matches!(err, WellFormednessError::ReceiveBeforeSend { .. }));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = WellFormednessError::UnknownMessage {
+            event: 3,
+            msg: MsgId::new(7),
+        };
+        assert_eq!(e.to_string(), "event 3: receive of unknown message m7");
+    }
+}

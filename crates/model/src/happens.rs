@@ -1,0 +1,210 @@
+//! The happens-before relation (Definition 2) and the `rcv` relation (§4).
+
+use crate::event::EventKind;
+use crate::execution::Execution;
+use crate::ids::ReplicaId;
+use crate::relation::Relation;
+
+/// Computes the happens-before relation of an execution (Definition 2):
+/// the transitive closure of per-replica program order plus
+/// `send(m) → receive(m)` message-delivery edges.
+///
+/// The result is a strict partial order over event indices (irreflexive by
+/// construction since both base orders point strictly forward).
+///
+/// ```
+/// use haec_model::{Execution, ReplicaId, ObjectId, Op, Value, ReturnValue,
+///                  Payload, happens_before};
+/// let mut ex = Execution::new(2);
+/// let w = ex.push_do(ReplicaId::new(0), ObjectId::new(0),
+///                    Op::Write(Value::new(1)), ReturnValue::Ok);
+/// let m = ex.push_send(ReplicaId::new(0), Payload::from_bytes(vec![])).unwrap();
+/// let rc = ex.push_receive(ReplicaId::new(1), m).unwrap();
+/// let hb = happens_before(&ex);
+/// assert!(hb.contains(w, rc));
+/// ```
+pub fn happens_before(ex: &Execution) -> Relation {
+    let n = ex.len();
+    let mut rel = Relation::new(n);
+    // (1) Thread of execution: consecutive events at the same replica.
+    let mut last_at: Vec<Option<usize>> = vec![None; ex.n_replicas()];
+    for (i, e) in ex.events().iter().enumerate() {
+        let r = e.replica.index();
+        if let Some(prev) = last_at[r] {
+            rel.insert(prev, i);
+        }
+        last_at[r] = Some(i);
+    }
+    // (2) Message delivery: send(m) → each receive(m).
+    for (i, e) in ex.events().iter().enumerate() {
+        if let EventKind::Receive { msg } = &e.kind {
+            rel.insert(ex.message(*msg).send_index, i);
+        }
+    }
+    // (3) Transitivity.
+    rel.transitive_closure()
+}
+
+/// Per-replica program order as a relation over event indices (the
+/// "thread of execution" component of Definition 2, transitively closed).
+pub fn per_replica_order(ex: &Execution) -> Relation {
+    let n = ex.len();
+    let mut rel = Relation::new(n);
+    let mut seen: Vec<Vec<usize>> = vec![Vec::new(); ex.n_replicas()];
+    for (i, e) in ex.events().iter().enumerate() {
+        let r = e.replica.index();
+        for &prev in &seen[r] {
+            rel.insert(prev, i);
+        }
+        seen[r].push(i);
+    }
+    rel
+}
+
+/// Computes the `rcv` relation of Section 4: `e →rcv e'` iff the *first*
+/// message sent by `R(e)` after `e` is received by `R(e')` before `e'`.
+///
+/// Both endpoints range over all events; the paper applies it to `do`
+/// events. If `R(e)` never sends after `e`, `e` has no `rcv` successors.
+pub fn rcv_relation(ex: &Execution) -> Relation {
+    let n = ex.len();
+    let mut rel = Relation::new(n);
+    // For each event e, find the first send by R(e) strictly after e.
+    // next_send[i] = index of first send event at R(e_i) with index > i.
+    let mut next_send: Vec<Option<usize>> = vec![None; n];
+    let mut upcoming: Vec<Option<usize>> = vec![None; ex.n_replicas()];
+    for i in (0..n).rev() {
+        let e = &ex.events()[i];
+        let r = e.replica.index();
+        next_send[i] = upcoming[r];
+        if e.kind.is_send() {
+            upcoming[r] = Some(i);
+        }
+    }
+    for (i, _) in ex.events().iter().enumerate() {
+        let Some(send_ix) = next_send[i] else { continue };
+        let EventKind::Send { msg } = ex.events()[send_ix].kind else {
+            unreachable!("next_send points at a send event");
+        };
+        // e →rcv e' iff some receive(msg) at R(e') precedes e' at R(e').
+        for rcv_ix in ex.receivers_of(msg) {
+            let receiver: ReplicaId = ex.events()[rcv_ix].replica;
+            for (j, e2) in ex.events().iter().enumerate() {
+                if e2.replica == receiver && j > rcv_ix {
+                    rel.insert(i, j);
+                }
+            }
+        }
+    }
+    rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ObjectId, Value};
+    use crate::machine::Payload;
+    use crate::op::{Op, ReturnValue};
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+
+    fn x(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+
+    fn demo_execution() -> (Execution, usize, usize, usize, usize) {
+        // R0: w, send(m); R1: receive(m), read
+        let mut ex = Execution::new(2);
+        let w = ex.push_do(r(0), x(0), Op::Write(Value::new(1)), ReturnValue::Ok);
+        let m = ex.push_send(r(0), Payload::from_bytes(vec![])).unwrap();
+        let send_ix = 1;
+        let rcv = ex.push_receive(r(1), m).unwrap();
+        let rd = ex.push_do(r(1), x(0), Op::Read, ReturnValue::values([Value::new(1)]));
+        (ex, w, send_ix, rcv, rd)
+    }
+
+    #[test]
+    fn hb_program_order() {
+        let (ex, w, send_ix, _, _) = demo_execution();
+        let hb = happens_before(&ex);
+        assert!(hb.contains(w, send_ix));
+        assert!(!hb.contains(send_ix, w));
+    }
+
+    #[test]
+    fn hb_message_delivery_and_transitivity() {
+        let (ex, w, send_ix, rcv, rd) = demo_execution();
+        let hb = happens_before(&ex);
+        assert!(hb.contains(send_ix, rcv));
+        assert!(hb.contains(w, rd)); // via transitivity
+        assert!(!hb.contains(rd, w));
+    }
+
+    #[test]
+    fn hb_is_irreflexive_and_acyclic() {
+        let (ex, ..) = demo_execution();
+        let hb = happens_before(&ex);
+        for i in 0..ex.len() {
+            assert!(!hb.contains(i, i));
+        }
+        assert!(hb.is_acyclic());
+    }
+
+    #[test]
+    fn concurrent_events_unrelated() {
+        let mut ex = Execution::new(2);
+        let a = ex.push_do(r(0), x(0), Op::Write(Value::new(1)), ReturnValue::Ok);
+        let b = ex.push_do(r(1), x(0), Op::Write(Value::new(2)), ReturnValue::Ok);
+        let hb = happens_before(&ex);
+        assert!(!hb.contains(a, b));
+        assert!(!hb.contains(b, a));
+    }
+
+    #[test]
+    fn per_replica_order_ignores_messages() {
+        let (ex, w, send_ix, rcv, rd) = demo_execution();
+        let po = per_replica_order(&ex);
+        assert!(po.contains(w, send_ix));
+        assert!(po.contains(rcv, rd));
+        assert!(!po.contains(send_ix, rcv));
+    }
+
+    #[test]
+    fn rcv_relation_first_message_semantics() {
+        // R0: e0 (do), send m0, e1 (do), send m1.
+        // R1: receive(m1), e2 (do).
+        // The first message after e0 is m0, which R1 never receives, so
+        // e0 -rcv-> e2 must NOT hold; e1 -rcv-> e2 must hold.
+        let mut ex = Execution::new(2);
+        let e0 = ex.push_do(r(0), x(0), Op::Write(Value::new(1)), ReturnValue::Ok);
+        let _m0 = ex.push_send(r(0), Payload::from_bytes(vec![0])).unwrap();
+        let e1 = ex.push_do(r(0), x(0), Op::Write(Value::new(2)), ReturnValue::Ok);
+        let m1 = ex.push_send(r(0), Payload::from_bytes(vec![1])).unwrap();
+        ex.push_receive(r(1), m1).unwrap();
+        let e2 = ex.push_do(r(1), x(0), Op::Read, ReturnValue::values([Value::new(2)]));
+        let rcv = rcv_relation(&ex);
+        assert!(!rcv.contains(e0, e2));
+        assert!(rcv.contains(e1, e2));
+    }
+
+    #[test]
+    fn rcv_requires_receive_before_target() {
+        // Receive happens after the target event: no rcv edge.
+        let mut ex = Execution::new(2);
+        let e0 = ex.push_do(r(0), x(0), Op::Write(Value::new(1)), ReturnValue::Ok);
+        let m = ex.push_send(r(0), Payload::from_bytes(vec![])).unwrap();
+        let e1 = ex.push_do(r(1), x(0), Op::Read, ReturnValue::empty());
+        ex.push_receive(r(1), m).unwrap();
+        let rcv = rcv_relation(&ex);
+        assert!(!rcv.contains(e0, e1));
+    }
+
+    #[test]
+    fn hb_empty_execution() {
+        let ex = Execution::new(3);
+        let hb = happens_before(&ex);
+        assert_eq!(hb.domain_size(), 0);
+    }
+}

@@ -1,0 +1,236 @@
+//! Typed identifiers used throughout the model.
+
+use std::fmt;
+
+/// Identifier of a replica (`R₀`, `R₁`, …).
+///
+/// Replicas are numbered densely from zero; an execution over `n` replicas
+/// uses ids `0..n`.
+///
+/// ```
+/// use haec_model::ReplicaId;
+/// let r = ReplicaId::new(3);
+/// assert_eq!(r.index(), 3);
+/// assert_eq!(r.to_string(), "R3");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ReplicaId(u32);
+
+impl ReplicaId {
+    /// Creates a replica id from its dense index.
+    pub const fn new(index: u32) -> Self {
+        ReplicaId(index)
+    }
+
+    /// Returns the dense index of this replica.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw numeric id.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ReplicaId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "R{}", self.0)
+    }
+}
+
+impl From<u32> for ReplicaId {
+    fn from(v: u32) -> Self {
+        ReplicaId(v)
+    }
+}
+
+/// Identifier of a replicated object (`x₀`, `x₁`, …).
+///
+/// An execution over `s` objects uses ids `0..s`.
+///
+/// ```
+/// use haec_model::ObjectId;
+/// assert_eq!(ObjectId::new(2).to_string(), "x2");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct ObjectId(u32);
+
+impl ObjectId {
+    /// Creates an object id from its dense index.
+    pub const fn new(index: u32) -> Self {
+        ObjectId(index)
+    }
+
+    /// Returns the dense index of this object.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw numeric id.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+impl From<u32> for ObjectId {
+    fn from(v: u32) -> Self {
+        ObjectId(v)
+    }
+}
+
+/// A value written to (or read from) a replicated object.
+///
+/// The paper assumes every write writes a *distinct* value, so a value
+/// uniquely identifies the write event that produced it (paper, §4). The
+/// harnesses in `haec-sim` and `haec-theory` maintain this invariant; the
+/// model itself does not require it.
+///
+/// ```
+/// use haec_model::Value;
+/// assert_eq!(Value::new(42).to_string(), "v42");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct Value(u64);
+
+impl Value {
+    /// Creates a value from its numeric payload.
+    pub const fn new(v: u64) -> Self {
+        Value(v)
+    }
+
+    /// Returns the numeric payload.
+    pub const fn as_u64(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value(v)
+    }
+}
+
+/// Identifier of a message instance, assigned when the corresponding
+/// `send` event is appended to an [`Execution`](crate::Execution).
+///
+/// A `receive` event refers to the `MsgId` of the send that produced the
+/// message. Duplicated delivery is modelled as several `receive` events with
+/// the same `MsgId`; a dropped message simply has no `receive` events.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct MsgId(u64);
+
+impl MsgId {
+    /// Creates a message id from its dense index.
+    pub const fn new(index: u64) -> Self {
+        MsgId(index)
+    }
+
+    /// Returns the dense index of this message.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// A *dot*: the globally unique identity of an update operation.
+///
+/// The `seq`-th update (non-read) operation invoked at replica `replica`
+/// — counting from 1, across all objects — has dot `(replica, seq)`.
+/// Dots are the currency of the visibility *witnesses* that instrumented
+/// stores report (see [`DoOutcome`](crate::DoOutcome)): causally consistent
+/// stores such as the dotted-version-vector MVR store already carry dots in
+/// their real protocol, so the witness adds no out-of-band information.
+///
+/// ```
+/// use haec_model::{Dot, ReplicaId};
+/// let d = Dot::new(ReplicaId::new(1), 3);
+/// assert_eq!(d.to_string(), "R1:3");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Dot {
+    /// The replica at which the update was invoked.
+    pub replica: ReplicaId,
+    /// 1-based count of update operations at `replica` up to and including
+    /// this one.
+    pub seq: u32,
+}
+
+impl Dot {
+    /// Creates a dot. `seq` is 1-based.
+    pub const fn new(replica: ReplicaId, seq: u32) -> Self {
+        Dot { replica, seq }
+    }
+}
+
+impl fmt::Display for Dot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.replica, self.seq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn replica_id_roundtrip() {
+        let r = ReplicaId::new(7);
+        assert_eq!(r.index(), 7);
+        assert_eq!(r.as_u32(), 7);
+        assert_eq!(ReplicaId::from(7u32), r);
+    }
+
+    #[test]
+    fn object_id_display() {
+        assert_eq!(ObjectId::new(0).to_string(), "x0");
+        assert_eq!(ObjectId::from(9u32).index(), 9);
+    }
+
+    #[test]
+    fn value_ordering() {
+        assert!(Value::new(1) < Value::new(2));
+        assert_eq!(Value::from(5u64).as_u64(), 5);
+    }
+
+    #[test]
+    fn dots_order_by_replica_then_seq() {
+        let a = Dot::new(ReplicaId::new(0), 5);
+        let b = Dot::new(ReplicaId::new(1), 1);
+        assert!(a < b);
+        let c = Dot::new(ReplicaId::new(0), 6);
+        assert!(a < c);
+    }
+
+    #[test]
+    fn dots_are_set_usable() {
+        let mut s = BTreeSet::new();
+        s.insert(Dot::new(ReplicaId::new(0), 1));
+        s.insert(Dot::new(ReplicaId::new(0), 1));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn msg_id_display() {
+        assert_eq!(MsgId::new(3).to_string(), "m3");
+        assert_eq!(MsgId::new(3).index(), 3);
+    }
+}

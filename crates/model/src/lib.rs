@@ -1,0 +1,68 @@
+//! # haec-model
+//!
+//! The *concrete* execution model of Attiya, Ellen and Morrison,
+//! "Limitations of Highly-Available Eventually-Consistent Data Stores"
+//! (PODC 2015), Section 2.
+//!
+//! A highly-available replicated data store is modelled as a message-passing
+//! system of *replicas*. Each replica is a state machine `(Σ, σ₀, E, Δ)`
+//! that handles client operations immediately (without communicating with
+//! other replicas) and broadcasts messages to the other replicas. Three
+//! kinds of events model the interactions of a replica (paper, §2):
+//!
+//! * `do(o, op, v)` — a client invokes operation `op` on object `o` and
+//!   immediately receives response `v`;
+//! * `send(m)` — the replica broadcasts message `m`;
+//! * `receive(m)` — the replica receives message `m`.
+//!
+//! This crate provides:
+//!
+//! * typed identifiers ([`ReplicaId`], [`ObjectId`], [`Value`], [`Dot`]);
+//! * operations and return values ([`Op`], [`ReturnValue`]);
+//! * events and executions ([`Event`], [`Execution`]) with well-formedness
+//!   checking (Definition 1);
+//! * the happens-before relation (Definition 2) and the `rcv` relation used
+//!   in Section 4, both computed as dense bit-matrix [`Relation`]s;
+//! * the replica state-machine interface ([`ReplicaMachine`],
+//!   [`StoreFactory`]) that concrete stores implement.
+//!
+//! Everything here is deterministic; an [`Execution`] is an exact, replayable
+//! record of what happened.
+//!
+//! ## Example
+//!
+//! ```
+//! use haec_model::{Execution, Event, EventKind, ReplicaId, ObjectId, Op, Value,
+//!                  ReturnValue, Payload, happens_before};
+//!
+//! let mut ex = Execution::new(2);
+//! let r0 = ReplicaId::new(0);
+//! let r1 = ReplicaId::new(1);
+//! let x = ObjectId::new(0);
+//! // R0 writes, then broadcasts; R1 receives and reads.
+//! let w = ex.push_do(r0, x, Op::Write(Value::new(7)), ReturnValue::Ok);
+//! let m = ex.push_send(r0, Payload::from_bytes(vec![7])).unwrap();
+//! ex.push_receive(r1, m).unwrap();
+//! let r = ex.push_do(r1, x, Op::Read, ReturnValue::values([Value::new(7)]));
+//! let hb = happens_before(&ex);
+//! assert!(hb.contains(w, r));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod execution;
+mod happens;
+mod ids;
+mod machine;
+mod op;
+mod relation;
+
+pub use event::{Event, EventKind};
+pub use execution::{Execution, MessageRecord, WellFormedness, WellFormednessError};
+pub use happens::{happens_before, per_replica_order, rcv_relation};
+pub use ids::{Dot, MsgId, ObjectId, ReplicaId, Value};
+pub use machine::{DoOutcome, Payload, ReplicaMachine, StoreConfig, StoreFactory};
+pub use op::{Op, OpKind, ReturnValue};
+pub use relation::{topological_sort, Relation};

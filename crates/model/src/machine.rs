@@ -1,0 +1,253 @@
+//! The replica state-machine interface.
+//!
+//! A replica is a state machine `R = (Σ, σ₀, E, Δ)` (paper, §2). Concrete
+//! stores implement [`ReplicaMachine`]; [`StoreFactory`] spawns one machine
+//! per replica. The interface encodes the model's structural assumptions:
+//!
+//! * **High availability** — `do_op` completes locally, without
+//!   communication.
+//! * **Deterministic messages** — the content of the message a replica would
+//!   broadcast is a deterministic function of its state
+//!   ([`ReplicaMachine::pending_message`]); a `send` event relays
+//!   *everything* the replica has to send, so no message is pending
+//!   immediately after a send.
+//!
+//! Two further properties define *write-propagating* stores (paper, §4) and
+//! are checked dynamically by `haec-stores::properties`:
+//!
+//! * **Invisible reads** (Definition 16) — applying a read leaves the state
+//!   unchanged; verified via [`ReplicaMachine::state_fingerprint`].
+//! * **Op-driven messages** (Definition 15) — no message is pending in the
+//!   initial state, and a receive never creates a pending message where none
+//!   existed.
+
+use crate::ids::{Dot, ObjectId, ReplicaId};
+use crate::op::{Op, ReturnValue};
+use std::fmt;
+
+/// A broadcast message payload with bit-exact size accounting.
+///
+/// Theorem 12 is a statement about message size *in bits*, so payloads track
+/// their exact bit length alongside the byte-padded buffer.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Payload {
+    bytes: Vec<u8>,
+    bits: usize,
+}
+
+impl Payload {
+    /// Creates a payload from whole bytes.
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        let bits = bytes.len() * 8;
+        Payload { bytes, bits }
+    }
+
+    /// Creates a payload from a byte buffer whose final byte may be
+    /// partially filled; `bits` is the exact content length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is inconsistent with `bytes.len()`.
+    pub fn from_bits(bytes: Vec<u8>, bits: usize) -> Self {
+        assert!(
+            bits <= bytes.len() * 8 && bytes.len() * 8 < bits + 8,
+            "bit length {bits} inconsistent with {} bytes",
+            bytes.len()
+        );
+        Payload { bytes, bits }
+    }
+
+    /// The byte-padded buffer.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// The exact content length in bits.
+    pub fn bits(&self) -> usize {
+        self.bits
+    }
+}
+
+impl fmt::Display for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "payload[{} bits]", self.bits)
+    }
+}
+
+/// The outcome of a `do` event at a replica, including the visibility
+/// *witness* the store reports.
+///
+/// The witness lists the [`Dot`]s of the update operations (on *any* object)
+/// that were applied — i.e. visible — at the replica when the operation
+/// executed, **excluding** the operation itself. Together with per-replica
+/// program order this determines a candidate visibility relation; the
+/// checkers in `haec-core` validate the candidate independently, so a buggy
+/// witness cannot make a broken store pass.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct DoOutcome {
+    /// The response returned to the client.
+    pub rval: ReturnValue,
+    /// Dots of all update operations visible at the replica when this
+    /// operation executed (excluding this operation itself).
+    pub visible: Vec<Dot>,
+    /// Optional arbitration timestamp. Stores that totally order updates
+    /// (e.g. last-writer-wins via Lamport clocks) report the logical
+    /// timestamp of the operation so that witness builders can order `H`
+    /// consistently with the store's arbitration.
+    pub timestamp: Option<u64>,
+}
+
+impl DoOutcome {
+    /// Creates an outcome without an arbitration timestamp.
+    pub fn new(rval: ReturnValue, visible: Vec<Dot>) -> Self {
+        DoOutcome {
+            rval,
+            visible,
+            timestamp: None,
+        }
+    }
+
+    /// Attaches an arbitration timestamp.
+    #[must_use]
+    pub fn with_timestamp(mut self, ts: u64) -> Self {
+        self.timestamp = Some(ts);
+        self
+    }
+}
+
+/// Static configuration shared by all replicas of a store instance.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct StoreConfig {
+    /// Number of replicas `n`.
+    pub n_replicas: usize,
+    /// Number of supported objects `s`.
+    pub n_objects: usize,
+}
+
+impl StoreConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(n_replicas: usize, n_objects: usize) -> Self {
+        assert!(n_replicas > 0, "need at least one replica");
+        assert!(n_objects > 0, "need at least one object");
+        StoreConfig {
+            n_replicas,
+            n_objects,
+        }
+    }
+}
+
+/// A replica state machine `(Σ, σ₀, E, Δ)`.
+///
+/// # Contract
+///
+/// Implementations must satisfy the structural assumptions of the model:
+///
+/// * [`do_op`](Self::do_op) must complete without reference to other
+///   replicas (high availability).
+/// * [`pending_message`](Self::pending_message) must be a deterministic,
+///   side-effect-free function of the current state, and must return `None`
+///   immediately after [`on_send`](Self::on_send) (a send relays everything
+///   the replica has to send).
+/// * Update operations must be numbered by [`Dot`]s in invocation order:
+///   the `q`-th update invoked at replica `r` (counting from 1, across all
+///   objects) has dot `(r, q)`. The driving harness assigns dots the same
+///   way, which is how witnesses are matched to events.
+/// * [`state_fingerprint`](Self::state_fingerprint) must reflect the entire
+///   state `σ`, so that two calls return different values whenever the state
+///   differs. It is used to verify invisible reads (Definition 16) and
+///   send-determinism.
+pub trait ReplicaMachine {
+    /// Applies a client operation and returns its response plus the
+    /// visibility witness. This is the `do(o, op, v)` transition.
+    fn do_op(&mut self, obj: ObjectId, op: &Op) -> DoOutcome;
+
+    /// The message the replica would broadcast from its current state, or
+    /// `None` if no message is pending.
+    fn pending_message(&self) -> Option<Payload>;
+
+    /// Applies the `send` transition: the pending message (as returned by
+    /// [`pending_message`](Self::pending_message)) has been broadcast.
+    /// After this call no message may be pending.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if no message was pending.
+    fn on_send(&mut self);
+
+    /// Applies the `receive(m)` transition for a message with the given
+    /// payload.
+    fn on_receive(&mut self, payload: &Payload);
+
+    /// A fingerprint (hash) of the complete replica state `σ`.
+    fn state_fingerprint(&self) -> u64;
+
+    /// The number of bits a canonical encoding of the replica state would
+    /// occupy. Used by the state-space experiments (E9); defaults to 0 for
+    /// stores that do not participate in those experiments.
+    fn state_bits(&self) -> usize {
+        0
+    }
+}
+
+/// A factory spawning one [`ReplicaMachine`] per replica of a store
+/// instance.
+///
+/// Implementations are cheap, cloneable descriptions of a store algorithm
+/// plus its parameters; the theorem constructions in `haec-theory` take a
+/// `&dyn StoreFactory` so they run against *any* store.
+pub trait StoreFactory {
+    /// Spawns the state machine of replica `replica` in its initial state
+    /// `σ₀`.
+    fn spawn(&self, replica: ReplicaId, config: StoreConfig) -> Box<dyn ReplicaMachine>;
+
+    /// A short human-readable name for reports ("dvv-mvr", "lww", …).
+    fn name(&self) -> &str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_from_bytes() {
+        let p = Payload::from_bytes(vec![1, 2, 3]);
+        assert_eq!(p.bits(), 24);
+        assert_eq!(p.bytes(), &[1, 2, 3]);
+        assert_eq!(p.to_string(), "payload[24 bits]");
+    }
+
+    #[test]
+    fn payload_from_bits() {
+        let p = Payload::from_bits(vec![0b0000_0101], 3);
+        assert_eq!(p.bits(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn payload_inconsistent_bits_panics() {
+        let _ = Payload::from_bits(vec![0, 0], 3);
+    }
+
+    #[test]
+    fn store_config_validation() {
+        let c = StoreConfig::new(3, 2);
+        assert_eq!(c.n_replicas, 3);
+        assert_eq!(c.n_objects, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn store_config_zero_replicas_panics() {
+        let _ = StoreConfig::new(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one object")]
+    fn store_config_zero_objects_panics() {
+        let _ = StoreConfig::new(1, 0);
+    }
+}

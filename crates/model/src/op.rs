@@ -1,0 +1,231 @@
+//! Client operations and their return values.
+
+use crate::ids::Value;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A client operation on a replicated object.
+///
+/// The paper concentrates on multi-valued registers (`Write`/`Read`), and
+/// also specifies read/write registers and observed-remove sets
+/// (`Add`/`Remove`/`Read`) in Figure 1. `Inc` supports the counter
+/// extension.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum Op {
+    /// Write a value to a register (LWW or multi-valued).
+    Write(Value),
+    /// Read the current value(s) of the object.
+    Read,
+    /// Add an element to an observed-remove set.
+    Add(Value),
+    /// Remove an element from an observed-remove set (removes only the
+    /// add-instances visible to the remove — "add wins").
+    Remove(Value),
+    /// Increment a counter (extension beyond the paper's Figure 1).
+    Inc,
+    /// Raise an enable-wins flag (extension).
+    Enable,
+    /// Lower an enable-wins flag; concurrent enables win (extension).
+    Disable,
+}
+
+/// The coarse classification of an operation: *read* operations return
+/// information and (in stores with invisible reads, Definition 16) leave the
+/// replica state unchanged; *update* operations modify the object.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum OpKind {
+    /// A query that must not change replica state in a store with invisible
+    /// reads.
+    Read,
+    /// A state-changing operation (write/add/remove/inc).
+    Update,
+}
+
+impl Op {
+    /// Classifies the operation.
+    ///
+    /// ```
+    /// use haec_model::{Op, OpKind, Value};
+    /// assert_eq!(Op::Read.kind(), OpKind::Read);
+    /// assert_eq!(Op::Write(Value::new(1)).kind(), OpKind::Update);
+    /// ```
+    pub fn kind(&self) -> OpKind {
+        match self {
+            Op::Read => OpKind::Read,
+            Op::Write(_) | Op::Add(_) | Op::Remove(_) | Op::Inc | Op::Enable | Op::Disable => {
+                OpKind::Update
+            }
+        }
+    }
+
+    /// Returns `true` for `Op::Read`.
+    pub fn is_read(&self) -> bool {
+        matches!(self, Op::Read)
+    }
+
+    /// Returns `true` for update (non-read) operations.
+    pub fn is_update(&self) -> bool {
+        !self.is_read()
+    }
+
+    /// The value carried by the operation, if any.
+    pub fn value(&self) -> Option<Value> {
+        match self {
+            Op::Write(v) | Op::Add(v) | Op::Remove(v) => Some(*v),
+            Op::Read | Op::Inc | Op::Enable | Op::Disable => None,
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Op::Write(v) => write!(f, "write({v})"),
+            Op::Read => write!(f, "read"),
+            Op::Add(v) => write!(f, "add({v})"),
+            Op::Remove(v) => write!(f, "remove({v})"),
+            Op::Inc => write!(f, "inc"),
+            Op::Enable => write!(f, "enable"),
+            Op::Disable => write!(f, "disable"),
+        }
+    }
+}
+
+/// The response a client receives from a `do` event.
+///
+/// Updates return [`ReturnValue::Ok`]; reads return a set of values. A read
+/// of a multi-valued register returns the set of currently conflicting
+/// writes; a read of a LWW register returns at most one value; a read of an
+/// ORset returns the set of live elements; a counter read returns a
+/// singleton count.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum ReturnValue {
+    /// The acknowledgement returned by update operations.
+    Ok,
+    /// The set of values returned by a read.
+    Values(BTreeSet<Value>),
+}
+
+impl ReturnValue {
+    /// Builds a `Values` return from an iterator of values.
+    ///
+    /// ```
+    /// use haec_model::{ReturnValue, Value};
+    /// let rv = ReturnValue::values([Value::new(1), Value::new(2)]);
+    /// assert_eq!(rv.as_values().unwrap().len(), 2);
+    /// ```
+    pub fn values<I: IntoIterator<Item = Value>>(vals: I) -> Self {
+        ReturnValue::Values(vals.into_iter().collect())
+    }
+
+    /// The empty read response (e.g. a read of a never-written register).
+    pub fn empty() -> Self {
+        ReturnValue::Values(BTreeSet::new())
+    }
+
+    /// Returns the value set if this is a read response.
+    pub fn as_values(&self) -> Option<&BTreeSet<Value>> {
+        match self {
+            ReturnValue::Ok => None,
+            ReturnValue::Values(s) => Some(s),
+        }
+    }
+
+    /// Returns `true` if this is `Ok`.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, ReturnValue::Ok)
+    }
+
+    /// Returns `true` if the response contains the given value.
+    pub fn contains(&self, v: Value) -> bool {
+        self.as_values().is_some_and(|s| s.contains(&v))
+    }
+}
+
+impl fmt::Display for ReturnValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReturnValue::Ok => write!(f, "ok"),
+            ReturnValue::Values(s) => {
+                write!(f, "{{")?;
+                for (i, v) in s.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl FromIterator<Value> for ReturnValue {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Self {
+        ReturnValue::values(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_kinds() {
+        assert!(Op::Read.is_read());
+        assert!(!Op::Read.is_update());
+        assert!(Op::Write(Value::new(0)).is_update());
+        assert!(Op::Add(Value::new(0)).is_update());
+        assert!(Op::Remove(Value::new(0)).is_update());
+        assert!(Op::Inc.is_update());
+        assert_eq!(Op::Inc.kind(), OpKind::Update);
+    }
+
+    #[test]
+    fn op_value_extraction() {
+        assert_eq!(Op::Write(Value::new(3)).value(), Some(Value::new(3)));
+        assert_eq!(Op::Read.value(), None);
+        assert_eq!(Op::Inc.value(), None);
+    }
+
+    #[test]
+    fn flag_ops_are_updates() {
+        assert!(Op::Enable.is_update());
+        assert!(Op::Disable.is_update());
+        assert_eq!(Op::Enable.value(), None);
+        assert_eq!(Op::Enable.to_string(), "enable");
+        assert_eq!(Op::Disable.to_string(), "disable");
+    }
+
+    #[test]
+    fn op_display() {
+        assert_eq!(Op::Write(Value::new(1)).to_string(), "write(v1)");
+        assert_eq!(Op::Read.to_string(), "read");
+        assert_eq!(Op::Remove(Value::new(2)).to_string(), "remove(v2)");
+    }
+
+    #[test]
+    fn return_value_display_and_query() {
+        let rv = ReturnValue::values([Value::new(2), Value::new(1)]);
+        // BTreeSet orders values.
+        assert_eq!(rv.to_string(), "{v1,v2}");
+        assert!(rv.contains(Value::new(1)));
+        assert!(!rv.contains(Value::new(3)));
+        assert_eq!(ReturnValue::Ok.to_string(), "ok");
+        assert!(ReturnValue::Ok.is_ok());
+        assert!(!ReturnValue::Ok.contains(Value::new(1)));
+    }
+
+    #[test]
+    fn empty_read_response() {
+        let rv = ReturnValue::empty();
+        assert_eq!(rv.as_values().unwrap().len(), 0);
+        assert_eq!(rv.to_string(), "{}");
+    }
+
+    #[test]
+    fn from_iterator() {
+        let rv: ReturnValue = [Value::new(5)].into_iter().collect();
+        assert!(rv.contains(Value::new(5)));
+    }
+}

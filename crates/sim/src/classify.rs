@@ -1,0 +1,143 @@
+//! Empirical consistency classification: the strongest model of the
+//! paper's hierarchy a store's runs inhabit.
+//!
+//! Theorem 6 is about the strongest model a store can *satisfy* (all its
+//! executions admitted). The classifier approximates the satisfaction
+//! question empirically: run many seeded schedules, grade each witness
+//! abstract execution against the hierarchy
+//! `SingleOrder ⊂ OCC ⊂ Causal ⊂ Correct`, and report the strongest model
+//! admitting **every** run. (An upper bound on the store's true model — a
+//! larger sample can only weaken the verdict.)
+
+use crate::explorer::ExplorationConfig;
+use crate::simulator::Simulator;
+use crate::workload::Workload;
+use haec_core::{ConsistencyModel, ObjectSpecs};
+use haec_model::{StoreConfig, StoreFactory};
+
+/// The hierarchy, strongest first.
+pub const HIERARCHY: [ConsistencyModel; 4] = [
+    ConsistencyModel::SingleOrder,
+    ConsistencyModel::Occ,
+    ConsistencyModel::Causal,
+    ConsistencyModel::Correct,
+];
+
+/// Grades one witness abstract execution: the strongest model admitting
+/// it, or `None` if even `Correct` rejects it.
+pub fn grade(
+    a: &haec_core::AbstractExecution,
+    specs: &ObjectSpecs,
+) -> Option<ConsistencyModel> {
+    HIERARCHY.iter().find(|m| m.admits(a, specs)).cloned()
+}
+
+/// Classifies a store over `seeds` random schedules: the strongest model
+/// admitting every run's witness (`None` if some run is not even correct,
+/// or a witness fails to resolve).
+pub fn classify(
+    factory: &dyn StoreFactory,
+    config: &ExplorationConfig,
+    seeds: std::ops::Range<u64>,
+) -> Option<ConsistencyModel> {
+    let specs = ObjectSpecs::uniform(config.spec);
+    let mut weakest: Option<ConsistencyModel> = None;
+    for seed in seeds {
+        let store_config = StoreConfig::new(config.n_replicas, config.n_objects);
+        let mut sim = Simulator::new(factory, store_config);
+        let mut workload = Workload::new(
+            config.spec,
+            config.n_replicas,
+            config.n_objects,
+            config.read_ratio,
+            config.keys,
+        );
+        crate::scheduler::run_schedule(&mut sim, &mut workload, &config.schedule, seed);
+        let a = if config.arbitrated_order {
+            sim.abstract_execution_arbitrated()
+        } else {
+            sim.abstract_execution()
+        };
+        let Ok(a) = a else { return None };
+        let g = grade(&a, &specs)?;
+        weakest = Some(match weakest {
+            None => g,
+            Some(w) => weaker_of(w, g),
+        });
+    }
+    weakest
+}
+
+fn rank(m: &ConsistencyModel) -> usize {
+    HIERARCHY.iter().position(|h| h == m).expect("in hierarchy")
+}
+
+fn weaker_of(a: ConsistencyModel, b: ConsistencyModel) -> ConsistencyModel {
+    if rank(&a) >= rank(&b) {
+        a
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheduler::ScheduleConfig;
+    use haec_core::SpecKind;
+    use haec_stores::{BoundedStore, DvvMvrStore, LwwStore, OrSetStore};
+
+    fn config(spec: SpecKind, arbitrated: bool) -> ExplorationConfig {
+        ExplorationConfig {
+            spec,
+            arbitrated_order: arbitrated,
+            schedule: ScheduleConfig {
+                steps: 150,
+                drop_prob: 0.0,
+                ..ScheduleConfig::default()
+            },
+            ..ExplorationConfig::default()
+        }
+    }
+
+    #[test]
+    fn dvv_store_classifies_as_causal() {
+        let got = classify(&DvvMvrStore, &config(SpecKind::Mvr, false), 0..8);
+        assert_eq!(got, Some(ConsistencyModel::Causal));
+    }
+
+    #[test]
+    fn orset_store_classifies_at_least_causal() {
+        let got = classify(&OrSetStore, &config(SpecKind::OrSet, false), 0..6)
+            .expect("orset runs are correct");
+        assert!(rank(&got) <= rank(&ConsistencyModel::Causal));
+    }
+
+    #[test]
+    fn lww_store_classifies_as_correct_only() {
+        let got = classify(&LwwStore, &config(SpecKind::LwwRegister, true), 0..10);
+        assert_eq!(
+            got,
+            Some(ConsistencyModel::Correct),
+            "eager LWW is correct (in arbitration order) but not causal"
+        );
+    }
+
+    #[test]
+    fn bounded_store_fails_classification() {
+        let got = classify(&BoundedStore, &config(SpecKind::Mvr, false), 0..10);
+        assert_eq!(got, None, "bounded messages break even correctness");
+    }
+
+    #[test]
+    fn weaker_of_prefers_lower_in_hierarchy() {
+        assert_eq!(
+            weaker_of(ConsistencyModel::Occ, ConsistencyModel::Correct),
+            ConsistencyModel::Correct
+        );
+        assert_eq!(
+            weaker_of(ConsistencyModel::Causal, ConsistencyModel::SingleOrder),
+            ConsistencyModel::Causal
+        );
+    }
+}

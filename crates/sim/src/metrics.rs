@@ -1,0 +1,165 @@
+//! Per-run cost metrics: message counts and sizes, staleness, convergence.
+//!
+//! The paper's lower bounds are about inherent *costs* — message bits,
+//! replica state. This module extracts the measurable costs from a
+//! simulated run so stores can be compared like systems in an evaluation
+//! section: operations executed, messages broadcast, total and maximum
+//! message bits, delivery counts, and bits-per-update ratios.
+
+use crate::simulator::Simulator;
+use haec_model::EventKind;
+use std::fmt;
+
+/// Cost statistics of one execution.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct RunMetrics {
+    /// Client operations executed.
+    pub do_events: usize,
+    /// Update (non-read) operations.
+    pub updates: usize,
+    /// Messages broadcast.
+    pub sends: usize,
+    /// Message copies delivered.
+    pub receives: usize,
+    /// Total bits across all broadcast messages.
+    pub total_message_bits: usize,
+    /// Largest single message, in bits.
+    pub max_message_bits: usize,
+    /// Replica state size (bits) summed over replicas at the end.
+    pub final_state_bits: usize,
+}
+
+impl RunMetrics {
+    /// Average message size in bits (0 if no messages).
+    pub fn avg_message_bits(&self) -> f64 {
+        if self.sends == 0 {
+            0.0
+        } else {
+            self.total_message_bits as f64 / self.sends as f64
+        }
+    }
+
+    /// Total message bits divided by update count — the propagation cost
+    /// per update (0 if no updates).
+    pub fn bits_per_update(&self) -> f64 {
+        if self.updates == 0 {
+            0.0
+        } else {
+            self.total_message_bits as f64 / self.updates as f64
+        }
+    }
+}
+
+impl fmt::Display for RunMetrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ops ({} updates), {} sends / {} receives, {} total bits \
+             (max {}, avg {:.1}, {:.1} bits/update), {} state bits",
+            self.do_events,
+            self.updates,
+            self.sends,
+            self.receives,
+            self.total_message_bits,
+            self.max_message_bits,
+            self.avg_message_bits(),
+            self.bits_per_update(),
+            self.final_state_bits
+        )
+    }
+}
+
+/// Computes the metrics of a simulator's execution so far.
+pub fn measure(sim: &Simulator) -> RunMetrics {
+    let ex = sim.execution();
+    let mut m = RunMetrics::default();
+    for e in ex.events() {
+        match &e.kind {
+            EventKind::Do { op, .. } => {
+                m.do_events += 1;
+                if op.is_update() {
+                    m.updates += 1;
+                }
+            }
+            EventKind::Send { msg } => {
+                m.sends += 1;
+                let bits = ex.message(*msg).payload.bits();
+                m.total_message_bits += bits;
+                m.max_message_bits = m.max_message_bits.max(bits);
+            }
+            EventKind::Receive { .. } => m.receives += 1,
+        }
+    }
+    for r in 0..sim.config().n_replicas {
+        m.final_state_bits += sim
+            .machine(haec_model::ReplicaId::new(r as u32))
+            .state_bits();
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_schedule, KeyDistribution, ScheduleConfig, Simulator, Workload};
+    use haec_core::SpecKind;
+    use haec_model::{ObjectId, Op, ReplicaId, StoreConfig, Value};
+    use haec_stores::{CopsStore, DvvMvrStore};
+
+    #[test]
+    fn counts_are_consistent_with_execution() {
+        let mut sim = Simulator::new(&DvvMvrStore, StoreConfig::new(2, 1));
+        sim.do_op(ReplicaId::new(0), ObjectId::new(0), Op::Write(Value::new(1)));
+        sim.flush(ReplicaId::new(0));
+        sim.deliver_all();
+        sim.read(ReplicaId::new(1), ObjectId::new(0));
+        let m = measure(&sim);
+        assert_eq!(m.do_events, 2);
+        assert_eq!(m.updates, 1);
+        assert_eq!(m.sends, 1);
+        assert_eq!(m.receives, 1);
+        assert!(m.total_message_bits > 0);
+        assert_eq!(m.max_message_bits, m.total_message_bits);
+        assert!(m.final_state_bits > 0);
+        assert!(m.to_string().contains("1 sends"));
+    }
+
+    #[test]
+    fn empty_run_metrics_are_zero() {
+        let sim = Simulator::new(&DvvMvrStore, StoreConfig::new(2, 1));
+        let m = measure(&sim);
+        assert_eq!(m.do_events, 0);
+        assert_eq!(m.sends, 0);
+        assert_eq!(m.receives, 0);
+        assert_eq!(m.total_message_bits, 0);
+        assert_eq!(m.avg_message_bits(), 0.0);
+        assert_eq!(m.bits_per_update(), 0.0);
+        // An empty version vector still occupies a few canonical bits.
+        assert!(m.final_state_bits > 0);
+    }
+
+    #[test]
+    fn cops_cheaper_per_update_than_dvv_on_batchy_workloads() {
+        // Low flush weight → big batches → dependency compression pays.
+        let sched = ScheduleConfig {
+            steps: 300,
+            op_weight: 8,
+            flush_weight: 1,
+            deliver_weight: 4,
+            drop_prob: 0.0,
+            ..ScheduleConfig::default()
+        };
+        let run = |factory: &dyn haec_model::StoreFactory| {
+            let mut sim = Simulator::new(factory, StoreConfig::new(4, 2));
+            let mut wl = Workload::new(SpecKind::Mvr, 4, 2, 0.2, KeyDistribution::Uniform);
+            run_schedule(&mut sim, &mut wl, &sched, 5);
+            measure(&sim).bits_per_update()
+        };
+        let dvv = run(&DvvMvrStore);
+        let cops = run(&CopsStore);
+        assert!(
+            cops < dvv,
+            "compression should pay on batches: cops {cops:.1} vs dvv {dvv:.1}"
+        );
+    }
+}

@@ -1,0 +1,386 @@
+//! The deterministic replica-cluster simulator.
+//!
+//! A [`Simulator`] owns one [`ReplicaMachine`] per replica, the multiset of
+//! in-flight message copies, and a faithful [`Execution`] record of every
+//! `do`/`send`/`receive` event. All network behaviours the model permits —
+//! dropping, duplicating, reordering, selective delivery — are explicit
+//! simulator operations, so an execution is an exact transcript of the
+//! scheduler's choices.
+
+use haec_core::witness::{abstract_from_witness, abstract_from_witness_ordered, DoWitness, WitnessError};
+use haec_core::AbstractExecution;
+use haec_model::{
+    Execution, MsgId, ObjectId, Op, ReplicaId, ReplicaMachine, ReturnValue, StoreConfig,
+    StoreFactory,
+};
+
+/// One deliverable copy of a broadcast message.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct InFlight {
+    /// The message.
+    pub msg: MsgId,
+    /// The replica this copy is addressed to.
+    pub to: ReplicaId,
+}
+
+/// A cluster of replicas under simulation.
+pub struct Simulator {
+    config: StoreConfig,
+    store_name: String,
+    machines: Vec<Box<dyn ReplicaMachine>>,
+    execution: Execution,
+    witnesses: Vec<DoWitness>,
+    /// Arbitration timestamps reported by the store, per do event.
+    timestamps: Vec<Option<u64>>,
+    inflight: Vec<InFlight>,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("store", &self.store_name)
+            .field("config", &self.config)
+            .field("events", &self.execution.len())
+            .field("inflight", &self.inflight.len())
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Spawns a fresh cluster of `config.n_replicas` replicas of the store.
+    pub fn new(factory: &dyn StoreFactory, config: StoreConfig) -> Self {
+        let machines = (0..config.n_replicas)
+            .map(|i| factory.spawn(ReplicaId::new(i as u32), config))
+            .collect();
+        Simulator {
+            config,
+            store_name: factory.name().to_owned(),
+            machines,
+            execution: Execution::new(config.n_replicas),
+            witnesses: Vec::new(),
+            timestamps: Vec::new(),
+            inflight: Vec::new(),
+        }
+    }
+
+    /// The store configuration.
+    pub fn config(&self) -> StoreConfig {
+        self.config
+    }
+
+    /// The store's name.
+    pub fn store_name(&self) -> &str {
+        &self.store_name
+    }
+
+    /// Invokes a client operation at `replica`; returns the event index and
+    /// the response.
+    pub fn do_op(&mut self, replica: ReplicaId, obj: ObjectId, op: Op) -> (usize, ReturnValue) {
+        let outcome = self.machines[replica.index()].do_op(obj, &op);
+        let ix = self
+            .execution
+            .push_do(replica, obj, op, outcome.rval.clone());
+        self.witnesses.push(DoWitness {
+            event: ix,
+            visible: outcome.visible,
+        });
+        self.timestamps.push(outcome.timestamp);
+        (ix, outcome.rval)
+    }
+
+    /// Convenience: a read at `replica`.
+    pub fn read(&mut self, replica: ReplicaId, obj: ObjectId) -> ReturnValue {
+        self.do_op(replica, obj, Op::Read).1
+    }
+
+    /// If `replica` has a message pending, records the `send` event and
+    /// enqueues one in-flight copy per other replica. Returns the message
+    /// id, or `None` if nothing was pending.
+    pub fn flush(&mut self, replica: ReplicaId) -> Option<MsgId> {
+        let payload = self.machines[replica.index()].pending_message()?;
+        self.machines[replica.index()].on_send();
+        let msg = self
+            .execution
+            .push_send(replica, payload)
+            .expect("replica id is valid");
+        for t in 0..self.config.n_replicas {
+            if t != replica.index() {
+                self.inflight.push(InFlight {
+                    msg,
+                    to: ReplicaId::new(t as u32),
+                });
+            }
+        }
+        Some(msg)
+    }
+
+    /// The in-flight message copies, in enqueue order.
+    pub fn inflight(&self) -> &[InFlight] {
+        &self.inflight
+    }
+
+    /// Delivers the `i`-th in-flight copy; returns the receive event index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn deliver(&mut self, i: usize) -> usize {
+        let InFlight { msg, to } = self.inflight.remove(i);
+        let payload = self.execution.message(msg).payload.clone();
+        self.machines[to.index()].on_receive(&payload);
+        self.execution
+            .push_receive(to, msg)
+            .expect("in-flight copies are deliverable")
+    }
+
+    /// Delivers the first in-flight copy addressed to `to` for message
+    /// `msg`, if any; returns the receive event index.
+    pub fn deliver_to(&mut self, msg: MsgId, to: ReplicaId) -> Option<usize> {
+        let i = self
+            .inflight
+            .iter()
+            .position(|f| f.msg == msg && f.to == to)?;
+        Some(self.deliver(i))
+    }
+
+    /// Drops the `i`-th in-flight copy (it will never be delivered).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn drop_inflight(&mut self, i: usize) {
+        self.inflight.remove(i);
+    }
+
+    /// Duplicates the `i`-th in-flight copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn duplicate_inflight(&mut self, i: usize) {
+        let copy = self.inflight[i];
+        self.inflight.push(copy);
+    }
+
+    /// Delivers everything currently in flight, in enqueue order.
+    pub fn deliver_all(&mut self) {
+        while !self.inflight.is_empty() {
+            self.deliver(0);
+        }
+    }
+
+    /// Drives the cluster to a *quiescent* execution (Definition 17): every
+    /// pending message is flushed and every sent message is delivered to
+    /// every other replica, repeating until no replica has a message pending
+    /// and nothing is in flight.
+    ///
+    /// For op-driven stores one round suffices; stores that create pending
+    /// messages on receive (e.g. the sequencer) need several. A round cap
+    /// guards against stores that never quiesce.
+    ///
+    /// Returns `true` if quiescence was reached within the cap.
+    pub fn quiesce(&mut self) -> bool {
+        for _ in 0..64 {
+            let mut progress = false;
+            for r in 0..self.config.n_replicas {
+                if self.flush(ReplicaId::new(r as u32)).is_some() {
+                    progress = true;
+                }
+            }
+            if !self.inflight.is_empty() {
+                progress = true;
+                self.deliver_all();
+            }
+            if !progress {
+                return true;
+            }
+        }
+        
+        (0..self.config.n_replicas)
+            .all(|r| self.machines[r].pending_message().is_none())
+            && self.inflight.is_empty()
+    }
+
+    /// The execution transcript so far.
+    pub fn execution(&self) -> &Execution {
+        &self.execution
+    }
+
+    /// The visibility witnesses reported by the store, one per `do` event.
+    pub fn witnesses(&self) -> &[DoWitness] {
+        &self.witnesses
+    }
+
+    /// Immutable access to a replica machine (for fingerprints, state
+    /// size).
+    pub fn machine(&self, replica: ReplicaId) -> &dyn ReplicaMachine {
+        self.machines[replica.index()].as_ref()
+    }
+
+    /// Builds the candidate abstract execution from the store's witnesses,
+    /// with `H` in execution order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates witness resolution failures.
+    pub fn abstract_execution(&self) -> Result<AbstractExecution, WitnessError> {
+        abstract_from_witness(&self.execution, &self.witnesses)
+    }
+
+    /// Builds the candidate abstract execution with `H` ordered by the
+    /// store-reported arbitration timestamps (writes before reads on ties,
+    /// execution order last) — the appropriate order for last-writer-wins
+    /// stores, whose specification resolves conflicts by `H` order.
+    ///
+    /// Events without a timestamp sort by execution order among themselves
+    /// at timestamp 0.
+    ///
+    /// # Errors
+    ///
+    /// Propagates witness resolution failures.
+    pub fn abstract_execution_arbitrated(&self) -> Result<AbstractExecution, WitnessError> {
+        let do_events = self.execution.do_events();
+        // Sort key mirrors the LWW arbitration rule `(ts, origin)`: writes
+        // with equal timestamps are ordered by replica id (the store's
+        // tie-break), reads come after writes with the same timestamp, and
+        // execution order breaks the remaining ties.
+        let mut keyed: Vec<((u64, u8, usize, usize), usize)> = do_events
+            .iter()
+            .enumerate()
+            .map(|(pos, &ix)| {
+                let ts = self.timestamps[pos].unwrap_or(0);
+                let (_, op, _) = self.execution.event(ix).as_do().expect("do event");
+                let is_read = u8::from(op.is_read());
+                ((ts, is_read, self.execution.event(ix).replica.index(), ix), ix)
+            })
+            .collect();
+        keyed.sort();
+        let order: Vec<usize> = keyed.into_iter().map(|(_, ix)| ix).collect();
+        abstract_from_witness_ordered(&self.execution, &self.witnesses, &order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haec_model::Value;
+    use haec_stores::{DvvMvrStore, LwwStore};
+
+    fn cfg() -> StoreConfig {
+        StoreConfig::new(3, 2)
+    }
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+    fn x(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+    fn v(i: u64) -> Value {
+        Value::new(i)
+    }
+
+    #[test]
+    fn do_flush_deliver_roundtrip() {
+        let mut sim = Simulator::new(&DvvMvrStore, cfg());
+        sim.do_op(r(0), x(0), Op::Write(v(1)));
+        let msg = sim.flush(r(0)).expect("pending after write");
+        assert_eq!(sim.inflight().len(), 2);
+        sim.deliver_to(msg, r(1)).expect("copy exists");
+        assert_eq!(sim.read(r(1), x(0)), ReturnValue::values([v(1)]));
+        assert_eq!(sim.read(r(2), x(0)), ReturnValue::empty());
+    }
+
+    #[test]
+    fn flush_without_pending_is_none() {
+        let mut sim = Simulator::new(&DvvMvrStore, cfg());
+        assert!(sim.flush(r(0)).is_none());
+    }
+
+    #[test]
+    fn quiesce_reaches_agreement() {
+        let mut sim = Simulator::new(&DvvMvrStore, cfg());
+        sim.do_op(r(0), x(0), Op::Write(v(1)));
+        sim.do_op(r(1), x(0), Op::Write(v(2)));
+        sim.do_op(r(2), x(1), Op::Write(v(3)));
+        assert!(sim.quiesce());
+        let expect_x0 = ReturnValue::values([v(1), v(2)]);
+        for i in 0..3 {
+            assert_eq!(sim.read(r(i), x(0)), expect_x0);
+            assert_eq!(sim.read(r(i), x(1)), ReturnValue::values([v(3)]));
+        }
+    }
+
+    #[test]
+    fn drop_and_duplicate() {
+        let mut sim = Simulator::new(&DvvMvrStore, cfg());
+        sim.do_op(r(0), x(0), Op::Write(v(1)));
+        sim.flush(r(0)).unwrap();
+        sim.duplicate_inflight(0);
+        assert_eq!(sim.inflight().len(), 3);
+        sim.drop_inflight(0);
+        assert_eq!(sim.inflight().len(), 2);
+        sim.deliver_all();
+        assert!(sim.execution().validate().is_ok());
+    }
+
+    #[test]
+    fn execution_records_all_events() {
+        let mut sim = Simulator::new(&DvvMvrStore, cfg());
+        sim.do_op(r(0), x(0), Op::Write(v(1)));
+        sim.flush(r(0)).unwrap();
+        sim.deliver_all();
+        // 1 do + 1 send + 2 receives
+        assert_eq!(sim.execution().len(), 4);
+        assert_eq!(sim.witnesses().len(), 1);
+    }
+
+    #[test]
+    fn abstract_execution_from_witnesses() {
+        let mut sim = Simulator::new(&DvvMvrStore, cfg());
+        let (w, _) = sim.do_op(r(0), x(0), Op::Write(v(1)));
+        sim.flush(r(0)).unwrap();
+        sim.deliver_all();
+        let (rd, rv) = sim.do_op(r(1), x(0), Op::Read);
+        assert_eq!(rv, ReturnValue::values([v(1)]));
+        let a = sim.abstract_execution().unwrap();
+        assert_eq!(a.len(), 2);
+        // Both do events are in H; the write is visible to the read.
+        let h_w = 0;
+        let h_r = 1;
+        assert!(a.sees(h_w, h_r));
+        let _ = (w, rd);
+    }
+
+    #[test]
+    fn arbitrated_order_respects_timestamps() {
+        let mut sim = Simulator::new(&LwwStore, cfg());
+        // Concurrent writes at ts 1; then r1's second write at ts 2.
+        sim.do_op(r(0), x(0), Op::Write(v(10)));
+        sim.do_op(r(1), x(0), Op::Write(v(20)));
+        sim.do_op(r(1), x(0), Op::Write(v(30)));
+        sim.quiesce();
+        let rv = sim.read(r(2), x(0));
+        assert_eq!(rv, ReturnValue::values([v(30)]));
+        let a = sim.abstract_execution_arbitrated().unwrap();
+        assert!(a.validate().is_ok());
+        // H must order the ts-2 write after both ts-1 writes.
+        let vals: Vec<_> = a
+            .events()
+            .iter()
+            .filter_map(|e| match e.op {
+                Op::Write(v) => Some(v.as_u64()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(*vals.last().unwrap(), 30);
+    }
+
+    #[test]
+    fn machine_access_for_fingerprints() {
+        let mut sim = Simulator::new(&DvvMvrStore, cfg());
+        let fp0 = sim.machine(r(0)).state_fingerprint();
+        sim.do_op(r(0), x(0), Op::Write(v(1)));
+        assert_ne!(sim.machine(r(0)).state_fingerprint(), fp0);
+        assert_eq!(sim.store_name(), "dvv-mvr");
+    }
+}

@@ -1,0 +1,368 @@
+//! Portable text traces: serialize an [`Execution`] to a line-oriented
+//! format and parse it back.
+//!
+//! The exhaustive explorer and the random schedulers occasionally find
+//! counterexample executions worth sharing (bug reports, regression
+//! fixtures). The trace format is stable, human-readable and round-trips
+//! exactly:
+//!
+//! ```text
+//! replicas 3
+//! do R0 x0 write v1 ok
+//! send R0 m0 16 a1b2
+//! recv R1 m0
+//! do R1 x0 read {v1}
+//! ```
+
+use haec_model::{
+    EventKind, Execution, MsgId, ObjectId, Op, Payload, ReplicaId, ReturnValue, Value,
+};
+use std::fmt;
+
+/// A parse failure with its line number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn encode_rval(rv: &ReturnValue) -> String {
+    match rv {
+        ReturnValue::Ok => "ok".to_owned(),
+        ReturnValue::Values(vals) => {
+            let inner: Vec<String> = vals.iter().map(|v| format!("v{}", v.as_u64())).collect();
+            format!("{{{}}}", inner.join(","))
+        }
+    }
+}
+
+fn encode_op(op: &Op) -> String {
+    match op {
+        Op::Write(v) => format!("write v{}", v.as_u64()),
+        Op::Read => "read".to_owned(),
+        Op::Add(v) => format!("add v{}", v.as_u64()),
+        Op::Remove(v) => format!("remove v{}", v.as_u64()),
+        Op::Inc => "inc".to_owned(),
+        Op::Enable => "enable".to_owned(),
+        Op::Disable => "disable".to_owned(),
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+fn unhex(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len() / 2)
+        .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok())
+        .collect()
+}
+
+/// Serializes an execution to the trace format.
+pub fn to_text(ex: &Execution) -> String {
+    let mut out = format!("replicas {}\n", ex.n_replicas());
+    for e in ex.events() {
+        match &e.kind {
+            EventKind::Do { obj, op, rval } => {
+                out.push_str(&format!(
+                    "do R{} x{} {} {}\n",
+                    e.replica.as_u32(),
+                    obj.as_u32(),
+                    encode_op(op),
+                    encode_rval(rval)
+                ));
+            }
+            EventKind::Send { msg } => {
+                let rec = ex.message(*msg);
+                let body = if rec.payload.bytes().is_empty() {
+                    "-".to_owned()
+                } else {
+                    hex(rec.payload.bytes())
+                };
+                out.push_str(&format!(
+                    "send R{} m{} {} {}\n",
+                    e.replica.as_u32(),
+                    msg.index(),
+                    rec.payload.bits(),
+                    body
+                ));
+            }
+            EventKind::Receive { msg } => {
+                out.push_str(&format!("recv R{} m{}\n", e.replica.as_u32(), msg.index()));
+            }
+        }
+    }
+    out
+}
+
+fn parse_value(tok: &str, line: usize) -> Result<Value, ParseError> {
+    tok.strip_prefix('v')
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(Value::new)
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("bad value token `{tok}`"),
+        })
+}
+
+fn parse_rval(tok: &str, line: usize) -> Result<ReturnValue, ParseError> {
+    if tok == "ok" {
+        return Ok(ReturnValue::Ok);
+    }
+    let inner = tok
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("bad rval token `{tok}`"),
+        })?;
+    if inner.is_empty() {
+        return Ok(ReturnValue::empty());
+    }
+    let vals: Result<Vec<Value>, ParseError> = inner
+        .split(',')
+        .map(|t| parse_value(t, line))
+        .collect();
+    Ok(ReturnValue::values(vals?))
+}
+
+fn parse_replica(tok: &str, line: usize) -> Result<ReplicaId, ParseError> {
+    tok.strip_prefix('R')
+        .and_then(|s| s.parse::<u32>().ok())
+        .map(ReplicaId::new)
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("bad replica token `{tok}`"),
+        })
+}
+
+/// Parses a trace back into an [`Execution`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line on malformed input or
+/// a trace violating well-formedness.
+pub fn parse(text: &str) -> Result<Execution, ParseError> {
+    let mut lines = text.lines().enumerate();
+    let (_, header) = lines.next().ok_or(ParseError {
+        line: 1,
+        message: "empty trace".into(),
+    })?;
+    let n_replicas = header
+        .strip_prefix("replicas ")
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .ok_or(ParseError {
+            line: 1,
+            message: "expected `replicas <n>` header".into(),
+        })?;
+    let mut ex = Execution::new(n_replicas);
+    for (ix, raw) in lines {
+        let line = ix + 1;
+        let toks: Vec<&str> = raw.split_whitespace().collect();
+        if toks.is_empty() {
+            continue;
+        }
+        let err = |message: String| ParseError { line, message };
+        match toks[0] {
+            "do" => {
+                if toks.len() < 4 {
+                    return Err(err("truncated do line".into()));
+                }
+                let replica = parse_replica(toks[1], line)?;
+                let obj = toks[2]
+                    .strip_prefix('x')
+                    .and_then(|s| s.parse::<u32>().ok())
+                    .map(ObjectId::new)
+                    .ok_or_else(|| err(format!("bad object token `{}`", toks[2])))?;
+                let (op, rval_tok) = match toks[3] {
+                    "read" => (Op::Read, toks.get(4)),
+                    "inc" => (Op::Inc, toks.get(4)),
+                    "enable" => (Op::Enable, toks.get(4)),
+                    "disable" => (Op::Disable, toks.get(4)),
+                    kind @ ("write" | "add" | "remove") => {
+                        let v = parse_value(
+                            toks.get(4).ok_or_else(|| err("missing value".into()))?,
+                            line,
+                        )?;
+                        let op = match kind {
+                            "write" => Op::Write(v),
+                            "add" => Op::Add(v),
+                            _ => Op::Remove(v),
+                        };
+                        (op, toks.get(5))
+                    }
+                    other => return Err(err(format!("unknown op `{other}`"))),
+                };
+                let rval = parse_rval(
+                    rval_tok.ok_or_else(|| err("missing rval".into()))?,
+                    line,
+                )?;
+                ex.push_do(replica, obj, op, rval);
+            }
+            "send" => {
+                if toks.len() != 5 {
+                    return Err(err("send expects `send R<i> m<j> <bits> <hex>`".into()));
+                }
+                let replica = parse_replica(toks[1], line)?;
+                let bits: usize = toks[3]
+                    .parse()
+                    .map_err(|_| err(format!("bad bit count `{}`", toks[3])))?;
+                let bytes = if toks[4] == "-" {
+                    Vec::new()
+                } else {
+                    unhex(toks[4]).ok_or_else(|| err(format!("bad hex `{}`", toks[4])))?
+                };
+                let payload = Payload::from_bits(bytes, bits);
+                ex.push_send(replica, payload)
+                    .map_err(|e| err(e.to_string()))?;
+            }
+            "recv" => {
+                if toks.len() != 3 {
+                    return Err(err("recv expects `recv R<i> m<j>`".into()));
+                }
+                let replica = parse_replica(toks[1], line)?;
+                let msg = toks[2]
+                    .strip_prefix('m')
+                    .and_then(|s| s.parse::<u64>().ok())
+                    .map(MsgId::new)
+                    .ok_or_else(|| err(format!("bad message token `{}`", toks[2])))?;
+                ex.push_receive(replica, msg)
+                    .map_err(|e| err(e.to_string()))?;
+            }
+            other => return Err(err(format!("unknown directive `{other}`"))),
+        }
+    }
+    Ok(ex)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Execution {
+        let mut ex = Execution::new(2);
+        ex.push_do(
+            ReplicaId::new(0),
+            ObjectId::new(0),
+            Op::Write(Value::new(1)),
+            ReturnValue::Ok,
+        );
+        let m = ex
+            .push_send(ReplicaId::new(0), Payload::from_bits(vec![0b101], 3))
+            .unwrap();
+        ex.push_receive(ReplicaId::new(1), m).unwrap();
+        ex.push_do(
+            ReplicaId::new(1),
+            ObjectId::new(0),
+            Op::Read,
+            ReturnValue::values([Value::new(1)]),
+        );
+        ex.push_do(
+            ReplicaId::new(1),
+            ObjectId::new(1),
+            Op::Read,
+            ReturnValue::empty(),
+        );
+        ex
+    }
+
+    #[test]
+    fn roundtrip_exact() {
+        let ex = sample();
+        let text = to_text(&ex);
+        let back = parse(&text).unwrap();
+        assert_eq!(ex, back);
+    }
+
+    #[test]
+    fn text_is_human_readable() {
+        let text = to_text(&sample());
+        assert!(text.starts_with("replicas 2\n"));
+        assert!(text.contains("do R0 x0 write v1 ok"));
+        assert!(text.contains("recv R1 m0"));
+        assert!(text.contains("do R1 x0 read {v1}"));
+        assert!(text.contains("do R1 x1 read {}"));
+    }
+
+    #[test]
+    fn empty_rval_and_orset_ops_roundtrip() {
+        let mut ex = Execution::new(1);
+        ex.push_do(
+            ReplicaId::new(0),
+            ObjectId::new(0),
+            Op::Add(Value::new(3)),
+            ReturnValue::Ok,
+        );
+        ex.push_do(
+            ReplicaId::new(0),
+            ObjectId::new(0),
+            Op::Remove(Value::new(3)),
+            ReturnValue::Ok,
+        );
+        ex.push_do(
+            ReplicaId::new(0),
+            ObjectId::new(0),
+            Op::Inc,
+            ReturnValue::Ok,
+        );
+        ex.push_do(
+            ReplicaId::new(0),
+            ObjectId::new(0),
+            Op::Enable,
+            ReturnValue::Ok,
+        );
+        ex.push_do(
+            ReplicaId::new(0),
+            ObjectId::new(0),
+            Op::Disable,
+            ReturnValue::Ok,
+        );
+        let back = parse(&to_text(&ex)).unwrap();
+        assert_eq!(ex, back);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("nonsense 3").is_err());
+        assert!(parse("replicas 2\nfrobnicate R0").is_err());
+        assert!(parse("replicas 2\ndo R0 x0 write").is_err());
+        assert!(parse("replicas 2\nrecv R0 m0").is_err(), "recv before send");
+    }
+
+    #[test]
+    fn parse_reports_line_numbers() {
+        let err = parse("replicas 2\ndo R0 x0 write v1 ok\nbad line").unwrap_err();
+        assert_eq!(err.line, 3);
+        assert!(err.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn simulator_executions_roundtrip() {
+        use crate::{run_schedule, KeyDistribution, ScheduleConfig, Simulator, Workload};
+        use haec_core::SpecKind;
+        use haec_model::StoreConfig;
+        use haec_stores::DvvMvrStore;
+        for seed in 0..5 {
+            let mut sim = Simulator::new(&DvvMvrStore, StoreConfig::new(3, 2));
+            let mut wl = Workload::new(SpecKind::Mvr, 3, 2, 0.4, KeyDistribution::Uniform);
+            run_schedule(&mut sim, &mut wl, &ScheduleConfig::default(), seed);
+            let text = to_text(sim.execution());
+            let back = parse(&text).unwrap();
+            assert_eq!(sim.execution(), &back, "seed {seed}");
+        }
+    }
+}

@@ -1,0 +1,236 @@
+//! Workload generation: which client invokes which operation on which
+//! object.
+
+use haec_core::SpecKind;
+use haec_model::{ObjectId, Op, ReplicaId, Value};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Distribution of operations over objects.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub enum KeyDistribution {
+    /// Every object equally likely.
+    Uniform,
+    /// Zipf-like skew with the given exponent (typical: 0.8–1.2): object
+    /// ranks are weighted `1/(rank+1)^theta`.
+    Zipf {
+        /// The skew exponent.
+        theta: f64,
+    },
+}
+
+/// A seeded generator of client operations for one object family.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    spec: SpecKind,
+    n_replicas: usize,
+    n_objects: usize,
+    read_ratio: f64,
+    keys: KeyDistribution,
+    /// Cumulative weights for zipf sampling.
+    cumulative: Vec<f64>,
+    next_value: u64,
+    /// Small pool of values for add/remove workloads.
+    element_pool: u64,
+}
+
+impl Workload {
+    /// Creates a workload for `spec`-typed objects.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `read_ratio` is not within `[0, 1]` or a count is zero.
+    pub fn new(
+        spec: SpecKind,
+        n_replicas: usize,
+        n_objects: usize,
+        read_ratio: f64,
+        keys: KeyDistribution,
+    ) -> Self {
+        assert!((0.0..=1.0).contains(&read_ratio), "read_ratio in [0,1]");
+        assert!(n_replicas > 0 && n_objects > 0, "counts must be positive");
+        let mut cumulative = Vec::with_capacity(n_objects);
+        let mut acc = 0.0;
+        for rank in 0..n_objects {
+            let w = match keys {
+                KeyDistribution::Uniform => 1.0,
+                KeyDistribution::Zipf { theta } => 1.0 / ((rank as f64) + 1.0).powf(theta),
+            };
+            acc += w;
+            cumulative.push(acc);
+        }
+        Workload {
+            spec,
+            n_replicas,
+            n_objects,
+            read_ratio,
+            keys,
+            cumulative,
+            next_value: 0,
+            element_pool: 8,
+        }
+    }
+
+    /// The key distribution in use.
+    pub fn key_distribution(&self) -> KeyDistribution {
+        self.keys
+    }
+
+    /// Samples an object id.
+    pub fn sample_object(&self, rng: &mut StdRng) -> ObjectId {
+        let total = *self.cumulative.last().expect("nonempty");
+        let p: f64 = rng.gen_range(0.0..total);
+        let ix = self
+            .cumulative
+            .partition_point(|&c| c < p)
+            .min(self.n_objects - 1);
+        ObjectId::new(ix as u32)
+    }
+
+    /// Samples a replica id uniformly.
+    pub fn sample_replica(&self, rng: &mut StdRng) -> ReplicaId {
+        ReplicaId::new(rng.gen_range(0..self.n_replicas) as u32)
+    }
+
+    /// Samples the next client operation: `(replica, object, op)`.
+    ///
+    /// Written values are globally unique (the paper's distinct-writes
+    /// assumption); ORset elements are drawn from a small pool so that adds
+    /// and removes collide.
+    pub fn next_op(&mut self, rng: &mut StdRng) -> (ReplicaId, ObjectId, Op) {
+        let replica = self.sample_replica(rng);
+        let obj = self.sample_object(rng);
+        let op = if rng.gen_bool(self.read_ratio) {
+            Op::Read
+        } else {
+            match self.spec {
+                SpecKind::Mvr | SpecKind::LwwRegister => {
+                    self.next_value += 1;
+                    Op::Write(Value::new(self.next_value))
+                }
+                SpecKind::OrSet => {
+                    let element = Value::new(rng.gen_range(0..self.element_pool));
+                    if rng.gen_bool(0.5) {
+                        Op::Add(element)
+                    } else {
+                        Op::Remove(element)
+                    }
+                }
+                SpecKind::Counter => Op::Inc,
+                SpecKind::EwFlag => {
+                    if rng.gen_bool(0.5) {
+                        Op::Enable
+                    } else {
+                        Op::Disable
+                    }
+                }
+            }
+        };
+        (replica, obj, op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn read_ratio_respected_roughly() {
+        let mut w = Workload::new(SpecKind::Mvr, 3, 4, 0.5, KeyDistribution::Uniform);
+        let mut r = rng(1);
+        let reads = (0..1000)
+            .filter(|_| w.next_op(&mut r).2.is_read())
+            .count();
+        assert!((350..650).contains(&reads), "got {reads} reads");
+    }
+
+    #[test]
+    fn write_values_unique() {
+        let mut w = Workload::new(SpecKind::Mvr, 2, 2, 0.0, KeyDistribution::Uniform);
+        let mut r = rng(2);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..500 {
+            let (_, _, op) = w.next_op(&mut r);
+            let Op::Write(v) = op else { panic!("writes only") };
+            assert!(seen.insert(v), "duplicate written value {v}");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_towards_low_ranks() {
+        let w = Workload::new(
+            SpecKind::Mvr,
+            2,
+            16,
+            0.5,
+            KeyDistribution::Zipf { theta: 1.0 },
+        );
+        let mut r = rng(3);
+        let mut counts = [0usize; 16];
+        for _ in 0..4000 {
+            counts[w.sample_object(&mut r).index()] += 1;
+        }
+        assert!(
+            counts[0] > counts[15] * 3,
+            "rank 0 ({}) should dominate rank 15 ({})",
+            counts[0],
+            counts[15]
+        );
+    }
+
+    #[test]
+    fn uniform_covers_all_objects() {
+        let w = Workload::new(SpecKind::Mvr, 2, 8, 0.5, KeyDistribution::Uniform);
+        let mut r = rng(4);
+        let mut counts = vec![0usize; 8];
+        for _ in 0..2000 {
+            counts[w.sample_object(&mut r).index()] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 100), "{counts:?}");
+    }
+
+    #[test]
+    fn orset_ops_collide_on_elements() {
+        let mut w = Workload::new(SpecKind::OrSet, 2, 2, 0.0, KeyDistribution::Uniform);
+        let mut r = rng(5);
+        let mut adds = 0;
+        let mut removes = 0;
+        for _ in 0..200 {
+            match w.next_op(&mut r).2 {
+                Op::Add(_) => adds += 1,
+                Op::Remove(_) => removes += 1,
+                other => panic!("unexpected {other}"),
+            }
+        }
+        assert!(adds > 50 && removes > 50);
+    }
+
+    #[test]
+    fn counter_generates_incs() {
+        let mut w = Workload::new(SpecKind::Counter, 2, 1, 0.0, KeyDistribution::Uniform);
+        let mut r = rng(6);
+        assert_eq!(w.next_op(&mut r).2, Op::Inc);
+    }
+
+    #[test]
+    #[should_panic(expected = "read_ratio")]
+    fn invalid_read_ratio_panics() {
+        Workload::new(SpecKind::Mvr, 2, 2, 1.5, KeyDistribution::Uniform);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut w1 = Workload::new(SpecKind::Mvr, 3, 4, 0.3, KeyDistribution::Uniform);
+        let mut w2 = Workload::new(SpecKind::Mvr, 3, 4, 0.3, KeyDistribution::Uniform);
+        let mut r1 = rng(7);
+        let mut r2 = rng(7);
+        for _ in 0..50 {
+            assert_eq!(w1.next_op(&mut r1), w2.next_op(&mut r2));
+        }
+    }
+}

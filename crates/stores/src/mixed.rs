@@ -1,0 +1,254 @@
+//! A store serving MVRs and read/write registers side by side.
+//!
+//! Section 6 notes that the Theorem 12 analogue holds for stores providing
+//! read/write registers "as well as a combination of MVRs and registers".
+//! [`MixedStore`] provides that combination: objects with id below
+//! `mvr_objects` behave as multi-valued registers (reads expose
+//! concurrency), the rest as causally consistent last-writer-wins
+//! registers (concurrent survivors arbitrated by maximal dot). Both share
+//! the causal engine, so the store is causally and eventually consistent
+//! and write-propagating.
+
+use crate::engine::{CausalEngine, Update, UpdateOp};
+use crate::wire::{gamma_len, width_for};
+use haec_model::{
+    DoOutcome, Dot, ObjectId, Op, Payload, ReplicaId, ReplicaMachine, ReturnValue, StoreConfig,
+    StoreFactory, Value,
+};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+/// Factory for the mixed MVR + register store.
+///
+/// ```
+/// use haec_stores::MixedStore;
+/// use haec_model::{StoreFactory, StoreConfig, ReplicaId, ObjectId, Op, Value};
+///
+/// // Object 0 is an MVR; object 1 is a LWW register.
+/// let factory = MixedStore::new(1);
+/// let mut a = factory.spawn(ReplicaId::new(0), StoreConfig::new(2, 2));
+/// a.do_op(ObjectId::new(0), &Op::Write(Value::new(1)));
+/// a.do_op(ObjectId::new(1), &Op::Write(Value::new(2)));
+/// ```
+#[derive(Copy, Clone, Debug)]
+pub struct MixedStore {
+    /// Objects with id `< mvr_objects` are MVRs; the rest are registers.
+    pub mvr_objects: usize,
+}
+
+impl MixedStore {
+    /// Creates the factory with the given MVR/register split point.
+    pub fn new(mvr_objects: usize) -> Self {
+        MixedStore { mvr_objects }
+    }
+}
+
+impl StoreFactory for MixedStore {
+    fn spawn(&self, replica: ReplicaId, config: StoreConfig) -> Box<dyn ReplicaMachine> {
+        Box::new(MixedReplica {
+            engine: CausalEngine::new(replica, config),
+            mvr_objects: self.mvr_objects,
+            objects: BTreeMap::new(),
+        })
+    }
+
+    fn name(&self) -> &str {
+        "mixed"
+    }
+}
+
+/// One replica of the mixed store.
+#[derive(Clone, Debug)]
+pub struct MixedReplica {
+    engine: CausalEngine,
+    mvr_objects: usize,
+    /// Concurrent survivors per object (shared representation; the read
+    /// path decides whether to expose them all or arbitrate).
+    objects: BTreeMap<ObjectId, Vec<(Dot, Value)>>,
+}
+
+impl MixedReplica {
+    fn is_mvr(&self, obj: ObjectId) -> bool {
+        obj.index() < self.mvr_objects
+    }
+
+    fn apply(&mut self, u: &Update) {
+        if let UpdateOp::Write(v) = u.op {
+            let siblings = self.objects.entry(u.obj).or_default();
+            siblings.retain(|(d, _)| !u.deps.contains(*d));
+            siblings.push((u.dot, v));
+            siblings.sort_unstable();
+        }
+    }
+
+    fn read(&self, obj: ObjectId) -> ReturnValue {
+        let siblings = self.objects.get(&obj);
+        if self.is_mvr(obj) {
+            ReturnValue::values(siblings.into_iter().flatten().map(|&(_, v)| v))
+        } else {
+            match siblings.and_then(|s| s.last()) {
+                Some(&(_, v)) => ReturnValue::values([v]),
+                None => ReturnValue::empty(),
+            }
+        }
+    }
+}
+
+impl ReplicaMachine for MixedReplica {
+    /// # Panics
+    ///
+    /// Panics if the operation is not a register operation (write/read).
+    fn do_op(&mut self, obj: ObjectId, op: &Op) -> DoOutcome {
+        match op {
+            Op::Read => DoOutcome::new(self.read(obj), self.engine.visible_dots()),
+            Op::Write(v) => {
+                let visible = self.engine.visible_dots();
+                let u = self.engine.local_update(obj, UpdateOp::Write(*v));
+                self.apply(&u);
+                DoOutcome::new(ReturnValue::Ok, visible)
+            }
+            other => panic!("mixed store does not support {other}"),
+        }
+    }
+
+    fn pending_message(&self) -> Option<Payload> {
+        self.engine.pending_message()
+    }
+
+    fn on_send(&mut self) {
+        self.engine.on_send();
+    }
+
+    fn on_receive(&mut self, payload: &Payload) {
+        for u in self.engine.on_receive(payload) {
+            self.apply(&u);
+        }
+    }
+
+    fn state_fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.engine.hash_into(&mut h);
+        self.objects.hash(&mut h);
+        h.finish()
+    }
+
+    fn state_bits(&self) -> usize {
+        let cfg = self.engine.config();
+        let sibling_bits: usize = self
+            .objects
+            .values()
+            .flatten()
+            .map(|(d, v)| {
+                width_for(cfg.n_replicas) as usize
+                    + gamma_len(u64::from(d.seq))
+                    + gamma_len(v.as_u64() + 1)
+            })
+            .sum();
+        self.engine.state_bits() + sibling_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> StoreConfig {
+        StoreConfig::new(3, 3)
+    }
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+    fn x(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+    fn v(i: u64) -> Value {
+        Value::new(i)
+    }
+    fn spawn(i: u32) -> Box<dyn ReplicaMachine> {
+        MixedStore::new(2).spawn(r(i), cfg())
+    }
+    fn relay(from: &mut Box<dyn ReplicaMachine>, to: &mut Box<dyn ReplicaMachine>) {
+        let msg = from.pending_message().expect("message pending");
+        from.on_send();
+        to.on_receive(&msg);
+    }
+
+    #[test]
+    fn mvr_objects_expose_concurrency() {
+        let mut a = spawn(0);
+        let mut b = spawn(1);
+        a.do_op(x(0), &Op::Write(v(1)));
+        b.do_op(x(0), &Op::Write(v(2)));
+        relay(&mut a, &mut b);
+        assert_eq!(
+            b.do_op(x(0), &Op::Read).rval,
+            ReturnValue::values([v(1), v(2)])
+        );
+    }
+
+    #[test]
+    fn register_objects_arbitrate() {
+        let mut a = spawn(0);
+        let mut b = spawn(1);
+        a.do_op(x(2), &Op::Write(v(1)));
+        b.do_op(x(2), &Op::Write(v(2)));
+        relay(&mut a, &mut b);
+        relay(&mut b, &mut a);
+        let ra = a.do_op(x(2), &Op::Read).rval;
+        let rb = b.do_op(x(2), &Op::Read).rval;
+        assert_eq!(ra, rb, "register replicas converge");
+        assert_eq!(ra.as_values().unwrap().len(), 1, "register hides concurrency");
+    }
+
+    #[test]
+    fn cross_kind_causality_respected() {
+        // Write to the MVR, then to the register; a third replica receiving
+        // only the register's message must buffer it.
+        let mut a = spawn(0);
+        let mut b = spawn(1);
+        let mut c = spawn(2);
+        a.do_op(x(0), &Op::Write(v(1)));
+        let m1 = a.pending_message().unwrap();
+        a.on_send();
+        b.on_receive(&m1);
+        b.do_op(x(2), &Op::Write(v(2)));
+        let m2 = b.pending_message().unwrap();
+        b.on_send();
+        c.on_receive(&m2);
+        assert_eq!(c.do_op(x(2), &Op::Read).rval, ReturnValue::empty());
+        c.on_receive(&m1);
+        assert_eq!(c.do_op(x(2), &Op::Read).rval, ReturnValue::values([v(2)]));
+        assert_eq!(c.do_op(x(0), &Op::Read).rval, ReturnValue::values([v(1)]));
+    }
+
+    #[test]
+    fn reads_invisible() {
+        let mut a = spawn(0);
+        a.do_op(x(0), &Op::Write(v(1)));
+        a.do_op(x(2), &Op::Write(v(2)));
+        let fp = a.state_fingerprint();
+        a.do_op(x(0), &Op::Read);
+        a.do_op(x(2), &Op::Read);
+        assert_eq!(a.state_fingerprint(), fp);
+    }
+
+    #[test]
+    fn all_mvr_split_matches_dvv_semantics() {
+        let factory = MixedStore::new(usize::MAX);
+        let mut a = factory.spawn(r(0), cfg());
+        let mut b = factory.spawn(r(1), cfg());
+        a.do_op(x(1), &Op::Write(v(1)));
+        b.do_op(x(1), &Op::Write(v(2)));
+        relay(&mut a, &mut b);
+        assert_eq!(
+            b.do_op(x(1), &Op::Read).rval,
+            ReturnValue::values([v(1), v(2)])
+        );
+    }
+
+    #[test]
+    fn factory_name() {
+        assert_eq!(MixedStore::new(1).name(), "mixed");
+    }
+}

@@ -1,0 +1,372 @@
+//! Observed-remove set store (add-wins, Figure 1(c)).
+//!
+//! A write-propagating ORset store on the shared [`CausalEngine`]. Per
+//! object, a replica keeps the live *add-instances* `(dot, value)`. A
+//! `remove(v)` records the dots of the instances it observed; concurrent
+//! adds are unaffected — "add wins".
+
+use crate::engine::{CausalEngine, Update, UpdateOp};
+use crate::wire::{gamma_len, width_for};
+use haec_model::{
+    DoOutcome, Dot, ObjectId, Op, Payload, ReplicaId, ReplicaMachine, ReturnValue, StoreConfig,
+    StoreFactory, Value,
+};
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+/// Factory for the ORset store.
+///
+/// ```
+/// use haec_stores::OrSetStore;
+/// use haec_model::{StoreFactory, StoreConfig, ReplicaId, ObjectId, Op, Value, ReturnValue};
+///
+/// let mut replica = OrSetStore.spawn(ReplicaId::new(0), StoreConfig::new(2, 1));
+/// replica.do_op(ObjectId::new(0), &Op::Add(Value::new(3)));
+/// let out = replica.do_op(ObjectId::new(0), &Op::Read);
+/// assert_eq!(out.rval, ReturnValue::values([Value::new(3)]));
+/// ```
+#[derive(Copy, Clone, Default, Debug)]
+pub struct OrSetStore;
+
+impl StoreFactory for OrSetStore {
+    fn spawn(&self, replica: ReplicaId, config: StoreConfig) -> Box<dyn ReplicaMachine> {
+        Box::new(OrSetReplica {
+            engine: CausalEngine::new(replica, config),
+            objects: BTreeMap::new(),
+        })
+    }
+
+    fn name(&self) -> &str {
+        "orset"
+    }
+}
+
+/// One replica of the ORset store.
+#[derive(Clone, Debug)]
+pub struct OrSetReplica {
+    engine: CausalEngine,
+    /// Live add-instances per object.
+    objects: BTreeMap<ObjectId, BTreeMap<Dot, Value>>,
+}
+
+impl OrSetReplica {
+    fn apply(&mut self, u: &Update) {
+        match &u.op {
+            UpdateOp::Add(v) => {
+                self.objects.entry(u.obj).or_default().insert(u.dot, *v);
+            }
+            UpdateOp::Remove(_, dots) => {
+                if let Some(inst) = self.objects.get_mut(&u.obj) {
+                    for d in dots {
+                        inst.remove(d);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn read(&self, obj: ObjectId) -> ReturnValue {
+        ReturnValue::values(
+            self.objects
+                .get(&obj)
+                .into_iter()
+                .flat_map(|m| m.values().copied()),
+        )
+    }
+
+    fn observed_dots(&self, obj: ObjectId, v: Value) -> Vec<Dot> {
+        self.objects
+            .get(&obj)
+            .into_iter()
+            .flat_map(|m| m.iter())
+            .filter(|&(_, &val)| val == v)
+            .map(|(&d, _)| d)
+            .collect()
+    }
+}
+
+impl ReplicaMachine for OrSetReplica {
+    /// # Panics
+    ///
+    /// Panics if the operation is not a set operation (add/remove/read).
+    fn do_op(&mut self, obj: ObjectId, op: &Op) -> DoOutcome {
+        match op {
+            Op::Read => DoOutcome::new(self.read(obj), self.engine.visible_dots()),
+            Op::Add(v) => {
+                let visible = self.engine.visible_dots();
+                let u = self.engine.local_update(obj, UpdateOp::Add(*v));
+                self.apply(&u);
+                DoOutcome::new(ReturnValue::Ok, visible)
+            }
+            Op::Remove(v) => {
+                let visible = self.engine.visible_dots();
+                let observed = self.observed_dots(obj, *v);
+                let u = self
+                    .engine
+                    .local_update(obj, UpdateOp::Remove(*v, observed));
+                self.apply(&u);
+                DoOutcome::new(ReturnValue::Ok, visible)
+            }
+            other => panic!("ORset store does not support {other}"),
+        }
+    }
+
+    fn pending_message(&self) -> Option<Payload> {
+        self.engine.pending_message()
+    }
+
+    fn on_send(&mut self) {
+        self.engine.on_send();
+    }
+
+    fn on_receive(&mut self, payload: &Payload) {
+        for u in self.engine.on_receive(payload) {
+            self.apply(&u);
+        }
+    }
+
+    fn state_fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.engine.hash_into(&mut h);
+        self.objects.hash(&mut h);
+        h.finish()
+    }
+
+    fn state_bits(&self) -> usize {
+        let cfg = self.engine.config();
+        let inst_bits: usize = self
+            .objects
+            .values()
+            .flat_map(|m| m.iter())
+            .map(|(d, v)| {
+                width_for(cfg.n_replicas) as usize
+                    + gamma_len(d.seq as u64)
+                    + gamma_len(v.as_u64() + 1)
+            })
+            .sum();
+        self.engine.state_bits() + inst_bits
+    }
+}
+
+/// Factory for an operation-based counter store (extension object).
+///
+/// Reads return the number of increments applied at the replica.
+#[derive(Copy, Clone, Default, Debug)]
+pub struct CounterStore;
+
+impl StoreFactory for CounterStore {
+    fn spawn(&self, replica: ReplicaId, config: StoreConfig) -> Box<dyn ReplicaMachine> {
+        Box::new(CounterReplica {
+            engine: CausalEngine::new(replica, config),
+            counts: BTreeMap::new(),
+        })
+    }
+
+    fn name(&self) -> &str {
+        "counter"
+    }
+}
+
+/// One replica of the counter store.
+#[derive(Clone, Debug)]
+pub struct CounterReplica {
+    engine: CausalEngine,
+    counts: BTreeMap<ObjectId, u64>,
+}
+
+impl ReplicaMachine for CounterReplica {
+    /// # Panics
+    ///
+    /// Panics if the operation is not a counter operation (inc/read).
+    fn do_op(&mut self, obj: ObjectId, op: &Op) -> DoOutcome {
+        match op {
+            Op::Read => DoOutcome::new(
+                ReturnValue::values([Value::new(
+                    self.counts.get(&obj).copied().unwrap_or(0),
+                )]),
+                self.engine.visible_dots(),
+            ),
+            Op::Inc => {
+                let visible = self.engine.visible_dots();
+                self.engine.local_update(obj, UpdateOp::Inc);
+                *self.counts.entry(obj).or_default() += 1;
+                DoOutcome::new(ReturnValue::Ok, visible)
+            }
+            other => panic!("counter store does not support {other}"),
+        }
+    }
+
+    fn pending_message(&self) -> Option<Payload> {
+        self.engine.pending_message()
+    }
+
+    fn on_send(&mut self) {
+        self.engine.on_send();
+    }
+
+    fn on_receive(&mut self, payload: &Payload) {
+        for u in self.engine.on_receive(payload) {
+            if matches!(u.op, UpdateOp::Inc) {
+                *self.counts.entry(u.obj).or_default() += 1;
+            }
+        }
+    }
+
+    fn state_fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.engine.hash_into(&mut h);
+        self.counts.hash(&mut h);
+        h.finish()
+    }
+
+    fn state_bits(&self) -> usize {
+        let count_bits: usize = self
+            .counts
+            .values()
+            .map(|&c| gamma_len(c + 1))
+            .sum();
+        self.engine.state_bits() + count_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> StoreConfig {
+        StoreConfig::new(3, 2)
+    }
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+    fn x(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+    fn v(i: u64) -> Value {
+        Value::new(i)
+    }
+    fn spawn(i: u32) -> Box<dyn ReplicaMachine> {
+        OrSetStore.spawn(r(i), cfg())
+    }
+    fn relay(from: &mut Box<dyn ReplicaMachine>, to: &mut Box<dyn ReplicaMachine>) {
+        let msg = from.pending_message().expect("message pending");
+        from.on_send();
+        to.on_receive(&msg);
+    }
+
+    #[test]
+    fn add_then_read() {
+        let mut a = spawn(0);
+        a.do_op(x(0), &Op::Add(v(1)));
+        assert_eq!(a.do_op(x(0), &Op::Read).rval, ReturnValue::values([v(1)]));
+    }
+
+    #[test]
+    fn observed_remove_removes() {
+        let mut a = spawn(0);
+        a.do_op(x(0), &Op::Add(v(1)));
+        a.do_op(x(0), &Op::Remove(v(1)));
+        assert_eq!(a.do_op(x(0), &Op::Read).rval, ReturnValue::empty());
+    }
+
+    #[test]
+    fn add_wins_over_concurrent_remove() {
+        let mut a = spawn(0);
+        let mut b = spawn(1);
+        // Both see an initial add.
+        a.do_op(x(0), &Op::Add(v(1)));
+        relay(&mut a, &mut b);
+        // a re-adds (fresh instance) concurrently with b's remove.
+        a.do_op(x(0), &Op::Add(v(1)));
+        b.do_op(x(0), &Op::Remove(v(1)));
+        relay(&mut a, &mut b);
+        relay(&mut b, &mut a);
+        // The remove only killed the first instance; the concurrent add
+        // survives at both replicas.
+        assert_eq!(a.do_op(x(0), &Op::Read).rval, ReturnValue::values([v(1)]));
+        assert_eq!(b.do_op(x(0), &Op::Read).rval, ReturnValue::values([v(1)]));
+    }
+
+    #[test]
+    fn remove_of_absent_element_is_noop() {
+        let mut a = spawn(0);
+        a.do_op(x(0), &Op::Remove(v(9)));
+        assert_eq!(a.do_op(x(0), &Op::Read).rval, ReturnValue::empty());
+        // Still broadcasts (the remove is an update) but removes nothing.
+        let mut b = spawn(1);
+        b.do_op(x(0), &Op::Add(v(9)));
+        relay(&mut a, &mut b);
+        assert_eq!(b.do_op(x(0), &Op::Read).rval, ReturnValue::values([v(9)]));
+    }
+
+    #[test]
+    fn multiple_values() {
+        let mut a = spawn(0);
+        a.do_op(x(0), &Op::Add(v(1)));
+        a.do_op(x(0), &Op::Add(v(2)));
+        assert_eq!(
+            a.do_op(x(0), &Op::Read).rval,
+            ReturnValue::values([v(1), v(2)])
+        );
+    }
+
+    #[test]
+    fn orset_reads_invisible() {
+        let mut a = spawn(0);
+        a.do_op(x(0), &Op::Add(v(1)));
+        let fp = a.state_fingerprint();
+        a.do_op(x(0), &Op::Read);
+        assert_eq!(a.state_fingerprint(), fp);
+    }
+
+    #[test]
+    fn remove_propagates() {
+        let mut a = spawn(0);
+        let mut b = spawn(1);
+        a.do_op(x(0), &Op::Add(v(1)));
+        relay(&mut a, &mut b);
+        b.do_op(x(0), &Op::Remove(v(1)));
+        relay(&mut b, &mut a);
+        assert_eq!(a.do_op(x(0), &Op::Read).rval, ReturnValue::empty());
+    }
+
+    #[test]
+    fn counter_basics() {
+        let mut a = CounterStore.spawn(r(0), cfg());
+        let mut b = CounterStore.spawn(r(1), cfg());
+        a.do_op(x(0), &Op::Inc);
+        a.do_op(x(0), &Op::Inc);
+        b.do_op(x(0), &Op::Inc);
+        let m = a.pending_message().unwrap();
+        a.on_send();
+        b.on_receive(&m);
+        assert_eq!(b.do_op(x(0), &Op::Read).rval, ReturnValue::values([v(3)]));
+        assert_eq!(a.do_op(x(0), &Op::Read).rval, ReturnValue::values([v(2)]));
+    }
+
+    #[test]
+    fn counter_duplicate_delivery_counts_once() {
+        let mut a = CounterStore.spawn(r(0), cfg());
+        let mut b = CounterStore.spawn(r(1), cfg());
+        a.do_op(x(0), &Op::Inc);
+        let m = a.pending_message().unwrap();
+        a.on_send();
+        b.on_receive(&m);
+        b.on_receive(&m);
+        assert_eq!(b.do_op(x(0), &Op::Read).rval, ReturnValue::values([v(1)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not support")]
+    fn write_on_orset_panics() {
+        spawn(0).do_op(x(0), &Op::Write(v(1)));
+    }
+
+    #[test]
+    fn factory_names() {
+        assert_eq!(OrSetStore.name(), "orset");
+        assert_eq!(CounterStore.name(), "counter");
+    }
+}

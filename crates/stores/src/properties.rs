@@ -1,0 +1,352 @@
+//! Dynamic verification of the write-propagating properties (paper, §4).
+//!
+//! A store is *write-propagating* if it has **invisible reads**
+//! (Definition 16) and **op-driven messages** (Definition 15). The paper's
+//! model also assumes message content is a deterministic function of the
+//! state and that a send relays everything pending. These are properties of
+//! implementations, so this module checks them *dynamically*: it drives the
+//! store through seeded pseudo-random schedules and observes fingerprints
+//! and pending messages at every step.
+//!
+//! A passing report is evidence (not proof) of the property; a failing
+//! report is a concrete counterexample schedule.
+
+use haec_model::{
+    ObjectId, Op, Payload, ReplicaId, ReplicaMachine, StoreConfig, StoreFactory, Value,
+};
+use std::fmt;
+
+/// A property violation found while driving a store.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum PropertyViolation {
+    /// A read changed the replica state (violates Definition 16).
+    VisibleRead {
+        /// The step index of the offending read.
+        step: usize,
+        /// The replica whose state changed.
+        replica: ReplicaId,
+    },
+    /// A replica had a message pending in its initial state (violates
+    /// Definition 15 condition 1).
+    InitialPending {
+        /// The replica.
+        replica: ReplicaId,
+    },
+    /// A receive created a pending message where none existed (violates
+    /// Definition 15 condition 2).
+    ReceiveCreatedPending {
+        /// The step index of the offending receive.
+        step: usize,
+        /// The replica.
+        replica: ReplicaId,
+    },
+    /// `pending_message` returned different payloads for the same state.
+    NondeterministicMessage {
+        /// The step index.
+        step: usize,
+        /// The replica.
+        replica: ReplicaId,
+    },
+    /// A message was still pending immediately after a send.
+    PendingAfterSend {
+        /// The step index of the send.
+        step: usize,
+        /// The replica.
+        replica: ReplicaId,
+    },
+}
+
+impl fmt::Display for PropertyViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PropertyViolation::VisibleRead { step, replica } => {
+                write!(f, "step {step}: read changed state of {replica}")
+            }
+            PropertyViolation::InitialPending { replica } => {
+                write!(f, "{replica} has a message pending in its initial state")
+            }
+            PropertyViolation::ReceiveCreatedPending { step, replica } => {
+                write!(f, "step {step}: receive created pending message at {replica}")
+            }
+            PropertyViolation::NondeterministicMessage { step, replica } => {
+                write!(f, "step {step}: nondeterministic pending message at {replica}")
+            }
+            PropertyViolation::PendingAfterSend { step, replica } => {
+                write!(f, "step {step}: message still pending after send at {replica}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PropertyViolation {}
+
+/// The outcome of a property-check run.
+#[derive(Clone, Debug)]
+pub struct PropertyReport {
+    /// The store checked.
+    pub store: String,
+    /// Steps executed.
+    pub steps: usize,
+    /// Violations found (empty for a write-propagating store).
+    pub violations: Vec<PropertyViolation>,
+}
+
+impl PropertyReport {
+    /// Returns `true` if no violations were found.
+    pub fn is_write_propagating(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Returns `true` if a visible-read violation was found.
+    pub fn has_visible_reads(&self) -> bool {
+        self.violations
+            .iter()
+            .any(|v| matches!(v, PropertyViolation::VisibleRead { .. }))
+    }
+
+    /// Returns `true` if an op-driven-messages violation was found.
+    pub fn violates_op_driven(&self) -> bool {
+        self.violations.iter().any(|v| {
+            matches!(
+                v,
+                PropertyViolation::InitialPending { .. }
+                    | PropertyViolation::ReceiveCreatedPending { .. }
+            )
+        })
+    }
+}
+
+/// A tiny deterministic xorshift generator so this crate needs no RNG
+/// dependency; schedules are replayable from the seed.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Drives `factory`'s store through `steps` pseudo-random events (client
+/// ops, sends, deliveries with drops/duplicates) and checks all
+/// write-propagating properties along the way.
+///
+/// The operation mix uses MVR-style writes and reads; stores with other
+/// interfaces can be checked with [`check_with_ops`].
+pub fn check_write_propagating(
+    factory: &dyn StoreFactory,
+    config: StoreConfig,
+    seed: u64,
+    steps: usize,
+) -> PropertyReport {
+    let ops: Vec<Op> = (0..8u64)
+        .map(|i| {
+            if i < 4 {
+                Op::Write(Value::new(i))
+            } else {
+                Op::Read
+            }
+        })
+        .collect();
+    check_with_ops(factory, config, seed, steps, &ops)
+}
+
+/// Like [`check_write_propagating`], but drawing client operations from
+/// `ops` (values are made unique automatically for write-like operations).
+pub fn check_with_ops(
+    factory: &dyn StoreFactory,
+    config: StoreConfig,
+    seed: u64,
+    steps: usize,
+    ops: &[Op],
+) -> PropertyReport {
+    let mut rng = XorShift::new(seed);
+    let mut machines: Vec<Box<dyn ReplicaMachine>> = (0..config.n_replicas)
+        .map(|i| factory.spawn(ReplicaId::new(i as u32), config))
+        .collect();
+    let mut violations = Vec::new();
+    for (i, m) in machines.iter().enumerate() {
+        if m.pending_message().is_some() {
+            violations.push(PropertyViolation::InitialPending {
+                replica: ReplicaId::new(i as u32),
+            });
+        }
+    }
+    let mut inflight: Vec<(usize, Payload)> = Vec::new(); // (target, payload)
+    let mut fresh_value = 1_000_000u64;
+    for step in 0..steps {
+        let r = rng.below(config.n_replicas);
+        let replica = ReplicaId::new(r as u32);
+        match rng.below(4) {
+            0 | 1 => {
+                // Client operation.
+                let obj = ObjectId::new(rng.below(config.n_objects) as u32);
+                let mut op = ops[rng.below(ops.len())].clone();
+                if let Op::Write(_) = op {
+                    fresh_value += 1;
+                    op = Op::Write(Value::new(fresh_value));
+                }
+                if op.is_read() {
+                    let before = machines[r].state_fingerprint();
+                    machines[r].do_op(obj, &op);
+                    if machines[r].state_fingerprint() != before {
+                        violations.push(PropertyViolation::VisibleRead { step, replica });
+                    }
+                } else {
+                    machines[r].do_op(obj, &op);
+                }
+            }
+            2 => {
+                // Send, if pending. Check determinism and post-send state.
+                let p1 = machines[r].pending_message();
+                let p2 = machines[r].pending_message();
+                if p1 != p2 {
+                    violations.push(PropertyViolation::NondeterministicMessage {
+                        step,
+                        replica,
+                    });
+                }
+                if let Some(p) = p1 {
+                    machines[r].on_send();
+                    if machines[r].pending_message().is_some() {
+                        violations.push(PropertyViolation::PendingAfterSend { step, replica });
+                    }
+                    for t in 0..config.n_replicas {
+                        if t != r && rng.below(10) > 0 {
+                            // 10% drop rate per target.
+                            inflight.push((t, p.clone()));
+                            if rng.below(10) == 0 {
+                                inflight.push((t, p.clone())); // duplicate
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {
+                // Deliver a random in-flight message.
+                if !inflight.is_empty() {
+                    let i = rng.below(inflight.len());
+                    let (t, p) = inflight.swap_remove(i);
+                    let target = ReplicaId::new(t as u32);
+                    let had_pending = machines[t].pending_message().is_some();
+                    machines[t].on_receive(&p);
+                    if !had_pending && machines[t].pending_message().is_some() {
+                        violations.push(PropertyViolation::ReceiveCreatedPending {
+                            step,
+                            replica: target,
+                        });
+                    }
+                }
+            }
+        }
+        if violations.len() > 16 {
+            break; // enough evidence
+        }
+    }
+    PropertyReport {
+        store: factory.name().to_owned(),
+        steps,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::counterexamples::{BoundedStore, KDelayedStore, SequencedStore};
+    use crate::lww::LwwStore;
+    use crate::mvr::DvvMvrStore;
+    use crate::orset::{CounterStore, OrSetStore};
+
+    fn cfg() -> StoreConfig {
+        StoreConfig::new(3, 2)
+    }
+
+    #[test]
+    fn dvv_mvr_is_write_propagating() {
+        for seed in 1..=5 {
+            let rep = check_write_propagating(&DvvMvrStore, cfg(), seed, 400);
+            assert!(
+                rep.is_write_propagating(),
+                "seed {seed}: {:?}",
+                rep.violations
+            );
+        }
+    }
+
+    #[test]
+    fn lww_is_write_propagating() {
+        let rep = check_write_propagating(&LwwStore, cfg(), 7, 400);
+        assert!(rep.is_write_propagating(), "{:?}", rep.violations);
+    }
+
+    #[test]
+    fn orset_is_write_propagating() {
+        let ops = vec![
+            Op::Add(Value::new(1)),
+            Op::Add(Value::new(2)),
+            Op::Remove(Value::new(1)),
+            Op::Read,
+            Op::Read,
+        ];
+        let rep = check_with_ops(&OrSetStore, cfg(), 9, 400, &ops);
+        assert!(rep.is_write_propagating(), "{:?}", rep.violations);
+    }
+
+    #[test]
+    fn counter_is_write_propagating() {
+        let ops = vec![Op::Inc, Op::Inc, Op::Read];
+        let rep = check_with_ops(&CounterStore, cfg(), 11, 300, &ops);
+        assert!(rep.is_write_propagating(), "{:?}", rep.violations);
+    }
+
+    #[test]
+    fn bounded_store_is_write_propagating() {
+        // Bounded messages break causality, not write-propagation.
+        let rep = check_write_propagating(&BoundedStore, cfg(), 13, 400);
+        assert!(rep.is_write_propagating(), "{:?}", rep.violations);
+    }
+
+    #[test]
+    fn k_delayed_store_has_visible_reads() {
+        let rep = check_write_propagating(&KDelayedStore::new(2), cfg(), 17, 400);
+        assert!(rep.has_visible_reads(), "reads must be caught mutating");
+        assert!(!rep.violates_op_driven());
+    }
+
+    #[test]
+    fn sequenced_store_violates_op_driven_messages() {
+        let rep = check_write_propagating(&SequencedStore, cfg(), 19, 600);
+        assert!(
+            rep.violates_op_driven(),
+            "sequencer must be caught creating pending on receive: {:?}",
+            rep.violations
+        );
+    }
+
+    #[test]
+    fn report_metadata() {
+        let rep = check_write_propagating(&DvvMvrStore, cfg(), 1, 50);
+        assert_eq!(rep.store, "dvv-mvr");
+        assert_eq!(rep.steps, 50);
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = PropertyViolation::VisibleRead {
+            step: 3,
+            replica: ReplicaId::new(1),
+        };
+        assert_eq!(v.to_string(), "step 3: read changed state of R1");
+    }
+}

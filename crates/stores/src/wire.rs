@@ -1,0 +1,318 @@
+//! Bit-exact wire format.
+//!
+//! Theorem 12 lower-bounds *message size in bits*, so the stores encode
+//! their messages with a hand-rolled bit-level format and report exact bit
+//! counts. Unbounded integers (sequence numbers, values) use **Elias gamma
+//! coding**, whose length is `2⌊lg v⌋ + 1` bits — so message sizes genuinely
+//! grow logarithmically with operation counts, matching the `lg k` factor in
+//! the bound.
+
+use haec_model::Payload;
+use std::fmt;
+
+/// Writes a bit stream and finishes into a [`Payload`] with exact bit
+/// length.
+///
+/// ```
+/// use haec_stores::wire::{BitWriter, BitReader};
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// w.write_gamma(42);
+/// let p = w.finish();
+/// let mut r = BitReader::new(&p);
+/// assert_eq!(r.read_bits(3).unwrap(), 0b101);
+/// assert_eq!(r.read_gamma().unwrap(), 42);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    bits: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of bits written so far.
+    pub fn len_bits(&self) -> usize {
+        self.bits
+    }
+
+    /// Appends a single bit.
+    pub fn write_bit(&mut self, bit: bool) {
+        let byte = self.bits / 8;
+        if byte == self.buf.len() {
+            self.buf.push(0);
+        }
+        if bit {
+            self.buf[byte] |= 1 << (self.bits % 8);
+        }
+        self.bits += 1;
+    }
+
+    /// Appends the low `width` bits of `value`, least-significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64` or `value` does not fit in `width` bits.
+    pub fn write_bits(&mut self, value: u64, width: u32) {
+        assert!(width <= 64, "width too large");
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} does not fit in {width} bits"
+        );
+        for i in 0..width {
+            self.write_bit(value >> i & 1 == 1);
+        }
+    }
+
+    /// Appends `value ≥ 1` in Elias gamma coding: `⌊lg v⌋` zeros, a one,
+    /// then the `⌊lg v⌋` low-order bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value == 0` (gamma codes positive integers; use
+    /// [`write_gamma0`](Self::write_gamma0) for zero-based values).
+    pub fn write_gamma(&mut self, value: u64) {
+        assert!(value >= 1, "gamma coding requires value >= 1");
+        let n = 63 - value.leading_zeros(); // ⌊lg value⌋
+        for _ in 0..n {
+            self.write_bit(false);
+        }
+        self.write_bit(true);
+        self.write_bits(value & ((1u64 << n) - 1), n);
+    }
+
+    /// Gamma-codes `value + 1`, allowing zero.
+    pub fn write_gamma0(&mut self, value: u64) {
+        self.write_gamma(value + 1);
+    }
+
+    /// Finishes the stream.
+    pub fn finish(self) -> Payload {
+        Payload::from_bits(self.buf, self.bits)
+    }
+}
+
+/// Error returned when a reader runs out of bits or sees a malformed code.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DecodeError {
+    /// Bit offset at which decoding failed.
+    pub at_bit: usize,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed or truncated bit stream at bit {}", self.at_bit)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Reads a bit stream produced by [`BitWriter`].
+#[derive(Clone, Debug)]
+pub struct BitReader<'a> {
+    payload: &'a Payload,
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over a payload.
+    pub fn new(payload: &'a Payload) -> Self {
+        BitReader { payload, pos: 0 }
+    }
+
+    /// Bits remaining.
+    pub fn remaining(&self) -> usize {
+        self.payload.bits().saturating_sub(self.pos)
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error at end of stream.
+    pub fn read_bit(&mut self) -> Result<bool, DecodeError> {
+        if self.pos >= self.payload.bits() {
+            return Err(DecodeError { at_bit: self.pos });
+        }
+        let byte = self.payload.bytes()[self.pos / 8];
+        let bit = byte >> (self.pos % 8) & 1 == 1;
+        self.pos += 1;
+        Ok(bit)
+    }
+
+    /// Reads `width` bits, least-significant first.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error at end of stream.
+    pub fn read_bits(&mut self, width: u32) -> Result<u64, DecodeError> {
+        let mut out = 0u64;
+        for i in 0..width {
+            if self.read_bit()? {
+                out |= 1u64 << i;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Reads an Elias-gamma-coded positive integer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on truncation or a run of more than 63 zeros.
+    pub fn read_gamma(&mut self) -> Result<u64, DecodeError> {
+        let mut n = 0u32;
+        while !self.read_bit()? {
+            n += 1;
+            if n > 63 {
+                return Err(DecodeError { at_bit: self.pos });
+            }
+        }
+        let low = self.read_bits(n)?;
+        Ok((1u64 << n) | low)
+    }
+
+    /// Reads a zero-based gamma code written by
+    /// [`BitWriter::write_gamma0`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`read_gamma`](Self::read_gamma).
+    pub fn read_gamma0(&mut self) -> Result<u64, DecodeError> {
+        Ok(self.read_gamma()? - 1)
+    }
+}
+
+/// Number of bits needed to store values `0..n` (at least 1).
+pub fn width_for(n: usize) -> u32 {
+    let n = n.max(2) - 1;
+    64 - (n as u64).leading_zeros()
+}
+
+/// The length in bits of the gamma code of `value ≥ 1`.
+pub fn gamma_len(value: u64) -> usize {
+    let n = 63 - value.leading_zeros() as usize;
+    2 * n + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_bits() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xDEAD, 16);
+        w.write_bits(1, 1);
+        w.write_bits(u64::MAX, 64);
+        let p = w.finish();
+        assert_eq!(p.bits(), 81);
+        let mut r = BitReader::new(&p);
+        assert_eq!(r.read_bits(16).unwrap(), 0xDEAD);
+        assert_eq!(r.read_bits(1).unwrap(), 1);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn roundtrip_gamma_small_values() {
+        for v in 1..200u64 {
+            let mut w = BitWriter::new();
+            w.write_gamma(v);
+            let p = w.finish();
+            assert_eq!(p.bits(), gamma_len(v), "len for {v}");
+            let mut r = BitReader::new(&p);
+            assert_eq!(r.read_gamma().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn gamma_length_is_logarithmic() {
+        assert_eq!(gamma_len(1), 1);
+        assert_eq!(gamma_len(2), 3);
+        assert_eq!(gamma_len(3), 3);
+        assert_eq!(gamma_len(4), 5);
+        assert_eq!(gamma_len(1 << 20), 41);
+    }
+
+    #[test]
+    fn gamma0_allows_zero() {
+        let mut w = BitWriter::new();
+        w.write_gamma0(0);
+        w.write_gamma0(7);
+        let p = w.finish();
+        let mut r = BitReader::new(&p);
+        assert_eq!(r.read_gamma0().unwrap(), 0);
+        assert_eq!(r.read_gamma0().unwrap(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires value >= 1")]
+    fn gamma_zero_panics() {
+        BitWriter::new().write_gamma(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn oversized_value_panics() {
+        BitWriter::new().write_bits(8, 3);
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b10, 2);
+        let p = w.finish();
+        let mut r = BitReader::new(&p);
+        assert!(r.read_bits(3).is_err());
+    }
+
+    #[test]
+    fn truncated_gamma_errors() {
+        let mut w = BitWriter::new();
+        w.write_bit(false);
+        w.write_bit(false);
+        let p = w.finish();
+        let mut r = BitReader::new(&p);
+        assert!(r.read_gamma().is_err());
+    }
+
+    #[test]
+    fn width_for_domains() {
+        assert_eq!(width_for(1), 1);
+        assert_eq!(width_for(2), 1);
+        assert_eq!(width_for(3), 2);
+        assert_eq!(width_for(4), 2);
+        assert_eq!(width_for(5), 3);
+        assert_eq!(width_for(256), 8);
+        assert_eq!(width_for(257), 9);
+    }
+
+    #[test]
+    fn interleaved_mixed_codes() {
+        let mut w = BitWriter::new();
+        w.write_gamma(1000);
+        w.write_bits(5, 3);
+        w.write_gamma0(0);
+        w.write_bit(true);
+        let p = w.finish();
+        let mut r = BitReader::new(&p);
+        assert_eq!(r.read_gamma().unwrap(), 1000);
+        assert_eq!(r.read_bits(3).unwrap(), 5);
+        assert_eq!(r.read_gamma0().unwrap(), 0);
+        assert!(r.read_bit().unwrap());
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn empty_payload() {
+        let p = BitWriter::new().finish();
+        assert_eq!(p.bits(), 0);
+        let mut r = BitReader::new(&p);
+        assert!(r.read_bit().is_err());
+    }
+}

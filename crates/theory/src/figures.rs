@@ -1,0 +1,273 @@
+//! Executable reproductions of Figures 2 and 3 (paper, §3.4 and §5.1).
+//!
+//! Each figure becomes a *scenario*: concrete client observations whose
+//! explainability is decided by the store-independent brute-force searcher
+//! (`haec_core::search`), plus a concrete store run showing how a real
+//! store behaves in the same situation.
+//!
+//! * **Figure 2** — with several objects, causal consistency lets clients
+//!   infer concurrency: hiding one of two concurrent writes behind the
+//!   other contradicts a remote read that proves the causal link never
+//!   happened.
+//! * **Figure 3a** — without witnesses, hiding is possible: a read
+//!   returning only one of two concurrent writes has a correct causally
+//!   consistent explanation.
+//! * **Figure 3c** — with the OCC witnesses in place, hiding has *no*
+//!   explanation: the read is forced to return both writes. This is the
+//!   heart of observable causal consistency (Definition 18).
+
+use haec_core::search::{Observation, SearchProblem};
+use haec_core::{ObjectSpecs, SpecKind};
+use haec_model::{ObjectId, Op, ReturnValue, Value};
+
+fn mvr_problem() -> SearchProblem {
+    SearchProblem::new(ObjectSpecs::uniform(SpecKind::Mvr))
+}
+
+fn obs(obj: u32, op: Op, rval: ReturnValue) -> Observation {
+    Observation::new(ObjectId::new(obj), op, rval)
+}
+
+fn w(obj: u32, val: u64) -> Observation {
+    obs(obj, Op::Write(Value::new(val)), ReturnValue::Ok)
+}
+
+fn rd(obj: u32, vals: &[u64]) -> Observation {
+    obs(
+        obj,
+        Op::Read,
+        ReturnValue::values(vals.iter().map(|&v| Value::new(v))),
+    )
+}
+
+/// The outcome of a figure scenario: which final read responses have a
+/// correct, causally consistent explanation.
+#[derive(Clone, Debug)]
+pub struct ScenarioVerdict {
+    /// A human-readable label.
+    pub label: &'static str,
+    /// `(description, explainable)` per candidate response.
+    pub candidates: Vec<(&'static str, bool)>,
+}
+
+impl ScenarioVerdict {
+    /// Looks up a candidate's verdict by description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the description is unknown.
+    pub fn explainable(&self, description: &str) -> bool {
+        self.candidates
+            .iter()
+            .find(|(d, _)| *d == description)
+            .unwrap_or_else(|| panic!("unknown candidate {description}"))
+            .1
+    }
+}
+
+/// Figure 2: objects `x` (id 0) and `y` (id 1).
+///
+/// * `R0`: `w_y = write(y, 100)`, then `w¹_x = write(x, 1)`.
+/// * `R1`: `w²_x = write(x, 2)`, then a read of `y` returning `∅`
+///   (no message from `R0` ever arrived at `R1`).
+/// * `R2`: first observes `w¹_x` (`read(x) = {1}`), then — after `R1`'s
+///   message arrives — reads `x` again.
+///
+/// If the final read returned only `{2}`, the execution would need
+/// `w¹_x vis w²_x`; causality then forces `w_y vis w²_x`, and session
+/// closure forces `w_y` visible to `R1`'s later read of `y` — which
+/// returned `∅`. Contradiction: **hiding `w¹_x` behind `w²_x` is
+/// unexplainable**, while returning `{1,2}` is fine.
+pub fn fig2_verdict() -> ScenarioVerdict {
+    let build = |final_read: &[u64]| {
+        let mut p = mvr_problem();
+        p.session([w(1, 100), w(0, 1)]);
+        p.session([w(0, 2), rd(1, &[])]);
+        p.session([rd(0, &[1]), rd(0, final_read)]);
+        p.is_explainable()
+    };
+    ScenarioVerdict {
+        label: "Figure 2",
+        candidates: vec![
+            ("{1,2} (expose concurrency)", build(&[1, 2])),
+            ("{2} (hide w1 behind w2)", build(&[2])),
+            ("{1} (w2 not yet visible)", build(&[1])),
+        ],
+    }
+}
+
+/// Figure 3a: two bare concurrent writes, no witnesses.
+///
+/// * `R0`: `w0 = write(x, 1)`; `R1`: `w1 = write(x, 2)`.
+/// * `R2`: observes `w0` (`read(x) = {1}`), then reads `x` again.
+///
+/// Returning only `{2}` is explainable — the store can *pretend*
+/// `w0 vis w1` (Figure 3a's dashed edge) and nothing contradicts it.
+pub fn fig3a_verdict() -> ScenarioVerdict {
+    let build = |final_read: &[u64]| {
+        let mut p = mvr_problem();
+        p.session([w(0, 1)]);
+        p.session([w(0, 2)]);
+        p.session([rd(0, &[1]), rd(0, final_read)]);
+        p.is_explainable()
+    };
+    ScenarioVerdict {
+        label: "Figure 3a",
+        candidates: vec![
+            ("{1,2} (expose concurrency)", build(&[1, 2])),
+            ("{2} (hide w0 behind w1)", build(&[2])),
+        ],
+    }
+}
+
+/// Figure 3b: one auxiliary write.
+///
+/// * `R0`: `w0 = write(x, 1)`.
+/// * `R1`: `w1' = write(y, 10)`, then `w1 = write(x, 2)`.
+/// * `R2`: observes `w0`, then reads `x`, then reads `y`.
+///
+/// Once `w1` is visible at `R2`, causality drags `w1'` (in `w1`'s causal
+/// past) along, so the later read of `y` must return `{10}` — honest or
+/// hiding alike. With `read(y) = ∅` nothing involving `w1` explains the
+/// observations. One witness constrains the pretense (Figure 3b's dashed
+/// `w1' vis w0` repair) but does not yet forbid hiding.
+pub fn fig3b_verdict() -> ScenarioVerdict {
+    let build = |final_x: &[u64], final_y: &[u64]| {
+        let mut p = mvr_problem();
+        p.session([w(0, 1)]);
+        p.session([w(1, 10), w(0, 2)]);
+        p.session([rd(0, &[1]), rd(0, final_x), rd(1, final_y)]);
+        p.is_explainable()
+    };
+    ScenarioVerdict {
+        label: "Figure 3b",
+        candidates: vec![
+            ("{2} with y={10} (pretense consistent)", build(&[2], &[10])),
+            ("{2} with y={} (pretense caught)", build(&[2], &[])),
+            ("{1,2} with y={10} (honest)", build(&[1, 2], &[10])),
+        ],
+    }
+}
+
+/// Figure 3c: the full OCC pattern — objects `x` (0), `x₁` (1), `x₂` (2).
+///
+/// * `R0`: `w1' = write(x₁, 10)`, `w0 = write(x, 1)`, then `read(x₂) = ∅`
+///   (certifying `w0'` is not visible at `R0`).
+/// * `R1`: `w0' = write(x₂, 20)`, `w1 = write(x, 2)`, then `read(x₁) = ∅`
+///   (certifying `w1'` is not visible at `R1`).
+/// * `R2`: observes `w0` (`read(x) = {1}`), the witnesses
+///   (`read(x₁) = {10}`, `read(x₂) = {20}`), then reads `x`.
+///
+/// Now hiding is impossible: `{2}` would need `w0 vis w1`, which drags
+/// `w1'` (visible to `w0` by program order) into `w1`'s causal past — but
+/// `R1`'s read of `x₁` returned `∅` *after* `w1`. The read is **forced**
+/// to return `{1, 2}`.
+pub fn fig3c_verdict() -> ScenarioVerdict {
+    let build = |final_read: &[u64]| {
+        let mut p = mvr_problem();
+        p.session([w(1, 10), w(0, 1), rd(2, &[])]);
+        p.session([w(2, 20), w(0, 2), rd(1, &[])]);
+        p.session([rd(0, &[1]), rd(1, &[10]), rd(2, &[20]), rd(0, final_read)]);
+        p.is_explainable()
+    };
+    ScenarioVerdict {
+        label: "Figure 3c",
+        candidates: vec![
+            ("{1,2} (forced answer)", build(&[1, 2])),
+            ("{2} (hide w0 behind w1)", build(&[2])),
+        ],
+    }
+}
+
+/// Runs the Figure 2 message pattern concretely against a store and
+/// returns the final `read(x)` at `R2`.
+///
+/// The pattern: `R0` writes `y=100` then `x=1`, broadcasting after each;
+/// `R1` writes `x=2` and broadcasts; `R2` receives all three messages and
+/// reads `x`. (`R1` receives nothing, matching the scenario's `read(y)=∅`.)
+pub fn fig2_store_run(factory: &dyn haec_model::StoreFactory) -> ReturnValue {
+    use haec_model::{ReplicaId, StoreConfig};
+    use haec_sim::Simulator;
+    let mut sim = Simulator::new(factory, StoreConfig::new(3, 2));
+    let r0 = ReplicaId::new(0);
+    let r1 = ReplicaId::new(1);
+    let r2 = ReplicaId::new(2);
+    let x = ObjectId::new(0);
+    let y = ObjectId::new(1);
+    sim.do_op(r0, y, Op::Write(Value::new(100)));
+    let m1 = sim.flush(r0).expect("pending");
+    sim.do_op(r0, x, Op::Write(Value::new(1)));
+    let m2 = sim.flush(r0).expect("pending");
+    sim.do_op(r1, x, Op::Write(Value::new(2)));
+    let m3 = sim.flush(r1).expect("pending");
+    sim.deliver_to(m1, r2);
+    sim.deliver_to(m2, r2);
+    sim.deliver_to(m3, r2);
+    sim.read(r2, x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haec_stores::{ArbitrationStore, DvvMvrStore};
+
+    #[test]
+    fn fig2_hiding_is_unexplainable() {
+        let v = fig2_verdict();
+        assert!(v.explainable("{1,2} (expose concurrency)"));
+        assert!(
+            !v.explainable("{2} (hide w1 behind w2)"),
+            "causality + the remote ∅ read must forbid hiding"
+        );
+        assert!(v.explainable("{1} (w2 not yet visible)"));
+    }
+
+    #[test]
+    fn fig3a_hiding_is_explainable_without_witnesses() {
+        let v = fig3a_verdict();
+        assert!(v.explainable("{1,2} (expose concurrency)"));
+        assert!(
+            v.explainable("{2} (hide w0 behind w1)"),
+            "with no witnesses a store may order concurrent writes"
+        );
+    }
+
+    #[test]
+    fn fig3b_single_witness_constrains_but_permits() {
+        let v = fig3b_verdict();
+        assert!(v.explainable("{2} with y={10} (pretense consistent)"));
+        assert!(!v.explainable("{2} with y={} (pretense caught)"));
+        assert!(v.explainable("{1,2} with y={10} (honest)"));
+    }
+
+    #[test]
+    fn fig3c_occ_forces_both_values() {
+        let v = fig3c_verdict();
+        assert!(v.explainable("{1,2} (forced answer)"));
+        assert!(
+            !v.explainable("{2} (hide w0 behind w1)"),
+            "the OCC witnesses must make hiding unexplainable"
+        );
+    }
+
+    #[test]
+    fn fig2_dvv_store_exposes_concurrency() {
+        let rv = fig2_store_run(&DvvMvrStore);
+        assert_eq!(
+            rv,
+            ReturnValue::values([Value::new(1), Value::new(2)])
+        );
+    }
+
+    #[test]
+    fn fig2_arbitration_store_hides_concurrency() {
+        let rv = fig2_store_run(&ArbitrationStore);
+        assert_eq!(rv.as_values().unwrap().len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown candidate")]
+    fn unknown_candidate_panics() {
+        fig2_verdict().explainable("nope");
+    }
+}

@@ -1,0 +1,287 @@
+//! Random generation of causally consistent (and OCC) abstract executions.
+//!
+//! The Theorem 6 experiments need a supply of abstract executions to feed
+//! the construction. The generator builds them directly — independent of
+//! any store — by assigning each event a causally closed set of visible
+//! updates and computing responses from the MVR specification, so every
+//! generated execution is correct and causally consistent *by
+//! construction*. OCC membership is then decided by the checker
+//! (`haec_core::occ`), and a dedicated generator produces Figure 3c-style
+//! executions that are OCC with genuinely multi-valued reads.
+
+use haec_core::{occ, AbstractExecution, AbstractExecutionBuilder};
+use haec_model::{ObjectId, Op, ReplicaId, ReturnValue, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct GeneratorConfig {
+    /// Number of replicas.
+    pub n_replicas: usize,
+    /// Number of objects.
+    pub n_objects: usize,
+    /// Number of events to generate.
+    pub events: usize,
+    /// Fraction of reads.
+    pub read_ratio: f64,
+    /// Probability that each previously placed update becomes visible to a
+    /// new event (before causal closure).
+    pub visibility_prob: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            n_replicas: 3,
+            n_objects: 3,
+            events: 20,
+            read_ratio: 0.4,
+            visibility_prob: 0.4,
+        }
+    }
+}
+
+struct GenUpdate {
+    obj: usize,
+    value: Value,
+    ctx: u64,
+    event: usize,
+}
+
+/// Generates a random causally consistent, correct MVR abstract execution.
+///
+/// Deterministic in `(config, seed)`.
+///
+/// # Panics
+///
+/// Panics if the configuration implies more than 64 update events.
+pub fn random_causal(config: &GeneratorConfig, seed: u64) -> AbstractExecution {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = AbstractExecutionBuilder::new();
+    let mut updates: Vec<GenUpdate> = Vec::new();
+    // Visible update mask per replica, and the events of each replica.
+    let mut visible = vec![0u64; config.n_replicas];
+    let mut events_at: Vec<Vec<usize>> = vec![Vec::new(); config.n_replicas];
+    let mut reads_at: Vec<Vec<usize>> = vec![Vec::new(); config.n_replicas];
+    let mut next_value = 0u64;
+    for _ in 0..config.events {
+        let r = rng.gen_range(0..config.n_replicas);
+        let obj = rng.gen_range(0..config.n_objects);
+        // Grow this replica's visible set: sample updates, then close
+        // causally.
+        let mut vis_mask = visible[r];
+        for (id, u) in updates.iter().enumerate() {
+            if vis_mask & (1 << id) == 0 && rng.gen_bool(config.visibility_prob) {
+                vis_mask |= 1 << id;
+                vis_mask |= u.ctx;
+            }
+        }
+        // Close to a fixpoint (contexts may nest).
+        loop {
+            let mut grown = vis_mask;
+            let mut m = vis_mask;
+            while m != 0 {
+                let id = m.trailing_zeros() as usize;
+                m &= m - 1;
+                grown |= updates[id].ctx;
+            }
+            if grown == vis_mask {
+                break;
+            }
+            vis_mask = grown;
+        }
+        let is_read = rng.gen_bool(config.read_ratio);
+        let (op, rval) = if is_read {
+            (Op::Read, mvr_frontier(&updates, vis_mask, obj))
+        } else {
+            next_value += 1;
+            (Op::Write(Value::new(next_value)), ReturnValue::Ok)
+        };
+        let e = b.push(
+            ReplicaId::new(r as u32),
+            ObjectId::new(obj as u32),
+            op,
+            rval,
+        );
+        // Visibility edges: visible updates, plus the read prefix of each
+        // visible update's session (transitivity over reads).
+        let mut m = vis_mask;
+        while m != 0 {
+            let id = m.trailing_zeros() as usize;
+            m &= m - 1;
+            let u_event = updates[id].event;
+            b.vis(u_event, e);
+            let u_replica = a_replica(&events_at, u_event);
+            for &f in &reads_at[u_replica] {
+                if f < u_event {
+                    b.vis(f, e);
+                }
+            }
+        }
+        if is_read {
+            reads_at[r].push(e);
+        } else {
+            assert!(updates.len() < 64, "generator supports at most 64 updates");
+            let id = updates.len();
+            updates.push(GenUpdate {
+                obj,
+                value: Value::new(next_value),
+                ctx: vis_mask,
+                event: e,
+            });
+            vis_mask |= 1 << id;
+        }
+        visible[r] = vis_mask;
+        events_at[r].push(e);
+    }
+    b.build().expect("generated execution is structurally valid")
+}
+
+fn a_replica(events_at: &[Vec<usize>], event: usize) -> usize {
+    events_at
+        .iter()
+        .position(|evs| evs.contains(&event))
+        .expect("event was placed")
+}
+
+fn mvr_frontier(updates: &[GenUpdate], vis_mask: u64, obj: usize) -> ReturnValue {
+    let ids: Vec<usize> = (0..updates.len())
+        .filter(|&id| vis_mask & (1 << id) != 0 && updates[id].obj == obj)
+        .collect();
+    let mut frontier = BTreeSet::new();
+    for &id in &ids {
+        let superseded = ids.iter().any(|&id2| updates[id2].ctx & (1 << id) != 0);
+        if !superseded {
+            frontier.insert(updates[id].value);
+        }
+    }
+    ReturnValue::Values(frontier)
+}
+
+/// Generates a random *OCC* abstract execution by rejection sampling over
+/// [`random_causal`] (consecutive seeds derived from `seed`), falling back
+/// to a Figure 3c-style construction if none is found within `attempts`.
+pub fn random_occ(config: &GeneratorConfig, seed: u64, attempts: usize) -> AbstractExecution {
+    for i in 0..attempts {
+        let a = random_causal(config, seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9));
+        if occ::check(&a).is_ok() {
+            return a;
+        }
+    }
+    fig3c_style(seed)
+}
+
+/// Builds a Figure 3c-style OCC execution with a genuinely multi-valued
+/// read, parameterised by seed for value diversity.
+pub fn fig3c_style(seed: u64) -> AbstractExecution {
+    let base = seed.wrapping_mul(97) % 1000;
+    let v = |i: u64| Value::new(base * 100 + i);
+    let mut b = AbstractExecutionBuilder::new();
+    let w1p = b.push(ReplicaId::new(0), ObjectId::new(1), Op::Write(v(10)), ReturnValue::Ok);
+    let w0 = b.push(ReplicaId::new(0), ObjectId::new(0), Op::Write(v(1)), ReturnValue::Ok);
+    let w0p = b.push(ReplicaId::new(1), ObjectId::new(2), Op::Write(v(20)), ReturnValue::Ok);
+    let w1 = b.push(ReplicaId::new(1), ObjectId::new(0), Op::Write(v(2)), ReturnValue::Ok);
+    let rd = b.push(
+        ReplicaId::new(2),
+        ObjectId::new(0),
+        Op::Read,
+        ReturnValue::values([v(1), v(2)]),
+    );
+    b.vis(w0, rd).vis(w1, rd).vis(w1p, rd).vis(w0p, rd);
+    b.build_transitive().expect("figure 3c pattern is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haec_core::{causal, check_correct, ObjectSpecs, SpecKind};
+
+    fn specs() -> ObjectSpecs {
+        ObjectSpecs::uniform(SpecKind::Mvr)
+    }
+
+    #[test]
+    fn generated_executions_are_correct_and_causal() {
+        let config = GeneratorConfig::default();
+        for seed in 0..20 {
+            let a = random_causal(&config, seed);
+            assert_eq!(a.len(), config.events);
+            assert!(a.validate().is_ok(), "seed {seed}");
+            assert!(
+                check_correct(&a, &specs()).is_ok(),
+                "seed {seed}: {}",
+                a.display()
+            );
+            assert!(causal::check(&a).is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let config = GeneratorConfig::default();
+        assert_eq!(random_causal(&config, 5), random_causal(&config, 5));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let config = GeneratorConfig::default();
+        assert_ne!(random_causal(&config, 1), random_causal(&config, 2));
+    }
+
+    #[test]
+    fn bigger_configs_work() {
+        let config = GeneratorConfig {
+            n_replicas: 5,
+            n_objects: 4,
+            events: 60,
+            read_ratio: 0.5,
+            visibility_prob: 0.3,
+        };
+        let a = random_causal(&config, 9);
+        assert!(check_correct(&a, &specs()).is_ok());
+        assert!(causal::check(&a).is_ok());
+    }
+
+    #[test]
+    fn occ_generator_returns_occ_executions() {
+        let config = GeneratorConfig::default();
+        for seed in 0..10 {
+            let a = random_occ(&config, seed, 20);
+            assert!(occ::check(&a).is_ok(), "seed {seed}");
+            assert!(causal::check(&a).is_ok(), "seed {seed}");
+            assert!(check_correct(&a, &specs()).is_ok(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fig3c_style_is_occ_with_multivalued_read() {
+        let a = fig3c_style(3);
+        assert!(occ::check(&a).is_ok());
+        let rd = a.len() - 1;
+        assert_eq!(a.event(rd).rval.as_values().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn some_generated_executions_have_concurrency() {
+        // With several replicas and moderate visibility, some read should
+        // return multiple values across seeds.
+        let config = GeneratorConfig {
+            events: 40,
+            visibility_prob: 0.5,
+            ..GeneratorConfig::default()
+        };
+        let mut found = false;
+        for seed in 0..30 {
+            let a = random_causal(&config, seed);
+            if a.events().iter().any(|e| {
+                e.op.is_read() && e.rval.as_values().is_some_and(|v| v.len() >= 2)
+            }) {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no concurrency ever exposed — generator too tame");
+    }
+}

@@ -1,0 +1,51 @@
+//! # haec-theory
+//!
+//! The theorems of "Limitations of Highly-Available Eventually-Consistent
+//! Data Stores" (PODC 2015) as executable, store-generic constructions:
+//!
+//! * [`construction`] — the **Theorem 6** machinery (§5.2): given an
+//!   abstract execution `A` and any store, replay `H` while delivering
+//!   messages along `vis`, and check that the produced concrete execution
+//!   complies with `A`. On write-propagating causally consistent stores it
+//!   complies with every causally consistent `A`; counterexample stores
+//!   deviate exactly where the paper says they can.
+//! * [`revealing`] — the revealing-execution transform (§5.2.1).
+//! * [`lower_bound`] — the **Theorem 12** encoder/decoder (Figure 4):
+//!   arbitrary functions `g : [n′] → [k]` are encoded into one message and
+//!   decoded back, and message sizes are measured in bits against the
+//!   `n′·lg k` bound.
+//! * [`figures`] — Figures 2 and 3 as decidable scenarios over the
+//!   brute-force explanation search.
+//! * [`generate`] — random causally consistent / OCC abstract-execution
+//!   generators feeding the Theorem 6 experiments.
+//! * [`lemmas`] — Propositions 1–2 and Lemma 5 as executable checks.
+//!
+//! ## Example: Theorem 6 on a random OCC execution
+//!
+//! ```
+//! use haec_theory::generate::{random_occ, GeneratorConfig};
+//! use haec_theory::construction::construct;
+//! use haec_stores::DvvMvrStore;
+//!
+//! let a = random_occ(&GeneratorConfig::default(), 7, 20);
+//! let report = construct(&DvvMvrStore, &a);
+//! assert!(report.complies());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod construction;
+pub mod figures;
+pub mod inference;
+pub mod generate;
+pub mod lemmas;
+pub mod lower_bound;
+pub mod revealing;
+pub mod space;
+
+pub use construction::{construct, ConstructionReport, Mismatch};
+pub use inference::hb_constrained_problem;
+pub use generate::{random_causal, random_occ, GeneratorConfig};
+pub use lower_bound::{encode, decode_entry, roundtrip, sweep, Roundtrip, Thm12Config};
+pub use revealing::{is_revealing, make_revealing, RevealingExecution};

@@ -1,0 +1,393 @@
+//! The Theorem 12 message-size lower bound, executable (paper, §6 and
+//! Figure 4).
+//!
+//! For `n` replicas and `s` MVRs, let `n′ = min{n−2, s−1}`. Any function
+//! `g : [n′] → [k]` can be *encoded* into the single message `m_g` that
+//! replica `R_enc` broadcasts after writing to `y`, and *decoded* from
+//! `m_g` by a fresh replica `R_dec` — so some `m_g` must carry at least
+//! `n′·lg k` bits.
+//!
+//! The encoder (Figure 4a/4b):
+//!
+//! * each writer `R_i` (`i < n′`) performs `k` writes `(1,i) … (k,i)` to
+//!   object `x_i`, broadcasting after each — these messages are
+//!   *independent of `g`*;
+//! * `R_enc` receives, for each `i`, the first `g(i)` messages of `R_i`,
+//!   then writes `1` to `y` and broadcasts `m_g`.
+//!
+//! The decoder (Figure 4c), to recover `g(i)`:
+//!
+//! * `R_dec` receives all writer messages *except* `R_i`'s, then `m_g`;
+//! * it delivers `R_i`'s messages one at a time in order, reading `y`
+//!   after each: causal consistency forbids exposing the write to `y`
+//!   before its dependency — the `g(i)`-th write of `R_i` — is visible, so
+//!   the first delivery after which `y` reads `{1}` is exactly the
+//!   `g(i)`-th; a read of `x_i` then returns the value `(g(i), i)`.
+//!
+//! [`roundtrip`] runs both against any store; [`sweep`] measures `|m_g|`
+//! in bits across `k`, `n`, `s` and compares against the bound.
+
+use haec_model::{ObjectId, Op, Payload, ReplicaId, ReplicaMachine, ReturnValue, StoreConfig, StoreFactory, Value};
+
+/// Parameters of a Theorem 12 instance.
+#[derive(Copy, Clone, Debug)]
+pub struct Thm12Config {
+    /// Number of replicas `n` (≥ 3).
+    pub n_replicas: usize,
+    /// Number of objects `s` (≥ 2).
+    pub n_objects: usize,
+    /// The parameter `k ≥ 1`: each writer performs `k` writes.
+    pub k: u32,
+}
+
+impl Thm12Config {
+    /// `n′ = min{n−2, s−1}`: the number of writer replicas used.
+    pub fn n_prime(&self) -> usize {
+        (self.n_replicas - 2).min(self.n_objects - 1)
+    }
+
+    /// The information-theoretic bound `n′ · lg k` in bits.
+    pub fn bound_bits(&self) -> f64 {
+        self.n_prime() as f64 * (self.k as f64).log2()
+    }
+
+    fn validate(&self) {
+        assert!(self.n_replicas >= 3, "need n ≥ 3 (writers + encoder + decoder)");
+        assert!(self.n_objects >= 2, "need s ≥ 2 (an x_i and y)");
+        assert!(self.k >= 1, "k ≥ 1");
+    }
+
+    fn store_config(&self) -> StoreConfig {
+        StoreConfig::new(self.n_replicas, self.n_objects)
+    }
+
+    /// The object `y` the encoder writes to.
+    fn y(&self) -> ObjectId {
+        ObjectId::new(self.n_prime() as u32)
+    }
+}
+
+/// Encodes writes as distinct values `(j, i) ↦ j·n′ + (i+1)` so the decoder
+/// can recover `j` from a read of `x_i`.
+fn value_of(cfg: &Thm12Config, j: u32, i: usize) -> Value {
+    Value::new(u64::from(j) * cfg.n_prime() as u64 + i as u64 + 1)
+}
+
+fn j_of(cfg: &Thm12Config, v: Value) -> u32 {
+    ((v.as_u64() - 1) / cfg.n_prime() as u64) as u32
+}
+
+/// The encoder's output.
+pub struct Encoding {
+    /// `writer_messages[i][j−1]` = the message broadcast by writer `i`
+    /// after its `j`-th write. Independent of `g`.
+    pub writer_messages: Vec<Vec<Payload>>,
+    /// The message `m_g` broadcast by the encoder replica.
+    pub m_g: Payload,
+}
+
+/// Runs the encoder (Figure 4a/4b) for `g` against the given store.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid, `g.len() != n′`, some
+/// `g(i) ∉ [1, k]`, or the store fails to broadcast after a write.
+pub fn encode(factory: &dyn StoreFactory, cfg: &Thm12Config, g: &[u32]) -> Encoding {
+    cfg.validate();
+    let np = cfg.n_prime();
+    assert_eq!(g.len(), np, "g must have n′ entries");
+    assert!(
+        g.iter().all(|&gi| (1..=cfg.k).contains(&gi)),
+        "g maps into [1, k]"
+    );
+    let sc = cfg.store_config();
+    // β: writers produce their k messages each.
+    let mut writer_messages: Vec<Vec<Payload>> = Vec::with_capacity(np);
+    for i in 0..np {
+        let mut writer = factory.spawn(ReplicaId::new(i as u32), sc);
+        let mut msgs = Vec::with_capacity(cfg.k as usize);
+        for j in 1..=cfg.k {
+            writer.do_op(ObjectId::new(i as u32), &Op::Write(value_of(cfg, j, i)));
+            let m = writer
+                .pending_message()
+                .expect("a write-propagating store broadcasts after a write");
+            writer.on_send();
+            msgs.push(m);
+        }
+        writer_messages.push(msgs);
+    }
+    // γ_g: the encoder receives the first g(i) messages of each writer,
+    // then writes y := 1 and broadcasts m_g.
+    let enc_id = ReplicaId::new((cfg.n_replicas - 2) as u32);
+    let mut encoder = factory.spawn(enc_id, sc);
+    for (i, msgs) in writer_messages.iter().enumerate() {
+        for msg in msgs.iter().take(g[i] as usize) {
+            encoder.on_receive(msg);
+        }
+        // The paper's γ reads x_i after each delivery; the reads are
+        // invisible, so one read here suffices to exercise the path.
+        encoder.do_op(ObjectId::new(i as u32), &Op::Read);
+    }
+    encoder.do_op(cfg.y(), &Op::Write(Value::new(0)));
+    let m_g = encoder
+        .pending_message()
+        .expect("encoder broadcasts after writing y");
+    encoder.on_send();
+    Encoding {
+        writer_messages,
+        m_g,
+    }
+}
+
+/// Runs the decoder (Figure 4c) to recover `g(i)` from `m_g` (plus the
+/// `g`-independent writer messages). Returns `None` if decoding fails —
+/// which Theorem 12 says cannot happen for a causally consistent,
+/// eventually consistent, write-propagating store.
+pub fn decode_entry(
+    factory: &dyn StoreFactory,
+    cfg: &Thm12Config,
+    encoding: &Encoding,
+    i: usize,
+) -> Option<u32> {
+    cfg.validate();
+    let sc = cfg.store_config();
+    let dec_id = ReplicaId::new((cfg.n_replicas - 1) as u32);
+    let mut decoder: Box<dyn ReplicaMachine> = factory.spawn(dec_id, sc);
+    // Receive every writer's messages except R_i's.
+    for (p, msgs) in encoding.writer_messages.iter().enumerate() {
+        if p == i {
+            continue;
+        }
+        for m in msgs {
+            decoder.on_receive(m);
+        }
+    }
+    // Receive m_g.
+    decoder.on_receive(&encoding.m_g);
+    // Deliver R_i's messages one at a time; y becomes readable exactly when
+    // the g(i)-th write of R_i is visible.
+    for j in 1..=cfg.k {
+        decoder.on_receive(&encoding.writer_messages[i][(j - 1) as usize]);
+        let y = decoder.do_op(cfg.y(), &Op::Read);
+        if y.rval.contains(Value::new(0)) {
+            let x = decoder.do_op(ObjectId::new(i as u32), &Op::Read);
+            let ReturnValue::Values(vals) = x.rval else {
+                return None;
+            };
+            // The writes to x_i are totally ordered, so the frontier is a
+            // single value (j, i); j must equal the delivery count.
+            let v = vals.into_iter().next()?;
+            // For dependency-based stores the gate opens exactly at
+            // j = g(i); state-based stores may already hold the answer
+            // earlier. Either way the value of x_i determines g(i).
+            return Some(j_of(cfg, v));
+        }
+    }
+    None
+}
+
+/// Result of an encode/decode roundtrip.
+#[derive(Clone, Debug)]
+pub struct Roundtrip {
+    /// The function that was encoded.
+    pub g: Vec<u32>,
+    /// What the decoder recovered, entry by entry.
+    pub decoded: Vec<Option<u32>>,
+    /// Exact size of `m_g` in bits.
+    pub m_g_bits: usize,
+    /// The information-theoretic bound `n′·lg k`.
+    pub bound_bits: f64,
+}
+
+impl Roundtrip {
+    /// Did every entry decode correctly?
+    pub fn is_lossless(&self) -> bool {
+        self.decoded
+            .iter()
+            .zip(&self.g)
+            .all(|(d, &gi)| *d == Some(gi))
+    }
+}
+
+/// Encodes `g`, decodes every entry, and measures `|m_g|`.
+pub fn roundtrip(factory: &dyn StoreFactory, cfg: &Thm12Config, g: &[u32]) -> Roundtrip {
+    let encoding = encode(factory, cfg, g);
+    let decoded = (0..cfg.n_prime())
+        .map(|i| decode_entry(factory, cfg, &encoding, i))
+        .collect();
+    Roundtrip {
+        g: g.to_vec(),
+        decoded,
+        m_g_bits: encoding.m_g.bits(),
+        bound_bits: cfg.bound_bits(),
+    }
+}
+
+/// One row of the Theorem 12 sweep.
+#[derive(Clone, Debug)]
+pub struct SweepRow {
+    /// The configuration.
+    pub cfg: Thm12Config,
+    /// `n′`.
+    pub n_prime: usize,
+    /// Maximum `|m_g|` in bits over the sampled `g`s.
+    pub max_bits: usize,
+    /// The bound `n′·lg k`.
+    pub bound_bits: f64,
+    /// Number of sampled functions, all decoded losslessly.
+    pub samples: usize,
+}
+
+/// Sweeps `|m_g|` over sampled functions `g` (the all-`k` extreme plus
+/// `samples` pseudo-random functions), verifying lossless decoding for
+/// each, and reports the maximum observed message size against the bound.
+///
+/// # Panics
+///
+/// Panics if any sampled `g` fails to decode — a causal-consistency bug in
+/// the store under test.
+pub fn sweep(factory: &dyn StoreFactory, cfg: &Thm12Config, samples: usize, seed: u64) -> SweepRow {
+    cfg.validate();
+    let np = cfg.n_prime();
+    let mut max_bits = 0usize;
+    let mut run = |g: &[u32]| {
+        let rt = roundtrip(factory, cfg, g);
+        assert!(
+            rt.is_lossless(),
+            "{}: decode failed for g={:?}: got {:?}",
+            factory.name(),
+            rt.g,
+            rt.decoded
+        );
+        max_bits = max_bits.max(rt.m_g_bits);
+    };
+    run(&vec![cfg.k; np]); // the adversarial extreme
+    let mut state = seed.max(1);
+    for _ in 0..samples {
+        let g: Vec<u32> = (0..np)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state % u64::from(cfg.k)) as u32 + 1
+            })
+            .collect();
+        run(&g);
+    }
+    SweepRow {
+        cfg: *cfg,
+        n_prime: np,
+        max_bits,
+        bound_bits: cfg.bound_bits(),
+        samples: samples + 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haec_stores::{BoundedStore, DvvMvrStore};
+
+    fn cfg(n: usize, s: usize, k: u32) -> Thm12Config {
+        Thm12Config {
+            n_replicas: n,
+            n_objects: s,
+            k,
+        }
+    }
+
+    #[test]
+    fn n_prime_is_min() {
+        assert_eq!(cfg(5, 10, 4).n_prime(), 3);
+        assert_eq!(cfg(10, 3, 4).n_prime(), 2);
+    }
+
+    #[test]
+    fn roundtrip_small_instance() {
+        let c = cfg(4, 3, 4);
+        let rt = roundtrip(&DvvMvrStore, &c, &[3, 1]);
+        assert!(rt.is_lossless(), "{rt:?}");
+        assert!(rt.m_g_bits > 0);
+    }
+
+    #[test]
+    fn roundtrip_all_functions_k3() {
+        let c = cfg(4, 3, 3);
+        for g0 in 1..=3 {
+            for g1 in 1..=3 {
+                let rt = roundtrip(&DvvMvrStore, &c, &[g0, g1]);
+                assert!(rt.is_lossless(), "g=({g0},{g1}): {rt:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_larger_k() {
+        let c = cfg(5, 4, 64);
+        let rt = roundtrip(&DvvMvrStore, &c, &[64, 1, 17]);
+        assert!(rt.is_lossless());
+    }
+
+    #[test]
+    fn message_size_respects_lower_bound() {
+        // The DVV store's m_g must be at least the information-theoretic
+        // bound (it is: the dependency vector alone carries it).
+        for k in [4u32, 16, 64, 256] {
+            let c = cfg(5, 4, k);
+            let row = sweep(&DvvMvrStore, &c, 5, 42);
+            assert!(
+                (row.max_bits as f64) >= row.bound_bits,
+                "k={k}: {} bits < bound {}",
+                row.max_bits,
+                row.bound_bits
+            );
+        }
+    }
+
+    #[test]
+    fn message_size_grows_with_k() {
+        let small = sweep(&DvvMvrStore, &cfg(5, 4, 4), 3, 1).max_bits;
+        let large = sweep(&DvvMvrStore, &cfg(5, 4, 1024), 3, 1).max_bits;
+        assert!(
+            large > small,
+            "messages must grow with k: {small} vs {large}"
+        );
+    }
+
+    #[test]
+    fn message_size_grows_with_n_prime() {
+        let narrow = sweep(&DvvMvrStore, &cfg(4, 8, 64), 3, 2).max_bits;
+        let wide = sweep(&DvvMvrStore, &cfg(8, 8, 64), 3, 2).max_bits;
+        assert!(wide > narrow, "messages must grow with n′: {narrow} vs {wide}");
+    }
+
+    #[test]
+    fn bounded_store_fails_decoding() {
+        // The ablation (E10): with O(lg k)-bit messages and no dependency
+        // information, the decoder cannot recover g — causal consistency is
+        // violated exactly as Theorem 12 predicts.
+        let c = cfg(4, 3, 4);
+        let encoding = encode(&BoundedStore, &c, &[3, 2]);
+        assert!(
+            encoding.m_g.bits() < 64,
+            "bounded store's m_g stays small: {} bits",
+            encoding.m_g.bits()
+        );
+        let d0 = decode_entry(&BoundedStore, &c, &encoding, 0);
+        assert_ne!(d0, Some(3), "bounded store must not decode correctly");
+    }
+
+    #[test]
+    #[should_panic(expected = "g maps into")]
+    fn out_of_range_g_panics() {
+        let c = cfg(4, 3, 4);
+        let _ = encode(&DvvMvrStore, &c, &[5, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "n′ entries")]
+    fn wrong_length_g_panics() {
+        let c = cfg(4, 3, 4);
+        let _ = encode(&DvvMvrStore, &c, &[1]);
+    }
+}

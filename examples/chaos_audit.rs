@@ -1,0 +1,101 @@
+//! Chaos audit: run every store through adversarial random schedules —
+//! reordering, duplication, drops, partitions — and grade each against the
+//! paper's hierarchy (correct / causal / OCC / write-propagating).
+//!
+//! Run with: `cargo run --example chaos_audit`
+
+use haec::prelude::*;
+use haec::stores::properties::check_with_ops;
+
+fn ops_for(spec: SpecKind) -> Vec<Op> {
+    match spec {
+        SpecKind::OrSet => vec![
+            Op::Add(Value::new(1)),
+            Op::Add(Value::new(2)),
+            Op::Remove(Value::new(1)),
+            Op::Read,
+        ],
+        SpecKind::Counter => vec![Op::Inc, Op::Inc, Op::Read],
+        SpecKind::EwFlag => vec![Op::Enable, Op::Enable, Op::Disable, Op::Read],
+        _ => vec![Op::Write(Value::new(0)), Op::Read],
+    }
+}
+
+fn spec_for(name: &str) -> SpecKind {
+    match name {
+        "orset" => SpecKind::OrSet,
+        "ew-flag" => SpecKind::EwFlag,
+        "counter" => SpecKind::Counter,
+        "lww" | "arbitration-mvr" | "sequenced" | "causal-register" => SpecKind::LwwRegister,
+        _ => SpecKind::Mvr,
+    }
+}
+
+fn main() {
+    let seeds: Vec<u64> = (0..6).collect();
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8} {:>10}",
+        "store", "wp?", "correct", "causal", "occ", "runs"
+    );
+    for factory in haec::stores::all_factories() {
+        let name = factory.name().to_owned();
+        let spec = spec_for(&name);
+        let wp = check_with_ops(
+            factory.as_ref(),
+            StoreConfig::new(3, 2),
+            1,
+            400,
+            &ops_for(spec),
+        );
+        let mut correct = 0;
+        let mut causal_ok = 0;
+        let mut occ_ok = 0;
+        for &seed in &seeds {
+            let config = ExplorationConfig {
+                spec,
+                arbitrated_order: matches!(name.as_str(), "lww" | "arbitration-mvr"),
+                schedule: ScheduleConfig {
+                    steps: 250,
+                    partition: Some(Partition {
+                        from_step: 50,
+                        to_step: 150,
+                        group: vec![0],
+                    }),
+                    drop_prob: 0.0,
+                    ..ScheduleConfig::default()
+                },
+                ..ExplorationConfig::default()
+            };
+            let rep = explore(factory.as_ref(), &config, seed);
+            if rep.abstract_execution.is_ok() && rep.correct.is_none() {
+                correct += 1;
+            }
+            if rep.is_causally_consistent() {
+                causal_ok += 1;
+            }
+            if rep.is_occ() {
+                occ_ok += 1;
+            }
+        }
+        println!(
+            "{:<16} {:>8} {:>7}/{} {:>7}/{} {:>7}/{} {:>10}",
+            name,
+            if wp.is_write_propagating() { "yes" } else { "NO" },
+            correct,
+            seeds.len(),
+            causal_ok,
+            seeds.len(),
+            occ_ok,
+            seeds.len(),
+            "ok"
+        );
+    }
+    println!();
+    println!("Reading the table: the DVV MVR and ORset stores stay correct and");
+    println!("causally consistent under every schedule (OCC only when the random");
+    println!("run happens to produce witnesses); LWW is correct in arbitration");
+    println!("order but not causal; the causal-register store arbitrates internally");
+    println!("(so the execution-order LWW check can misjudge it) but stays causal in");
+    println!("protocol; the counterexample stores fail exactly the property they");
+    println!("were built to break.");
+}

@@ -1,0 +1,77 @@
+//! # haec — Highly-Available Eventually-Consistent data stores, executable
+//!
+//! A full, executable reproduction of *"Limitations of Highly-Available
+//! Eventually-Consistent Data Stores"* (Attiya, Ellen, Morrison — PODC
+//! 2015): the replicated-data-store model, the specification framework for
+//! objects that expose concurrency, the consistency models (causal, OCC,
+//! eventual), real store implementations, and both theorems as runnable
+//! constructions.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`model`] — events, executions, happens-before, replica state
+//!   machines (paper §2).
+//! * [`core`] — abstract executions, object specifications (Figure 1),
+//!   correctness/compliance, consistency checkers, the brute-force
+//!   explanation search (paper §3, §5.1).
+//! * [`stores`] — the DVV multi-valued register store, ORset, LWW, and the
+//!   counterexample stores (paper §4, §5.3).
+//! * [`sim`] — deterministic cluster simulation, schedulers, fault
+//!   injection, convergence checks (paper §2, §4).
+//! * [`theory`] — Theorem 6 (no consistency stronger than OCC) and
+//!   Theorem 12 (unbounded message size) as executable constructions
+//!   (paper §5, §6, Figures 2–4).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use haec::prelude::*;
+//!
+//! // Spin up a 3-replica MVR store and let two replicas write concurrently.
+//! let mut sim = Simulator::new(&DvvMvrStore, StoreConfig::new(3, 1));
+//! let x = ObjectId::new(0);
+//! sim.do_op(ReplicaId::new(0), x, Op::Write(Value::new(1)));
+//! sim.do_op(ReplicaId::new(1), x, Op::Write(Value::new(2)));
+//! sim.quiesce();
+//! // The multi-valued register exposes the conflict to every replica.
+//! let rv = sim.read(ReplicaId::new(2), x);
+//! assert_eq!(rv, ReturnValue::values([Value::new(1), Value::new(2)]));
+//!
+//! // The witness abstract execution is correct and causally consistent.
+//! let a = sim.abstract_execution().unwrap();
+//! assert!(check_correct(&a, &ObjectSpecs::uniform(SpecKind::Mvr)).is_ok());
+//! assert!(causal::check(&a).is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use haec_core as core;
+pub use haec_model as model;
+pub use haec_sim as sim;
+pub use haec_stores as stores;
+pub use haec_theory as theory;
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use haec_core::{
+        causal, check_correct, complies, eventual, occ, AbstractExecution,
+        AbstractExecutionBuilder, ConsistencyModel, ObjectSpecs, SpecKind,
+    };
+    pub use haec_model::{
+        Dot, Execution, ObjectId, Op, Payload, ReplicaId, ReplicaMachine, ReturnValue,
+        StoreConfig, StoreFactory, Value,
+    };
+    pub use haec_sim::{
+        explore, run_schedule, ExplorationConfig, KeyDistribution, Partition, ScheduleConfig,
+        Simulator, Workload,
+    };
+    pub use haec_stores::{
+        ArbitrationStore, BoundedStore, CounterStore, DvvMvrStore, KDelayedStore, LwwStore,
+        OrSetStore, SequencedStore,
+    };
+    pub use haec_theory::{
+        construct, make_revealing, random_causal, random_occ, roundtrip, GeneratorConfig,
+        Thm12Config,
+    };
+}

@@ -1,0 +1,178 @@
+//! The consistency-model hierarchy (E3/E5 support): on a family of
+//! executions that witnesses the differences, the models order strictly
+//! `SingleOrder ⊂ OCC ⊂ Causal ⊂ Correct`, as the paper's §5.1 lays out.
+
+use haec::prelude::*;
+use haec_core::{compare_on, ModelComparison};
+
+fn specs() -> ObjectSpecs {
+    ObjectSpecs::uniform(SpecKind::Mvr)
+}
+
+/// Correct but not causal: a visibility chain missing its transitive edge
+/// across three objects.
+fn correct_not_causal() -> AbstractExecution {
+    let mut b = AbstractExecutionBuilder::new();
+    let w0 = b.push(ReplicaId::new(0), ObjectId::new(0), Op::Write(Value::new(1)), ReturnValue::Ok);
+    let w1 = b.push(ReplicaId::new(1), ObjectId::new(1), Op::Write(Value::new(2)), ReturnValue::Ok);
+    let w2 = b.push(ReplicaId::new(2), ObjectId::new(2), Op::Write(Value::new(3)), ReturnValue::Ok);
+    b.vis(w0, w1).vis(w1, w2); // no w0 -> w2
+    b.build().unwrap()
+}
+
+/// Causal but not OCC: a bare concurrent pair returned by a read, no
+/// witnesses (Figure 3a's situation).
+fn causal_not_occ() -> AbstractExecution {
+    let mut b = AbstractExecutionBuilder::new();
+    let w0 = b.push(ReplicaId::new(0), ObjectId::new(0), Op::Write(Value::new(1)), ReturnValue::Ok);
+    let w1 = b.push(ReplicaId::new(1), ObjectId::new(0), Op::Write(Value::new(2)), ReturnValue::Ok);
+    let rd = b.push(
+        ReplicaId::new(2),
+        ObjectId::new(0),
+        Op::Read,
+        ReturnValue::values([Value::new(1), Value::new(2)]),
+    );
+    b.vis(w0, rd).vis(w1, rd);
+    b.build_transitive().unwrap()
+}
+
+/// OCC but not single-order: Figure 3c — witnessed concurrency.
+fn occ_not_single_order() -> AbstractExecution {
+    haec::theory::generate::fig3c_style(0)
+}
+
+/// Single-order: one totally ordered chain.
+fn single_order() -> AbstractExecution {
+    let mut b = AbstractExecutionBuilder::new();
+    let w0 = b.push(ReplicaId::new(0), ObjectId::new(0), Op::Write(Value::new(1)), ReturnValue::Ok);
+    let w1 = b.push(ReplicaId::new(1), ObjectId::new(0), Op::Write(Value::new(2)), ReturnValue::Ok);
+    let rd = b.push(
+        ReplicaId::new(2),
+        ObjectId::new(0),
+        Op::Read,
+        ReturnValue::values([Value::new(2)]),
+    );
+    b.vis(w0, w1).vis(w0, rd).vis(w1, rd);
+    b.build_transitive().unwrap()
+}
+
+fn family() -> Vec<AbstractExecution> {
+    let mut f = vec![
+        correct_not_causal(),
+        causal_not_occ(),
+        occ_not_single_order(),
+        single_order(),
+    ];
+    // Pad with generated causal executions for breadth.
+    let config = GeneratorConfig::default();
+    for seed in 0..10 {
+        f.push(random_causal(&config, seed));
+    }
+    f
+}
+
+#[test]
+fn membership_matrix() {
+    let f = [
+        correct_not_causal(),
+        causal_not_occ(),
+        occ_not_single_order(),
+        single_order(),
+    ];
+    let s = specs();
+    use ConsistencyModel::*;
+    let expect = [
+        // (correct, causal, occ, single-order)
+        (true, false, false, false),
+        (true, true, false, false),
+        (true, true, true, false),
+        (true, true, true, true),
+    ];
+    for (a, &(c, ca, o, so)) in f.iter().zip(&expect) {
+        assert_eq!(Correct.admits(a, &s), c);
+        assert_eq!(Causal.admits(a, &s), ca);
+        assert_eq!(Occ.admits(a, &s), o);
+        assert_eq!(SingleOrder.admits(a, &s), so);
+    }
+}
+
+#[test]
+fn strict_chain_on_family() {
+    let f = family();
+    let s = specs();
+    use ConsistencyModel::*;
+    assert_eq!(
+        compare_on(&SingleOrder, &Occ, &f, &s),
+        ModelComparison::LeftStronger
+    );
+    assert_eq!(
+        compare_on(&Occ, &Causal, &f, &s),
+        ModelComparison::LeftStronger
+    );
+    assert_eq!(
+        compare_on(&Causal, &Correct, &f, &s),
+        ModelComparison::LeftStronger
+    );
+    // And transitively.
+    assert_eq!(
+        compare_on(&SingleOrder, &Correct, &f, &s),
+        ModelComparison::LeftStronger
+    );
+}
+
+#[test]
+fn every_generated_causal_execution_is_admitted_by_causal() {
+    let config = GeneratorConfig {
+        events: 25,
+        ..GeneratorConfig::default()
+    };
+    let s = specs();
+    for seed in 100..130 {
+        let a = random_causal(&config, seed);
+        assert!(ConsistencyModel::Causal.admits(&a, &s), "seed {seed}");
+        assert!(ConsistencyModel::Correct.admits(&a, &s), "seed {seed}");
+    }
+}
+
+#[test]
+fn prefixes_stay_in_their_models() {
+    // Consistency models are prefix-closed (Definition 5 / §3.2); check on
+    // generated executions.
+    let config = GeneratorConfig::default();
+    let s = specs();
+    for seed in 0..10 {
+        let a = random_causal(&config, seed);
+        assert!(ConsistencyModel::Causal.admits(&a, &s));
+        for len in 0..=a.len() {
+            let p = a.prefix(len);
+            assert!(
+                ConsistencyModel::Causal.admits(&p, &s),
+                "seed {seed} prefix {len} left the model"
+            );
+        }
+    }
+}
+
+#[test]
+fn equivalence_closure_spot_check() {
+    // Swapping the order of two independent events preserves membership.
+    let a = causal_not_occ();
+    let mut b = AbstractExecutionBuilder::new();
+    // Same events, w1 first.
+    let w1 = b.push(ReplicaId::new(1), ObjectId::new(0), Op::Write(Value::new(2)), ReturnValue::Ok);
+    let w0 = b.push(ReplicaId::new(0), ObjectId::new(0), Op::Write(Value::new(1)), ReturnValue::Ok);
+    let rd = b.push(
+        ReplicaId::new(2),
+        ObjectId::new(0),
+        Op::Read,
+        ReturnValue::values([Value::new(1), Value::new(2)]),
+    );
+    b.vis(w0, rd).vis(w1, rd);
+    let a2 = b.build_transitive().unwrap();
+    assert!(a.is_equivalent(&a2));
+    let s = specs();
+    assert_eq!(
+        ConsistencyModel::Causal.admits(&a, &s),
+        ConsistencyModel::Causal.admits(&a2, &s)
+    );
+}

@@ -1,0 +1,191 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! end-to-end store/checker pipeline.
+
+use haec::prelude::*;
+use haec::stores::wire::{BitReader, BitWriter};
+use haec_model::Relation;
+use proptest::prelude::*;
+
+proptest! {
+    /// Elias-gamma roundtrips for arbitrary positive integers.
+    #[test]
+    fn gamma_roundtrip(v in 1u64..u64::MAX / 2) {
+        let mut w = BitWriter::new();
+        w.write_gamma(v);
+        let p = w.finish();
+        let mut r = BitReader::new(&p);
+        prop_assert_eq!(r.read_gamma().unwrap(), v);
+        prop_assert_eq!(r.remaining(), 0);
+    }
+
+    /// Mixed bit-stream roundtrips.
+    #[test]
+    fn mixed_stream_roundtrip(values in prop::collection::vec((0u64..1_000_000, 1u32..21), 1..40)) {
+        let mut w = BitWriter::new();
+        for &(v, width) in &values {
+            let v = v & ((1u64 << width) - 1);
+            w.write_bits(v, width);
+            w.write_gamma0(v);
+        }
+        let p = w.finish();
+        let mut r = BitReader::new(&p);
+        for &(v, width) in &values {
+            let v = v & ((1u64 << width) - 1);
+            prop_assert_eq!(r.read_bits(width).unwrap(), v);
+            prop_assert_eq!(r.read_gamma0().unwrap(), v);
+        }
+    }
+
+    /// Transitive closure is idempotent, monotone, and preserves acyclicity
+    /// of forward-only relations.
+    #[test]
+    fn closure_properties(edges in prop::collection::vec((0usize..12, 0usize..12), 0..40)) {
+        let mut rel = Relation::new(12);
+        for &(i, j) in &edges {
+            if i < j {
+                rel.insert(i, j); // forward edges only: a DAG
+            }
+        }
+        let c1 = rel.transitive_closure();
+        let c2 = c1.transitive_closure();
+        prop_assert_eq!(&c1, &c2);
+        prop_assert!(rel.is_subset_of(&c1));
+        prop_assert!(c1.is_acyclic());
+        prop_assert!(c1.is_transitive());
+    }
+
+    /// Version vectors: merge is a least upper bound.
+    #[test]
+    fn vv_merge_lub(a in prop::collection::vec(0u32..1000, 4), b in prop::collection::vec(0u32..1000, 4)) {
+        use haec::stores::vv::VersionVector;
+        let mut va = VersionVector::new(4);
+        let mut vb = VersionVector::new(4);
+        for i in 0..4 {
+            va.set(ReplicaId::new(i as u32), a[i]);
+            vb.set(ReplicaId::new(i as u32), b[i]);
+        }
+        let mut m = va.clone();
+        m.merge(&vb);
+        prop_assert!(m.dominates(&va));
+        prop_assert!(m.dominates(&vb));
+        // Least: any dominator of both dominates the merge.
+        let mut big = va.clone();
+        big.merge(&vb);
+        prop_assert!(big.dominates(&m) && m.dominates(&big));
+    }
+
+    /// End to end: any random schedule of the DVV MVR store yields a
+    /// correct, causally consistent witness abstract execution, and
+    /// quiescing it yields replica agreement.
+    #[test]
+    fn dvv_store_always_causal(seed in 0u64..5000) {
+        let config = ExplorationConfig {
+            schedule: ScheduleConfig {
+                steps: 120,
+                drop_prob: 0.0,
+                ..ScheduleConfig::default()
+            },
+            ..ExplorationConfig::default()
+        };
+        let rep = explore(&DvvMvrStore, &config, seed);
+        prop_assert!(rep.is_causally_consistent(), "{rep}");
+    }
+
+    /// The ORset store under arbitrary schedules is correct and causal.
+    #[test]
+    fn orset_store_always_causal(seed in 0u64..2000) {
+        let config = ExplorationConfig {
+            spec: SpecKind::OrSet,
+            schedule: ScheduleConfig {
+                steps: 100,
+                drop_prob: 0.0,
+                ..ScheduleConfig::default()
+            },
+            ..ExplorationConfig::default()
+        };
+        let rep = explore(&OrSetStore, &config, seed);
+        prop_assert!(rep.is_causally_consistent(), "{rep}");
+    }
+
+    /// The enable-wins flag store under arbitrary schedules is correct and
+    /// causal.
+    #[test]
+    fn ewflag_store_always_causal(seed in 0u64..1500) {
+        let config = ExplorationConfig {
+            spec: SpecKind::EwFlag,
+            schedule: ScheduleConfig {
+                steps: 100,
+                drop_prob: 0.0,
+                ..ScheduleConfig::default()
+            },
+            ..ExplorationConfig::default()
+        };
+        let rep = explore(&haec::stores::EwFlagStore, &config, seed);
+        prop_assert!(rep.is_causally_consistent(), "{rep}");
+    }
+
+    /// The COPS-style compressed-dependency store under arbitrary schedules
+    /// is correct and causal.
+    #[test]
+    fn cops_store_always_causal(seed in 0u64..1500) {
+        let config = ExplorationConfig {
+            schedule: ScheduleConfig {
+                steps: 100,
+                drop_prob: 0.0,
+                ..ScheduleConfig::default()
+            },
+            ..ExplorationConfig::default()
+        };
+        let rep = explore(&haec::stores::CopsStore, &config, seed);
+        prop_assert!(rep.is_causally_consistent(), "{rep}");
+    }
+
+    /// Trace serialization round-trips arbitrary simulator runs exactly.
+    #[test]
+    fn trace_roundtrip_random_runs(seed in 0u64..2000) {
+        let mut sim = Simulator::new(&DvvMvrStore, StoreConfig::new(3, 2));
+        let mut wl = Workload::new(SpecKind::Mvr, 3, 2, 0.4, KeyDistribution::Uniform);
+        let sched = ScheduleConfig { steps: 60, ..ScheduleConfig::default() };
+        run_schedule(&mut sim, &mut wl, &sched, seed);
+        let text = haec::sim::trace::to_text(sim.execution());
+        let back = haec::sim::trace::parse(&text).unwrap();
+        prop_assert_eq!(sim.execution(), &back);
+    }
+
+    /// The Theorem 6 construction complies for arbitrary generated causal
+    /// executions.
+    #[test]
+    fn construction_always_complies(seed in 0u64..2000) {
+        let config = GeneratorConfig {
+            events: 18,
+            ..GeneratorConfig::default()
+        };
+        let a = random_causal(&config, seed);
+        let report = construct(&DvvMvrStore, &a);
+        prop_assert!(report.complies(), "{:?}", report.mismatches);
+    }
+
+    /// The Theorem 12 roundtrip is lossless for arbitrary g.
+    #[test]
+    fn thm12_roundtrip_lossless(g0 in 1u32..12, g1 in 1u32..12, g2 in 1u32..12) {
+        let cfg = Thm12Config { n_replicas: 5, n_objects: 4, k: 12 };
+        let rt = roundtrip(&DvvMvrStore, &cfg, &[g0, g1, g2]);
+        prop_assert!(rt.is_lossless(), "{:?}", rt.decoded);
+        prop_assert!(rt.m_g_bits as f64 >= 0.0);
+    }
+
+    /// Payload bit accounting is exact for whole bytes.
+    #[test]
+    fn payload_bits_exact(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let p = Payload::from_bytes(bytes.clone());
+        prop_assert_eq!(p.bits(), bytes.len() * 8);
+        prop_assert_eq!(p.bytes(), bytes.as_slice());
+    }
+}
+
+#[test]
+fn proptest_config_note() {
+    // proptest defaults to 256 cases per property; the seeds above keep
+    // each case fast (< 1 ms – 5 ms). This test exists so a plain
+    // `cargo test properties_proptest` run shows at least one plain test.
+}

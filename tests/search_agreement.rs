@@ -1,0 +1,137 @@
+//! Cross-validation of the two independent verdict mechanisms: the
+//! observations produced by a *real* correct store must always be
+//! *explainable* by the brute-force abstract-execution search — and the
+//! witness the store reports must agree with what the search finds.
+
+use haec::prelude::*;
+use haec_core::search::{Observation, SearchProblem};
+
+/// Extracts the per-replica observation sequences from a simulator run.
+fn observations_of(sim: &Simulator) -> Vec<Vec<Observation>> {
+    let ex = sim.execution();
+    (0..sim.config().n_replicas)
+        .map(|r| {
+            ex.do_projection(ReplicaId::new(r as u32))
+                .into_iter()
+                .map(|i| {
+                    let (obj, op, rval) = ex.event(i).as_do().expect("do event");
+                    Observation::new(obj, op.clone(), rval.clone())
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn small_run(factory: &dyn StoreFactory, seed: u64) -> Simulator {
+    let mut sim = Simulator::new(factory, StoreConfig::new(2, 2));
+    let mut wl = Workload::new(SpecKind::Mvr, 2, 2, 0.5, KeyDistribution::Uniform);
+    let sched = ScheduleConfig {
+        steps: 14, // keeps do events (and especially updates) small enough
+        drop_prob: 0.0,
+        quiesce_at_end: false,
+        ..ScheduleConfig::default()
+    };
+    run_schedule(&mut sim, &mut wl, &sched, seed);
+    sim
+}
+
+#[test]
+fn dvv_store_observations_always_explainable() {
+    let mut checked = 0;
+    for seed in 0..40 {
+        let sim = small_run(&DvvMvrStore, seed);
+        let obs = observations_of(&sim);
+        let updates: usize = obs
+            .iter()
+            .flatten()
+            .filter(|o| o.op.is_update())
+            .count();
+        let events: usize = obs.iter().map(Vec::len).sum();
+        if updates > 5 || events > 9 {
+            continue; // keep the exponential search cheap
+        }
+        let mut p = SearchProblem::new(ObjectSpecs::uniform(SpecKind::Mvr));
+        for session in obs {
+            p.session(session);
+        }
+        assert!(
+            p.is_explainable(),
+            "seed {seed}: real store produced unexplainable observations\n{}",
+            sim.execution().trace()
+        );
+        checked += 1;
+    }
+    assert!(checked >= 10, "too few small runs checked: {checked}");
+}
+
+#[test]
+fn store_witness_is_one_of_the_search_explanations() {
+    // The witness abstract execution the store reports is itself a valid
+    // explanation: correct, causal, and compliant. (The search may find
+    // others; equivalence of observations is what matters.)
+    for seed in 0..10 {
+        let sim = small_run(&DvvMvrStore, seed);
+        let a = sim.abstract_execution().expect("witness resolves");
+        assert!(check_correct(&a, &ObjectSpecs::uniform(SpecKind::Mvr)).is_ok());
+        assert!(causal::check(&a).is_ok());
+        assert!(complies(sim.execution(), &a).is_ok());
+    }
+}
+
+/// Drives the Figure 2 causality trap against a store and returns its
+/// observations. `R1` wins the `x` arbitration (its clock is bumped by an
+/// extra earlier write), so a hiding store answers `{2}` — which together
+/// with `R1`'s `read(y) = ∅` has no MVR explanation.
+fn causality_trap(factory: &dyn StoreFactory) -> Vec<Vec<Observation>> {
+    let mut sim = Simulator::new(factory, StoreConfig::new(3, 2));
+    let (r0, r1, r2) = (ReplicaId::new(0), ReplicaId::new(1), ReplicaId::new(2));
+    let (x, y) = (ObjectId::new(0), ObjectId::new(1));
+    // R1: two writes to x (the second at Lamport ts 2).
+    sim.do_op(r1, x, Op::Write(Value::new(5)));
+    sim.do_op(r1, x, Op::Write(Value::new(2)));
+    let m_r1 = sim.flush(r1).expect("pending");
+    // R0: write y, then x (its x-write also at ts 2; R1 wins the tie).
+    sim.do_op(r0, y, Op::Write(Value::new(100)));
+    sim.do_op(r0, x, Op::Write(Value::new(1)));
+    let m_r0 = sim.flush(r0).expect("pending");
+    // R1 reads y having received nothing: ∅.
+    sim.do_op(r1, y, Op::Read);
+    // R2 sees R0's writes first, then R1's.
+    sim.deliver_to(m_r0, r2);
+    sim.do_op(r2, x, Op::Read);
+    sim.deliver_to(m_r1, r2);
+    sim.do_op(r2, x, Op::Read);
+    observations_of(&sim)
+}
+
+#[test]
+fn arbitration_store_falls_into_the_causality_trap() {
+    let obs = causality_trap(&ArbitrationStore);
+    // The final read at R2 hides v1 behind R1's winning write.
+    let last = obs[2].last().unwrap();
+    assert_eq!(last.rval, ReturnValue::values([Value::new(2)]));
+    let mut p = SearchProblem::new(ObjectSpecs::uniform(SpecKind::Mvr));
+    for session in obs {
+        p.session(session);
+    }
+    assert!(
+        !p.is_explainable(),
+        "hiding v1 contradicts R1's empty read of y — no MVR explanation exists"
+    );
+}
+
+#[test]
+fn dvv_store_escapes_the_causality_trap() {
+    let obs = causality_trap(&DvvMvrStore);
+    let last = obs[2].last().unwrap();
+    assert_eq!(
+        last.rval,
+        ReturnValue::values([Value::new(1), Value::new(2)]),
+        "the honest MVR store exposes the conflict"
+    );
+    let mut p = SearchProblem::new(ObjectSpecs::uniform(SpecKind::Mvr));
+    for session in obs {
+        p.session(session);
+    }
+    assert!(p.is_explainable());
+}

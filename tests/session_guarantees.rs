@@ -1,0 +1,93 @@
+//! Session guarantees as a lens on the store hierarchy: causal stores
+//! provide monotonic writes and writes-follow-reads; the eager LWW store
+//! does not.
+
+use haec::prelude::*;
+use haec_core::sessions;
+
+fn explore_sessions(
+    factory: &dyn StoreFactory,
+    spec: SpecKind,
+    seed: u64,
+) -> Result<(), sessions::SessionViolation> {
+    let config = ExplorationConfig {
+        spec,
+        schedule: ScheduleConfig {
+            steps: 150,
+            drop_prob: 0.0,
+            quiesce_at_end: false,
+            ..ScheduleConfig::default()
+        },
+        ..ExplorationConfig::default()
+    };
+    let rep = explore(factory, &config, seed);
+    let a = rep.abstract_execution.expect("witness resolves");
+    sessions::check_all(&a)
+}
+
+#[test]
+fn causal_stores_provide_session_guarantees() {
+    let causal_stores: &[(&dyn StoreFactory, SpecKind)] = &[
+        (&DvvMvrStore, SpecKind::Mvr),
+        (&haec::stores::CopsStore, SpecKind::Mvr),
+        (&OrSetStore, SpecKind::OrSet),
+        (&CounterStore, SpecKind::Counter),
+    ];
+    for (factory, spec) in causal_stores {
+        for seed in 0..5 {
+            assert!(
+                explore_sessions(*factory, *spec, seed).is_ok(),
+                "{} seed {seed} violated a session guarantee",
+                factory.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn lww_store_violates_session_guarantees_somewhere() {
+    // The eager LWW store exposes dependent writes without their
+    // dependencies — some random schedule shows a monotonic-writes or
+    // writes-follow-reads violation.
+    let mut violated = false;
+    for seed in 0..30 {
+        if explore_sessions(&LwwStore, SpecKind::LwwRegister, seed).is_err() {
+            violated = true;
+            break;
+        }
+    }
+    assert!(
+        violated,
+        "LWW without causal buffering must violate a session guarantee"
+    );
+}
+
+#[test]
+fn bounded_store_violates_session_guarantees_somewhere() {
+    let mut violated = false;
+    for seed in 0..30 {
+        if explore_sessions(&BoundedStore, SpecKind::Mvr, seed).is_err() {
+            violated = true;
+            break;
+        }
+    }
+    assert!(violated, "bounded messages cannot preserve session causality");
+}
+
+#[test]
+fn causal_consistency_implies_session_guarantees_on_generated_executions() {
+    // Definitionally: causal (transitive vis) implies both non-trivial
+    // guarantees. Check on 50 generated causal executions.
+    let config = GeneratorConfig {
+        events: 25,
+        ..GeneratorConfig::default()
+    };
+    for seed in 0..50 {
+        let a = random_causal(&config, seed);
+        assert!(causal::check(&a).is_ok());
+        assert!(
+            sessions::check_all(&a).is_ok(),
+            "seed {seed}: causal execution violated a session guarantee"
+        );
+    }
+}

@@ -1,0 +1,238 @@
+//! The store matrix (E6, E8): every store checked against every relevant
+//! property, with expected pass/fail per the paper's discussions.
+
+use haec::prelude::*;
+use haec::stores::properties::{check_with_ops, PropertyReport};
+use haec::theory::lemmas::{check_prop1, check_prop2};
+use haec_sim::check_quiescent_agreement;
+
+fn ops_for(spec: SpecKind) -> Vec<Op> {
+    match spec {
+        SpecKind::OrSet => vec![
+            Op::Add(Value::new(1)),
+            Op::Add(Value::new(2)),
+            Op::Remove(Value::new(1)),
+            Op::Read,
+        ],
+        SpecKind::Counter => vec![Op::Inc, Op::Read],
+        SpecKind::EwFlag => vec![Op::Enable, Op::Enable, Op::Disable, Op::Read],
+        _ => vec![Op::Write(Value::new(0)), Op::Read],
+    }
+}
+
+fn spec_for(name: &str) -> SpecKind {
+    match name {
+        "orset" => SpecKind::OrSet,
+        "ew-flag" => SpecKind::EwFlag,
+        "counter" => SpecKind::Counter,
+        "lww" | "arbitration-mvr" | "sequenced" | "causal-register" => SpecKind::LwwRegister,
+        _ => SpecKind::Mvr,
+    }
+}
+
+fn property_report(factory: &dyn StoreFactory, seed: u64) -> PropertyReport {
+    let spec = spec_for(factory.name());
+    check_with_ops(factory, StoreConfig::new(3, 2), seed, 500, &ops_for(spec))
+}
+
+#[test]
+fn write_propagating_matrix() {
+    // (name, expect write-propagating)
+    let expectations = [
+        ("dvv-mvr", true),
+        ("cops-mvr", true),
+        ("causal-register", true),
+        ("orset", true),
+        ("counter", true),
+        ("ew-flag", true),
+        ("lww", true),
+        ("arbitration-mvr", true),
+        ("bounded", true),
+        ("k-delayed", false),
+        ("sequenced", false),
+    ];
+    for factory in haec::stores::all_factories() {
+        let expected = expectations
+            .iter()
+            .find(|(n, _)| *n == factory.name())
+            .map(|(_, e)| *e)
+            .unwrap_or_else(|| panic!("unlisted store {}", factory.name()));
+        let mut wp_everywhere = true;
+        for seed in 1..=4 {
+            let rep = property_report(factory.as_ref(), seed);
+            if !rep.is_write_propagating() {
+                wp_everywhere = false;
+            }
+        }
+        assert_eq!(
+            wp_everywhere,
+            expected,
+            "{}: write-propagating expectation violated",
+            factory.name()
+        );
+    }
+}
+
+#[test]
+fn k_delayed_violation_is_specifically_visible_reads() {
+    let rep = property_report(&KDelayedStore::new(2), 3);
+    assert!(rep.has_visible_reads());
+    assert!(!rep.violates_op_driven());
+}
+
+#[test]
+fn sequenced_violation_is_specifically_op_driven() {
+    let mut found = false;
+    for seed in 1..=6 {
+        let rep = property_report(&SequencedStore, seed);
+        if rep.violates_op_driven() {
+            found = true;
+        }
+        assert!(!rep.has_visible_reads(), "sequenced reads stay invisible");
+    }
+    assert!(found, "the sequencer must be caught creating pending on receive");
+}
+
+#[test]
+fn prop1_and_prop2_hold_on_all_store_runs() {
+    for factory in haec::stores::all_factories() {
+        let spec = spec_for(factory.name());
+        if !matches!(spec, SpecKind::Mvr | SpecKind::LwwRegister) {
+            continue;
+        }
+        for seed in 0..3 {
+            let config = ExplorationConfig {
+                spec,
+                schedule: ScheduleConfig {
+                    steps: 150,
+                    ..ScheduleConfig::default()
+                },
+                ..ExplorationConfig::default()
+            };
+            let mut sim = Simulator::new(factory.as_ref(), StoreConfig::new(3, 2));
+            let mut wl = Workload::new(spec, 3, 2, 0.4, KeyDistribution::Uniform);
+            run_schedule(&mut sim, &mut wl, &config.schedule, seed);
+            assert!(
+                check_prop2(sim.execution()).is_ok(),
+                "{} seed {seed}: Prop 2 violated",
+                factory.name()
+            );
+            assert!(
+                check_prop1(sim.execution()).is_ok(),
+                "{} seed {seed}: Prop 1 violated",
+                factory.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn quiescent_agreement_for_invisible_read_stores() {
+    // Lemma 3 / Corollary 4 hold exactly for the stores with invisible
+    // reads (and honest propagation).
+    let agreeing: &[(&dyn StoreFactory, SpecKind)] = &[
+        (&DvvMvrStore, SpecKind::Mvr),
+        (&OrSetStore, SpecKind::OrSet),
+        (&CounterStore, SpecKind::Counter),
+        (&LwwStore, SpecKind::LwwRegister),
+        (&ArbitrationStore, SpecKind::LwwRegister),
+    ];
+    for (factory, spec) in agreeing {
+        for seed in 0..3 {
+            let mut sim = Simulator::new(*factory, StoreConfig::new(3, 2));
+            let mut wl = Workload::new(*spec, 3, 2, 0.3, KeyDistribution::Uniform);
+            let sched = ScheduleConfig {
+                steps: 150,
+                drop_prob: 0.0,
+                quiesce_at_end: false,
+                ..ScheduleConfig::default()
+            };
+            run_schedule(&mut sim, &mut wl, &sched, seed);
+            assert!(
+                check_quiescent_agreement(&mut sim).is_ok(),
+                "{} seed {seed} disagreed after quiescence",
+                factory.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn bounded_store_diverges_after_quiescence_somewhere() {
+    // The bounded store drops updates from propagation; some schedule
+    // leaves replicas permanently disagreeing (E10).
+    let mut diverged = false;
+    for seed in 0..10 {
+        let mut sim = Simulator::new(&BoundedStore, StoreConfig::new(3, 2));
+        let mut wl = Workload::new(SpecKind::Mvr, 3, 2, 0.2, KeyDistribution::Uniform);
+        let sched = ScheduleConfig {
+            steps: 120,
+            drop_prob: 0.0,
+            quiesce_at_end: false,
+            ..ScheduleConfig::default()
+        };
+        run_schedule(&mut sim, &mut wl, &sched, seed);
+        if check_quiescent_agreement(&mut sim).is_err() {
+            diverged = true;
+            break;
+        }
+    }
+    assert!(diverged, "bounded messages must eventually cost convergence");
+}
+
+#[test]
+fn sequencer_idle_forfeits_eventual_consistency() {
+    // §5.3: GSP-like systems weaken liveness for stronger consistency.
+    // If the sequencer (R0) never receives the announcements — or never
+    // flushes its ordering — follower updates stay invisible forever, no
+    // matter how many messages the followers exchange among themselves.
+    let mut sim = Simulator::new(&SequencedStore, StoreConfig::new(3, 1));
+    let (r1, r2) = (ReplicaId::new(1), ReplicaId::new(2));
+    let x = ObjectId::new(0);
+    sim.do_op(r1, x, Op::Write(Value::new(1)));
+    let m = sim.flush(r1).expect("announcement pending");
+    // The announcement reaches the *other follower* but never the
+    // sequencer.
+    sim.deliver_to(m, r2);
+    for _ in 0..10 {
+        assert_eq!(sim.read(r1, x), ReturnValue::empty());
+        assert_eq!(sim.read(r2, x), ReturnValue::empty());
+    }
+    // Once the sequencer participates, the update becomes visible
+    // everywhere — consistency was traded for liveness, not lost.
+    let mut sim2 = Simulator::new(&SequencedStore, StoreConfig::new(3, 1));
+    sim2.do_op(r1, x, Op::Write(Value::new(1)));
+    sim2.quiesce();
+    assert_eq!(sim2.read(r1, x), ReturnValue::values([Value::new(1)]));
+    assert_eq!(sim2.read(r2, x), ReturnValue::values([Value::new(1)]));
+}
+
+#[test]
+fn state_bits_grow_with_operations() {
+    // E9: replica state size grows with the number of operations for the
+    // dot-based stores (the space side of the paper's §7 remarks).
+    let factories: &[(&dyn StoreFactory, SpecKind)] = &[
+        (&DvvMvrStore, SpecKind::Mvr),
+        (&OrSetStore, SpecKind::OrSet),
+    ];
+    for (factory, spec) in factories {
+        let mut sizes = Vec::new();
+        for steps in [20usize, 80, 320] {
+            let mut sim = Simulator::new(*factory, StoreConfig::new(3, 2));
+            let mut wl = Workload::new(*spec, 3, 2, 0.2, KeyDistribution::Uniform);
+            let sched = ScheduleConfig {
+                steps,
+                drop_prob: 0.0,
+                ..ScheduleConfig::default()
+            };
+            run_schedule(&mut sim, &mut wl, &sched, 1);
+            sizes.push(sim.machine(ReplicaId::new(0)).state_bits());
+        }
+        assert!(
+            sizes[0] < sizes[2],
+            "{}: state bits should grow: {:?}",
+            factory.name(),
+            sizes
+        );
+    }
+}

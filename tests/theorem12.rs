@@ -1,0 +1,198 @@
+//! Integration tests for the Theorem 12 lower bound (E4, E7, E10).
+
+use haec::prelude::*;
+use haec::theory::lower_bound::{decode_entry, encode, sweep};
+
+#[test]
+fn exhaustive_decoding_k4_two_writers() {
+    // All 16 functions g : [2] -> [4] decode losslessly.
+    let cfg = Thm12Config {
+        n_replicas: 4,
+        n_objects: 3,
+        k: 4,
+    };
+    for g0 in 1..=4 {
+        for g1 in 1..=4 {
+            let rt = roundtrip(&DvvMvrStore, &cfg, &[g0, g1]);
+            assert!(rt.is_lossless(), "g=({g0},{g1}): {:?}", rt.decoded);
+        }
+    }
+}
+
+#[test]
+fn distinct_functions_produce_distinct_messages() {
+    // The encoding argument's core: m_g determines g, so different g give
+    // different m_g.
+    let cfg = Thm12Config {
+        n_replicas: 4,
+        n_objects: 3,
+        k: 3,
+    };
+    let mut seen = std::collections::HashSet::new();
+    for g0 in 1..=3u32 {
+        for g1 in 1..=3u32 {
+            let enc = encode(&DvvMvrStore, &cfg, &[g0, g1]);
+            assert!(
+                seen.insert(enc.m_g.bytes().to_vec()),
+                "m_g collided for g=({g0},{g1})"
+            );
+        }
+    }
+    assert_eq!(seen.len(), 9);
+}
+
+#[test]
+fn max_message_size_exceeds_information_bound() {
+    for (n, s, k) in [(4, 3, 8), (5, 4, 64), (6, 8, 256), (8, 4, 1024)] {
+        let cfg = Thm12Config {
+            n_replicas: n,
+            n_objects: s,
+            k,
+        };
+        let row = sweep(&DvvMvrStore, &cfg, 6, 7);
+        assert!(
+            row.max_bits as f64 >= row.bound_bits,
+            "n={n} s={s} k={k}: {} < {}",
+            row.max_bits,
+            row.bound_bits
+        );
+    }
+}
+
+#[test]
+fn message_size_unbounded_in_k_even_for_fixed_n_and_s() {
+    // §1: "even for a fixed number of replicas and objects, the message
+    // length is unbounded."
+    let mut last = 0;
+    for k in [2u32, 16, 128, 1024, 8192] {
+        let cfg = Thm12Config {
+            n_replicas: 4,
+            n_objects: 3,
+            k,
+        };
+        let row = sweep(&DvvMvrStore, &cfg, 2, 3);
+        assert!(
+            row.max_bits > last,
+            "k={k}: message size stopped growing at {last} bits"
+        );
+        last = row.max_bits;
+    }
+}
+
+#[test]
+fn n_prime_saturates_at_object_count() {
+    // When s < n, the bound scales with s - 1, not n - 2 (the open
+    // question the paper raises about O(s·k)-bit stores).
+    let few_objects = Thm12Config {
+        n_replicas: 10,
+        n_objects: 3,
+        k: 16,
+    };
+    assert_eq!(few_objects.n_prime(), 2);
+    let rt = roundtrip(&DvvMvrStore, &few_objects, &[7, 9]);
+    assert!(rt.is_lossless());
+    // Our DVV store ships n-entry vectors, so it exceeds the s-side bound
+    // by design (messages are O(n·lg k), not O(s·lg k)).
+    assert!(rt.m_g_bits as f64 >= few_objects.bound_bits());
+}
+
+#[test]
+fn decoder_needs_only_m_g_and_public_messages() {
+    // The writer messages are independent of g: encode two different g,
+    // check the writer messages agree byte for byte.
+    let cfg = Thm12Config {
+        n_replicas: 4,
+        n_objects: 3,
+        k: 5,
+    };
+    let e1 = encode(&DvvMvrStore, &cfg, &[2, 5]);
+    let e2 = encode(&DvvMvrStore, &cfg, &[4, 1]);
+    assert_eq!(e1.writer_messages, e2.writer_messages);
+    // Decoding e1's m_g with e2's (identical) writer messages still works.
+    let hybrid = haec::theory::lower_bound::Encoding {
+        writer_messages: e2.writer_messages,
+        m_g: e1.m_g,
+    };
+    assert_eq!(decode_entry(&DvvMvrStore, &cfg, &hybrid, 0), Some(2));
+    assert_eq!(decode_entry(&DvvMvrStore, &cfg, &hybrid, 1), Some(5));
+}
+
+#[test]
+fn orset_store_also_supports_the_encoding() {
+    // §6's closing remark: the analogue holds beyond MVRs. Run the same
+    // encoding over the ORset store (writes become adds).
+    // The roundtrip uses register ops, so use the MVR store side by side
+    // with an ORset-backed variant driven through adds.
+    // Here: verify at least that the ORset store's messages grow with k.
+    let cfg = StoreConfig::new(4, 3);
+    let mut small = 0;
+    let mut large = 0;
+    let mut rep = OrSetStore.spawn(ReplicaId::new(0), cfg);
+    for j in 0..1000u64 {
+        rep.do_op(ObjectId::new(0), &Op::Add(Value::new(j)));
+        let bits = rep.pending_message().unwrap().bits();
+        if j == 0 {
+            small = bits;
+        }
+        if j == 999 {
+            large = bits;
+        }
+        rep.on_send();
+    }
+    assert!(large > small, "ORset messages must grow with history");
+}
+
+#[test]
+fn mixed_mvr_register_store_supports_the_encoding() {
+    // §6's closing sentence: the Theorem 12 analogue holds for "a
+    // combination of MVRs and registers". In the Figure 4 construction the
+    // x_i can be MVRs while y is a plain register — the mixed store serves
+    // exactly that layout (objects < n' are MVRs, the rest registers).
+    let cfg = Thm12Config {
+        n_replicas: 5,
+        n_objects: 4,
+        k: 16,
+    };
+    let factory = haec::stores::MixedStore::new(cfg.n_prime());
+    for g in [[16u32, 1, 8], [3, 9, 2]] {
+        let rt = roundtrip(&factory, &cfg, &g);
+        assert!(rt.is_lossless(), "g={g:?}: {:?}", rt.decoded);
+        assert!(rt.m_g_bits as f64 >= rt.bound_bits);
+    }
+}
+
+#[test]
+fn causal_register_store_supports_the_encoding() {
+    // The pure register analogue of §6.
+    let cfg = Thm12Config {
+        n_replicas: 5,
+        n_objects: 4,
+        k: 16,
+    };
+    let rt = roundtrip(&haec::stores::CausalRegisterStore, &cfg, &[7, 16, 1]);
+    assert!(rt.is_lossless(), "{:?}", rt.decoded);
+}
+
+#[test]
+fn bounded_store_ablation_fails_decoding_for_most_g() {
+    let cfg = Thm12Config {
+        n_replicas: 4,
+        n_objects: 3,
+        k: 4,
+    };
+    let mut failures = 0;
+    for g0 in 1..=4 {
+        for g1 in 1..=4 {
+            let enc = encode(&BoundedStore, &cfg, &[g0, g1]);
+            let d0 = decode_entry(&BoundedStore, &cfg, &enc, 0);
+            let d1 = decode_entry(&BoundedStore, &cfg, &enc, 1);
+            if d0 != Some(g0) || d1 != Some(g1) {
+                failures += 1;
+            }
+        }
+    }
+    assert!(
+        failures >= 12,
+        "bounded messages must fail on most functions, failed on {failures}/16"
+    );
+}
