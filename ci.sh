@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Hermetic CI gate. The workspace has zero external dependencies, so the
+# whole pipeline runs with --offline against the committed Cargo.lock —
+# no registry, no network, no vendor directory.
+#
+# Usage: ./ci.sh
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== build (release, locked, offline) =="
+cargo build --release --locked --offline
+
+echo "== test (locked, offline) =="
+cargo test -q --workspace --locked --offline
+
+echo "== fmt =="
+cargo fmt --check
+
+echo "ci: ok"

@@ -1,13 +1,13 @@
 //! Consistency-checker scaling: correctness (Def. 8), causal (Def. 12) and
 //! OCC (Def. 18) verification cost as histories grow.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use haec_core::{causal, check_correct, occ, ObjectSpecs, SpecKind};
+use haec_testkit::Bench;
 use haec_theory::generate::{random_causal, GeneratorConfig};
 use std::hint::black_box;
 
-fn bench_checkers(c: &mut Criterion) {
-    let mut group = c.benchmark_group("checkers");
+fn main() {
+    let mut bench = Bench::from_args("checkers");
     for &events in &[16usize, 48, 96] {
         let config = GeneratorConfig {
             events,
@@ -18,23 +18,15 @@ fn bench_checkers(c: &mut Criterion) {
         };
         let a = random_causal(&config, 7);
         let specs = ObjectSpecs::uniform(SpecKind::Mvr);
-        group.throughput(Throughput::Elements(events as u64));
-        group.bench_with_input(BenchmarkId::new("correct", events), &events, |b, _| {
-            b.iter(|| black_box(check_correct(black_box(&a), &specs).is_ok()))
+        bench.bench(&format!("correct/{events}"), || {
+            black_box(check_correct(black_box(&a), &specs).is_ok())
         });
-        group.bench_with_input(BenchmarkId::new("causal", events), &events, |b, _| {
-            b.iter(|| black_box(causal::check(black_box(&a)).is_ok()))
+        bench.bench(&format!("causal/{events}"), || {
+            black_box(causal::check(black_box(&a)).is_ok())
         });
-        group.bench_with_input(BenchmarkId::new("occ", events), &events, |b, _| {
-            b.iter(|| black_box(occ::check(black_box(&a)).is_ok()))
+        bench.bench(&format!("occ/{events}"), || {
+            black_box(occ::check(black_box(&a)).is_ok())
         });
     }
-    group.finish();
+    bench.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_checkers
-}
-criterion_main!(benches);

@@ -1,44 +1,32 @@
 //! E5 / Theorem 6: cost of the recursive construction (replay + delivery
 //! along `vis`) as abstract executions grow.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use haec_stores::DvvMvrStore;
+use haec_testkit::Bench;
 use haec_theory::construction::construct;
 use haec_theory::generate::{random_causal, GeneratorConfig};
 use haec_theory::make_revealing;
 use std::hint::black_box;
 
-fn bench_construction(c: &mut Criterion) {
-    let mut group = c.benchmark_group("thm6_construction");
+fn main() {
+    let mut bench = Bench::from_args("thm6_construction");
     for &events in &[12usize, 24, 48] {
         let config = GeneratorConfig {
             events,
             ..GeneratorConfig::default()
         };
         let a = random_causal(&config, 3);
-        group.throughput(Throughput::Elements(events as u64));
-        group.bench_with_input(BenchmarkId::new("plain", events), &events, |b, _| {
-            b.iter(|| {
-                let r = construct(&DvvMvrStore, black_box(&a));
-                assert!(r.complies());
-                black_box(r.simulator.execution().len())
-            })
+        bench.bench(&format!("plain/{events}"), || {
+            let r = construct(&DvvMvrStore, black_box(&a));
+            assert!(r.complies());
+            black_box(r.simulator.execution().len())
         });
-        group.bench_with_input(BenchmarkId::new("revealing", events), &events, |b, _| {
-            b.iter(|| {
-                let rev = make_revealing(black_box(&a));
-                let r = construct(&DvvMvrStore, &rev.execution);
-                assert!(r.complies());
-                black_box(r.simulator.execution().len())
-            })
+        bench.bench(&format!("revealing/{events}"), || {
+            let rev = make_revealing(black_box(&a));
+            let r = construct(&DvvMvrStore, &rev.execution);
+            assert!(r.complies());
+            black_box(r.simulator.execution().len())
         });
     }
-    group.finish();
+    bench.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_construction
-}
-criterion_main!(benches);

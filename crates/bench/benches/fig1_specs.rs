@@ -2,9 +2,9 @@
 //! contexts of growing size — the cost of *checking* a response against
 //! the register/MVR/ORset/counter specifications.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use haec_core::{AbstractExecution, AbstractExecutionBuilder, OperationContext, SpecKind};
 use haec_model::{ObjectId, Op, ReplicaId, ReturnValue, Value};
+use haec_testkit::Bench;
 use std::hint::black_box;
 
 /// Builds an execution with `writes` prior updates all visible to one
@@ -43,8 +43,8 @@ fn context_execution(kind: SpecKind, updates: usize) -> (AbstractExecution, usiz
     (b.build().expect("valid"), rd)
 }
 
-fn bench_specs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig1_spec_eval");
+fn main() {
+    let mut bench = Bench::from_args("fig1_spec_eval");
     for &updates in &[8usize, 32, 128] {
         for kind in [
             SpecKind::LwwRegister,
@@ -54,24 +54,11 @@ fn bench_specs(c: &mut Criterion) {
             SpecKind::EwFlag,
         ] {
             let (a, rd) = context_execution(kind, updates);
-            group.bench_with_input(
-                BenchmarkId::new(kind.to_string(), updates),
-                &updates,
-                |bencher, _| {
-                    bencher.iter(|| {
-                        let ctx = OperationContext::of(black_box(&a), rd);
-                        black_box(kind.expected_rval(&ctx))
-                    })
-                },
-            );
+            bench.bench(&format!("{kind}/{updates}"), || {
+                let ctx = OperationContext::of(black_box(&a), rd);
+                black_box(kind.expected_rval(&ctx))
+            });
         }
     }
-    group.finish();
+    bench.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_specs
-}
-criterion_main!(benches);

@@ -1,34 +1,25 @@
 //! E7 / §6: cost of the Theorem 12 sweep as the replica count grows — the
 //! vector-clock store's O(n·lg k) message regime.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use haec_stores::DvvMvrStore;
+use haec_testkit::Bench;
 use haec_theory::lower_bound::sweep;
 use haec_theory::Thm12Config;
 use std::hint::black_box;
 
-fn bench_growth(c: &mut Criterion) {
-    let mut group = c.benchmark_group("message_growth_with_n");
+fn main() {
+    let mut bench = Bench::from_args("message_growth_with_n");
     for &n in &[4usize, 8, 16] {
         let cfg = Thm12Config {
             n_replicas: n,
             n_objects: 16,
             k: 64,
         };
-        group.bench_with_input(BenchmarkId::new("sweep", n), &n, |b, _| {
-            b.iter(|| {
-                let row = sweep(&DvvMvrStore, black_box(&cfg), 1, 5);
-                assert!(row.max_bits as f64 >= row.bound_bits);
-                black_box(row.max_bits)
-            })
+        bench.bench(&format!("sweep/{n}"), || {
+            let row = sweep(&DvvMvrStore, black_box(&cfg), 1, 5);
+            assert!(row.max_bits as f64 >= row.bound_bits);
+            black_box(row.max_bits)
         });
     }
-    group.finish();
+    bench.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_growth
-}
-criterion_main!(benches);

@@ -2,10 +2,10 @@
 //! truth behind Figures 2 and 3. Measures the verdict cost for the actual
 //! figure scenarios and for growing synthetic histories.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use haec_core::search::{Observation, SearchProblem};
 use haec_core::{ObjectSpecs, SpecKind};
 use haec_model::{ObjectId, Op, ReturnValue, Value};
+use haec_testkit::Bench;
 use haec_theory::figures::{fig2_verdict, fig3c_verdict};
 use std::hint::black_box;
 
@@ -28,28 +28,19 @@ fn synthetic_problem(updates: usize) -> SearchProblem {
     p
 }
 
-fn bench_search(c: &mut Criterion) {
-    let mut group = c.benchmark_group("explanation_search");
+fn main() {
+    let mut bench = Bench::from_args("explanation_search");
     for &updates in &[2usize, 3, 4] {
         let p = synthetic_problem(updates);
-        group.bench_with_input(
-            BenchmarkId::new("all_concurrent", updates),
-            &updates,
-            |b, _| b.iter(|| black_box(p.is_explainable())),
-        );
+        bench.bench(&format!("all_concurrent/{updates}"), || {
+            black_box(p.is_explainable())
+        });
     }
-    group.bench_function("fig2_verdict", |b| {
-        b.iter(|| black_box(fig2_verdict().candidates.len()))
+    bench.bench("fig2_verdict", || {
+        black_box(fig2_verdict().candidates.len())
     });
-    group.bench_function("fig3c_verdict", |b| {
-        b.iter(|| black_box(fig3c_verdict().candidates.len()))
+    bench.bench("fig3c_verdict", || {
+        black_box(fig3c_verdict().candidates.len())
     });
-    group.finish();
+    bench.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_search
-}
-criterion_main!(benches);

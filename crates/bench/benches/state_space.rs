@@ -1,47 +1,33 @@
 //! E9 / §7: replica state-size accounting cost and growth as operation
 //! history lengthens (the space side of the paper's closing remarks).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use haec_core::SpecKind;
 use haec_model::{ReplicaId, StoreConfig, StoreFactory};
 use haec_sim::{run_schedule, KeyDistribution, ScheduleConfig, Simulator, Workload};
 use haec_stores::{DvvMvrStore, OrSetStore};
+use haec_testkit::Bench;
 use std::hint::black_box;
 
-fn bench_state_space(c: &mut Criterion) {
-    let mut group = c.benchmark_group("state_space");
+fn main() {
+    let mut bench = Bench::from_args("state_space");
     let stores: Vec<(Box<dyn StoreFactory>, SpecKind)> = vec![
         (Box::new(DvvMvrStore), SpecKind::Mvr),
         (Box::new(OrSetStore), SpecKind::OrSet),
     ];
     for (factory, spec) in &stores {
         for &steps in &[100usize, 400] {
-            group.bench_with_input(
-                BenchmarkId::new(factory.name(), steps),
-                &steps,
-                |b, &steps| {
-                    b.iter(|| {
-                        let mut sim = Simulator::new(factory.as_ref(), StoreConfig::new(3, 2));
-                        let mut wl =
-                            Workload::new(*spec, 3, 2, 0.2, KeyDistribution::Uniform);
-                        let sched = ScheduleConfig {
-                            steps,
-                            drop_prob: 0.0,
-                            ..ScheduleConfig::default()
-                        };
-                        run_schedule(&mut sim, &mut wl, &sched, 11);
-                        black_box(sim.machine(ReplicaId::new(0)).state_bits())
-                    })
-                },
-            );
+            bench.bench(&format!("{}/{steps}", factory.name()), || {
+                let mut sim = Simulator::new(factory.as_ref(), StoreConfig::new(3, 2));
+                let mut wl = Workload::new(*spec, 3, 2, 0.2, KeyDistribution::Uniform);
+                let sched = ScheduleConfig {
+                    steps,
+                    drop_prob: 0.0,
+                    ..ScheduleConfig::default()
+                };
+                run_schedule(&mut sim, &mut wl, &sched, 11);
+                black_box(sim.machine(ReplicaId::new(0)).state_bits())
+            });
         }
     }
-    group.finish();
+    bench.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_state_space
-}
-criterion_main!(benches);

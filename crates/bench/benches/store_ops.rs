@@ -1,9 +1,9 @@
 //! Store operation latency: do/flush/deliver cycles per store — the cost
 //! of high availability in each implementation.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use haec_model::{ObjectId, Op, ReplicaId, StoreConfig, StoreFactory, Value};
 use haec_stores::{BoundedStore, DvvMvrStore, LwwStore, OrSetStore};
+use haec_testkit::Bench;
 use std::hint::black_box;
 
 const OPS: usize = 200;
@@ -43,9 +43,8 @@ fn run_cycle(factory: &dyn StoreFactory) -> u64 {
     acc
 }
 
-fn bench_stores(c: &mut Criterion) {
-    let mut group = c.benchmark_group("store_op_cycle");
-    group.throughput(Throughput::Elements(OPS as u64));
+fn main() {
+    let mut bench = Bench::from_args("store_op_cycle");
     let factories: Vec<Box<dyn StoreFactory>> = vec![
         Box::new(DvvMvrStore),
         Box::new(OrSetStore),
@@ -53,18 +52,7 @@ fn bench_stores(c: &mut Criterion) {
         Box::new(BoundedStore),
     ];
     for factory in factories {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(factory.name()),
-            &(),
-            |b, ()| b.iter(|| black_box(run_cycle(factory.as_ref()))),
-        );
+        bench.bench(factory.name(), || black_box(run_cycle(factory.as_ref())));
     }
-    group.finish();
+    bench.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_stores
-}
-criterion_main!(benches);

@@ -2,13 +2,13 @@
 //! the wall-clock cost of the Figure 4 construction and (via
 //! `experiments --thm12`) the measured message sizes against the bound.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use haec_stores::DvvMvrStore;
+use haec_testkit::Bench;
 use haec_theory::{roundtrip, Thm12Config};
 use std::hint::black_box;
 
-fn bench_roundtrip(c: &mut Criterion) {
-    let mut group = c.benchmark_group("thm12_roundtrip");
+fn main() {
+    let mut bench = Bench::from_args("thm12_roundtrip");
     for &k in &[4u32, 32, 256] {
         let cfg = Thm12Config {
             n_replicas: 5,
@@ -16,21 +16,11 @@ fn bench_roundtrip(c: &mut Criterion) {
             k,
         };
         let g: Vec<u32> = (0..cfg.n_prime()).map(|i| (i as u32 % k) + 1).collect();
-        group.throughput(Throughput::Elements(u64::from(k) * cfg.n_prime() as u64));
-        group.bench_with_input(BenchmarkId::new("dvv-mvr", k), &k, |b, _| {
-            b.iter(|| {
-                let rt = roundtrip(&DvvMvrStore, black_box(&cfg), black_box(&g));
-                assert!(rt.is_lossless());
-                black_box(rt.m_g_bits)
-            })
+        bench.bench(&format!("dvv-mvr/{k}"), || {
+            let rt = roundtrip(&DvvMvrStore, black_box(&cfg), black_box(&g));
+            assert!(rt.is_lossless());
+            black_box(rt.m_g_bits)
         });
     }
-    group.finish();
+    bench.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_roundtrip
-}
-criterion_main!(benches);

@@ -32,11 +32,12 @@ use haec_sim::{
 };
 use haec_stores::properties::check_with_ops;
 use haec_stores::{
-    all_factories, ArbitrationStore, BoundedStore, DvvMvrStore, KDelayedStore, LwwStore,
-    OrSetStore,
+    all_factories, ArbitrationStore, BoundedStore, DvvMvrStore, KDelayedStore, LwwStore, OrSetStore,
 };
 use haec_theory::construction::construct;
-use haec_theory::figures::{fig2_store_run, fig2_verdict, fig3a_verdict, fig3b_verdict, fig3c_verdict};
+use haec_theory::figures::{
+    fig2_store_run, fig2_verdict, fig3a_verdict, fig3b_verdict, fig3c_verdict,
+};
 use haec_theory::generate::{fig3c_style, random_causal, random_occ, GeneratorConfig};
 use haec_theory::lemmas::{check_prop1, check_prop2};
 use haec_theory::lower_bound::sweep;
@@ -102,7 +103,10 @@ fn ops_for(spec: SpecKind) -> Vec<Op> {
 /// A labelled scenario: `(label, spec, update ops per replica)`.
 type SpecCase = (&'static str, SpecKind, Vec<(ReplicaId, Op)>);
 /// A named generator of abstract executions.
-type ExecutionFamily = (&'static str, Box<dyn Fn(u64) -> haec_core::AbstractExecution>);
+type ExecutionFamily = (
+    &'static str,
+    Box<dyn Fn(u64) -> haec_core::AbstractExecution>,
+);
 
 /// E1 — Figure 1: the specification functions on canonical contexts.
 pub fn fig1_spec_table() -> Table {
@@ -113,17 +117,26 @@ pub fn fig1_spec_table() -> Table {
         (
             "register: last write in H' wins",
             SpecKind::LwwRegister,
-            vec![(r(0), Op::Write(Value::new(1))), (r(1), Op::Write(Value::new(2)))],
+            vec![
+                (r(0), Op::Write(Value::new(1))),
+                (r(1), Op::Write(Value::new(2))),
+            ],
         ),
         (
             "MVR: concurrent writes conflict",
             SpecKind::Mvr,
-            vec![(r(0), Op::Write(Value::new(1))), (r(1), Op::Write(Value::new(2)))],
+            vec![
+                (r(0), Op::Write(Value::new(1))),
+                (r(1), Op::Write(Value::new(2))),
+            ],
         ),
         (
             "ORset: add wins over concurrent remove",
             SpecKind::OrSet,
-            vec![(r(0), Op::Add(Value::new(7))), (r(1), Op::Remove(Value::new(7)))],
+            vec![
+                (r(0), Op::Add(Value::new(7))),
+                (r(1), Op::Remove(Value::new(7))),
+            ],
         ),
         (
             "counter: visible increments",
@@ -157,7 +170,12 @@ pub fn fig1_spec_table() -> Table {
 /// E2/E3 — Figures 2 and 3: explainability verdicts plus concrete stores.
 pub fn figures_table() -> Table {
     let mut t = Table::new("E2/E3 / Figures 2-3: can a store hide concurrency?");
-    for v in [fig3a_verdict(), fig3b_verdict(), fig2_verdict(), fig3c_verdict()] {
+    for v in [
+        fig3a_verdict(),
+        fig3b_verdict(),
+        fig2_verdict(),
+        fig3c_verdict(),
+    ] {
         t.row(format!("{}:", v.label));
         for (desc, ok) in &v.candidates {
             t.row(format!(
@@ -222,10 +240,8 @@ pub fn thm6_table(runs: usize) -> Table {
             "cops-mvr", "random causal", ok, runs
         ));
     }
-    let counterexamples: Vec<Box<dyn StoreFactory>> = vec![
-        Box::new(ArbitrationStore),
-        Box::new(KDelayedStore::new(2)),
-    ];
+    let counterexamples: Vec<Box<dyn StoreFactory>> =
+        vec![Box::new(ArbitrationStore), Box::new(KDelayedStore::new(2))];
     for factory in counterexamples {
         let ok = (0..runs as u64)
             .filter(|&s| construct(factory.as_ref(), &fig3c_style(s)).complies())
@@ -291,7 +307,8 @@ pub fn thm12_table(samples: usize) -> Table {
 
 /// E7 — §6: message growth with the replica count (vector-clock cost).
 pub fn growth_table(samples: usize) -> Table {
-    let mut t = Table::new("E7 / §6: message growth with n (s = 16, k = 64) — O(n·lg k) vector cost");
+    let mut t =
+        Table::new("E7 / §6: message growth with n (s = 16, k = 64) — O(n·lg k) vector cost");
     t.row(format!(
         "{:>6} {:>6} {:>16} {:>16}",
         "n", "n'", "max |m_g| bits", "n'·lg k bound"
@@ -478,7 +495,10 @@ pub fn cost_table(seeds: u64) -> Table {
     let stores: Vec<(Box<dyn StoreFactory>, SpecKind)> = vec![
         (Box::new(DvvMvrStore), SpecKind::Mvr),
         (Box::new(haec_stores::CopsStore), SpecKind::Mvr),
-        (Box::new(haec_stores::CausalRegisterStore), SpecKind::LwwRegister),
+        (
+            Box::new(haec_stores::CausalRegisterStore),
+            SpecKind::LwwRegister,
+        ),
         (Box::new(OrSetStore), SpecKind::OrSet),
         (Box::new(LwwStore), SpecKind::LwwRegister),
         (Box::new(BoundedStore), SpecKind::Mvr),
@@ -519,7 +539,8 @@ pub fn cost_table(seeds: u64) -> Table {
 
 /// E10 — the bounded-message ablation.
 pub fn ablation_table() -> Table {
-    let mut t = Table::new("E10 / ablation: capping message size breaks causal+eventual consistency");
+    let mut t =
+        Table::new("E10 / ablation: capping message size breaks causal+eventual consistency");
     let cfg = Thm12Config {
         n_replicas: 4,
         n_objects: 3,
@@ -553,7 +574,10 @@ pub fn ablation_table() -> Table {
 pub fn sessions_table(seeds: u64) -> Table {
     use haec_core::consistency::sessions;
     let mut t = Table::new("E11 / session guarantees (monotonic writes, writes-follow-reads)");
-    t.row(format!("{:<18} {:>16} {:>10}", "store", "guarantees held", "runs"));
+    t.row(format!(
+        "{:<18} {:>16} {:>10}",
+        "store", "guarantees held", "runs"
+    ));
     for factory in all_factories() {
         let spec = spec_for(factory.name());
         let mut held = 0;

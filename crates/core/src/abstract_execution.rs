@@ -186,8 +186,7 @@ impl AbstractExecution {
         // (2) session closure.
         for (e1, e2) in self.vis.iter_pairs() {
             for e3 in (e2 + 1)..n {
-                if self.events[e3].replica == self.events[e2].replica
-                    && !self.vis.contains(e1, e3)
+                if self.events[e3].replica == self.events[e2].replica && !self.vis.contains(e1, e3)
                 {
                     return Err(AbstractExecutionError::MissingSessionClosureEdge {
                         from: e1,
@@ -270,9 +269,7 @@ impl AbstractExecution {
     /// violations of that assumption.
     pub fn writes_of_value(&self, obj: ObjectId, v: Value) -> Vec<usize> {
         (0..self.events.len())
-            .filter(|&i| {
-                self.events[i].obj == obj && self.events[i].op == Op::Write(v)
-            })
+            .filter(|&i| self.events[i].obj == obj && self.events[i].op == Op::Write(v))
             .collect()
     }
 
@@ -287,11 +284,7 @@ impl AbstractExecution {
     pub fn display(&self) -> String {
         let mut out = String::new();
         for (i, e) in self.events.iter().enumerate() {
-            let seen: Vec<String> = self
-                .vis
-                .predecessors(i)
-                .map(|p| p.to_string())
-                .collect();
+            let seen: Vec<String> = self.vis.predecessors(i).map(|p| p.to_string()).collect();
             out.push_str(&format!("{i:3}  {e}   vis⁻¹={{{}}}\n", seen.join(",")));
         }
         out
@@ -318,13 +311,7 @@ impl AbstractExecutionBuilder {
     }
 
     /// Appends a `do` event to `H` and returns its index.
-    pub fn push(
-        &mut self,
-        replica: ReplicaId,
-        obj: ObjectId,
-        op: Op,
-        rval: ReturnValue,
-    ) -> usize {
+    pub fn push(&mut self, replica: ReplicaId, obj: ObjectId, op: Op, rval: ReturnValue) -> usize {
         self.events.push(AbstractDo {
             replica,
             obj,

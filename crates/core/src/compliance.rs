@@ -39,9 +39,13 @@ impl std::error::Error for ComplianceError {}
 ///
 /// Returns the first mismatching replica.
 pub fn complies(ex: &Execution, a: &AbstractExecution) -> Result<(), ComplianceError> {
-    let n = ex
-        .n_replicas()
-        .max(a.events().iter().map(|e| e.replica.index() + 1).max().unwrap_or(0));
+    let n = ex.n_replicas().max(
+        a.events()
+            .iter()
+            .map(|e| e.replica.index() + 1)
+            .max()
+            .unwrap_or(0),
+    );
     for ri in 0..n {
         let rid = ReplicaId::new(ri as u32);
         let conc: Vec<_> = ex

@@ -113,7 +113,9 @@ pub fn check(a: &AbstractExecution) -> Result<(), OccViolation> {
         if !e.op.is_read() {
             continue;
         }
-        let Some(vals) = e.rval.as_values() else { continue };
+        let Some(vals) = e.rval.as_values() else {
+            continue;
+        };
         if vals.len() < 2 {
             continue;
         }
@@ -237,7 +239,11 @@ mod tests {
         let w0p = b.push(r(1), x(2), Op::Write(v(20)), ReturnValue::Ok);
         let w1 = b.push(r(1), x(0), Op::Write(v(2)), ReturnValue::Ok);
         let rd = b.push(r(3), x(0), Op::Read, ReturnValue::values([v(1), v(2)]));
-        b.vis(w0, rd).vis(w1, rd).vis(w1p, rd).vis(w0p, rd).vis(wt, rd);
+        b.vis(w0, rd)
+            .vis(w1, rd)
+            .vis(w1p, rd)
+            .vis(w0p, rd)
+            .vis(wt, rd);
         b.vis(wt, w1); // w̃ visible to w1, concurrent with w1'.
         let a = b.build_transitive().unwrap();
         assert!(check(&a).is_err());

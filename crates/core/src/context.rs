@@ -27,9 +27,7 @@ impl<'a> OperationContext<'a> {
     pub fn of(exec: &'a AbstractExecution, event: usize) -> Self {
         let e = exec.event(event);
         let mut members: Vec<usize> = (0..exec.len())
-            .filter(|&i| {
-                i == event || (exec.sees(i, event) && exec.event(i).obj == e.obj)
-            })
+            .filter(|&i| i == event || (exec.sees(i, event) && exec.event(i).obj == e.obj))
             .collect();
         members.sort_unstable();
         let vis = exec.vis().restrict(&members);

@@ -115,8 +115,7 @@ pub fn in_specification(
             return Err(SpecMembershipError::UnsupportedOp { event: e });
         }
     }
-    check_correct(a, &ObjectSpecs::uniform(kind))
-        .map_err(SpecMembershipError::WrongResponse)
+    check_correct(a, &ObjectSpecs::uniform(kind)).map_err(SpecMembershipError::WrongResponse)
 }
 
 #[cfg(test)]

@@ -51,7 +51,9 @@ pub use abstract_execution::{
     AbstractDo, AbstractExecution, AbstractExecutionBuilder, AbstractExecutionError,
 };
 pub use compliance::{complies, ComplianceError};
-pub use consistency::{causal, compare_on, eventual, occ, sessions, ConsistencyModel, ModelComparison};
+pub use consistency::{
+    causal, compare_on, eventual, occ, sessions, ConsistencyModel, ModelComparison,
+};
 pub use context::OperationContext;
 pub use correctness::{check_correct, in_specification, CorrectnessViolation, SpecMembershipError};
 pub use specs::{ObjectSpecs, SpecKind};

@@ -202,8 +202,8 @@ impl SearchState<'_> {
         if self.solutions.len() >= self.limit {
             return;
         }
-        let done = (0..self.problem.sessions.len())
-            .all(|r| self.pos[r] >= self.problem.sessions[r].len());
+        let done =
+            (0..self.problem.sessions.len()).all(|r| self.pos[r] >= self.problem.sessions[r].len());
         if done {
             self.solutions.push(self.reconstruct());
             return;
@@ -425,7 +425,8 @@ impl SearchState<'_> {
                 }
             }
         }
-        b.build().expect("search reconstruction is structurally valid")
+        b.build()
+            .expect("search reconstruction is structurally valid")
     }
 }
 

@@ -105,9 +105,9 @@ impl SpecKind {
                 let positions: Vec<usize> = ctxt.prior_positions().collect();
                 for &p1 in &positions {
                     if let Op::Add(v) = ctxt.member(p1).op {
-                        let removed = positions.iter().any(|&p2| {
-                            ctxt.member(p2).op == Op::Remove(v) && ctxt.sees(p1, p2)
-                        });
+                        let removed = positions
+                            .iter()
+                            .any(|&p2| ctxt.member(p2).op == Op::Remove(v) && ctxt.sees(p1, p2));
                         if !removed {
                             live.insert(v);
                         }
@@ -127,9 +127,9 @@ impl SpecKind {
                 let positions: Vec<usize> = ctxt.prior_positions().collect();
                 let raised = positions.iter().any(|&p1| {
                     ctxt.member(p1).op == Op::Enable
-                        && !positions.iter().any(|&p2| {
-                            ctxt.member(p2).op == Op::Disable && ctxt.sees(p1, p2)
-                        })
+                        && !positions
+                            .iter()
+                            .any(|&p2| ctxt.member(p2).op == Op::Disable && ctxt.sees(p1, p2))
                 });
                 if raised {
                     ReturnValue::values([Value::new(1)])
@@ -221,10 +221,7 @@ mod tests {
         let rd = b.push(r(1), x(0), Op::Read, ReturnValue::values([v(1)]));
         b.vis(w, rd);
         let a = b.build().unwrap();
-        assert_eq!(
-            ctx_rval(&a, rd, SpecKind::Mvr),
-            ReturnValue::values([v(1)])
-        );
+        assert_eq!(ctx_rval(&a, rd, SpecKind::Mvr), ReturnValue::values([v(1)]));
     }
 
     #[test]
@@ -249,10 +246,7 @@ mod tests {
         let rd = b.push(r(2), x(0), Op::Read, ReturnValue::values([v(2)]));
         b.vis(w1, w2).vis(w1, rd).vis(w2, rd);
         let a = b.build().unwrap();
-        assert_eq!(
-            ctx_rval(&a, rd, SpecKind::Mvr),
-            ReturnValue::values([v(2)])
-        );
+        assert_eq!(ctx_rval(&a, rd, SpecKind::Mvr), ReturnValue::values([v(2)]));
     }
 
     #[test]
@@ -283,7 +277,10 @@ mod tests {
         let mut b = AbstractExecutionBuilder::new();
         let rd = b.push(r(0), x(0), Op::Read, ReturnValue::empty());
         let a = b.build().unwrap();
-        assert_eq!(ctx_rval(&a, rd, SpecKind::LwwRegister), ReturnValue::empty());
+        assert_eq!(
+            ctx_rval(&a, rd, SpecKind::LwwRegister),
+            ReturnValue::empty()
+        );
     }
 
     #[test]

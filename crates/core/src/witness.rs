@@ -11,7 +11,9 @@
 //! then validate — a buggy witness cannot make a broken store pass, it can
 //! only make a correct store fail.
 
-use crate::abstract_execution::{AbstractExecution, AbstractExecutionBuilder, AbstractExecutionError};
+use crate::abstract_execution::{
+    AbstractExecution, AbstractExecutionBuilder, AbstractExecutionError,
+};
 use haec_model::{Dot, Execution};
 use std::collections::HashMap;
 use std::fmt;
@@ -197,10 +199,7 @@ pub fn abstract_from_witness_ordered(
             // non-causal store the induced transitivity demands then fail
             // the causal checker — which is the correct verdict.)
             for f in 0..source {
-                if h_replica[f] == h_replica[source]
-                    && f != target
-                    && h_reads[f]
-                {
+                if h_replica[f] == h_replica[source] && f != target && h_reads[f] {
                     builder.vis(f, target);
                 }
             }
@@ -338,8 +337,14 @@ mod tests {
         let w0 = ex.push_do(r(0), x(0), Op::Write(v(1)), ReturnValue::Ok);
         let w1 = ex.push_do(r(1), x(0), Op::Write(v(2)), ReturnValue::Ok);
         let ws = vec![
-            DoWitness { event: w0, visible: vec![] },
-            DoWitness { event: w1, visible: vec![] },
+            DoWitness {
+                event: w0,
+                visible: vec![],
+            },
+            DoWitness {
+                event: w1,
+                visible: vec![],
+            },
         ];
         let a = crate::witness::abstract_from_witness_ordered(&ex, &ws, &[w1, w0]).unwrap();
         assert_eq!(a.event(0).op, Op::Write(v(2)));
@@ -357,11 +362,16 @@ mod tests {
         ex.push_receive(r(1), m).unwrap();
         let rd = ex.push_do(r(1), x(0), Op::Read, ReturnValue::values([v(1)]));
         let ws = vec![
-            DoWitness { event: w, visible: vec![] },
-            DoWitness { event: rd, visible: vec![Dot::new(r(0), 1)] },
+            DoWitness {
+                event: w,
+                visible: vec![],
+            },
+            DoWitness {
+                event: rd,
+                visible: vec![Dot::new(r(0), 1)],
+            },
         ];
-        let err =
-            crate::witness::abstract_from_witness_ordered(&ex, &ws, &[rd, w]).unwrap_err();
+        let err = crate::witness::abstract_from_witness_ordered(&ex, &ws, &[rd, w]).unwrap_err();
         assert!(
             matches!(err, WitnessError::FutureDot { .. }),
             "visibility pointing forward in H is rejected: {err}"

@@ -57,7 +57,10 @@ impl fmt::Display for WellFormednessError {
                 write!(f, "event {event}: receive of unknown message {msg}")
             }
             WellFormednessError::ReceiveBeforeSend { event, msg } => {
-                write!(f, "event {event}: message {msg} received before it was sent")
+                write!(
+                    f,
+                    "event {event}: message {msg} received before it was sent"
+                )
             }
             WellFormednessError::SelfDelivery { event, msg } => {
                 write!(f, "event {event}: replica received its own message {msg}")
@@ -207,7 +210,11 @@ impl Execution {
     /// Definition 1. (The "received before sent" case cannot arise with this
     /// append-only API; it is reported by [`validate`](Self::validate) for
     /// externally constructed sequences.)
-    pub fn push_receive(&mut self, replica: ReplicaId, m: MsgId) -> Result<usize, WellFormednessError> {
+    pub fn push_receive(
+        &mut self,
+        replica: ReplicaId,
+        m: MsgId,
+    ) -> Result<usize, WellFormednessError> {
         self.check_replica(replica)?;
         let Some(rec) = self.messages.get(m.index()) else {
             return Err(WellFormednessError::UnknownMessage {
@@ -245,13 +252,22 @@ impl Execution {
             }
             if let EventKind::Receive { msg } = &e.kind {
                 let Some(rec) = self.messages.get(msg.index()) else {
-                    return Err(WellFormednessError::UnknownMessage { event: i, msg: *msg });
+                    return Err(WellFormednessError::UnknownMessage {
+                        event: i,
+                        msg: *msg,
+                    });
                 };
                 if rec.send_index >= i {
-                    return Err(WellFormednessError::ReceiveBeforeSend { event: i, msg: *msg });
+                    return Err(WellFormednessError::ReceiveBeforeSend {
+                        event: i,
+                        msg: *msg,
+                    });
                 }
                 if rec.sender == e.replica {
-                    return Err(WellFormednessError::SelfDelivery { event: i, msg: *msg });
+                    return Err(WellFormednessError::SelfDelivery {
+                        event: i,
+                        msg: *msg,
+                    });
                 }
             }
             if let EventKind::Send { msg } = &e.kind {

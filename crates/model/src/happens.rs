@@ -82,7 +82,9 @@ pub fn rcv_relation(ex: &Execution) -> Relation {
         }
     }
     for (i, _) in ex.events().iter().enumerate() {
-        let Some(send_ix) = next_send[i] else { continue };
+        let Some(send_ix) = next_send[i] else {
+            continue;
+        };
         let EventKind::Send { msg } = ex.events()[send_ix].kind else {
             unreachable!("next_send points at a send event");
         };

@@ -80,9 +80,9 @@ impl Relation {
     /// Iterates over the successors of `i` in increasing order.
     pub fn successors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
         let row = self.row(i);
-        row.iter().enumerate().flat_map(|(w, &word)| {
-            BitIter { word, base: w * 64 }
-        })
+        row.iter()
+            .enumerate()
+            .flat_map(|(w, &word)| BitIter { word, base: w * 64 })
     }
 
     /// Iterates over the predecessors of `j` in increasing order.
@@ -149,10 +149,7 @@ impl Relation {
     /// Tests whether `self ⊆ other`.
     pub fn is_subset_of(&self, other: &Relation) -> bool {
         assert_eq!(self.n, other.n, "domain mismatch");
-        self.bits
-            .iter()
-            .zip(&other.bits)
-            .all(|(a, b)| a & !b == 0)
+        self.bits.iter().zip(&other.bits).all(|(a, b)| a & !b == 0)
     }
 
     /// Restricts the relation to the elements of `keep` (in the order

@@ -1,0 +1,264 @@
+//! Property-based tests of the concrete model: well-formedness and
+//! happens-before invariants over randomly generated executions.
+//!
+//! Failures print a `HAEC_PROP_SEED` replay line; see the testkit docs.
+
+use haec_model::{
+    happens_before, per_replica_order, rcv_relation, Execution, ObjectId, Op, Payload, ReplicaId,
+    ReturnValue, Value,
+};
+use haec_testkit::prop::{self, vecs, Config, Gen, VecGen};
+use haec_testkit::{prop_assert, prop_assert_eq, Rng};
+
+/// A generation step for building random well-formed executions.
+#[derive(Clone, Debug)]
+enum Step {
+    Do { replica: u8, obj: u8, write: bool },
+    Send { replica: u8 },
+    Receive { replica: u8, pick: u8 },
+}
+
+/// Generates one [`Step`] for a cluster of `n_replicas`, shrinking
+/// towards replica/object 0 and towards reads.
+#[derive(Clone, Debug)]
+struct StepGen {
+    n_replicas: u8,
+}
+
+impl Gen for StepGen {
+    type Value = Step;
+
+    fn generate(&self, rng: &mut Rng) -> Step {
+        let replica = rng.gen_range(0..self.n_replicas);
+        match rng.gen_range(0u32..3) {
+            0 => Step::Do {
+                replica,
+                obj: rng.gen_range(0..3u8),
+                write: rng.gen_bool(0.5),
+            },
+            1 => Step::Send { replica },
+            _ => Step::Receive {
+                replica,
+                pick: (rng.next_u64() & 0xFF) as u8,
+            },
+        }
+    }
+
+    fn shrink(&self, value: &Step) -> Vec<Step> {
+        let mut out = Vec::new();
+        match *value {
+            Step::Do {
+                replica,
+                obj,
+                write,
+            } => {
+                if write {
+                    out.push(Step::Do {
+                        replica,
+                        obj,
+                        write: false,
+                    });
+                }
+                if replica > 0 {
+                    out.push(Step::Do {
+                        replica: 0,
+                        obj,
+                        write,
+                    });
+                }
+                if obj > 0 {
+                    out.push(Step::Do {
+                        replica,
+                        obj: 0,
+                        write,
+                    });
+                }
+            }
+            Step::Send { replica } if replica > 0 => out.push(Step::Send { replica: 0 }),
+            Step::Receive { replica, pick } if pick > 0 => {
+                out.push(Step::Receive { replica, pick: 0 });
+            }
+            _ => {}
+        }
+        out
+    }
+}
+
+fn steps(n_replicas: u8, max_len: usize) -> VecGen<StepGen> {
+    vecs(StepGen { n_replicas }, 0..max_len)
+}
+
+fn config() -> Config {
+    Config::with_cases(200)
+}
+
+/// Builds a well-formed execution from the step script: receives pick among
+/// messages sent by other replicas (skipped when none exist).
+fn build(steps: &[Step], n_replicas: usize) -> Execution {
+    let mut ex = Execution::new(n_replicas);
+    let mut value = 0u64;
+    for step in steps {
+        match step {
+            Step::Do {
+                replica,
+                obj,
+                write,
+            } => {
+                let (op, rval) = if *write {
+                    value += 1;
+                    (Op::Write(Value::new(value)), ReturnValue::Ok)
+                } else {
+                    (Op::Read, ReturnValue::empty())
+                };
+                ex.push_do(
+                    ReplicaId::new(u32::from(*replica)),
+                    ObjectId::new(u32::from(*obj)),
+                    op,
+                    rval,
+                );
+            }
+            Step::Send { replica } => {
+                value += 1;
+                ex.push_send(
+                    ReplicaId::new(u32::from(*replica)),
+                    Payload::from_bytes(vec![value as u8]),
+                )
+                .expect("valid replica");
+            }
+            Step::Receive { replica, pick } => {
+                let rid = ReplicaId::new(u32::from(*replica));
+                let candidates: Vec<_> = ex
+                    .messages()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, m)| m.sender != rid)
+                    .map(|(i, _)| i)
+                    .collect();
+                if !candidates.is_empty() {
+                    let m = candidates[usize::from(*pick) % candidates.len()];
+                    ex.push_receive(rid, haec_model::MsgId::new(m as u64))
+                        .expect("send precedes receive");
+                }
+            }
+        }
+    }
+    ex
+}
+
+/// Push-constructed executions are always well-formed.
+#[test]
+fn constructed_executions_validate() {
+    prop::check_with(
+        &config(),
+        "constructed_executions_validate",
+        &steps(3, 40),
+        |s| {
+            let ex = build(s, 3);
+            prop_assert!(ex.validate().is_ok());
+            Ok(())
+        },
+    );
+}
+
+/// Happens-before is a strict partial order: irreflexive, transitive,
+/// acyclic, and consistent with execution order.
+#[test]
+fn hb_is_strict_partial_order() {
+    prop::check_with(
+        &config(),
+        "hb_is_strict_partial_order",
+        &steps(3, 30),
+        |s| {
+            let ex = build(s, 3);
+            let hb = happens_before(&ex);
+            for i in 0..ex.len() {
+                prop_assert!(!hb.contains(i, i), "irreflexive at {i}");
+            }
+            prop_assert!(hb.is_transitive());
+            prop_assert!(hb.is_acyclic());
+            for (i, j) in hb.iter_pairs() {
+                prop_assert!(i < j, "hb must point forward in execution order");
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Program order is contained in happens-before.
+#[test]
+fn program_order_in_hb() {
+    prop::check_with(&config(), "program_order_in_hb", &steps(3, 30), |s| {
+        let ex = build(s, 3);
+        let po = per_replica_order(&ex);
+        let hb = happens_before(&ex);
+        prop_assert!(po.is_subset_of(&hb));
+        Ok(())
+    });
+}
+
+/// The §4 `rcv` relation is contained in happens-before.
+#[test]
+fn rcv_in_hb() {
+    prop::check_with(&config(), "rcv_in_hb", &steps(3, 25), |s| {
+        let ex = build(s, 3);
+        let rcv = rcv_relation(&ex);
+        let hb = happens_before(&ex);
+        prop_assert!(rcv.is_subset_of(&hb));
+        Ok(())
+    });
+}
+
+/// Proposition 1 at the model level: the happens-before past of every
+/// event (a) contains the sends of all its receives and (b) forms a
+/// per-replica prefix.
+#[test]
+fn prop1_causal_pasts() {
+    prop::check_with(&config(), "prop1_causal_pasts", &steps(3, 25), |s| {
+        let ex = build(s, 3);
+        let hb = happens_before(&ex);
+        for e in 0..ex.len() {
+            let past: Vec<usize> = (0..ex.len())
+                .filter(|&i| i == e || hb.contains(i, e))
+                .collect();
+            for &i in &past {
+                if let haec_model::EventKind::Receive { msg } = &ex.event(i).kind {
+                    let send_ix = ex.message(*msg).send_index;
+                    prop_assert!(past.contains(&send_ix), "receive without its send");
+                }
+            }
+            for r in 0..3 {
+                let rid = ReplicaId::new(r);
+                let proj = ex.replica_projection(rid);
+                let in_past: Vec<usize> =
+                    proj.iter().copied().filter(|i| past.contains(i)).collect();
+                prop_assert_eq!(
+                    in_past.as_slice(),
+                    &proj[..in_past.len()],
+                    "past is not a per-replica prefix: {:?} vs {:?}",
+                    in_past,
+                    proj
+                );
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Message records are internally consistent.
+#[test]
+fn message_records_consistent() {
+    prop::check_with(
+        &config(),
+        "message_records_consistent",
+        &steps(2, 30),
+        |s| {
+            let ex = build(s, 2);
+            for (i, m) in ex.messages().iter().enumerate() {
+                let e = ex.event(m.send_index);
+                prop_assert_eq!(e.replica, m.sender);
+                prop_assert_eq!(e.kind.msg(), Some(haec_model::MsgId::new(i as u64)));
+            }
+            Ok(())
+        },
+    );
+}

@@ -25,10 +25,7 @@ pub const HIERARCHY: [ConsistencyModel; 4] = [
 
 /// Grades one witness abstract execution: the strongest model admitting
 /// it, or `None` if even `Correct` rejects it.
-pub fn grade(
-    a: &haec_core::AbstractExecution,
-    specs: &ObjectSpecs,
-) -> Option<ConsistencyModel> {
+pub fn grade(a: &haec_core::AbstractExecution, specs: &ObjectSpecs) -> Option<ConsistencyModel> {
     HIERARCHY.iter().find(|m| m.admits(a, specs)).cloned()
 }
 

@@ -82,11 +82,7 @@ mod tests {
     use haec_model::{Op, StoreConfig, Value};
     use haec_stores::{DvvMvrStore, KDelayedStore, LwwStore, OrSetStore};
 
-    fn run_random(
-        factory: &dyn haec_model::StoreFactory,
-        spec: SpecKind,
-        seed: u64,
-    ) -> Simulator {
+    fn run_random(factory: &dyn haec_model::StoreFactory, spec: SpecKind, seed: u64) -> Simulator {
         let cfg = StoreConfig::new(3, 2);
         let mut sim = Simulator::new(factory, cfg);
         let mut wl = Workload::new(spec, 3, 2, 0.3, KeyDistribution::Uniform);
@@ -137,7 +133,11 @@ mod tests {
         let cfg = StoreConfig::new(2, 1);
         let factory = KDelayedStore::new(3);
         let mut sim = Simulator::new(&factory, cfg);
-        sim.do_op(ReplicaId::new(0), ObjectId::new(0), Op::Write(Value::new(1)));
+        sim.do_op(
+            ReplicaId::new(0),
+            ObjectId::new(0),
+            Op::Write(Value::new(1)),
+        );
         let err = check_quiescent_agreement(&mut sim)
             .expect_err("delayed exposure must cause disagreement");
         let d = err.expect("store quiesces fine");

@@ -74,7 +74,11 @@ impl ExhaustiveReport {
 
 /// Replays a sequence of actions on a fresh cluster, uniquifying written
 /// values by action position. Returns the simulator in its final state.
-pub fn replay(factory: &dyn StoreFactory, config: &ExhaustiveConfig, actions: &[Action]) -> Simulator {
+pub fn replay(
+    factory: &dyn StoreFactory,
+    config: &ExhaustiveConfig,
+    actions: &[Action],
+) -> Simulator {
     let mut sim = Simulator::new(factory, config.store_config);
     for (step, action) in actions.iter().enumerate() {
         match action {
@@ -209,8 +213,7 @@ mod tests {
         let Ok(a) = sim.abstract_execution() else {
             return false;
         };
-        check_correct(&a, &ObjectSpecs::uniform(SpecKind::Mvr)).is_ok()
-            && causal::check(&a).is_ok()
+        check_correct(&a, &ObjectSpecs::uniform(SpecKind::Mvr)).is_ok() && causal::check(&a).is_ok()
     }
 
     #[test]

@@ -86,7 +86,15 @@ impl fmt::Display for ConsistencyReport {
             self.store, self.seed, self.do_events
         )?;
         let fmt_check = |o: &Option<String>| o.clone().unwrap_or_else(|| "ok".into());
-        writeln!(f, "  witness:  {}", if self.abstract_execution.is_ok() { "ok" } else { "FAILED" })?;
+        writeln!(
+            f,
+            "  witness:  {}",
+            if self.abstract_execution.is_ok() {
+                "ok"
+            } else {
+                "FAILED"
+            }
+        )?;
         writeln!(f, "  correct:  {}", fmt_check(&self.correct))?;
         writeln!(f, "  causal:   {}", fmt_check(&self.causal))?;
         writeln!(f, "  occ:      {}", fmt_check(&self.occ))?;
@@ -114,11 +122,7 @@ pub fn explore(
 }
 
 /// Builds a report for an already-driven simulator.
-pub fn report_on(
-    sim: &Simulator,
-    config: &ExplorationConfig,
-    seed: u64,
-) -> ConsistencyReport {
+pub fn report_on(sim: &Simulator, config: &ExplorationConfig, seed: u64) -> ConsistencyReport {
     let specs = ObjectSpecs::uniform(config.spec);
     let abstract_execution = if config.arbitrated_order {
         sim.abstract_execution_arbitrated()
@@ -204,9 +208,8 @@ mod tests {
         let mut failures = 0;
         for seed in 0..10 {
             let rep = explore(&BoundedStore, &config, seed);
-            let broken = rep.abstract_execution.is_err()
-                || rep.correct.is_some()
-                || rep.causal.is_some();
+            let broken =
+                rep.abstract_execution.is_err() || rep.correct.is_some() || rep.causal.is_some();
             if broken {
                 failures += 1;
             }

@@ -16,8 +16,7 @@ use crate::simulator::Simulator;
 use crate::workload::Workload;
 use haec_core::consistency::eventual;
 use haec_model::{ReplicaId, StoreFactory};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use haec_testkit::Rng;
 
 /// Configuration of a fair long run.
 #[derive(Clone, Debug)]
@@ -83,7 +82,7 @@ pub fn fair_run(
 ) -> LivenessReport {
     let store_config = haec_model::StoreConfig::new(3, 2);
     let mut sim = Simulator::new(factory, store_config);
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut staleness_per_round = Vec::with_capacity(config.rounds);
     for _ in 0..config.rounds {
         for _ in 0..config.ops_per_round {

@@ -109,7 +109,11 @@ mod tests {
     #[test]
     fn counts_are_consistent_with_execution() {
         let mut sim = Simulator::new(&DvvMvrStore, StoreConfig::new(2, 1));
-        sim.do_op(ReplicaId::new(0), ObjectId::new(0), Op::Write(Value::new(1)));
+        sim.do_op(
+            ReplicaId::new(0),
+            ObjectId::new(0),
+            Op::Write(Value::new(1)),
+        );
         sim.flush(ReplicaId::new(0));
         sim.deliver_all();
         sim.read(ReplicaId::new(1), ObjectId::new(0));

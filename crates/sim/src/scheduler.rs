@@ -10,8 +10,7 @@
 
 use crate::simulator::Simulator;
 use crate::workload::Workload;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use haec_testkit::Rng;
 
 /// A temporary network partition: while active, copies crossing between the
 /// two groups cannot be delivered (they stay in flight — the network delays
@@ -101,7 +100,7 @@ pub fn run_schedule(
     config: &ScheduleConfig,
     seed: u64,
 ) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let total = config.op_weight + config.flush_weight + config.deliver_weight;
     assert!(total > 0, "at least one action must have weight");
     for step in 0..config.steps {
@@ -119,9 +118,7 @@ pub fn run_schedule(
                     let f = sim.inflight()[i];
                     let sender = sim.execution().message(f.msg).sender;
                     match &config.partition {
-                        Some(p) if p.active(step) => {
-                            !p.separates(sender.index(), f.to.index())
-                        }
+                        Some(p) if p.active(step) => !p.separates(sender.index(), f.to.index()),
                         _ => true,
                     }
                 })
@@ -227,9 +224,17 @@ mod tests {
         // Two messages from R0; LIFO delivers the newer one first.
         let mut sim = Simulator::new(&DvvMvrStore, StoreConfig::new(2, 1));
         let r0 = ReplicaId::new(0);
-        sim.do_op(r0, ObjectId::new(0), haec_model::Op::Write(haec_model::Value::new(1)));
+        sim.do_op(
+            r0,
+            ObjectId::new(0),
+            haec_model::Op::Write(haec_model::Value::new(1)),
+        );
         sim.flush(r0);
-        sim.do_op(r0, ObjectId::new(0), haec_model::Op::Write(haec_model::Value::new(2)));
+        sim.do_op(
+            r0,
+            ObjectId::new(0),
+            haec_model::Op::Write(haec_model::Value::new(2)),
+        );
         sim.flush(r0);
         let mut wl = Workload::new(SpecKind::Mvr, 2, 1, 1.0, KeyDistribution::Uniform);
         let cfg = ScheduleConfig {

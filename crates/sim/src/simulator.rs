@@ -7,7 +7,9 @@
 //! simulator operations, so an execution is an exact transcript of the
 //! scheduler's choices.
 
-use haec_core::witness::{abstract_from_witness, abstract_from_witness_ordered, DoWitness, WitnessError};
+use haec_core::witness::{
+    abstract_from_witness, abstract_from_witness_ordered, DoWitness, WitnessError,
+};
 use haec_core::AbstractExecution;
 use haec_model::{
     Execution, MsgId, ObjectId, Op, ReplicaId, ReplicaMachine, ReturnValue, StoreConfig,
@@ -195,9 +197,8 @@ impl Simulator {
                 return true;
             }
         }
-        
-        (0..self.config.n_replicas)
-            .all(|r| self.machines[r].pending_message().is_none())
+
+        (0..self.config.n_replicas).all(|r| self.machines[r].pending_message().is_none())
             && self.inflight.is_empty()
     }
 
@@ -251,7 +252,10 @@ impl Simulator {
                 let ts = self.timestamps[pos].unwrap_or(0);
                 let (_, op, _) = self.execution.event(ix).as_do().expect("do event");
                 let is_read = u8::from(op.is_read());
-                ((ts, is_read, self.execution.event(ix).replica.index(), ix), ix)
+                (
+                    (ts, is_read, self.execution.event(ix).replica.index(), ix),
+                    ix,
+                )
             })
             .collect();
         keyed.sort();

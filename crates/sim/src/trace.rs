@@ -132,10 +132,8 @@ fn parse_rval(tok: &str, line: usize) -> Result<ReturnValue, ParseError> {
     if inner.is_empty() {
         return Ok(ReturnValue::empty());
     }
-    let vals: Result<Vec<Value>, ParseError> = inner
-        .split(',')
-        .map(|t| parse_value(t, line))
-        .collect();
+    let vals: Result<Vec<Value>, ParseError> =
+        inner.split(',').map(|t| parse_value(t, line)).collect();
     Ok(ReturnValue::values(vals?))
 }
 
@@ -206,10 +204,7 @@ pub fn parse(text: &str) -> Result<Execution, ParseError> {
                     }
                     other => return Err(err(format!("unknown op `{other}`"))),
                 };
-                let rval = parse_rval(
-                    rval_tok.ok_or_else(|| err("missing rval".into()))?,
-                    line,
-                )?;
+                let rval = parse_rval(rval_tok.ok_or_else(|| err("missing rval".into()))?, line)?;
                 ex.push_do(replica, obj, op, rval);
             }
             "send" => {

@@ -3,8 +3,7 @@
 
 use haec_core::SpecKind;
 use haec_model::{ObjectId, Op, ReplicaId, Value};
-use rand::rngs::StdRng;
-use rand::Rng;
+use haec_testkit::Rng;
 
 /// Distribution of operations over objects.
 #[derive(Copy, Clone, PartialEq, Debug)]
@@ -77,7 +76,7 @@ impl Workload {
     }
 
     /// Samples an object id.
-    pub fn sample_object(&self, rng: &mut StdRng) -> ObjectId {
+    pub fn sample_object(&self, rng: &mut Rng) -> ObjectId {
         let total = *self.cumulative.last().expect("nonempty");
         let p: f64 = rng.gen_range(0.0..total);
         let ix = self
@@ -88,7 +87,7 @@ impl Workload {
     }
 
     /// Samples a replica id uniformly.
-    pub fn sample_replica(&self, rng: &mut StdRng) -> ReplicaId {
+    pub fn sample_replica(&self, rng: &mut Rng) -> ReplicaId {
         ReplicaId::new(rng.gen_range(0..self.n_replicas) as u32)
     }
 
@@ -97,7 +96,7 @@ impl Workload {
     /// Written values are globally unique (the paper's distinct-writes
     /// assumption); ORset elements are drawn from a small pool so that adds
     /// and removes collide.
-    pub fn next_op(&mut self, rng: &mut StdRng) -> (ReplicaId, ObjectId, Op) {
+    pub fn next_op(&mut self, rng: &mut Rng) -> (ReplicaId, ObjectId, Op) {
         let replica = self.sample_replica(rng);
         let obj = self.sample_object(rng);
         let op = if rng.gen_bool(self.read_ratio) {
@@ -133,19 +132,16 @@ impl Workload {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
-    fn rng(seed: u64) -> StdRng {
-        StdRng::seed_from_u64(seed)
+    fn rng(seed: u64) -> Rng {
+        Rng::seed_from_u64(seed)
     }
 
     #[test]
     fn read_ratio_respected_roughly() {
         let mut w = Workload::new(SpecKind::Mvr, 3, 4, 0.5, KeyDistribution::Uniform);
         let mut r = rng(1);
-        let reads = (0..1000)
-            .filter(|_| w.next_op(&mut r).2.is_read())
-            .count();
+        let reads = (0..1000).filter(|_| w.next_op(&mut r).2.is_read()).count();
         assert!((350..650).contains(&reads), "got {reads} reads");
     }
 
@@ -156,7 +152,9 @@ mod tests {
         let mut seen = std::collections::BTreeSet::new();
         for _ in 0..500 {
             let (_, _, op) = w.next_op(&mut r);
-            let Op::Write(v) = op else { panic!("writes only") };
+            let Op::Write(v) = op else {
+                panic!("writes only")
+            };
             assert!(seen.insert(v), "duplicate written value {v}");
         }
     }

@@ -187,14 +187,19 @@ impl ReplicaMachine for CopsReplica {
     }
 
     fn on_send(&mut self) {
-        assert!(!self.outbox.is_empty(), "send scheduled with no pending message");
+        assert!(
+            !self.outbox.is_empty(),
+            "send scheduled with no pending message"
+        );
         self.outbox.clear();
         self.fresh_context = false;
     }
 
     fn on_receive(&mut self, payload: &Payload) {
         let mut r = BitReader::new(payload);
-        let Ok(n_batches) = r.read_gamma0() else { return };
+        let Ok(n_batches) = r.read_gamma0() else {
+            return;
+        };
         for _ in 0..n_batches {
             let mut deps = VersionVector::new(self.config.n_replicas);
             for i in 0..self.config.n_replicas {

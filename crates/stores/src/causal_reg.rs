@@ -179,10 +179,7 @@ mod tests {
         b.do_op(x(0), &Op::Write(v(2)));
         relay(&mut a, &mut b);
         relay(&mut b, &mut a);
-        assert_eq!(
-            a.do_op(x(0), &Op::Read).rval,
-            b.do_op(x(0), &Op::Read).rval
-        );
+        assert_eq!(a.do_op(x(0), &Op::Read).rval, b.do_op(x(0), &Op::Read).rval);
     }
 
     #[test]

@@ -190,7 +190,6 @@ impl StoreFactory for ArbitrationStore {
 // SequencedStore
 // ---------------------------------------------------------------------------
 
-
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 struct Announcement {
     dot: Dot,
@@ -336,7 +335,10 @@ impl ReplicaMachine for SequencedReplica {
         let mut w = BitWriter::new();
         w.write_gamma0(self.announce_out.len() as u64);
         for a in &self.announce_out {
-            w.write_bits(a.dot.replica.as_u32() as u64, width_for(self.config.n_replicas));
+            w.write_bits(
+                a.dot.replica.as_u32() as u64,
+                width_for(self.config.n_replicas),
+            );
             w.write_gamma(a.dot.seq as u64);
             w.write_bits(a.obj.as_u32() as u64, width_for(self.config.n_objects));
             w.write_gamma0(a.value.as_u64());
@@ -344,7 +346,10 @@ impl ReplicaMachine for SequencedReplica {
         w.write_gamma0(self.sequenced_out.len() as u64);
         for e in &self.sequenced_out {
             w.write_gamma(e.seqno);
-            w.write_bits(e.dot.replica.as_u32() as u64, width_for(self.config.n_replicas));
+            w.write_bits(
+                e.dot.replica.as_u32() as u64,
+                width_for(self.config.n_replicas),
+            );
             w.write_gamma(e.dot.seq as u64);
             w.write_bits(e.obj.as_u32() as u64, width_for(self.config.n_objects));
             w.write_gamma0(e.value.as_u64());
@@ -522,7 +527,10 @@ impl ReplicaMachine for BoundedReplica {
     fn pending_message(&self) -> Option<Payload> {
         let (dot, obj, value) = self.latest.as_ref()?;
         let mut w = BitWriter::new();
-        w.write_bits(dot.replica.as_u32() as u64, width_for(self.config.n_replicas));
+        w.write_bits(
+            dot.replica.as_u32() as u64,
+            width_for(self.config.n_replicas),
+        );
         w.write_gamma(dot.seq as u64);
         w.write_bits(obj.as_u32() as u64, width_for(self.config.n_objects));
         w.write_gamma0(value.as_u64());
@@ -530,7 +538,10 @@ impl ReplicaMachine for BoundedReplica {
     }
 
     fn on_send(&mut self) {
-        assert!(self.latest.is_some(), "send scheduled with no pending message");
+        assert!(
+            self.latest.is_some(),
+            "send scheduled with no pending message"
+        );
         self.latest = None;
     }
 

@@ -68,7 +68,10 @@ impl Update {
     /// Encodes the update into `w` using the configured replica/object
     /// widths.
     fn encode(&self, w: &mut BitWriter, config: StoreConfig) {
-        w.write_bits(self.dot.replica.as_u32() as u64, width_for(config.n_replicas));
+        w.write_bits(
+            self.dot.replica.as_u32() as u64,
+            width_for(config.n_replicas),
+        );
         w.write_gamma(self.dot.seq as u64);
         w.write_bits(self.obj.as_u32() as u64, width_for(config.n_objects));
         match &self.op {

@@ -142,7 +142,10 @@ impl ReplicaMachine for LwwReplica {
     }
 
     fn on_send(&mut self) {
-        assert!(!self.outbox.is_empty(), "send scheduled with no pending message");
+        assert!(
+            !self.outbox.is_empty(),
+            "send scheduled with no pending message"
+        );
         self.outbox.clear();
     }
 

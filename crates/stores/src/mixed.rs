@@ -198,7 +198,11 @@ mod tests {
         let ra = a.do_op(x(2), &Op::Read).rval;
         let rb = b.do_op(x(2), &Op::Read).rval;
         assert_eq!(ra, rb, "register replicas converge");
-        assert_eq!(ra.as_values().unwrap().len(), 1, "register hides concurrency");
+        assert_eq!(
+            ra.as_values().unwrap().len(),
+            1,
+            "register hides concurrency"
+        );
     }
 
     #[test]

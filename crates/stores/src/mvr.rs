@@ -18,8 +18,7 @@
 use crate::engine::{CausalEngine, Update, UpdateOp};
 use crate::wire::{gamma_len, width_for};
 use haec_model::{
-    DoOutcome, ObjectId, Op, Payload, ReplicaMachine, ReturnValue, StoreConfig, StoreFactory,
-    Value,
+    DoOutcome, ObjectId, Op, Payload, ReplicaMachine, ReturnValue, StoreConfig, StoreFactory, Value,
 };
 use haec_model::{Dot, ReplicaId};
 use std::collections::hash_map::DefaultHasher;
@@ -260,10 +259,7 @@ mod tests {
     fn pending_message_deterministic() {
         let mut a = spawn(0);
         a.do_op(x(0), &Op::Write(v(1)));
-        assert_eq!(
-            a.pending_message().unwrap(),
-            a.pending_message().unwrap()
-        );
+        assert_eq!(a.pending_message().unwrap(), a.pending_message().unwrap());
     }
 
     #[test]

@@ -183,9 +183,7 @@ impl ReplicaMachine for CounterReplica {
     fn do_op(&mut self, obj: ObjectId, op: &Op) -> DoOutcome {
         match op {
             Op::Read => DoOutcome::new(
-                ReturnValue::values([Value::new(
-                    self.counts.get(&obj).copied().unwrap_or(0),
-                )]),
+                ReturnValue::values([Value::new(self.counts.get(&obj).copied().unwrap_or(0))]),
                 self.engine.visible_dots(),
             ),
             Op::Inc => {
@@ -222,11 +220,7 @@ impl ReplicaMachine for CounterReplica {
     }
 
     fn state_bits(&self) -> usize {
-        let count_bits: usize = self
-            .counts
-            .values()
-            .map(|&c| gamma_len(c + 1))
-            .sum();
+        let count_bits: usize = self.counts.values().map(|&c| gamma_len(c + 1)).sum();
         self.engine.state_bits() + count_bits
     }
 }

@@ -66,13 +66,22 @@ impl fmt::Display for PropertyViolation {
                 write!(f, "{replica} has a message pending in its initial state")
             }
             PropertyViolation::ReceiveCreatedPending { step, replica } => {
-                write!(f, "step {step}: receive created pending message at {replica}")
+                write!(
+                    f,
+                    "step {step}: receive created pending message at {replica}"
+                )
             }
             PropertyViolation::NondeterministicMessage { step, replica } => {
-                write!(f, "step {step}: nondeterministic pending message at {replica}")
+                write!(
+                    f,
+                    "step {step}: nondeterministic pending message at {replica}"
+                )
             }
             PropertyViolation::PendingAfterSend { step, replica } => {
-                write!(f, "step {step}: message still pending after send at {replica}")
+                write!(
+                    f,
+                    "step {step}: message still pending after send at {replica}"
+                )
             }
         }
     }
@@ -211,10 +220,7 @@ pub fn check_with_ops(
                 let p1 = machines[r].pending_message();
                 let p2 = machines[r].pending_message();
                 if p1 != p2 {
-                    violations.push(PropertyViolation::NondeterministicMessage {
-                        step,
-                        replica,
-                    });
+                    violations.push(PropertyViolation::NondeterministicMessage { step, replica });
                 }
                 if let Some(p) = p1 {
                     machines[r].on_send();

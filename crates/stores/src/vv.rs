@@ -60,10 +60,7 @@ impl VersionVector {
 
     /// Tests pointwise domination: `self[r] ≥ other[r]` for all `r`.
     pub fn dominates(&self, other: &VersionVector) -> bool {
-        self.entries
-            .iter()
-            .zip(&other.entries)
-            .all(|(a, b)| a >= b)
+        self.entries.iter().zip(&other.entries).all(|(a, b)| a >= b)
     }
 
     /// Pointwise maximum, in place.
@@ -75,9 +72,10 @@ impl VersionVector {
 
     /// Iterates over all dots covered by the vector.
     pub fn dots(&self) -> impl Iterator<Item = Dot> + '_ {
-        self.entries.iter().enumerate().flat_map(|(r, &c)| {
-            (1..=c).map(move |s| Dot::new(ReplicaId::new(r as u32), s))
-        })
+        self.entries
+            .iter()
+            .enumerate()
+            .flat_map(|(r, &c)| (1..=c).map(move |s| Dot::new(ReplicaId::new(r as u32), s)))
     }
 
     /// Total number of covered dots.

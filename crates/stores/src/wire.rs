@@ -105,7 +105,11 @@ pub struct DecodeError {
 
 impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "malformed or truncated bit stream at bit {}", self.at_bit)
+        write!(
+            f,
+            "malformed or truncated bit stream at bit {}",
+            self.at_bit
+        )
     }
 }
 

@@ -1,0 +1,494 @@
+//! A minimal property-testing runner: generators, greedy shrinking, and
+//! failure-seed reporting.
+//!
+//! Properties are functions from a generated value to
+//! `Result<(), String>`; the [`prop_assert!`][crate::prop_assert],
+//! [`prop_assert_eq!`][crate::prop_assert_eq] and
+//! [`prop_assert_ne!`][crate::prop_assert_ne] macros build the `Err`
+//! branch so test bodies read like ordinary assertions. Each case draws
+//! its value from a fresh [`Rng`] seeded with a *case seed* derived from
+//! the run seed, and a failure report prints that case seed — re-running
+//! with `HAEC_PROP_SEED=<seed> HAEC_PROP_CASES=1` regenerates the
+//! identical counterexample before any shrinking, which is the hermetic
+//! replacement for `proptest`'s persistence files.
+//!
+//! ## Example
+//!
+//! ```
+//! use haec_testkit::prop::{self, vecs, u64s};
+//! use haec_testkit::prop_assert;
+//!
+//! prop::check("sum fits", &vecs(u64s(0..100), 0..10), |v| {
+//!     prop_assert!(v.iter().sum::<u64>() < 1000);
+//!     Ok(())
+//! });
+//! ```
+
+use crate::rng::{splitmix64, Rng};
+use std::fmt::Debug;
+use std::ops::Range;
+
+/// A value generator with optional shrinking.
+pub trait Gen {
+    /// The generated type.
+    type Value: Clone + Debug;
+
+    /// Draws one value from `rng`.
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Candidate simplifications of `value`, simplest first. The runner
+    /// greedily walks to the first candidate that still fails, repeating
+    /// until none do.
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let _ = value;
+        Vec::new()
+    }
+}
+
+/// Runner configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of cases to run (`HAEC_PROP_CASES` overrides).
+    pub cases: u64,
+    /// Run seed; case `i` uses a seed derived from it
+    /// (`HAEC_PROP_SEED` overrides).
+    pub seed: u64,
+    /// Cap on greedy shrink steps.
+    pub max_shrink_steps: usize,
+}
+
+/// The default run seed: fixed, so CI is deterministic. Override with
+/// `HAEC_PROP_SEED` to explore or replay.
+pub const DEFAULT_SEED: u64 = 0x5EED_0FAE_C201_5A11;
+
+impl Default for Config {
+    fn default() -> Self {
+        let env_u64 = |k: &str| std::env::var(k).ok().and_then(|v| v.parse::<u64>().ok());
+        Config {
+            cases: env_u64("HAEC_PROP_CASES").unwrap_or(64),
+            seed: env_u64("HAEC_PROP_SEED").unwrap_or(DEFAULT_SEED),
+            max_shrink_steps: 2000,
+        }
+    }
+}
+
+impl Config {
+    /// A default config with a different case count (still overridable by
+    /// the environment).
+    #[must_use]
+    pub fn with_cases(cases: u64) -> Self {
+        let has_env = std::env::var("HAEC_PROP_CASES").is_ok();
+        let mut c = Config::default();
+        if !has_env {
+            c.cases = cases;
+        }
+        c
+    }
+}
+
+/// The seed driving case `i` of a run: `HAEC_PROP_SEED=<this value>
+/// HAEC_PROP_CASES=1` reproduces the case exactly as case 0.
+#[must_use]
+pub fn case_seed(run_seed: u64, case: u64) -> u64 {
+    if case == 0 {
+        run_seed
+    } else {
+        let mut s = run_seed.wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        splitmix64(&mut s)
+    }
+}
+
+/// Runs `prop` against [`Config::default`]-many generated cases, panicking
+/// with a shrunk counterexample and its replay seed on failure.
+pub fn check<G, F>(name: &str, gen: &G, prop: F)
+where
+    G: Gen,
+    F: Fn(&G::Value) -> Result<(), String>,
+{
+    check_with(&Config::default(), name, gen, prop);
+}
+
+/// [`check`] with explicit configuration.
+///
+/// # Panics
+///
+/// Panics when the property fails, reporting the case seed, the original
+/// and shrunk counterexamples, and the replay command.
+pub fn check_with<G, F>(config: &Config, name: &str, gen: &G, prop: F)
+where
+    G: Gen,
+    F: Fn(&G::Value) -> Result<(), String>,
+{
+    for case in 0..config.cases {
+        let seed = case_seed(config.seed, case);
+        let mut rng = Rng::seed_from_u64(seed);
+        let value = gen.generate(&mut rng);
+        if let Err(err) = prop(&value) {
+            let original = format!("{value:?}");
+            let (min, min_err, steps) = shrink_failure(gen, &prop, value, err, config);
+            panic!(
+                "property '{name}' failed at case {case} (case seed {seed})\n\
+                 original:  {original}\n\
+                 shrunk ({steps} steps): {min:?}\n\
+                 error: {min_err}\n\
+                 replay: HAEC_PROP_SEED={seed} HAEC_PROP_CASES=1 cargo test"
+            );
+        }
+    }
+}
+
+fn shrink_failure<G, F>(
+    gen: &G,
+    prop: &F,
+    mut value: G::Value,
+    mut err: String,
+    config: &Config,
+) -> (G::Value, String, usize)
+where
+    G: Gen,
+    F: Fn(&G::Value) -> Result<(), String>,
+{
+    let mut steps = 0;
+    'outer: while steps < config.max_shrink_steps {
+        for candidate in gen.shrink(&value) {
+            if let Err(e) = prop(&candidate) {
+                value = candidate;
+                err = e;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (value, err, steps)
+}
+
+/// Fails a property with a message (formatted like `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!(
+                "assertion failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fails a property unless the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: `left == right` ({}:{})\n  left: {:?}\n right: {:?}",
+                file!(),
+                line!(),
+                l,
+                r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!($($fmt)+));
+        }
+    }};
+}
+
+/// Fails a property if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if l == r {
+            return Err(format!(
+                "assertion failed: `left != right` ({}:{})\n  both: {:?}",
+                file!(),
+                line!(),
+                l
+            ));
+        }
+    }};
+}
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+/// Uniform integers in a half-open range, shrinking towards the lower
+/// bound. Built by [`u8s`], [`u32s`], [`u64s`], [`usizes`].
+#[derive(Clone, Debug)]
+pub struct IntGen<T> {
+    range: Range<T>,
+}
+
+macro_rules! int_gen {
+    ($t:ty, $ctor:ident, $doc:expr) => {
+        #[doc = $doc]
+        #[must_use]
+        pub fn $ctor(range: Range<$t>) -> IntGen<$t> {
+            assert!(range.start < range.end, "generator range must be nonempty");
+            IntGen { range }
+        }
+
+        impl Gen for IntGen<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng) -> $t {
+                rng.gen_range(self.range.clone())
+            }
+
+            fn shrink(&self, value: &$t) -> Vec<$t> {
+                let lo = self.range.start;
+                let mut out = Vec::new();
+                if *value > lo {
+                    out.push(lo);
+                    let mid = lo + (*value - lo) / 2;
+                    if mid != lo && mid != *value {
+                        out.push(mid);
+                    }
+                    if *value - 1 != lo && Some(&(*value - 1)) != out.last() {
+                        out.push(*value - 1);
+                    }
+                }
+                out
+            }
+        }
+    };
+}
+
+int_gen!(u8, u8s, "Uniform `u8` values in `range`.");
+int_gen!(u32, u32s, "Uniform `u32` values in `range`.");
+int_gen!(u64, u64s, "Uniform `u64` values in `range`.");
+int_gen!(usize, usizes, "Uniform `usize` values in `range`.");
+
+/// Arbitrary bytes over the full `u8` range, shrinking towards 0.
+#[derive(Clone, Debug)]
+pub struct ByteGen;
+
+/// Uniform bytes over all of `u8`.
+#[must_use]
+pub fn any_u8() -> ByteGen {
+    ByteGen
+}
+
+impl Gen for ByteGen {
+    type Value = u8;
+
+    fn generate(&self, rng: &mut Rng) -> u8 {
+        (rng.next_u64() & 0xFF) as u8
+    }
+
+    fn shrink(&self, value: &u8) -> Vec<u8> {
+        let mut out = Vec::new();
+        if *value > 0 {
+            out.push(0);
+            if *value / 2 != 0 {
+                out.push(*value / 2);
+            }
+        }
+        out
+    }
+}
+
+/// Booleans (shrinking `true` to `false`).
+#[derive(Clone, Debug)]
+pub struct BoolGen;
+
+/// Uniform booleans.
+#[must_use]
+pub fn bools() -> BoolGen {
+    BoolGen
+}
+
+impl Gen for BoolGen {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut Rng) -> bool {
+        rng.gen_bool(0.5)
+    }
+
+    fn shrink(&self, value: &bool) -> Vec<bool> {
+        if *value {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Vectors of an element generator with length drawn from a range.
+/// Shrinks by dropping chunks/elements (never below the minimum length),
+/// then by shrinking individual elements.
+#[derive(Clone, Debug)]
+pub struct VecGen<G> {
+    elem: G,
+    len: Range<usize>,
+}
+
+/// A vector generator over `elem` with `len` in the given range.
+#[must_use]
+pub fn vecs<G: Gen>(elem: G, len: Range<usize>) -> VecGen<G> {
+    assert!(len.start < len.end, "length range must be nonempty");
+    VecGen { elem, len }
+}
+
+impl<G: Gen> Gen for VecGen<G> {
+    type Value = Vec<G::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Self::Value {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.elem.generate(rng)).collect()
+    }
+
+    fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+        let min_len = self.len.start;
+        let mut out: Vec<Self::Value> = Vec::new();
+        // Structural shrinks first: empty, halves, single removals.
+        if value.len() > min_len {
+            if min_len == 0 && !value.is_empty() {
+                out.push(Vec::new());
+            }
+            let half = value.len() / 2;
+            if half >= min_len && half < value.len() {
+                out.push(value[..half].to_vec());
+                out.push(value[value.len() - half..].to_vec());
+            }
+            for i in 0..value.len().min(16) {
+                let mut v = value.clone();
+                v.remove(i);
+                if v.len() >= min_len {
+                    out.push(v);
+                }
+            }
+        }
+        // Element-wise shrinks (bounded so candidate lists stay small).
+        for i in 0..value.len().min(16) {
+            for cand in self.elem.shrink(&value[i]).into_iter().take(3) {
+                let mut v = value.clone();
+                v[i] = cand;
+                out.push(v);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! tuple_gen {
+    ($(($($g:ident / $v:ident / $i:tt),+))+) => {$(
+        impl<$($g: Gen),+> Gen for ($($g,)+) {
+            type Value = ($($g::Value,)+);
+
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$i.shrink(&value.$i).into_iter().take(4) {
+                        let mut v = value.clone();
+                        v.$i = cand;
+                        out.push(v);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+tuple_gen! {
+    (A/a/0, B/b/1)
+    (A/a/0, B/b/1, C/c/2)
+    (A/a/0, B/b/1, C/c/2, D/d/3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut seen = std::cell::Cell::new(0u64);
+        let config = Config {
+            cases: 10,
+            seed: 1,
+            max_shrink_steps: 10,
+        };
+        check_with(&config, "in range", &u64s(5..10), |v| {
+            seen.set(seen.get() + 1);
+            prop_assert!((5..10).contains(v), "out of range: {v}");
+            Ok(())
+        });
+        assert_eq!(seen.get_mut(), &10);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_boundary() {
+        // v >= 100 fails for everything >= 100; minimum is exactly 100.
+        let err = std::panic::catch_unwind(|| {
+            check_with(
+                &Config {
+                    cases: 50,
+                    seed: 3,
+                    max_shrink_steps: 200,
+                },
+                "small",
+                &u64s(0..1000),
+                |v| {
+                    prop_assert!(*v < 100, "too big: {v}");
+                    Ok(())
+                },
+            );
+        })
+        .expect_err("property must fail");
+        let msg = err.downcast_ref::<String>().expect("string panic");
+        assert!(msg.contains("shrunk"), "{msg}");
+        assert!(msg.contains("100"), "should shrink to 100: {msg}");
+        assert!(msg.contains("HAEC_PROP_SEED="), "{msg}");
+    }
+
+    #[test]
+    fn reported_seed_replays_identical_value() {
+        // Capture the value of case 17, then regenerate it as case 0 from
+        // the reported seed — this is the replay contract.
+        let run_seed = 99;
+        let seed = case_seed(run_seed, 17);
+        let gen = vecs(u64s(0..50), 1..8);
+        let from_case = gen.generate(&mut Rng::seed_from_u64(seed));
+        let replayed = gen.generate(&mut Rng::seed_from_u64(case_seed(seed, 0)));
+        assert_eq!(from_case, replayed);
+    }
+
+    #[test]
+    fn vec_shrinks_preserve_min_len() {
+        let gen = vecs(u64s(0..10), 2..6);
+        let mut rng = Rng::seed_from_u64(5);
+        for _ in 0..50 {
+            let v = gen.generate(&mut rng);
+            for cand in gen.shrink(&v) {
+                assert!(cand.len() >= 2, "{cand:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn tuple_shrinks_componentwise() {
+        let gen = (u64s(0..10), bools());
+        let cands = gen.shrink(&(7, true));
+        assert!(cands.contains(&(0, true)));
+        assert!(cands.contains(&(7, false)));
+    }
+}

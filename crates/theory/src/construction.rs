@@ -149,8 +149,8 @@ pub fn construct(factory: &dyn StoreFactory, a: &AbstractExecution) -> Construct
 mod tests {
     use super::*;
     use crate::revealing::make_revealing;
-    use haec_core::{AbstractExecutionBuilder, ObjectSpecs, SpecKind};
     use haec_core::{causal, check_correct};
+    use haec_core::{AbstractExecutionBuilder, ObjectSpecs, SpecKind};
     use haec_model::{ObjectId, Op, ReplicaId, Value};
     use haec_stores::{ArbitrationStore, DvvMvrStore, KDelayedStore};
 

@@ -253,10 +253,7 @@ mod tests {
     #[test]
     fn fig2_dvv_store_exposes_concurrency() {
         let rv = fig2_store_run(&DvvMvrStore);
-        assert_eq!(
-            rv,
-            ReturnValue::values([Value::new(1), Value::new(2)])
-        );
+        assert_eq!(rv, ReturnValue::values([Value::new(1), Value::new(2)]));
     }
 
     #[test]

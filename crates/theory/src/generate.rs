@@ -11,8 +11,7 @@
 
 use haec_core::{occ, AbstractExecution, AbstractExecutionBuilder};
 use haec_model::{ObjectId, Op, ReplicaId, ReturnValue, Value};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use haec_testkit::Rng;
 use std::collections::BTreeSet;
 
 /// Generator parameters.
@@ -58,7 +57,7 @@ struct GenUpdate {
 ///
 /// Panics if the configuration implies more than 64 update events.
 pub fn random_causal(config: &GeneratorConfig, seed: u64) -> AbstractExecution {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = AbstractExecutionBuilder::new();
     let mut updates: Vec<GenUpdate> = Vec::new();
     // Visible update mask per replica, and the events of each replica.
@@ -136,7 +135,8 @@ pub fn random_causal(config: &GeneratorConfig, seed: u64) -> AbstractExecution {
         visible[r] = vis_mask;
         events_at[r].push(e);
     }
-    b.build().expect("generated execution is structurally valid")
+    b.build()
+        .expect("generated execution is structurally valid")
 }
 
 fn a_replica(events_at: &[Vec<usize>], event: usize) -> usize {
@@ -165,7 +165,10 @@ fn mvr_frontier(updates: &[GenUpdate], vis_mask: u64, obj: usize) -> ReturnValue
 /// to a Figure 3c-style construction if none is found within `attempts`.
 pub fn random_occ(config: &GeneratorConfig, seed: u64, attempts: usize) -> AbstractExecution {
     for i in 0..attempts {
-        let a = random_causal(config, seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9));
+        let a = random_causal(
+            config,
+            seed.wrapping_add(i as u64).wrapping_mul(0x9E37_79B9),
+        );
         if occ::check(&a).is_ok() {
             return a;
         }
@@ -179,10 +182,30 @@ pub fn fig3c_style(seed: u64) -> AbstractExecution {
     let base = seed.wrapping_mul(97) % 1000;
     let v = |i: u64| Value::new(base * 100 + i);
     let mut b = AbstractExecutionBuilder::new();
-    let w1p = b.push(ReplicaId::new(0), ObjectId::new(1), Op::Write(v(10)), ReturnValue::Ok);
-    let w0 = b.push(ReplicaId::new(0), ObjectId::new(0), Op::Write(v(1)), ReturnValue::Ok);
-    let w0p = b.push(ReplicaId::new(1), ObjectId::new(2), Op::Write(v(20)), ReturnValue::Ok);
-    let w1 = b.push(ReplicaId::new(1), ObjectId::new(0), Op::Write(v(2)), ReturnValue::Ok);
+    let w1p = b.push(
+        ReplicaId::new(0),
+        ObjectId::new(1),
+        Op::Write(v(10)),
+        ReturnValue::Ok,
+    );
+    let w0 = b.push(
+        ReplicaId::new(0),
+        ObjectId::new(0),
+        Op::Write(v(1)),
+        ReturnValue::Ok,
+    );
+    let w0p = b.push(
+        ReplicaId::new(1),
+        ObjectId::new(2),
+        Op::Write(v(20)),
+        ReturnValue::Ok,
+    );
+    let w1 = b.push(
+        ReplicaId::new(1),
+        ObjectId::new(0),
+        Op::Write(v(2)),
+        ReturnValue::Ok,
+    );
     let rd = b.push(
         ReplicaId::new(2),
         ObjectId::new(0),
@@ -275,9 +298,10 @@ mod tests {
         let mut found = false;
         for seed in 0..30 {
             let a = random_causal(&config, seed);
-            if a.events().iter().any(|e| {
-                e.op.is_read() && e.rval.as_values().is_some_and(|v| v.len() >= 2)
-            }) {
+            if a.events()
+                .iter()
+                .any(|e| e.op.is_read() && e.rval.as_values().is_some_and(|v| v.len() >= 2))
+            {
                 found = true;
                 break;
             }

@@ -16,9 +16,7 @@
 //!   not yet relayed).
 
 use haec_core::witness::DoWitness;
-use haec_model::{
-    happens_before, Event, EventKind, Execution, Op, ReplicaId, Value,
-};
+use haec_model::{happens_before, Event, EventKind, Execution, Op, ReplicaId, Value};
 use haec_sim::Simulator;
 use std::collections::HashMap;
 use std::fmt;
@@ -66,11 +64,15 @@ pub fn check_prop2(ex: &Execution) -> Result<(), Prop2Violation> {
         }
     }
     for (i, e) in ex.events().iter().enumerate() {
-        let Some((obj, op, rval)) = e.as_do() else { continue };
+        let Some((obj, op, rval)) = e.as_do() else {
+            continue;
+        };
         if !op.is_read() {
             continue;
         }
-        let Some(vals) = rval.as_values() else { continue };
+        let Some(vals) = rval.as_values() else {
+            continue;
+        };
         for &v in vals {
             match writes.get(&(obj.as_u32(), v)) {
                 Some(&w) => {
@@ -112,11 +114,7 @@ pub fn check_prop1(ex: &Execution) -> Result<(), usize> {
         for r in 0..ex.n_replicas() {
             let rid = ReplicaId::new(r as u32);
             let proj = ex.replica_projection(rid);
-            let in_past: Vec<usize> = proj
-                .iter()
-                .copied()
-                .filter(|i| past.contains(i))
-                .collect();
+            let in_past: Vec<usize> = proj.iter().copied().filter(|i| past.contains(i)).collect();
             if in_past.as_slice() != &proj[..in_past.len()] {
                 return Err(e);
             }
@@ -352,8 +350,7 @@ mod tests {
         let x = ObjectId::new;
         let ops = vec![(r(0), x(0), Op::Write(Value::new(1)))];
         let cfg = StoreConfig::new(3, 2);
-        let fails =
-            check_lemma5_pending_after_write(&haec_stores::SequencedStore, &ops, cfg);
+        let fails = check_lemma5_pending_after_write(&haec_stores::SequencedStore, &ops, cfg);
         assert!(fails.is_empty());
     }
 

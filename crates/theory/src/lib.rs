@@ -37,15 +37,15 @@
 
 pub mod construction;
 pub mod figures;
-pub mod inference;
 pub mod generate;
+pub mod inference;
 pub mod lemmas;
 pub mod lower_bound;
 pub mod revealing;
 pub mod space;
 
 pub use construction::{construct, ConstructionReport, Mismatch};
-pub use inference::hb_constrained_problem;
 pub use generate::{random_causal, random_occ, GeneratorConfig};
-pub use lower_bound::{encode, decode_entry, roundtrip, sweep, Roundtrip, Thm12Config};
+pub use inference::hb_constrained_problem;
+pub use lower_bound::{decode_entry, encode, roundtrip, sweep, Roundtrip, Thm12Config};
 pub use revealing::{is_revealing, make_revealing, RevealingExecution};

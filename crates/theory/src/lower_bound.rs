@@ -27,7 +27,9 @@
 //! [`roundtrip`] runs both against any store; [`sweep`] measures `|m_g|`
 //! in bits across `k`, `n`, `s` and compares against the bound.
 
-use haec_model::{ObjectId, Op, Payload, ReplicaId, ReplicaMachine, ReturnValue, StoreConfig, StoreFactory, Value};
+use haec_model::{
+    ObjectId, Op, Payload, ReplicaId, ReplicaMachine, ReturnValue, StoreConfig, StoreFactory, Value,
+};
 
 /// Parameters of a Theorem 12 instance.
 #[derive(Copy, Clone, Debug)]
@@ -52,7 +54,10 @@ impl Thm12Config {
     }
 
     fn validate(&self) {
-        assert!(self.n_replicas >= 3, "need n ≥ 3 (writers + encoder + decoder)");
+        assert!(
+            self.n_replicas >= 3,
+            "need n ≥ 3 (writers + encoder + decoder)"
+        );
         assert!(self.n_objects >= 2, "need s ≥ 2 (an x_i and y)");
         assert!(self.k >= 1, "k ≥ 1");
     }
@@ -358,7 +363,10 @@ mod tests {
     fn message_size_grows_with_n_prime() {
         let narrow = sweep(&DvvMvrStore, &cfg(4, 8, 64), 3, 2).max_bits;
         let wide = sweep(&DvvMvrStore, &cfg(8, 8, 64), 3, 2).max_bits;
-        assert!(wide > narrow, "messages must grow with n′: {narrow} vs {wide}");
+        assert!(
+            wide > narrow,
+            "messages must grow with n′: {narrow} vs {wide}"
+        );
     }
 
     #[test]

@@ -196,10 +196,7 @@ mod tests {
         let rev = make_revealing(&a);
         let r_w2 = rev.new_index[w2] - 1;
         assert!(rev.inserted_reads.contains(&r_w2));
-        assert_eq!(
-            rev.execution.event(r_w2).rval,
-            ReturnValue::values([v(1)])
-        );
+        assert_eq!(rev.execution.event(r_w2).rval, ReturnValue::values([v(1)]));
         // And the read before w1 sees nothing.
         let r_w1 = rev.new_index[w1] - 1;
         assert_eq!(rev.execution.event(r_w1).rval, ReturnValue::empty());

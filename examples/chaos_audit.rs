@@ -80,7 +80,11 @@ fn main() {
         println!(
             "{:<16} {:>8} {:>7}/{} {:>7}/{} {:>7}/{} {:>10}",
             name,
-            if wp.is_write_propagating() { "yes" } else { "NO" },
+            if wp.is_write_propagating() {
+                "yes"
+            } else {
+                "NO"
+            },
             correct,
             seeds.len(),
             causal_ok,

@@ -40,10 +40,7 @@ fn main() {
     println!("  dvv-mvr        reads x = {honest}   (exposes the conflict)");
     let hiding = fig2_store_run(&ArbitrationStore);
     println!("  arbitration    reads x = {hiding}      (hides it — not a correct MVR store)");
-    assert_eq!(
-        honest,
-        ReturnValue::values([Value::new(1), Value::new(2)])
-    );
+    assert_eq!(honest, ReturnValue::values([Value::new(1), Value::new(2)]));
     assert_eq!(hiding.as_values().map(|s| s.len()), Some(1));
 
     println!();
@@ -69,7 +66,11 @@ fn main() {
     let p = hb_constrained_problem(sim.execution(), ObjectSpecs::uniform(SpecKind::Mvr));
     println!(
         "  arbitration store transcript explainable given its message pattern? {}",
-        if p.is_explainable() { "yes" } else { "NO — caught hiding" }
+        if p.is_explainable() {
+            "yes"
+        } else {
+            "NO — caught hiding"
+        }
     );
     assert!(!p.is_explainable());
 

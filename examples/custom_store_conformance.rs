@@ -146,7 +146,9 @@ impl ReplicaMachine for GossipReplica {
             let Ok(e) = r.read_gamma0() else { return };
             other_vv.set(ReplicaId::new(i as u32), e as u32);
         }
-        let Ok(n_objects) = r.read_gamma0() else { return };
+        let Ok(n_objects) = r.read_gamma0() else {
+            return;
+        };
         let mut incoming: BTreeMap<ObjectId, Siblings> = BTreeMap::new();
         for _ in 0..n_objects {
             let Ok(obj) = r.read_bits(width_for(self.config.n_objects)) else {
@@ -198,13 +200,20 @@ impl ReplicaMachine for GossipReplica {
 
 fn main() {
     let store = StateGossipStore;
-    println!("conformance-testing a user-defined store: `{}`\n", store.name());
+    println!(
+        "conformance-testing a user-defined store: `{}`\n",
+        store.name()
+    );
 
     // 1. Write-propagating properties (Definitions 15 & 16).
     let rep = check_write_propagating(&store, StoreConfig::new(3, 2), 1, 500);
     println!(
         "write-propagating (invisible reads + op-driven messages): {}",
-        if rep.is_write_propagating() { "PASS" } else { "FAIL" }
+        if rep.is_write_propagating() {
+            "PASS"
+        } else {
+            "FAIL"
+        }
     );
     assert!(rep.is_write_propagating(), "{:?}", rep.violations);
 

@@ -17,13 +17,22 @@ fn main() {
     let g = vec![3, 1, 4];
     let rt = roundtrip(&DvvMvrStore, &cfg, &g);
     println!("encoding g = {:?} with k = {}:", g, cfg.k);
-    println!("  m_g is {} bits; decoder recovered {:?}", rt.m_g_bits, rt.decoded);
+    println!(
+        "  m_g is {} bits; decoder recovered {:?}",
+        rt.m_g_bits, rt.decoded
+    );
     assert!(rt.is_lossless(), "Theorem 12's decoder must recover g");
-    println!("  lossless — m_g alone determines g, so |m_g| ≥ n'·lg k = {:.1} bits\n", rt.bound_bits);
+    println!(
+        "  lossless — m_g alone determines g, so |m_g| ≥ n'·lg k = {:.1} bits\n",
+        rt.bound_bits
+    );
 
     // Sweep k: message size must grow without bound (the theorem's point).
     println!("-- growth with k (n = 5, s = 4, n' = 3) --");
-    println!("{:>8} {:>14} {:>14} {:>7}", "k", "max |m_g| bits", "n'·lg k bound", "ratio");
+    println!(
+        "{:>8} {:>14} {:>14} {:>7}",
+        "k", "max |m_g| bits", "n'·lg k bound", "ratio"
+    );
     for k in [2u32, 8, 32, 128, 512, 2048] {
         let cfg = Thm12Config {
             n_replicas: 5,
@@ -43,7 +52,10 @@ fn main() {
 
     // Sweep n: with s large, the bound scales with the replica count.
     println!("\n-- growth with n (s = 16, k = 64) --");
-    println!("{:>8} {:>6} {:>14} {:>14}", "n", "n'", "max |m_g| bits", "n'·lg k bound");
+    println!(
+        "{:>8} {:>6} {:>14} {:>14}",
+        "n", "n'", "max |m_g| bits", "n'·lg k bound"
+    );
     for n in [4usize, 6, 8, 12, 16] {
         let cfg = Thm12Config {
             n_replicas: n,
@@ -65,7 +77,10 @@ fn main() {
         k: 4,
     };
     let enc = haec::theory::encode(&BoundedStore, &cfg, &[3, 2]);
-    println!("  bounded store m_g: {} bits (no dependency vector)", enc.m_g.bits());
+    println!(
+        "  bounded store m_g: {} bits (no dependency vector)",
+        enc.m_g.bits()
+    );
     let d = haec::theory::decode_entry(&BoundedStore, &cfg, &enc, 0);
     println!("  decoding g(0)=3 from it: got {d:?} — wrong, as Theorem 12 predicts");
     assert_ne!(d, Some(3));

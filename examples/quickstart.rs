@@ -41,14 +41,24 @@ fn main() {
     println!("events in H: {}", a.len());
     println!(
         "correct (Def. 8):  {}",
-        if check_correct(&a, &specs).is_ok() { "yes" } else { "NO" }
+        if check_correct(&a, &specs).is_ok() {
+            "yes"
+        } else {
+            "NO"
+        }
     );
     println!(
         "causal (Def. 12):  {}",
-        if causal::check(&a).is_ok() { "yes" } else { "NO" }
+        if causal::check(&a).is_ok() {
+            "yes"
+        } else {
+            "NO"
+        }
     );
     match occ::check(&a) {
         Ok(()) => println!("OCC (Def. 18):     yes"),
-        Err(v) => println!("OCC (Def. 18):     no — {v} (expected: bare concurrency has no witnesses)"),
+        Err(v) => {
+            println!("OCC (Def. 18):     no — {v} (expected: bare concurrency has no witnesses)")
+        }
     }
 }

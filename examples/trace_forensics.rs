@@ -37,13 +37,20 @@ fn main() {
     let final_read = 3;
     println!(
         "does the write happen-before the final read? {}",
-        if hb.contains(write_ev, final_read) { "yes" } else { "NO" }
+        if hb.contains(write_ev, final_read) {
+            "yes"
+        } else {
+            "NO"
+        }
     );
 
     // 2. Proposition 2 forensics: the read returns a value whose write
     //    never happened-before it — no data store can produce this trace.
     let verdict = haec::theory::lemmas::check_prop2(&ex);
-    println!("Proposition 2 check: {:?}", verdict.as_ref().err().map(ToString::to_string));
+    println!(
+        "Proposition 2 check: {:?}",
+        verdict.as_ref().err().map(ToString::to_string)
+    );
     assert!(verdict.is_err(), "the transcript must be convicted");
 
     // 3. The same conviction via the hb-constrained explanation search.
@@ -57,7 +64,11 @@ fn main() {
     // 4. Contrast: a healthy transcript from a real store run.
     println!("\n== a healthy transcript for contrast ==");
     let mut sim = Simulator::new(&DvvMvrStore, StoreConfig::new(2, 1));
-    sim.do_op(ReplicaId::new(0), ObjectId::new(0), Op::Write(Value::new(1)));
+    sim.do_op(
+        ReplicaId::new(0),
+        ObjectId::new(0),
+        Op::Write(Value::new(1)),
+    );
     let m = sim.flush(ReplicaId::new(0)).unwrap();
     sim.deliver_to(m, ReplicaId::new(1));
     sim.read(ReplicaId::new(1), ObjectId::new(0));

@@ -59,8 +59,8 @@ pub mod prelude {
         AbstractExecutionBuilder, ConsistencyModel, ObjectSpecs, SpecKind,
     };
     pub use haec_model::{
-        Dot, Execution, ObjectId, Op, Payload, ReplicaId, ReplicaMachine, ReturnValue,
-        StoreConfig, StoreFactory, Value,
+        Dot, Execution, ObjectId, Op, Payload, ReplicaId, ReplicaMachine, ReturnValue, StoreConfig,
+        StoreFactory, Value,
     };
     pub use haec_sim::{
         explore, run_schedule, ExplorationConfig, KeyDistribution, Partition, ScheduleConfig,

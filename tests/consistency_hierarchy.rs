@@ -13,9 +13,24 @@ fn specs() -> ObjectSpecs {
 /// across three objects.
 fn correct_not_causal() -> AbstractExecution {
     let mut b = AbstractExecutionBuilder::new();
-    let w0 = b.push(ReplicaId::new(0), ObjectId::new(0), Op::Write(Value::new(1)), ReturnValue::Ok);
-    let w1 = b.push(ReplicaId::new(1), ObjectId::new(1), Op::Write(Value::new(2)), ReturnValue::Ok);
-    let w2 = b.push(ReplicaId::new(2), ObjectId::new(2), Op::Write(Value::new(3)), ReturnValue::Ok);
+    let w0 = b.push(
+        ReplicaId::new(0),
+        ObjectId::new(0),
+        Op::Write(Value::new(1)),
+        ReturnValue::Ok,
+    );
+    let w1 = b.push(
+        ReplicaId::new(1),
+        ObjectId::new(1),
+        Op::Write(Value::new(2)),
+        ReturnValue::Ok,
+    );
+    let w2 = b.push(
+        ReplicaId::new(2),
+        ObjectId::new(2),
+        Op::Write(Value::new(3)),
+        ReturnValue::Ok,
+    );
     b.vis(w0, w1).vis(w1, w2); // no w0 -> w2
     b.build().unwrap()
 }
@@ -24,8 +39,18 @@ fn correct_not_causal() -> AbstractExecution {
 /// witnesses (Figure 3a's situation).
 fn causal_not_occ() -> AbstractExecution {
     let mut b = AbstractExecutionBuilder::new();
-    let w0 = b.push(ReplicaId::new(0), ObjectId::new(0), Op::Write(Value::new(1)), ReturnValue::Ok);
-    let w1 = b.push(ReplicaId::new(1), ObjectId::new(0), Op::Write(Value::new(2)), ReturnValue::Ok);
+    let w0 = b.push(
+        ReplicaId::new(0),
+        ObjectId::new(0),
+        Op::Write(Value::new(1)),
+        ReturnValue::Ok,
+    );
+    let w1 = b.push(
+        ReplicaId::new(1),
+        ObjectId::new(0),
+        Op::Write(Value::new(2)),
+        ReturnValue::Ok,
+    );
     let rd = b.push(
         ReplicaId::new(2),
         ObjectId::new(0),
@@ -44,8 +69,18 @@ fn occ_not_single_order() -> AbstractExecution {
 /// Single-order: one totally ordered chain.
 fn single_order() -> AbstractExecution {
     let mut b = AbstractExecutionBuilder::new();
-    let w0 = b.push(ReplicaId::new(0), ObjectId::new(0), Op::Write(Value::new(1)), ReturnValue::Ok);
-    let w1 = b.push(ReplicaId::new(1), ObjectId::new(0), Op::Write(Value::new(2)), ReturnValue::Ok);
+    let w0 = b.push(
+        ReplicaId::new(0),
+        ObjectId::new(0),
+        Op::Write(Value::new(1)),
+        ReturnValue::Ok,
+    );
+    let w1 = b.push(
+        ReplicaId::new(1),
+        ObjectId::new(0),
+        Op::Write(Value::new(2)),
+        ReturnValue::Ok,
+    );
     let rd = b.push(
         ReplicaId::new(2),
         ObjectId::new(0),
@@ -159,8 +194,18 @@ fn equivalence_closure_spot_check() {
     let a = causal_not_occ();
     let mut b = AbstractExecutionBuilder::new();
     // Same events, w1 first.
-    let w1 = b.push(ReplicaId::new(1), ObjectId::new(0), Op::Write(Value::new(2)), ReturnValue::Ok);
-    let w0 = b.push(ReplicaId::new(0), ObjectId::new(0), Op::Write(Value::new(1)), ReturnValue::Ok);
+    let w1 = b.push(
+        ReplicaId::new(1),
+        ObjectId::new(0),
+        Op::Write(Value::new(2)),
+        ReturnValue::Ok,
+    );
+    let w0 = b.push(
+        ReplicaId::new(0),
+        ObjectId::new(0),
+        Op::Write(Value::new(1)),
+        ReturnValue::Ok,
+    );
     let rd = b.push(
         ReplicaId::new(2),
         ObjectId::new(0),

@@ -41,11 +41,7 @@ fn dvv_store_observations_always_explainable() {
     for seed in 0..40 {
         let sim = small_run(&DvvMvrStore, seed);
         let obs = observations_of(&sim);
-        let updates: usize = obs
-            .iter()
-            .flatten()
-            .filter(|o| o.op.is_update())
-            .count();
+        let updates: usize = obs.iter().flatten().filter(|o| o.op.is_update()).count();
         let events: usize = obs.iter().map(Vec::len).sum();
         if updates > 5 || events > 9 {
             continue; // keep the exponential search cheap

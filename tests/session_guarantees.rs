@@ -71,7 +71,10 @@ fn bounded_store_violates_session_guarantees_somewhere() {
             break;
         }
     }
-    assert!(violated, "bounded messages cannot preserve session causality");
+    assert!(
+        violated,
+        "bounded messages cannot preserve session causality"
+    );
 }
 
 #[test]

@@ -1,0 +1,227 @@
+//! Store × fault conformance matrix: every concrete store driven through
+//! drop / duplicate / partition schedules from the testkit PRNG, with
+//! convergence and spec compliance asserted after quiescence.
+//!
+//! Fault semantics follow the paper's model. Duplicates and partitions
+//! are *delays* — Definition 3's sufficient connectivity still holds, so
+//! quiescent runs must converge and comply. Drops genuinely lose
+//! messages (outside Definition 3), so dropped-message runs assert only
+//! safety of the witness (correctness/causality of what was actually
+//! delivered), not convergence.
+
+use haec::model::EventKind;
+use haec::prelude::*;
+use haec::stores::{CausalRegisterStore, CopsStore, EwFlagStore, MixedStore};
+use haec_sim::check_quiescent_agreement;
+
+/// Which checks a store's runs must pass.
+#[derive(Copy, Clone, Debug)]
+struct Conformance {
+    spec: SpecKind,
+    /// Check Definition 8 correctness of the witness (in execution order,
+    /// or arbitration order for LWW). Off for the dot-arbitrated register
+    /// stores, whose arbitration the execution-order LWW checker
+    /// misjudges (see E13's notes); their causality is still asserted.
+    correct: bool,
+    /// Order the history by store arbitration timestamps (LWW-style).
+    arbitrated: bool,
+    /// Check Definition 12 causal consistency of the witness.
+    causal: bool,
+}
+
+fn matrix() -> Vec<(Box<dyn StoreFactory>, Conformance)> {
+    let causal_full = |spec| Conformance {
+        spec,
+        correct: true,
+        arbitrated: false,
+        causal: true,
+    };
+    vec![
+        (
+            Box::new(DvvMvrStore) as Box<dyn StoreFactory>,
+            causal_full(SpecKind::Mvr),
+        ),
+        (Box::new(CopsStore), causal_full(SpecKind::Mvr)),
+        (Box::new(OrSetStore), causal_full(SpecKind::OrSet)),
+        (Box::new(EwFlagStore), causal_full(SpecKind::EwFlag)),
+        (
+            Box::new(LwwStore),
+            Conformance {
+                spec: SpecKind::LwwRegister,
+                correct: true,
+                arbitrated: true,
+                causal: false, // eventually but not causally consistent
+            },
+        ),
+        (
+            Box::new(CausalRegisterStore),
+            Conformance {
+                spec: SpecKind::LwwRegister,
+                correct: false, // dot arbitration vs execution-order checker
+                arbitrated: false,
+                causal: true,
+            },
+        ),
+        (
+            Box::new(MixedStore::new(1)), // object 0 MVR, object 1 register
+            Conformance {
+                spec: SpecKind::Mvr,
+                correct: false, // register half arbitrates by dot
+                arbitrated: false,
+                causal: true,
+            },
+        ),
+    ]
+}
+
+/// The three fault schedules; drops forfeit the convergence guarantee.
+fn fault_schedules(steps: usize) -> Vec<(&'static str, ScheduleConfig, bool)> {
+    let base = ScheduleConfig {
+        steps,
+        drop_prob: 0.0,
+        dup_prob: 0.0,
+        quiesce_at_end: false, // check_quiescent_agreement drives quiescence
+        ..ScheduleConfig::default()
+    };
+    vec![
+        (
+            "drop",
+            ScheduleConfig {
+                drop_prob: 0.2,
+                ..base.clone()
+            },
+            false,
+        ),
+        (
+            "duplicate",
+            ScheduleConfig {
+                dup_prob: 0.5,
+                ..base.clone()
+            },
+            true,
+        ),
+        (
+            "partition",
+            ScheduleConfig {
+                partition: Some(Partition {
+                    from_step: 0,
+                    to_step: 2 * steps / 3,
+                    group: vec![0],
+                }),
+                ..base
+            },
+            true,
+        ),
+    ]
+}
+
+fn check_compliance(sim: &Simulator, conf: &Conformance, label: &str) {
+    let a = if conf.arbitrated {
+        sim.abstract_execution_arbitrated()
+    } else {
+        sim.abstract_execution()
+    };
+    let a = a.unwrap_or_else(|e| panic!("{label}: witness failed to resolve: {e:?}"));
+    if conf.correct {
+        let specs = ObjectSpecs::uniform(conf.spec);
+        assert!(
+            check_correct(&a, &specs).is_ok(),
+            "{label}: witness violates the {:?} spec: {}",
+            conf.spec,
+            a.display()
+        );
+    }
+    if conf.causal {
+        assert!(
+            causal::check(&a).is_ok(),
+            "{label}: witness violates causal consistency: {}",
+            a.display()
+        );
+    }
+}
+
+#[test]
+fn store_fault_conformance_matrix() {
+    let steps = 180;
+    for (factory, conf) in matrix() {
+        for (fault, sched, expect_convergence) in fault_schedules(steps) {
+            for seed in 0..3u64 {
+                let label = format!("{} × {fault} (seed {seed})", factory.name());
+                let mut sim = Simulator::new(factory.as_ref(), StoreConfig::new(3, 2));
+                let mut wl = Workload::new(conf.spec, 3, 2, 0.3, KeyDistribution::Uniform);
+                run_schedule(&mut sim, &mut wl, &sched, seed);
+                if expect_convergence {
+                    assert!(
+                        check_quiescent_agreement(&mut sim).is_ok(),
+                        "{label}: replicas disagree after quiescence"
+                    );
+                }
+                check_compliance(&sim, &conf, &label);
+            }
+        }
+    }
+}
+
+#[test]
+fn duplicates_never_double_apply() {
+    // Focused variant of the matrix: a counter under heavy duplication
+    // must still count each increment exactly once everywhere.
+    for seed in 0..5u64 {
+        let mut sim = Simulator::new(&CounterStore, StoreConfig::new(3, 1));
+        let mut wl = Workload::new(SpecKind::Counter, 3, 1, 0.0, KeyDistribution::Uniform);
+        let sched = ScheduleConfig {
+            steps: 120,
+            drop_prob: 0.0,
+            dup_prob: 0.8,
+            ..ScheduleConfig::default()
+        };
+        run_schedule(&mut sim, &mut wl, &sched, seed);
+        let incs = sim
+            .execution()
+            .do_events()
+            .iter()
+            .filter(|&&e| {
+                matches!(
+                    sim.execution().event(e).kind,
+                    EventKind::Do { op: Op::Inc, .. }
+                )
+            })
+            .count();
+        let expected = ReturnValue::values([Value::new(incs as u64)]);
+        let x = ObjectId::new(0);
+        for r in 0..3 {
+            assert_eq!(
+                sim.read(ReplicaId::new(r), x),
+                expected,
+                "seed {seed}: replica {r} miscounted under duplication"
+            );
+        }
+    }
+}
+
+#[test]
+fn partition_heals_to_agreement_for_every_causal_store() {
+    // Long partition, then healing: Definition 3's sufficient
+    // connectivity is restored, so every causal store converges.
+    for (factory, conf) in matrix() {
+        let mut sim = Simulator::new(factory.as_ref(), StoreConfig::new(3, 2));
+        let mut wl = Workload::new(conf.spec, 3, 2, 0.3, KeyDistribution::Uniform);
+        let sched = ScheduleConfig {
+            steps: 200,
+            drop_prob: 0.0,
+            quiesce_at_end: false,
+            partition: Some(Partition {
+                from_step: 0,
+                to_step: 200,
+                group: vec![0, 1],
+            }),
+            ..ScheduleConfig::default()
+        };
+        run_schedule(&mut sim, &mut wl, &sched, 13);
+        assert!(
+            check_quiescent_agreement(&mut sim).is_ok(),
+            "{}: disagreement after partition heal",
+            factory.name()
+        );
+    }
+}

@@ -90,7 +90,10 @@ fn sequenced_violation_is_specifically_op_driven() {
         }
         assert!(!rep.has_visible_reads(), "sequenced reads stay invisible");
     }
-    assert!(found, "the sequencer must be caught creating pending on receive");
+    assert!(
+        found,
+        "the sequencer must be caught creating pending on receive"
+    );
 }
 
 #[test]
@@ -177,7 +180,10 @@ fn bounded_store_diverges_after_quiescence_somewhere() {
             break;
         }
     }
-    assert!(diverged, "bounded messages must eventually cost convergence");
+    assert!(
+        diverged,
+        "bounded messages must eventually cost convergence"
+    );
 }
 
 #[test]

@@ -98,7 +98,10 @@ fn every_causal_store_complies_with_its_own_histories() {
     let stores: Vec<(Box<dyn StoreFactory>, SpecKind)> = vec![
         (Box::new(DvvMvrStore), SpecKind::Mvr),
         (Box::new(haec::stores::CopsStore), SpecKind::Mvr),
-        (Box::new(haec::stores::CausalRegisterStore), SpecKind::LwwRegister),
+        (
+            Box::new(haec::stores::CausalRegisterStore),
+            SpecKind::LwwRegister,
+        ),
         (Box::new(OrSetStore), SpecKind::OrSet),
         (Box::new(CounterStore), SpecKind::Counter),
     ];
