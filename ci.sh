@@ -14,6 +14,13 @@ cargo build --release --locked --offline
 echo "== test (locked, offline) =="
 cargo test -q --workspace --locked --offline
 
+echo "== clippy (locked, offline, deny warnings) =="
+cargo clippy --workspace --locked --offline -- -D warnings
+
+echo "== report smoke (fixed seed, JSON must re-parse) =="
+cargo run -q --release --locked --offline -p haec-bench --bin report -- \
+    --json --check --seed 42 > /dev/null
+
 echo "== fmt =="
 cargo fmt --check
 

@@ -4,16 +4,33 @@
 //! Usage:
 //!   experiments            # run everything
 //!   experiments --fig1 --thm12 ...   # selected experiments
+//!   experiments --cost --json        # E12 metric rows as JSON
 //!
 //! Flags: --fig1 --figures --thm6 --thm12 --growth --sec53 --lemmas
 //!        --space --ablation --sessions --cost --classify
+//!
+//! `--json` switches the output to machine-readable JSON: one object with a
+//! `cost` key holding the E12 per-store metric rows (the experiment with
+//! structured data worth scripting against). Table-only experiments are
+//! skipped in JSON mode.
 
 use haec_bench as bench;
+use haec_sim::obs::json::Json;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let all = args.is_empty() || args.iter().any(|a| a == "--all");
-    let want = |flag: &str| all || args.iter().any(|a| a == flag);
+    let json = args.iter().any(|a| a == "--json");
+    let flags: Vec<&String> = args.iter().filter(|a| a.as_str() != "--json").collect();
+    let all = flags.is_empty() || flags.iter().any(|a| a.as_str() == "--all");
+    let want = |flag: &str| all || flags.iter().any(|a| a.as_str() == flag);
+
+    if json {
+        // Machine-readable mode: emit the structured experiment data.
+        let rows = bench::cost_rows(3);
+        let out = Json::Obj(vec![("cost".into(), bench::cost_rows_json(&rows))]);
+        println!("{}", out.render());
+        return;
+    }
 
     let mut tables = Vec::new();
     if want("--fig1") {

@@ -1,0 +1,141 @@
+//! Structured run reports: drive stores through a seeded schedule with the
+//! full observer battery attached and print what was seen.
+//!
+//! Usage:
+//!   report                                # default stores, seed 42, tables
+//!   report --json                         # one JSON object per line
+//!   report --store dvv-mvr --store lww    # chosen stores
+//!   report --seed 7 --steps 400           # schedule parameters
+//!   report --drop 0.1 --dup 0.05         # fault rates
+//!   report --log-cap 16                   # event-log retention
+//!   report --check                        # parse emitted JSON back (smoke)
+//!
+//! Each report carries event counts, message-size / delivery-latency /
+//! visibility-lag / read-staleness histograms, checker verdicts with span
+//! timings, and the tail of the structured event log. The JSON layout is
+//! documented in EXPERIMENTS.md (schema_version 1).
+
+use haec_bench::{arbitrated_for, spec_for};
+use haec_sim::obs::json::Json;
+use haec_sim::{ExplorationConfig, ReportConfig, RunReport, ScheduleConfig};
+use haec_stores::all_factories;
+use std::process::ExitCode;
+
+struct Options {
+    stores: Vec<String>,
+    seed: u64,
+    steps: usize,
+    drop: f64,
+    dup: f64,
+    log_cap: usize,
+    json: bool,
+    check: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: report [--store <name>]... [--seed <n>] [--steps <n>] \
+         [--drop <p>] [--dup <p>] [--log-cap <n>] [--json] [--check]"
+    );
+    eprintln!("stores: {}", store_names().join(", "));
+    std::process::exit(2);
+}
+
+fn store_names() -> Vec<String> {
+    all_factories()
+        .iter()
+        .map(|f| f.name().to_owned())
+        .collect()
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        stores: Vec::new(),
+        seed: 42,
+        steps: 200,
+        drop: 0.05,
+        dup: 0.05,
+        log_cap: 16,
+        json: false,
+        check: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--store" => opts.stores.push(value()),
+            "--seed" => opts.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--steps" => opts.steps = value().parse().unwrap_or_else(|_| usage()),
+            "--drop" => opts.drop = value().parse().unwrap_or_else(|_| usage()),
+            "--dup" => opts.dup = value().parse().unwrap_or_else(|_| usage()),
+            "--log-cap" => opts.log_cap = value().parse().unwrap_or_else(|_| usage()),
+            "--json" => opts.json = true,
+            "--check" => opts.check = true,
+            _ => usage(),
+        }
+    }
+    if opts.stores.is_empty() {
+        // The three stores the acceptance criteria exercise: the reference
+        // causal store, the dependency-compressed one, and eager LWW.
+        opts.stores = vec!["dvv-mvr".into(), "cops-mvr".into(), "lww".into()];
+    }
+    opts
+}
+
+fn main() -> ExitCode {
+    let opts = parse_args();
+    let factories = all_factories();
+    let mut failures = 0;
+    for name in &opts.stores {
+        let Some(factory) = factories.iter().find(|f| f.name() == name.as_str()) else {
+            eprintln!(
+                "unknown store `{name}`; known: {}",
+                store_names().join(", ")
+            );
+            return ExitCode::from(2);
+        };
+        let config = ReportConfig {
+            exploration: ExplorationConfig {
+                spec: spec_for(name),
+                arbitrated_order: arbitrated_for(name),
+                schedule: ScheduleConfig {
+                    steps: opts.steps,
+                    drop_prob: opts.drop,
+                    dup_prob: opts.dup,
+                    ..ScheduleConfig::default()
+                },
+                ..ExplorationConfig::default()
+            },
+            log_capacity: opts.log_cap,
+        };
+        let report = RunReport::collect(factory.as_ref(), &config, opts.seed);
+        let text = report.to_json_string();
+        if opts.check {
+            match Json::parse(&text) {
+                Ok(v) => {
+                    let ok = v.get("schema_version").and_then(Json::as_int) == Some(1)
+                        && v.get("store").and_then(Json::as_str) == Some(name.as_str());
+                    if !ok {
+                        eprintln!("{name}: JSON round-trip lost fields");
+                        failures += 1;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("{name}: emitted invalid JSON: {e}");
+                    failures += 1;
+                }
+            }
+        }
+        if opts.json {
+            println!("{text}");
+        } else {
+            println!("{report}");
+            println!();
+        }
+    }
+    if failures > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

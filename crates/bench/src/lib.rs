@@ -26,6 +26,7 @@
 
 use haec_core::{AbstractExecutionBuilder, OperationContext, SpecKind};
 use haec_model::{ObjectId, Op, ReplicaId, ReturnValue, StoreConfig, StoreFactory, Value};
+use haec_sim::obs::json::Json;
 use haec_sim::{
     check_quiescent_agreement, explore, run_schedule, ExplorationConfig, KeyDistribution,
     ScheduleConfig, Simulator, Workload,
@@ -76,7 +77,9 @@ impl Table {
     }
 }
 
-fn spec_for(name: &str) -> SpecKind {
+/// The object specification a named store implements (drives workloads
+/// and checkers for that store; unknown names default to MVR).
+pub fn spec_for(name: &str) -> SpecKind {
     match name {
         "orset" => SpecKind::OrSet,
         "ew-flag" => SpecKind::EwFlag,
@@ -84,6 +87,13 @@ fn spec_for(name: &str) -> SpecKind {
         "lww" | "arbitration-mvr" | "sequenced" | "causal-register" => SpecKind::LwwRegister,
         _ => SpecKind::Mvr,
     }
+}
+
+/// Whether a named store's witness must be assembled in arbitration order
+/// (LWW-style stores whose reads are explained by timestamps, not
+/// execution order).
+pub fn arbitrated_for(name: &str) -> bool {
+    matches!(name, "lww" | "arbitration-mvr")
 }
 
 fn ops_for(spec: SpecKind) -> Vec<Op> {
@@ -484,14 +494,50 @@ pub fn space_lower_table() -> Table {
     t
 }
 
-/// E12 — store cost comparison (messages, bits, state) on one workload.
-pub fn cost_table(seeds: u64) -> Table {
+/// One store's mean cost metrics from [`cost_rows`] (E12).
+#[derive(Clone, Debug)]
+pub struct CostRow {
+    /// Store name.
+    pub store: String,
+    /// Mean messages broadcast per run.
+    pub sends: f64,
+    /// Mean copies delivered per run.
+    pub receives: f64,
+    /// Mean of the per-run average message size in bits.
+    pub avg_message_bits: f64,
+    /// Mean network bits spent per client update.
+    pub bits_per_update: f64,
+    /// Mean total replica state in bits at the end of the run.
+    pub final_state_bits: f64,
+    /// Mean peak total replica state in bits over the run.
+    pub peak_state_bits: f64,
+}
+
+impl CostRow {
+    /// The row as a JSON object (keys stable, insertion-ordered).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("store".into(), Json::str(self.store.clone())),
+            ("sends".into(), Json::Float(self.sends)),
+            ("receives".into(), Json::Float(self.receives)),
+            (
+                "avg_message_bits".into(),
+                Json::Float(self.avg_message_bits),
+            ),
+            ("bits_per_update".into(), Json::Float(self.bits_per_update)),
+            (
+                "final_state_bits".into(),
+                Json::Float(self.final_state_bits),
+            ),
+            ("peak_state_bits".into(), Json::Float(self.peak_state_bits)),
+        ])
+    }
+}
+
+/// E12 data — per-store mean cost metrics over `seeds` runs of the same
+/// workload.
+pub fn cost_rows(seeds: u64) -> Vec<CostRow> {
     use haec_sim::measure;
-    let mut t = Table::new("E12 / store cost comparison (same workload, mean over seeds)");
-    t.row(format!(
-        "{:<18} {:>8} {:>10} {:>12} {:>14} {:>12}",
-        "store", "sends", "recvs", "avg msg bits", "bits/update", "state bits"
-    ));
     let stores: Vec<(Box<dyn StoreFactory>, SpecKind)> = vec![
         (Box::new(DvvMvrStore), SpecKind::Mvr),
         (Box::new(haec_stores::CopsStore), SpecKind::Mvr),
@@ -503,8 +549,9 @@ pub fn cost_table(seeds: u64) -> Table {
         (Box::new(LwwStore), SpecKind::LwwRegister),
         (Box::new(BoundedStore), SpecKind::Mvr),
     ];
+    let mut rows = Vec::new();
     for (factory, spec) in stores {
-        let mut acc = (0f64, 0f64, 0f64, 0f64, 0f64);
+        let mut acc = (0f64, 0f64, 0f64, 0f64, 0f64, 0f64);
         for seed in 0..seeds {
             let mut sim = Simulator::new(factory.as_ref(), StoreConfig::new(4, 2));
             let mut wl = Workload::new(spec, 4, 2, 0.3, KeyDistribution::Uniform);
@@ -520,16 +567,44 @@ pub fn cost_table(seeds: u64) -> Table {
             acc.2 += m.avg_message_bits();
             acc.3 += m.bits_per_update();
             acc.4 += m.final_state_bits as f64;
+            acc.5 += m.peak_state_bits as f64;
         }
         let n = seeds as f64;
+        rows.push(CostRow {
+            store: factory.name().to_owned(),
+            sends: acc.0 / n,
+            receives: acc.1 / n,
+            avg_message_bits: acc.2 / n,
+            bits_per_update: acc.3 / n,
+            final_state_bits: acc.4 / n,
+            peak_state_bits: acc.5 / n,
+        });
+    }
+    rows
+}
+
+/// [`cost_rows`] rendered as a JSON array (for `experiments --cost --json`).
+pub fn cost_rows_json(rows: &[CostRow]) -> Json {
+    Json::Arr(rows.iter().map(CostRow::to_json).collect())
+}
+
+/// E12 — store cost comparison (messages, bits, state) on one workload.
+pub fn cost_table(seeds: u64) -> Table {
+    let mut t = Table::new("E12 / store cost comparison (same workload, mean over seeds)");
+    t.row(format!(
+        "{:<18} {:>8} {:>10} {:>12} {:>14} {:>12} {:>12}",
+        "store", "sends", "recvs", "avg msg bits", "bits/update", "state bits", "peak bits"
+    ));
+    for r in cost_rows(seeds) {
         t.row(format!(
-            "{:<18} {:>8.0} {:>10.0} {:>12.1} {:>14.1} {:>12.0}",
-            factory.name(),
-            acc.0 / n,
-            acc.1 / n,
-            acc.2 / n,
-            acc.3 / n,
-            acc.4 / n
+            "{:<18} {:>8.0} {:>10.0} {:>12.1} {:>14.1} {:>12.0} {:>12.0}",
+            r.store,
+            r.sends,
+            r.receives,
+            r.avg_message_bits,
+            r.bits_per_update,
+            r.final_state_bits,
+            r.peak_state_bits
         ));
     }
     t.row("COPS-style dependency compression beats per-update vectors; the".into());
@@ -616,7 +691,7 @@ pub fn classify_table(seeds: u64) -> Table {
         let spec = spec_for(factory.name());
         let config = ExplorationConfig {
             spec,
-            arbitrated_order: matches!(factory.name(), "lww" | "arbitration-mvr"),
+            arbitrated_order: arbitrated_for(factory.name()),
             schedule: ScheduleConfig {
                 steps: 150,
                 drop_prob: 0.0,
@@ -724,5 +799,26 @@ mod tests {
     fn space_table_renders_rows() {
         let t = space_table();
         assert_eq!(t.lines.len(), 5);
+    }
+
+    #[test]
+    fn cost_rows_json_parses_back() {
+        let rows = cost_rows(1);
+        assert!(rows.iter().any(|r| r.store == "cops-mvr"));
+        for r in &rows {
+            assert!(r.peak_state_bits >= r.final_state_bits, "{}", r.store);
+        }
+        let text = cost_rows_json(&rows).render();
+        let v = Json::parse(&text).expect("valid JSON");
+        let arr = v.as_arr().expect("array");
+        assert_eq!(arr.len(), rows.len());
+        assert_eq!(
+            arr[0].get("store").and_then(Json::as_str),
+            Some(rows[0].store.as_str())
+        );
+        assert!(arr[0]
+            .get("bits_per_update")
+            .and_then(Json::as_f64)
+            .is_some());
     }
 }

@@ -39,15 +39,17 @@ impl std::error::Error for CausalityViolation {}
 ///
 /// Returns a witness of the first missing transitive edge.
 pub fn check(a: &AbstractExecution) -> Result<(), CausalityViolation> {
-    let vis = a.vis();
-    for (e1, e2) in vis.iter_pairs() {
-        for e3 in vis.successors(e2) {
-            if !vis.contains(e1, e3) {
-                return Err(CausalityViolation { e1, e2, e3 });
+    crate::spans::timed("check.causal", || {
+        let vis = a.vis();
+        for (e1, e2) in vis.iter_pairs() {
+            for e3 in vis.successors(e2) {
+                if !vis.contains(e1, e3) {
+                    return Err(CausalityViolation { e1, e2, e3 });
+                }
             }
         }
-    }
-    Ok(())
+        Ok(())
+    })
 }
 
 #[cfg(test)]

@@ -108,6 +108,10 @@ pub fn find_witnesses(
 ///
 /// Returns the first pair lacking witnesses.
 pub fn check(a: &AbstractExecution) -> Result<(), OccViolation> {
+    crate::spans::timed("check.occ", || check_inner(a))
+}
+
+fn check_inner(a: &AbstractExecution) -> Result<(), OccViolation> {
     for read in 0..a.len() {
         let e = a.event(read);
         if !e.op.is_read() {

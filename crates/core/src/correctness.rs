@@ -43,19 +43,21 @@ pub fn check_correct(
     a: &AbstractExecution,
     specs: &ObjectSpecs,
 ) -> Result<(), CorrectnessViolation> {
-    for e in 0..a.len() {
-        let ctxt = OperationContext::of(a, e);
-        let kind = specs.spec_of(a.event(e).obj);
-        let expected = kind.expected_rval(&ctxt);
-        if expected != a.event(e).rval {
-            return Err(CorrectnessViolation {
-                event: e,
-                expected,
-                actual: a.event(e).rval.clone(),
-            });
+    crate::spans::timed("check.correct", || {
+        for e in 0..a.len() {
+            let ctxt = OperationContext::of(a, e);
+            let kind = specs.spec_of(a.event(e).obj);
+            let expected = kind.expected_rval(&ctxt);
+            if expected != a.event(e).rval {
+                return Err(CorrectnessViolation {
+                    event: e,
+                    expected,
+                    actual: a.event(e).rval.clone(),
+                });
+            }
         }
-    }
-    Ok(())
+        Ok(())
+    })
 }
 
 /// Errors from the Definition 6 membership test.

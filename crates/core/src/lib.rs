@@ -43,6 +43,7 @@ pub mod consistency;
 mod context;
 mod correctness;
 pub mod search;
+pub mod spans;
 mod specs;
 pub mod viz;
 pub mod witness;

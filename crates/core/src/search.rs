@@ -141,6 +141,10 @@ impl SearchProblem {
     }
 
     fn run(&self, limit: usize) -> Vec<AbstractExecution> {
+        crate::spans::timed("search.explain", || self.run_inner(limit))
+    }
+
+    fn run_inner(&self, limit: usize) -> Vec<AbstractExecution> {
         let total_updates: usize = self
             .sessions
             .iter()

@@ -124,6 +124,16 @@ pub fn abstract_from_witness_ordered(
     witnesses: &[DoWitness],
     order: &[usize],
 ) -> Result<AbstractExecution, WitnessError> {
+    crate::spans::timed("witness.extract", || {
+        abstract_from_witness_ordered_inner(ex, witnesses, order)
+    })
+}
+
+fn abstract_from_witness_ordered_inner(
+    ex: &Execution,
+    witnesses: &[DoWitness],
+    order: &[usize],
+) -> Result<AbstractExecution, WitnessError> {
     let do_events = order.to_vec();
     {
         let mut sorted = do_events.clone();

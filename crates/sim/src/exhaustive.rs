@@ -10,6 +10,7 @@
 //! explorer replays each action sequence from scratch — fine at the depths
 //! where exhaustive enumeration is feasible anyway.
 
+use crate::obs::{Observer, Observers};
 use crate::simulator::Simulator;
 use haec_model::{ObjectId, Op, ReplicaId, StoreConfig, StoreFactory};
 
@@ -117,6 +118,18 @@ pub fn explore_all(
     config: &ExhaustiveConfig,
     check: &mut dyn FnMut(&Simulator) -> bool,
 ) -> ExhaustiveReport {
+    explore_all_observed(factory, config, check, &mut Observers::new())
+}
+
+/// Like [`explore_all`], but reports search progress to `obs`:
+/// [`Observer::on_search_node`] fires once per expanded schedule prefix
+/// with the prefix depth and the current frontier (stack) size.
+pub fn explore_all_observed(
+    factory: &dyn StoreFactory,
+    config: &ExhaustiveConfig,
+    check: &mut dyn FnMut(&Simulator) -> bool,
+    obs: &mut dyn Observer,
+) -> ExhaustiveReport {
     let mut schedules = 0usize;
     let mut counterexample = None;
     let mut stack: Vec<Vec<Action>> = vec![Vec::new()];
@@ -124,6 +137,7 @@ pub fn explore_all(
         if schedules >= config.max_schedules || counterexample.is_some() {
             break;
         }
+        obs.on_search_node(prefix.len(), stack.len());
         // Evaluate complete-at-this-length schedule.
         let sim = replay(factory, config, &prefix);
         schedules += 1;
@@ -180,6 +194,22 @@ pub fn shrink(
     actions: &[Action],
     check: &mut dyn FnMut(&Simulator) -> bool,
 ) -> Vec<Action> {
+    shrink_observed(factory, config, actions, check, &mut Observers::new())
+}
+
+/// Like [`shrink`], but reports each tried candidate schedule to `obs` via
+/// [`Observer::on_shrink_step`].
+///
+/// # Panics
+///
+/// Panics if the input schedule does not actually fail.
+pub fn shrink_observed(
+    factory: &dyn StoreFactory,
+    config: &ExhaustiveConfig,
+    actions: &[Action],
+    check: &mut dyn FnMut(&Simulator) -> bool,
+    obs: &mut dyn Observer,
+) -> Vec<Action> {
     let fails = |acts: &[Action], check: &mut dyn FnMut(&Simulator) -> bool| {
         !check(&replay(factory, config, acts))
     };
@@ -192,6 +222,7 @@ pub fn shrink(
         while i < current.len() {
             let mut candidate = current.clone();
             candidate.remove(i);
+            obs.on_shrink_step(candidate.len());
             if fails(&candidate, check) {
                 current = candidate;
                 progress = true;
@@ -302,6 +333,29 @@ mod tests {
         let s1 = replay(&DvvMvrStore, &config, &actions);
         let s2 = replay(&DvvMvrStore, &config, &actions);
         assert_eq!(s1.execution().events(), s2.execution().events());
+    }
+
+    #[test]
+    fn observed_search_reports_progress() {
+        use crate::obs::stats::StatsObserver;
+        let config = ExhaustiveConfig {
+            depth: 3,
+            max_schedules: 10_000,
+            ..ExhaustiveConfig::default()
+        };
+        let mut stats = StatsObserver::new();
+        let report = explore_all_observed(&DvvMvrStore, &config, &mut |_| true, &mut stats);
+        assert_eq!(stats.search_nodes() as usize, report.schedules);
+        assert!(stats.max_frontier() > 0);
+        // Shrinking an (always-failing) schedule reports every candidate.
+        let actions = vec![
+            Action::Do(ReplicaId::new(0), ObjectId::new(0), Op::Write(Value(0))),
+            Action::Flush(ReplicaId::new(0)),
+            Action::Deliver(0),
+        ];
+        let minimal = shrink_observed(&DvvMvrStore, &config, &actions, &mut |_| false, &mut stats);
+        assert!(minimal.is_empty(), "always-failing check shrinks to empty");
+        assert!(stats.shrink_steps() > 0);
     }
 
     #[test]

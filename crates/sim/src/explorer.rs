@@ -108,8 +108,21 @@ pub fn explore(
     config: &ExplorationConfig,
     seed: u64,
 ) -> ConsistencyReport {
+    explore_with(factory, config, seed, |_| {})
+}
+
+/// Like [`explore`], but hands the fresh simulator to `attach` first so the
+/// caller can register [observers](crate::obs::Observer) (or otherwise
+/// inspect it) before the schedule runs.
+pub fn explore_with(
+    factory: &dyn StoreFactory,
+    config: &ExplorationConfig,
+    seed: u64,
+    attach: impl FnOnce(&mut Simulator),
+) -> ConsistencyReport {
     let store_config = StoreConfig::new(config.n_replicas, config.n_objects);
     let mut sim = Simulator::new(factory, store_config);
+    attach(&mut sim);
     let mut workload = Workload::new(
         config.spec,
         config.n_replicas,

@@ -30,6 +30,7 @@ pub mod exhaustive;
 pub mod explorer;
 pub mod liveness;
 pub mod metrics;
+pub mod obs;
 pub mod scheduler;
 mod simulator;
 pub mod trace;
@@ -37,10 +38,15 @@ pub mod workload;
 
 pub use classify::{classify, grade, HIERARCHY};
 pub use convergence::check_quiescent_agreement;
-pub use exhaustive::{explore_all, shrink, Action, ExhaustiveConfig, ExhaustiveReport};
-pub use explorer::{explore, ConsistencyReport, ExplorationConfig};
-pub use liveness::{fair_run, FairRunConfig, LivenessReport};
+pub use exhaustive::{
+    explore_all, explore_all_observed, shrink, shrink_observed, Action, ExhaustiveConfig,
+    ExhaustiveReport,
+};
+pub use explorer::{explore, explore_with, ConsistencyReport, ExplorationConfig};
+pub use liveness::{fair_run, fair_run_with, FairRunConfig, LivenessReport};
 pub use metrics::{measure, RunMetrics};
+pub use obs::report::{ReportConfig, RunReport};
+pub use obs::{Observer, Observers};
 pub use scheduler::{run_schedule, DeliveryPolicy, Partition, ScheduleConfig};
-pub use simulator::{InFlight, Simulator};
+pub use simulator::{FaultKind, FaultRecord, InFlight, Simulator};
 pub use workload::{KeyDistribution, Workload};

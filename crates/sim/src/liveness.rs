@@ -80,8 +80,26 @@ pub fn fair_run(
     config: &FairRunConfig,
     seed: u64,
 ) -> LivenessReport {
+    fair_run_with(factory, workload, config, seed, |_| {})
+}
+
+/// Like [`fair_run`], but hands the fresh simulator to `attach` first so
+/// the caller can register [observers](crate::obs::Observer) before the
+/// rounds start.
+///
+/// # Panics
+///
+/// Panics if the store's witness cannot be resolved (a store bug).
+pub fn fair_run_with(
+    factory: &dyn StoreFactory,
+    workload: &mut Workload,
+    config: &FairRunConfig,
+    seed: u64,
+    attach: impl FnOnce(&mut Simulator),
+) -> LivenessReport {
     let store_config = haec_model::StoreConfig::new(3, 2);
     let mut sim = Simulator::new(factory, store_config);
+    attach(&mut sim);
     let mut rng = Rng::seed_from_u64(seed);
     let mut staleness_per_round = Vec::with_capacity(config.rounds);
     for _ in 0..config.rounds {

@@ -27,6 +27,9 @@ pub struct RunMetrics {
     pub max_message_bits: usize,
     /// Replica state size (bits) summed over replicas at the end.
     pub final_state_bits: usize,
+    /// Largest summed replica state (bits) sampled after any event during
+    /// the run — state that was later garbage-collected still counts.
+    pub peak_state_bits: usize,
 }
 
 impl RunMetrics {
@@ -55,7 +58,7 @@ impl fmt::Display for RunMetrics {
         write!(
             f,
             "{} ops ({} updates), {} sends / {} receives, {} total bits \
-             (max {}, avg {:.1}, {:.1} bits/update), {} state bits",
+             (max {}, avg {:.1}, {:.1} bits/update), {} state bits (peak {})",
             self.do_events,
             self.updates,
             self.sends,
@@ -64,7 +67,8 @@ impl fmt::Display for RunMetrics {
             self.max_message_bits,
             self.avg_message_bits(),
             self.bits_per_update(),
-            self.final_state_bits
+            self.final_state_bits,
+            self.peak_state_bits
         )
     }
 }
@@ -95,6 +99,9 @@ pub fn measure(sim: &Simulator) -> RunMetrics {
             .machine(haec_model::ReplicaId::new(r as u32))
             .state_bits();
     }
+    // The simulator samples total state after every mutating event; the
+    // peak can exceed the final snapshot when state is later compacted.
+    m.peak_state_bits = sim.peak_state_bits().max(m.final_state_bits);
     m
 }
 
@@ -140,6 +147,27 @@ mod tests {
         assert_eq!(m.bits_per_update(), 0.0);
         // An empty version vector still occupies a few canonical bits.
         assert!(m.final_state_bits > 0);
+    }
+
+    #[test]
+    fn peak_state_bits_sees_transient_growth() {
+        let mut sim = Simulator::new(&DvvMvrStore, StoreConfig::new(2, 1));
+        // Grow the outbox without flushing, then drain it: the peak must
+        // remember the pre-flush high-water mark.
+        for i in 0..10 {
+            sim.do_op(
+                ReplicaId::new(0),
+                ObjectId::new(0),
+                Op::Write(Value::new(i)),
+            );
+        }
+        let before_flush = sim.total_state_bits();
+        sim.flush(ReplicaId::new(0));
+        sim.deliver_all();
+        let m = measure(&sim);
+        assert!(m.peak_state_bits >= before_flush);
+        assert!(m.peak_state_bits >= m.final_state_bits);
+        assert!(m.to_string().contains("peak"));
     }
 
     #[test]

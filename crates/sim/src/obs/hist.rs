@@ -1,0 +1,195 @@
+//! Log2-bucketed histograms.
+//!
+//! Values land in power-of-two buckets: bucket `0` holds exact zeros and
+//! bucket `i ≥ 1` holds the half-open range `[2^(i-1), 2^i)`. The shape is
+//! fixed, so two histograms over the same data are identical regardless of
+//! insertion order — which keeps reports deterministic.
+
+use std::fmt;
+
+/// A log2-bucketed histogram of `u64` samples.
+///
+/// ```
+/// use haec_sim::obs::hist::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [0, 1, 5, 6, 7] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.min(), Some(0));
+/// assert_eq!(h.max(), Some(7));
+/// // Buckets: [0,0] ×1, [1,1] ×1, [4,7] ×3.
+/// assert_eq!(h.buckets().collect::<Vec<_>>(), vec![(0, 0, 1), (1, 1, 1), (4, 7, 3)]);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u128,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// The bucket index a value falls into.
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// The inclusive `(lo, hi)` range of bucket `i`.
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        if i == 0 {
+            (0, 0)
+        } else if i >= 64 {
+            (1 << 63, u64::MAX)
+        } else {
+            (1 << (i - 1), (1 << i) - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let b = Self::bucket_of(value);
+        if self.counts.len() <= b {
+            self.counts.resize(b + 1, 0);
+        }
+        self.counts[b] += 1;
+        if self.count == 0 {
+            self.min = value;
+            self.max = value;
+        } else {
+            self.min = self.min.min(value);
+            self.max = self.max.max(value);
+        }
+        self.count += 1;
+        self.sum += u128::from(value);
+    }
+
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
+    /// Smallest sample, if any.
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, if any.
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Arithmetic mean, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Non-empty buckets as `(lo, hi, count)` triples, in increasing value
+    /// order.
+    pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Self::bucket_range(i);
+                (lo, hi, c)
+            })
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return write!(f, "(empty)");
+        }
+        write!(
+            f,
+            "n={} min={} max={} mean={:.1}",
+            self.count,
+            self.min,
+            self.max,
+            self.mean()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(Histogram::bucket_of(0), 0);
+        assert_eq!(Histogram::bucket_of(1), 1);
+        assert_eq!(Histogram::bucket_of(2), 2);
+        assert_eq!(Histogram::bucket_of(3), 2);
+        assert_eq!(Histogram::bucket_of(4), 3);
+        assert_eq!(Histogram::bucket_of(7), 3);
+        assert_eq!(Histogram::bucket_of(8), 4);
+        assert_eq!(Histogram::bucket_of(u64::MAX), 64);
+        for i in 1..64 {
+            let (lo, hi) = Histogram::bucket_range(i);
+            assert_eq!(Histogram::bucket_of(lo), i);
+            assert_eq!(Histogram::bucket_of(hi), i);
+            assert_ne!(Histogram::bucket_of(hi + 1), i);
+        }
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.buckets().count(), 0);
+        assert_eq!(h.to_string(), "(empty)");
+    }
+
+    #[test]
+    fn stats_track_samples() {
+        let mut h = Histogram::new();
+        h.record(16);
+        h.record(2);
+        h.record(0);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 18);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(16));
+        assert!((h.mean() - 6.0).abs() < 1e-9);
+        assert!(h.to_string().contains("n=3"));
+    }
+
+    #[test]
+    fn insertion_order_does_not_matter() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [5, 1, 9, 1, 0] {
+            a.record(v);
+        }
+        for v in [0, 1, 1, 5, 9] {
+            b.record(v);
+        }
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,173 @@
+//! Visibility lag and read staleness.
+//!
+//! Two complementary views of how far behind replicas run:
+//!
+//! - **Visibility lag** (per update, per remote replica): the number of
+//!   transcript events between an update's `do` and the first operation at
+//!   another replica that witnesses the update's dot. The issuing replica
+//!   sees its own updates immediately and contributes no sample.
+//! - **Read staleness** (per read): how many of the updates issued anywhere
+//!   so far the read's witness context is missing — its distance from the
+//!   global frontier.
+//!
+//! Both rely on the store-reported visibility witnesses, so they measure
+//! what the store *admits* was visible, exactly the witnesses the
+//! consistency checkers consume.
+
+use super::hist::Histogram;
+use super::{DoEvent, Observer};
+use haec_model::Dot;
+use std::collections::{BTreeMap, BTreeSet};
+
+type DotKey = (u32, u32);
+
+fn key(d: Dot) -> DotKey {
+    (d.replica.index() as u32, d.seq)
+}
+
+/// Observes `do` events and accumulates visibility-lag and read-staleness
+/// histograms.
+#[derive(Clone, Debug)]
+pub struct LagObserver {
+    n_replicas: usize,
+    /// Dot of each issued update → transcript step of its `do`.
+    issued: BTreeMap<DotKey, usize>,
+    /// `(dot, replica)` pairs whose first observation was already counted.
+    observed: BTreeSet<(DotKey, u32)>,
+    updates_issued: u64,
+    visibility_lag: Histogram,
+    read_staleness: Histogram,
+}
+
+impl LagObserver {
+    /// A collector for a cluster of `n_replicas`.
+    pub fn new(n_replicas: usize) -> Self {
+        LagObserver {
+            n_replicas,
+            issued: BTreeMap::new(),
+            observed: BTreeSet::new(),
+            updates_issued: 0,
+            visibility_lag: Histogram::new(),
+            read_staleness: Histogram::new(),
+        }
+    }
+
+    /// Histogram of first-observation lags, one sample per `(update,
+    /// remote replica)` pair that has been observed.
+    pub fn visibility_lag(&self) -> &Histogram {
+        &self.visibility_lag
+    }
+
+    /// Histogram of read staleness, one sample per read.
+    pub fn read_staleness(&self) -> &Histogram {
+        &self.read_staleness
+    }
+
+    /// Updates issued so far.
+    pub fn updates_issued(&self) -> u64 {
+        self.updates_issued
+    }
+
+    /// `(update, remote replica)` pairs still waiting for their first
+    /// observation — updates that never became visible somewhere.
+    pub fn pending_observations(&self) -> u64 {
+        self.updates_issued * (self.n_replicas.saturating_sub(1) as u64)
+            - self.observed.len() as u64
+    }
+}
+
+impl Observer for LagObserver {
+    fn on_do(&mut self, ev: &DoEvent<'_>) {
+        if let Some(dot) = ev.dot {
+            self.issued.insert(key(dot), ev.step);
+            self.updates_issued += 1;
+        }
+        // First observations: dots from other replicas this operation
+        // witnesses for the first time at `ev.replica`.
+        for &d in ev.visible {
+            if d.replica == ev.replica {
+                continue;
+            }
+            let Some(&issue_step) = self.issued.get(&key(d)) else {
+                continue;
+            };
+            if self.observed.insert((key(d), ev.replica.index() as u32)) {
+                self.visibility_lag
+                    .record(ev.step.saturating_sub(issue_step) as u64);
+            }
+        }
+        if ev.op.is_read() {
+            let seen = ev.visible.len() as u64;
+            self.read_staleness
+                .record(self.updates_issued.saturating_sub(seen));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haec_model::{ObjectId, Op, ReplicaId, ReturnValue, Value};
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+
+    fn do_ev<'a>(
+        step: usize,
+        replica: ReplicaId,
+        op: &'a Op,
+        rval: &'a ReturnValue,
+        dot: Option<Dot>,
+        visible: &'a [Dot],
+    ) -> DoEvent<'a> {
+        DoEvent {
+            step,
+            replica,
+            obj: ObjectId::new(0),
+            op,
+            rval,
+            dot,
+            visible,
+        }
+    }
+
+    #[test]
+    fn lag_counts_first_remote_observation_only() {
+        let mut lag = LagObserver::new(2);
+        let w = Op::Write(Value::new(1));
+        let rd = Op::Read;
+        let ok = ReturnValue::Ok;
+        let empty = ReturnValue::empty();
+        let d = Dot::new(r(0), 1);
+
+        // Step 0: r0 writes (its own dot visible to itself — no sample).
+        lag.on_do(&do_ev(0, r(0), &w, &ok, Some(d), &[d]));
+        // Step 1: r1 reads, sees nothing: staleness 1.
+        lag.on_do(&do_ev(1, r(1), &rd, &empty, None, &[]));
+        // Step 4: r1 reads again, now sees the dot: lag 4, staleness 0.
+        lag.on_do(&do_ev(4, r(1), &rd, &empty, None, &[d]));
+        // Step 5: another read at r1 — the pair is already counted.
+        lag.on_do(&do_ev(5, r(1), &rd, &empty, None, &[d]));
+
+        assert_eq!(lag.updates_issued(), 1);
+        assert_eq!(lag.visibility_lag().count(), 1);
+        assert_eq!(lag.visibility_lag().max(), Some(4));
+        assert_eq!(lag.read_staleness().count(), 3);
+        assert_eq!(lag.read_staleness().max(), Some(1));
+        assert_eq!(lag.read_staleness().min(), Some(0));
+        assert_eq!(lag.pending_observations(), 0);
+    }
+
+    #[test]
+    fn unobserved_updates_stay_pending() {
+        let mut lag = LagObserver::new(3);
+        let w = Op::Write(Value::new(1));
+        let ok = ReturnValue::Ok;
+        let d = Dot::new(r(0), 1);
+        lag.on_do(&do_ev(0, r(0), &w, &ok, Some(d), &[d]));
+        // Nobody else ever sees it: 2 remote replicas pending.
+        assert_eq!(lag.pending_observations(), 2);
+        assert_eq!(lag.visibility_lag().count(), 0);
+    }
+}

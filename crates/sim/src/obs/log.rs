@@ -1,0 +1,317 @@
+//! A bounded, structured event log.
+//!
+//! [`EventLog`] keeps the most recent `capacity` simulator events in a ring
+//! buffer, plus a count of everything it has seen. It is the cheap "flight
+//! recorder" attachment: long runs keep memory bounded while the tail of
+//! the transcript stays inspectable.
+
+use super::{DoEvent, FaultEvent, Observer, ReceiveEvent, SendEvent};
+use haec_model::{Dot, MsgId, ObjectId, Op, ReplicaId};
+use std::collections::VecDeque;
+use std::fmt;
+
+/// One recorded simulator event, owned (no borrows into the simulator).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LogRecord {
+    /// A client operation.
+    Do {
+        /// Event index in the transcript.
+        step: usize,
+        /// Invoking replica.
+        replica: ReplicaId,
+        /// Target object.
+        obj: ObjectId,
+        /// The operation.
+        op: Op,
+        /// The update's dot, `None` for reads.
+        dot: Option<Dot>,
+    },
+    /// A broadcast.
+    Send {
+        /// Event index in the transcript.
+        step: usize,
+        /// Broadcasting replica.
+        replica: ReplicaId,
+        /// The message.
+        msg: MsgId,
+        /// Payload size in bits.
+        bits: usize,
+    },
+    /// A delivery.
+    Receive {
+        /// Event index in the transcript.
+        step: usize,
+        /// Receiving replica.
+        replica: ReplicaId,
+        /// The message.
+        msg: MsgId,
+        /// Payload size in bits.
+        bits: usize,
+    },
+    /// A dropped in-flight copy.
+    Drop {
+        /// Events recorded when the drop happened.
+        step: usize,
+        /// The message.
+        msg: MsgId,
+        /// The addressee of the dropped copy.
+        to: ReplicaId,
+    },
+    /// A duplicated in-flight copy.
+    Duplicate {
+        /// Events recorded when the duplication happened.
+        step: usize,
+        /// The message.
+        msg: MsgId,
+        /// The addressee of the duplicated copy.
+        to: ReplicaId,
+    },
+    /// A partition transition.
+    PartitionChange {
+        /// Events recorded at the transition.
+        step: usize,
+        /// `true` when a partition became active, `false` when it healed.
+        active: bool,
+    },
+    /// A quiescence drive finished.
+    Quiesce {
+        /// Flush-and-deliver rounds used.
+        rounds: usize,
+        /// Whether the cluster quiesced within the round cap.
+        reached: bool,
+    },
+}
+
+impl fmt::Display for LogRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LogRecord::Do {
+                step,
+                replica,
+                obj,
+                op,
+                dot,
+            } => {
+                write!(f, "[{step}] do {replica} {obj} {op}")?;
+                if let Some(d) = dot {
+                    write!(f, " dot={d}")?;
+                }
+                Ok(())
+            }
+            LogRecord::Send {
+                step,
+                replica,
+                msg,
+                bits,
+            } => write!(f, "[{step}] send {replica} {msg} {bits}b"),
+            LogRecord::Receive {
+                step,
+                replica,
+                msg,
+                bits,
+            } => write!(f, "[{step}] recv {replica} {msg} {bits}b"),
+            LogRecord::Drop { step, msg, to } => write!(f, "[{step}] drop {msg} -> {to}"),
+            LogRecord::Duplicate { step, msg, to } => {
+                write!(f, "[{step}] dup {msg} -> {to}")
+            }
+            LogRecord::PartitionChange { step, active } => {
+                write!(
+                    f,
+                    "[{step}] partition {}",
+                    if *active { "start" } else { "heal" }
+                )
+            }
+            LogRecord::Quiesce { rounds, reached } => {
+                write!(
+                    f,
+                    "quiesce rounds={rounds} {}",
+                    if *reached { "reached" } else { "capped" }
+                )
+            }
+        }
+    }
+}
+
+/// A ring buffer of the most recent [`LogRecord`]s.
+#[derive(Clone, Debug)]
+pub struct EventLog {
+    capacity: usize,
+    buf: VecDeque<LogRecord>,
+    seen: u64,
+}
+
+impl EventLog {
+    /// A log retaining at most `capacity` records (0 records nothing).
+    pub fn new(capacity: usize) -> Self {
+        EventLog {
+            capacity,
+            buf: VecDeque::with_capacity(capacity.min(1024)),
+            seen: 0,
+        }
+    }
+
+    fn push(&mut self, rec: LogRecord) {
+        self.seen += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+        }
+        self.buf.push_back(rec);
+    }
+
+    /// The retained records, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &LogRecord> {
+        self.buf.iter()
+    }
+
+    /// Total number of events observed (including evicted ones).
+    pub fn total_seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// The retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl Observer for EventLog {
+    fn on_do(&mut self, ev: &DoEvent<'_>) {
+        self.push(LogRecord::Do {
+            step: ev.step,
+            replica: ev.replica,
+            obj: ev.obj,
+            op: ev.op.clone(),
+            dot: ev.dot,
+        });
+    }
+    fn on_send(&mut self, ev: &SendEvent) {
+        self.push(LogRecord::Send {
+            step: ev.step,
+            replica: ev.replica,
+            msg: ev.msg,
+            bits: ev.bits,
+        });
+    }
+    fn on_receive(&mut self, ev: &ReceiveEvent) {
+        self.push(LogRecord::Receive {
+            step: ev.step,
+            replica: ev.replica,
+            msg: ev.msg,
+            bits: ev.bits,
+        });
+    }
+    fn on_drop(&mut self, ev: &FaultEvent) {
+        self.push(LogRecord::Drop {
+            step: ev.step,
+            msg: ev.msg,
+            to: ev.to,
+        });
+    }
+    fn on_duplicate(&mut self, ev: &FaultEvent) {
+        self.push(LogRecord::Duplicate {
+            step: ev.step,
+            msg: ev.msg,
+            to: ev.to,
+        });
+    }
+    fn on_partition_change(&mut self, step: usize, active: bool) {
+        self.push(LogRecord::PartitionChange { step, active });
+    }
+    fn on_quiesce(&mut self, rounds: usize, reached: bool) {
+        self.push(LogRecord::Quiesce { rounds, reached });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haec_model::ReturnValue;
+
+    fn do_ev(step: usize) -> LogRecord {
+        LogRecord::Do {
+            step,
+            replica: ReplicaId::new(0),
+            obj: ObjectId::new(0),
+            op: Op::Read,
+            dot: None,
+        }
+    }
+
+    #[test]
+    fn bounded_eviction_keeps_newest() {
+        let mut log = EventLog::new(2);
+        for step in 0..5 {
+            log.push(do_ev(step));
+        }
+        assert_eq!(log.total_seen(), 5);
+        assert_eq!(log.capacity(), 2);
+        let steps: Vec<usize> = log
+            .records()
+            .map(|r| match r {
+                LogRecord::Do { step, .. } => *step,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(steps, vec![3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_counts_without_storing() {
+        let mut log = EventLog::new(0);
+        log.push(do_ev(0));
+        assert_eq!(log.total_seen(), 1);
+        assert_eq!(log.records().count(), 0);
+    }
+
+    #[test]
+    fn observer_hooks_record_every_kind() {
+        let mut log = EventLog::new(16);
+        let rval = ReturnValue::empty();
+        log.on_do(&DoEvent {
+            step: 0,
+            replica: ReplicaId::new(0),
+            obj: ObjectId::new(1),
+            op: &Op::Read,
+            rval: &rval,
+            dot: None,
+            visible: &[],
+        });
+        log.on_send(&SendEvent {
+            step: 1,
+            replica: ReplicaId::new(0),
+            msg: MsgId::new(0),
+            bits: 16,
+        });
+        log.on_receive(&ReceiveEvent {
+            step: 2,
+            replica: ReplicaId::new(1),
+            msg: MsgId::new(0),
+            bits: 16,
+            send_step: 1,
+        });
+        log.on_drop(&FaultEvent {
+            step: 3,
+            msg: MsgId::new(0),
+            to: ReplicaId::new(2),
+        });
+        log.on_duplicate(&FaultEvent {
+            step: 3,
+            msg: MsgId::new(0),
+            to: ReplicaId::new(2),
+        });
+        log.on_partition_change(3, true);
+        log.on_quiesce(2, true);
+        assert_eq!(log.total_seen(), 7);
+        let rendered: Vec<String> = log.records().map(|r| r.to_string()).collect();
+        assert!(rendered[0].contains("do"));
+        assert!(rendered[1].contains("send"));
+        assert!(rendered[2].contains("recv"));
+        assert!(rendered[3].contains("drop"));
+        assert!(rendered[4].contains("dup"));
+        assert!(rendered[5].contains("partition start"));
+        assert!(rendered[6].contains("quiesce"));
+    }
+}

@@ -1,0 +1,394 @@
+//! Aggregated run reports with a stable JSON rendering.
+//!
+//! [`RunReport::collect`] drives one store through one seeded schedule with
+//! the full observer battery attached, runs the consistency checkers under
+//! a [span collector](haec_core::spans), and folds everything into a
+//! single value that renders as a human summary ([`fmt::Display`]) or as
+//! one line of JSON ([`RunReport::to_json_string`]).
+//!
+//! ## JSON stability
+//!
+//! The JSON layout is versioned via the top-level `schema_version` field
+//! (currently `1`). Within a schema version, keys, their order, and their
+//! meaning are stable; new keys may be appended. Every field except the
+//! `"total_ns"` span timings is deterministic in `(store, config, seed)` —
+//! timings are wall-clock and vary run to run, which is why
+//! [`RunReport::to_json_normalized`] exists: it zeroes the `total_ns`
+//! values so two reports from the same seed compare byte-identical.
+
+use crate::explorer::{report_on, ExplorationConfig};
+use crate::metrics::{measure, RunMetrics};
+use crate::obs::hist::Histogram;
+use crate::obs::json::Json;
+use crate::obs::lag::LagObserver;
+use crate::obs::log::EventLog;
+use crate::obs::stats::StatsObserver;
+use crate::scheduler::run_schedule;
+use crate::simulator::Simulator;
+use crate::workload::Workload;
+use haec_core::spans::{self, SpanRecord};
+use haec_model::{StoreConfig, StoreFactory};
+use std::fmt;
+
+/// The `schema_version` emitted in report JSON.
+pub const SCHEMA_VERSION: i64 = 1;
+
+/// Parameters for [`RunReport::collect`].
+#[derive(Clone, Debug)]
+pub struct ReportConfig {
+    /// The exploration parameters: cluster size, workload, schedule.
+    pub exploration: ExplorationConfig,
+    /// Retention capacity of the structured event log.
+    pub log_capacity: usize,
+}
+
+impl Default for ReportConfig {
+    fn default() -> Self {
+        ReportConfig {
+            exploration: ExplorationConfig::default(),
+            log_capacity: 64,
+        }
+    }
+}
+
+/// Everything observed during one schedule run, plus checker verdicts and
+/// span timings.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// Store name.
+    pub store: String,
+    /// Seed of the schedule.
+    pub seed: u64,
+    /// Event counters and network-cost histograms.
+    pub stats: StatsObserver,
+    /// Classic cost metrics (message bits, state bits).
+    pub metrics: RunMetrics,
+    /// Per-update visibility lag histogram.
+    pub visibility_lag: Histogram,
+    /// Per-read staleness histogram.
+    pub read_staleness: Histogram,
+    /// `(update, remote replica)` pairs never observed during the run.
+    pub pending_observations: u64,
+    /// Whether the witness abstract execution could be assembled.
+    pub witness_ok: bool,
+    /// Correctness verdict: `None` = passed, `Some(msg)` = violation.
+    pub correct: Option<String>,
+    /// Causal-consistency verdict.
+    pub causal: Option<String>,
+    /// OCC verdict.
+    pub occ: Option<String>,
+    /// Max events an update stayed invisible to a same-object event.
+    pub max_staleness: usize,
+    /// Checker span timings (call counts are deterministic; `total_ns` is
+    /// wall-clock and is not).
+    pub spans: Vec<SpanRecord>,
+    /// Rendered tail of the structured event log.
+    pub log_tail: Vec<String>,
+    /// Total events the log observed (including evicted ones).
+    pub log_total: u64,
+}
+
+impl RunReport {
+    /// Runs `factory` under `config.exploration` with seed `seed`, the full
+    /// observer battery attached and the checkers span-timed.
+    pub fn collect(factory: &dyn StoreFactory, config: &ReportConfig, seed: u64) -> RunReport {
+        let ec = &config.exploration;
+        let store_config = StoreConfig::new(ec.n_replicas, ec.n_objects);
+        let mut sim = Simulator::new(factory, store_config);
+        let stats = super::shared(StatsObserver::new());
+        let lag = super::shared(LagObserver::new(ec.n_replicas));
+        let log = super::shared(EventLog::new(config.log_capacity));
+        sim.attach_observer(Box::new(stats.clone()));
+        sim.attach_observer(Box::new(lag.clone()));
+        sim.attach_observer(Box::new(log.clone()));
+        let mut workload =
+            Workload::new(ec.spec, ec.n_replicas, ec.n_objects, ec.read_ratio, ec.keys);
+        run_schedule(&mut sim, &mut workload, &ec.schedule, seed);
+        let (consistency, spans) = spans::collect(|| report_on(&sim, ec, seed));
+        let metrics = measure(&sim);
+        let stats = stats.borrow().clone();
+        let lag = lag.borrow();
+        let log = log.borrow();
+        RunReport {
+            store: sim.store_name().to_owned(),
+            seed,
+            stats,
+            metrics,
+            visibility_lag: lag.visibility_lag().clone(),
+            read_staleness: lag.read_staleness().clone(),
+            pending_observations: lag.pending_observations(),
+            witness_ok: consistency.abstract_execution.is_ok(),
+            correct: consistency.correct,
+            causal: consistency.causal,
+            occ: consistency.occ,
+            max_staleness: consistency.max_staleness,
+            spans,
+            log_tail: log.records().map(|r| r.to_string()).collect(),
+            log_total: log.total_seen(),
+        }
+    }
+
+    /// The report as a JSON tree. `zero_ns` replaces the nondeterministic
+    /// wall-clock span timings with 0.
+    fn json_tree(&self, zero_ns: bool) -> Json {
+        let verdict = |v: &Option<String>| match v {
+            None => Json::str("ok"),
+            Some(msg) => Json::str(msg.clone()),
+        };
+        Json::Obj(vec![
+            (
+                "schema_version".into(),
+                Json::Int(i128::from(SCHEMA_VERSION)),
+            ),
+            ("store".into(), Json::str(self.store.clone())),
+            ("seed".into(), Json::uint(self.seed)),
+            (
+                "events".into(),
+                Json::Obj(vec![
+                    ("do".into(), Json::uint(self.stats.do_events())),
+                    ("updates".into(), Json::uint(self.stats.updates())),
+                    ("reads".into(), Json::uint(self.stats.reads())),
+                    ("sends".into(), Json::uint(self.stats.sends())),
+                    ("receives".into(), Json::uint(self.stats.receives())),
+                    ("drops".into(), Json::uint(self.stats.drops())),
+                    ("duplicates".into(), Json::uint(self.stats.duplicates())),
+                    (
+                        "partition_changes".into(),
+                        Json::uint(self.stats.partition_changes()),
+                    ),
+                    (
+                        "quiesce_rounds".into(),
+                        Json::uint(self.stats.quiesce_rounds()),
+                    ),
+                ]),
+            ),
+            (
+                "messages".into(),
+                Json::Obj(vec![
+                    (
+                        "total_bits".into(),
+                        Json::Int(self.metrics.total_message_bits as i128),
+                    ),
+                    (
+                        "max_bits".into(),
+                        Json::Int(self.metrics.max_message_bits as i128),
+                    ),
+                    (
+                        "bits_per_update".into(),
+                        Json::Float(self.metrics.bits_per_update()),
+                    ),
+                    ("size_hist".into(), hist_json(self.stats.message_bits())),
+                ]),
+            ),
+            (
+                "delivery_latency".into(),
+                hist_json(self.stats.delivery_latency()),
+            ),
+            (
+                "visibility_lag".into(),
+                Json::Obj(vec![
+                    ("hist".into(), hist_json(&self.visibility_lag)),
+                    ("pending".into(), Json::uint(self.pending_observations)),
+                ]),
+            ),
+            ("read_staleness".into(), hist_json(&self.read_staleness)),
+            (
+                "state".into(),
+                Json::Obj(vec![
+                    (
+                        "final_bits".into(),
+                        Json::Int(self.metrics.final_state_bits as i128),
+                    ),
+                    (
+                        "peak_bits".into(),
+                        Json::Int(self.metrics.peak_state_bits as i128),
+                    ),
+                ]),
+            ),
+            (
+                "checks".into(),
+                Json::Obj(vec![
+                    (
+                        "witness".into(),
+                        Json::str(if self.witness_ok { "ok" } else { "failed" }),
+                    ),
+                    ("correct".into(), verdict(&self.correct)),
+                    ("causal".into(), verdict(&self.causal)),
+                    ("occ".into(), verdict(&self.occ)),
+                    (
+                        "max_staleness".into(),
+                        Json::Int(self.max_staleness as i128),
+                    ),
+                ]),
+            ),
+            (
+                "spans".into(),
+                Json::Arr(
+                    self.spans
+                        .iter()
+                        .map(|s| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::str(s.name)),
+                                ("calls".into(), Json::uint(s.calls)),
+                                (
+                                    "total_ns".into(),
+                                    Json::Int(if zero_ns { 0 } else { s.total_ns as i128 }),
+                                ),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            (
+                "log".into(),
+                Json::Obj(vec![
+                    ("total".into(), Json::uint(self.log_total)),
+                    (
+                        "tail".into(),
+                        Json::Arr(self.log_tail.iter().map(Json::str).collect()),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// The report as a JSON tree (including wall-clock span timings).
+    pub fn to_json(&self) -> Json {
+        self.json_tree(false)
+    }
+
+    /// Compact one-line JSON.
+    pub fn to_json_string(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Compact one-line JSON with span `total_ns` fields zeroed: fully
+    /// deterministic in `(store, config, seed)`, so equal seeds render
+    /// byte-identically.
+    pub fn to_json_normalized(&self) -> String {
+        self.json_tree(true).render()
+    }
+}
+
+fn hist_json(h: &Histogram) -> Json {
+    let minmax = |v: Option<u64>| v.map_or(Json::Null, Json::uint);
+    Json::Obj(vec![
+        ("count".into(), Json::uint(h.count())),
+        ("min".into(), minmax(h.min())),
+        ("max".into(), minmax(h.max())),
+        ("mean".into(), Json::Float(h.mean())),
+        (
+            "buckets".into(),
+            Json::Arr(
+                h.buckets()
+                    .map(|(lo, hi, c)| {
+                        Json::Arr(vec![Json::uint(lo), Json::uint(hi), Json::uint(c)])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let verdict = |v: &Option<String>| v.clone().unwrap_or_else(|| "ok".into());
+        writeln!(f, "{} (seed {})", self.store, self.seed)?;
+        writeln!(
+            f,
+            "  events:     {} do ({} updates, {} reads), {} sends, {} receives",
+            self.stats.do_events(),
+            self.stats.updates(),
+            self.stats.reads(),
+            self.stats.sends(),
+            self.stats.receives()
+        )?;
+        writeln!(
+            f,
+            "  faults:     {} drops, {} duplicates, {} partition changes",
+            self.stats.drops(),
+            self.stats.duplicates(),
+            self.stats.partition_changes()
+        )?;
+        writeln!(
+            f,
+            "  messages:   {} total bits, {:.1} bits/update, sizes {}",
+            self.metrics.total_message_bits,
+            self.metrics.bits_per_update(),
+            self.stats.message_bits()
+        )?;
+        writeln!(f, "  latency:    {}", self.stats.delivery_latency())?;
+        writeln!(
+            f,
+            "  vis lag:    {} ({} pending)",
+            self.visibility_lag, self.pending_observations
+        )?;
+        writeln!(f, "  staleness:  {}", self.read_staleness)?;
+        writeln!(
+            f,
+            "  state bits: {} final, {} peak",
+            self.metrics.final_state_bits, self.metrics.peak_state_bits
+        )?;
+        writeln!(
+            f,
+            "  checks:     witness {}, correct {}, causal {}, occ {}, max staleness {}",
+            if self.witness_ok { "ok" } else { "FAILED" },
+            verdict(&self.correct),
+            verdict(&self.causal),
+            verdict(&self.occ),
+            self.max_staleness
+        )?;
+        write!(f, "  spans:     ")?;
+        if self.spans.is_empty() {
+            write!(f, " (none)")?;
+        }
+        for s in &self.spans {
+            write!(f, " {}×{} {}µs", s.name, s.calls, s.total_ns / 1_000)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haec_stores::{CopsStore, DvvMvrStore};
+
+    #[test]
+    fn collect_produces_consistent_counts() {
+        let rep = RunReport::collect(&DvvMvrStore, &ReportConfig::default(), 7);
+        assert_eq!(rep.store, "dvv-mvr");
+        assert_eq!(rep.stats.do_events() as usize, rep.metrics.do_events);
+        assert_eq!(rep.stats.sends() as usize, rep.metrics.sends);
+        assert_eq!(rep.stats.receives() as usize, rep.metrics.receives);
+        assert_eq!(rep.stats.message_bits().count(), rep.metrics.sends as u64);
+        assert!(rep.witness_ok);
+        assert!(rep.correct.is_none() && rep.causal.is_none());
+        assert!(!rep.spans.is_empty(), "checkers must be span-timed");
+        assert!(rep.spans.iter().any(|s| s.name == "check.causal"));
+        assert!(rep.log_total > 0);
+    }
+
+    #[test]
+    fn json_is_parseable_and_stable() {
+        let rep = RunReport::collect(&CopsStore, &ReportConfig::default(), 42);
+        let text = rep.to_json_string();
+        let v = Json::parse(&text).expect("valid JSON");
+        assert_eq!(v.get("schema_version").and_then(Json::as_int), Some(1));
+        assert_eq!(v.get("store").and_then(Json::as_str), Some("cops-mvr"));
+        assert!(v.get("events").unwrap().get("do").is_some());
+        assert!(v.get("visibility_lag").unwrap().get("hist").is_some());
+        // Same seed → byte-identical normalized reports.
+        let again = RunReport::collect(&CopsStore, &ReportConfig::default(), 42);
+        assert_eq!(rep.to_json_normalized(), again.to_json_normalized());
+    }
+
+    #[test]
+    fn display_mentions_key_sections() {
+        let rep = RunReport::collect(&DvvMvrStore, &ReportConfig::default(), 3);
+        let text = rep.to_string();
+        assert!(text.contains("dvv-mvr"));
+        assert!(text.contains("staleness"));
+        assert!(text.contains("spans"));
+    }
+}

@@ -1,0 +1,236 @@
+//! Event counters and network-cost histograms.
+
+use super::hist::Histogram;
+use super::{DoEvent, FaultEvent, Observer, ReceiveEvent, SendEvent};
+
+/// Counts every kind of simulator event and aggregates network costs:
+/// message sizes (bits, per send), delivery latency (transcript events
+/// between a send and each of its deliveries), peak total state size, and
+/// exhaustive-search effort.
+#[derive(Clone, Debug, Default)]
+pub struct StatsObserver {
+    do_events: u64,
+    updates: u64,
+    reads: u64,
+    sends: u64,
+    receives: u64,
+    drops: u64,
+    duplicates: u64,
+    partition_changes: u64,
+    quiesce_calls: u64,
+    quiesce_rounds: u64,
+    message_bits: Histogram,
+    delivery_latency: Histogram,
+    peak_state_bits: usize,
+    search_nodes: u64,
+    max_frontier: usize,
+    shrink_steps: u64,
+}
+
+impl StatsObserver {
+    /// A fresh, all-zero collector.
+    pub fn new() -> Self {
+        StatsObserver::default()
+    }
+
+    /// Client operations observed.
+    pub fn do_events(&self) -> u64 {
+        self.do_events
+    }
+
+    /// Update (non-read) operations observed.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Read operations observed.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Broadcasts observed.
+    pub fn sends(&self) -> u64 {
+        self.sends
+    }
+
+    /// Deliveries observed.
+    pub fn receives(&self) -> u64 {
+        self.receives
+    }
+
+    /// Dropped in-flight copies.
+    pub fn drops(&self) -> u64 {
+        self.drops
+    }
+
+    /// Duplicated in-flight copies.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Partition starts plus heals.
+    pub fn partition_changes(&self) -> u64 {
+        self.partition_changes
+    }
+
+    /// Quiescence drives observed.
+    pub fn quiesce_calls(&self) -> u64 {
+        self.quiesce_calls
+    }
+
+    /// Total flush-and-deliver rounds across all quiescence drives.
+    pub fn quiesce_rounds(&self) -> u64 {
+        self.quiesce_rounds
+    }
+
+    /// Histogram of encoded message sizes in bits (one sample per send).
+    pub fn message_bits(&self) -> &Histogram {
+        &self.message_bits
+    }
+
+    /// Histogram of delivery latencies: transcript events between a send
+    /// and each delivery of one of its copies.
+    pub fn delivery_latency(&self) -> &Histogram {
+        &self.delivery_latency
+    }
+
+    /// Largest total encoded replica state (bits) seen in any sample.
+    pub fn peak_state_bits(&self) -> usize {
+        self.peak_state_bits
+    }
+
+    /// Schedule prefixes expanded by the exhaustive explorer.
+    pub fn search_nodes(&self) -> u64 {
+        self.search_nodes
+    }
+
+    /// Largest explorer frontier (stack depth) seen.
+    pub fn max_frontier(&self) -> usize {
+        self.max_frontier
+    }
+
+    /// Candidate schedules tried by the counterexample shrinker.
+    pub fn shrink_steps(&self) -> u64 {
+        self.shrink_steps
+    }
+}
+
+impl Observer for StatsObserver {
+    fn on_do(&mut self, ev: &DoEvent<'_>) {
+        self.do_events += 1;
+        if ev.op.is_update() {
+            self.updates += 1;
+        } else {
+            self.reads += 1;
+        }
+    }
+    fn on_send(&mut self, ev: &SendEvent) {
+        self.sends += 1;
+        self.message_bits.record(ev.bits as u64);
+    }
+    fn on_receive(&mut self, ev: &ReceiveEvent) {
+        self.receives += 1;
+        self.delivery_latency
+            .record(ev.step.saturating_sub(ev.send_step) as u64);
+    }
+    fn on_drop(&mut self, _ev: &FaultEvent) {
+        self.drops += 1;
+    }
+    fn on_duplicate(&mut self, _ev: &FaultEvent) {
+        self.duplicates += 1;
+    }
+    fn on_partition_change(&mut self, _step: usize, _active: bool) {
+        self.partition_changes += 1;
+    }
+    fn on_quiesce(&mut self, rounds: usize, _reached: bool) {
+        self.quiesce_calls += 1;
+        self.quiesce_rounds += rounds as u64;
+    }
+    fn on_state_sample(&mut self, _step: usize, state_bits: usize) {
+        self.peak_state_bits = self.peak_state_bits.max(state_bits);
+    }
+    fn on_search_node(&mut self, _depth: usize, frontier: usize) {
+        self.search_nodes += 1;
+        self.max_frontier = self.max_frontier.max(frontier);
+    }
+    fn on_shrink_step(&mut self, _len: usize) {
+        self.shrink_steps += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use haec_model::{MsgId, ObjectId, Op, ReplicaId, ReturnValue, Value};
+
+    #[test]
+    fn counters_track_each_hook() {
+        let mut s = StatsObserver::new();
+        let rval = ReturnValue::Ok;
+        s.on_do(&DoEvent {
+            step: 0,
+            replica: ReplicaId::new(0),
+            obj: ObjectId::new(0),
+            op: &Op::Write(Value::new(1)),
+            rval: &rval,
+            dot: None,
+            visible: &[],
+        });
+        s.on_do(&DoEvent {
+            step: 1,
+            replica: ReplicaId::new(1),
+            obj: ObjectId::new(0),
+            op: &Op::Read,
+            rval: &rval,
+            dot: None,
+            visible: &[],
+        });
+        s.on_send(&SendEvent {
+            step: 2,
+            replica: ReplicaId::new(0),
+            msg: MsgId::new(0),
+            bits: 40,
+        });
+        s.on_receive(&ReceiveEvent {
+            step: 5,
+            replica: ReplicaId::new(1),
+            msg: MsgId::new(0),
+            bits: 40,
+            send_step: 2,
+        });
+        s.on_drop(&FaultEvent {
+            step: 5,
+            msg: MsgId::new(0),
+            to: ReplicaId::new(2),
+        });
+        s.on_duplicate(&FaultEvent {
+            step: 5,
+            msg: MsgId::new(0),
+            to: ReplicaId::new(2),
+        });
+        s.on_partition_change(6, true);
+        s.on_quiesce(3, true);
+        s.on_state_sample(7, 120);
+        s.on_state_sample(8, 80);
+        s.on_search_node(2, 9);
+        s.on_shrink_step(4);
+
+        assert_eq!(s.do_events(), 2);
+        assert_eq!(s.updates(), 1);
+        assert_eq!(s.reads(), 1);
+        assert_eq!(s.sends(), 1);
+        assert_eq!(s.receives(), 1);
+        assert_eq!(s.drops(), 1);
+        assert_eq!(s.duplicates(), 1);
+        assert_eq!(s.partition_changes(), 1);
+        assert_eq!(s.quiesce_calls(), 1);
+        assert_eq!(s.quiesce_rounds(), 3);
+        assert_eq!(s.message_bits().count(), 1);
+        assert_eq!(s.message_bits().max(), Some(40));
+        assert_eq!(s.delivery_latency().max(), Some(3));
+        assert_eq!(s.peak_state_bits(), 120);
+        assert_eq!(s.search_nodes(), 1);
+        assert_eq!(s.max_frontier(), 9);
+        assert_eq!(s.shrink_steps(), 1);
+    }
+}

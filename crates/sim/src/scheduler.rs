@@ -103,7 +103,20 @@ pub fn run_schedule(
     let mut rng = Rng::seed_from_u64(seed);
     let total = config.op_weight + config.flush_weight + config.deliver_weight;
     assert!(total > 0, "at least one action must have weight");
+    let mut partition_active = false;
     for step in 0..config.steps {
+        // Announce partition transitions so faults are part of the record.
+        if let Some(p) = &config.partition {
+            let active = p.active(step);
+            if active != partition_active {
+                if active {
+                    sim.note_partition_start(&p.group);
+                } else {
+                    sim.note_partition_heal();
+                }
+                partition_active = active;
+            }
+        }
         let roll = rng.gen_range(0..total);
         if roll < config.op_weight {
             let (replica, obj, op) = workload.next_op(&mut rng);
@@ -146,6 +159,11 @@ pub fn run_schedule(
                 sim.deliver(i);
             }
         }
+    }
+    // The schedule is over: a partition still active at the end heals now
+    // (sufficient connectivity — partitions delay, they do not last).
+    if partition_active {
+        sim.note_partition_heal();
     }
     if config.quiesce_at_end {
         sim.quiesce();

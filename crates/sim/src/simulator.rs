@@ -7,12 +7,13 @@
 //! simulator operations, so an execution is an exact transcript of the
 //! scheduler's choices.
 
+use crate::obs::{DoEvent, FaultEvent, Observer, Observers, ReceiveEvent, SendEvent};
 use haec_core::witness::{
     abstract_from_witness, abstract_from_witness_ordered, DoWitness, WitnessError,
 };
 use haec_core::AbstractExecution;
 use haec_model::{
-    Execution, MsgId, ObjectId, Op, ReplicaId, ReplicaMachine, ReturnValue, StoreConfig,
+    Dot, Execution, MsgId, ObjectId, Op, ReplicaId, ReplicaMachine, ReturnValue, StoreConfig,
     StoreFactory,
 };
 
@@ -25,6 +26,45 @@ pub struct InFlight {
     pub to: ReplicaId,
 }
 
+/// A network fault or partition transition, positioned by the number of
+/// execution events recorded before it happened. Faults are invisible in
+/// the [`Execution`] itself (a dropped copy simply never produces a
+/// `receive`), so the simulator records them on the side — this is what
+/// lets [`trace`](crate::trace) round-trip full schedules.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FaultRecord {
+    /// Number of execution events recorded before the fault.
+    pub at_event: usize,
+    /// What happened.
+    pub kind: FaultKind,
+}
+
+/// The kinds of recorded faults.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum FaultKind {
+    /// The in-flight copy of `msg` addressed to `to` was dropped.
+    Drop {
+        /// The message.
+        msg: MsgId,
+        /// The addressee of the dropped copy.
+        to: ReplicaId,
+    },
+    /// The in-flight copy of `msg` addressed to `to` was duplicated.
+    Duplicate {
+        /// The message.
+        msg: MsgId,
+        /// The addressee of the duplicated copy.
+        to: ReplicaId,
+    },
+    /// A partition separating `group` from the other replicas activated.
+    PartitionStart {
+        /// Replicas in the first group.
+        group: Vec<usize>,
+    },
+    /// The active partition healed.
+    PartitionHeal,
+}
+
 /// A cluster of replicas under simulation.
 pub struct Simulator {
     config: StoreConfig,
@@ -35,6 +75,11 @@ pub struct Simulator {
     /// Arbitration timestamps reported by the store, per do event.
     timestamps: Vec<Option<u64>>,
     inflight: Vec<InFlight>,
+    /// 1-based update counts per replica, for assigning dots to updates.
+    update_seq: Vec<u32>,
+    faults: Vec<FaultRecord>,
+    peak_state_bits: usize,
+    obs: Observers,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -44,6 +89,8 @@ impl std::fmt::Debug for Simulator {
             .field("config", &self.config)
             .field("events", &self.execution.len())
             .field("inflight", &self.inflight.len())
+            .field("faults", &self.faults.len())
+            .field("observers", &self.obs.len())
             .finish()
     }
 }
@@ -62,6 +109,10 @@ impl Simulator {
             witnesses: Vec::new(),
             timestamps: Vec::new(),
             inflight: Vec::new(),
+            update_seq: vec![0; config.n_replicas],
+            faults: Vec::new(),
+            peak_state_bits: 0,
+            obs: Observers::new(),
         }
     }
 
@@ -75,9 +126,44 @@ impl Simulator {
         &self.store_name
     }
 
+    /// Attaches an [`Observer`] that will be notified of every subsequent
+    /// simulator event. Observers are passive: they cannot influence the
+    /// run, and the recorded execution is identical with or without them.
+    pub fn attach_observer(&mut self, observer: Box<dyn Observer>) {
+        self.obs.attach(observer);
+    }
+
+    /// The total encoded state size across all replicas, in bits.
+    pub fn total_state_bits(&self) -> usize {
+        self.machines.iter().map(|m| m.state_bits()).sum()
+    }
+
+    /// The largest [`total_state_bits`](Self::total_state_bits) sampled
+    /// after any mutating event so far.
+    pub fn peak_state_bits(&self) -> usize {
+        self.peak_state_bits
+    }
+
+    /// The recorded network faults and partition transitions, in order.
+    pub fn faults(&self) -> &[FaultRecord] {
+        &self.faults
+    }
+
+    fn sample_state(&mut self) {
+        let bits = self.total_state_bits();
+        self.peak_state_bits = self.peak_state_bits.max(bits);
+        if !self.obs.is_empty() {
+            self.obs.on_state_sample(self.execution.len(), bits);
+        }
+    }
+
     /// Invokes a client operation at `replica`; returns the event index and
     /// the response.
     pub fn do_op(&mut self, replica: ReplicaId, obj: ObjectId, op: Op) -> (usize, ReturnValue) {
+        let dot = op.is_update().then(|| {
+            self.update_seq[replica.index()] += 1;
+            Dot::new(replica, self.update_seq[replica.index()])
+        });
         let outcome = self.machines[replica.index()].do_op(obj, &op);
         let ix = self
             .execution
@@ -87,6 +173,19 @@ impl Simulator {
             visible: outcome.visible,
         });
         self.timestamps.push(outcome.timestamp);
+        if !self.obs.is_empty() {
+            let (eobj, op, rval) = self.execution.event(ix).as_do().expect("do event");
+            self.obs.on_do(&DoEvent {
+                step: ix,
+                replica,
+                obj: eobj,
+                op,
+                rval,
+                dot,
+                visible: &self.witnesses[self.witnesses.len() - 1].visible,
+            });
+        }
+        self.sample_state();
         (ix, outcome.rval)
     }
 
@@ -100,6 +199,7 @@ impl Simulator {
     /// id, or `None` if nothing was pending.
     pub fn flush(&mut self, replica: ReplicaId) -> Option<MsgId> {
         let payload = self.machines[replica.index()].pending_message()?;
+        let bits = payload.bits();
         self.machines[replica.index()].on_send();
         let msg = self
             .execution
@@ -113,6 +213,15 @@ impl Simulator {
                 });
             }
         }
+        if !self.obs.is_empty() {
+            self.obs.on_send(&SendEvent {
+                step: self.execution.message(msg).send_index,
+                replica,
+                msg,
+                bits,
+            });
+        }
+        self.sample_state();
         Some(msg)
     }
 
@@ -130,9 +239,21 @@ impl Simulator {
         let InFlight { msg, to } = self.inflight.remove(i);
         let payload = self.execution.message(msg).payload.clone();
         self.machines[to.index()].on_receive(&payload);
-        self.execution
+        let ix = self
+            .execution
             .push_receive(to, msg)
-            .expect("in-flight copies are deliverable")
+            .expect("in-flight copies are deliverable");
+        if !self.obs.is_empty() {
+            self.obs.on_receive(&ReceiveEvent {
+                step: ix,
+                replica: to,
+                msg,
+                bits: payload.bits(),
+                send_step: self.execution.message(msg).send_index,
+            });
+        }
+        self.sample_state();
+        ix
     }
 
     /// Delivers the first in-flight copy addressed to `to` for message
@@ -151,7 +272,19 @@ impl Simulator {
     ///
     /// Panics if `i` is out of range.
     pub fn drop_inflight(&mut self, i: usize) {
-        self.inflight.remove(i);
+        let InFlight { msg, to } = self.inflight.remove(i);
+        let at_event = self.execution.len();
+        self.faults.push(FaultRecord {
+            at_event,
+            kind: FaultKind::Drop { msg, to },
+        });
+        if !self.obs.is_empty() {
+            self.obs.on_drop(&FaultEvent {
+                step: at_event,
+                msg,
+                to,
+            });
+        }
     }
 
     /// Duplicates the `i`-th in-flight copy.
@@ -162,6 +295,48 @@ impl Simulator {
     pub fn duplicate_inflight(&mut self, i: usize) {
         let copy = self.inflight[i];
         self.inflight.push(copy);
+        let at_event = self.execution.len();
+        self.faults.push(FaultRecord {
+            at_event,
+            kind: FaultKind::Duplicate {
+                msg: copy.msg,
+                to: copy.to,
+            },
+        });
+        if !self.obs.is_empty() {
+            self.obs.on_duplicate(&FaultEvent {
+                step: at_event,
+                msg: copy.msg,
+                to: copy.to,
+            });
+        }
+    }
+
+    /// Records a partition activation (for the fault transcript) and
+    /// notifies observers. The partition itself is enforced by the
+    /// scheduler; the simulator only keeps the record.
+    pub fn note_partition_start(&mut self, group: &[usize]) {
+        self.faults.push(FaultRecord {
+            at_event: self.execution.len(),
+            kind: FaultKind::PartitionStart {
+                group: group.to_vec(),
+            },
+        });
+        if !self.obs.is_empty() {
+            self.obs.on_partition_change(self.execution.len(), true);
+        }
+    }
+
+    /// Records the active partition healing; see
+    /// [`note_partition_start`](Self::note_partition_start).
+    pub fn note_partition_heal(&mut self) {
+        self.faults.push(FaultRecord {
+            at_event: self.execution.len(),
+            kind: FaultKind::PartitionHeal,
+        });
+        if !self.obs.is_empty() {
+            self.obs.on_partition_change(self.execution.len(), false);
+        }
     }
 
     /// Delivers everything currently in flight, in enqueue order.
@@ -182,6 +357,8 @@ impl Simulator {
     ///
     /// Returns `true` if quiescence was reached within the cap.
     pub fn quiesce(&mut self) -> bool {
+        let mut rounds = 0;
+        let mut reached = false;
         for _ in 0..64 {
             let mut progress = false;
             for r in 0..self.config.n_replicas {
@@ -194,12 +371,20 @@ impl Simulator {
                 self.deliver_all();
             }
             if !progress {
-                return true;
+                reached = true;
+                break;
             }
+            rounds += 1;
         }
-
-        (0..self.config.n_replicas).all(|r| self.machines[r].pending_message().is_none())
-            && self.inflight.is_empty()
+        if !reached {
+            reached = (0..self.config.n_replicas)
+                .all(|r| self.machines[r].pending_message().is_none())
+                && self.inflight.is_empty();
+        }
+        if !self.obs.is_empty() {
+            self.obs.on_quiesce(rounds, reached);
+        }
+        reached
     }
 
     /// The execution transcript so far.

@@ -10,10 +10,20 @@
 //! replicas 3
 //! do R0 x0 write v1 ok
 //! send R0 m0 16 a1b2
+//! fault drop m0 R2
 //! recv R1 m0
 //! do R1 x0 read {v1}
 //! ```
+//!
+//! Network faults (drops, duplicates, partition transitions) leave no mark
+//! in the [`Execution`] itself, so plain [`to_text`] loses them. The
+//! `fault` directive carries them: [`to_text_with_faults`] interleaves the
+//! simulator's [`FaultRecord`]s at their recorded positions and
+//! [`parse_full`] recovers both the execution and the fault transcript
+//! exactly. [`parse`] accepts the extended format too, discarding the
+//! fault lines.
 
+use crate::simulator::{FaultKind, FaultRecord};
 use haec_model::{
     EventKind, Execution, MsgId, ObjectId, Op, Payload, ReplicaId, ReturnValue, Value,
 };
@@ -71,39 +81,83 @@ fn unhex(s: &str) -> Option<Vec<u8>> {
         .collect()
 }
 
-/// Serializes an execution to the trace format.
-pub fn to_text(ex: &Execution) -> String {
-    let mut out = format!("replicas {}\n", ex.n_replicas());
-    for e in ex.events() {
-        match &e.kind {
-            EventKind::Do { obj, op, rval } => {
-                out.push_str(&format!(
-                    "do R{} x{} {} {}\n",
-                    e.replica.as_u32(),
-                    obj.as_u32(),
-                    encode_op(op),
-                    encode_rval(rval)
-                ));
-            }
-            EventKind::Send { msg } => {
-                let rec = ex.message(*msg);
-                let body = if rec.payload.bytes().is_empty() {
-                    "-".to_owned()
-                } else {
-                    hex(rec.payload.bytes())
-                };
-                out.push_str(&format!(
-                    "send R{} m{} {} {}\n",
-                    e.replica.as_u32(),
-                    msg.index(),
-                    rec.payload.bits(),
-                    body
-                ));
-            }
-            EventKind::Receive { msg } => {
-                out.push_str(&format!("recv R{} m{}\n", e.replica.as_u32(), msg.index()));
-            }
+fn push_event(out: &mut String, ex: &Execution, e: &haec_model::Event) {
+    match &e.kind {
+        EventKind::Do { obj, op, rval } => {
+            out.push_str(&format!(
+                "do R{} x{} {} {}\n",
+                e.replica.as_u32(),
+                obj.as_u32(),
+                encode_op(op),
+                encode_rval(rval)
+            ));
         }
+        EventKind::Send { msg } => {
+            let rec = ex.message(*msg);
+            let body = if rec.payload.bytes().is_empty() {
+                "-".to_owned()
+            } else {
+                hex(rec.payload.bytes())
+            };
+            out.push_str(&format!(
+                "send R{} m{} {} {}\n",
+                e.replica.as_u32(),
+                msg.index(),
+                rec.payload.bits(),
+                body
+            ));
+        }
+        EventKind::Receive { msg } => {
+            out.push_str(&format!("recv R{} m{}\n", e.replica.as_u32(), msg.index()));
+        }
+    }
+}
+
+fn push_fault(out: &mut String, f: &FaultRecord) {
+    match &f.kind {
+        FaultKind::Drop { msg, to } => {
+            out.push_str(&format!("fault drop m{} R{}\n", msg.index(), to.as_u32()));
+        }
+        FaultKind::Duplicate { msg, to } => {
+            out.push_str(&format!("fault dup m{} R{}\n", msg.index(), to.as_u32()));
+        }
+        FaultKind::PartitionStart { group } => {
+            let groups = if group.is_empty() {
+                "-".to_owned()
+            } else {
+                group
+                    .iter()
+                    .map(|g| g.to_string())
+                    .collect::<Vec<_>>()
+                    .join(",")
+            };
+            out.push_str(&format!("fault part-start {groups}\n"));
+        }
+        FaultKind::PartitionHeal => out.push_str("fault part-heal\n"),
+    }
+}
+
+/// Serializes an execution to the trace format (fault-free view).
+pub fn to_text(ex: &Execution) -> String {
+    to_text_with_faults(ex, &[])
+}
+
+/// Serializes an execution together with its fault transcript (see
+/// [`Simulator::faults`](crate::Simulator::faults)). Fault lines are
+/// interleaved at their recorded event positions, so
+/// [`parse_full`] recovers both exactly.
+pub fn to_text_with_faults(ex: &Execution, faults: &[FaultRecord]) -> String {
+    let mut out = format!("replicas {}\n", ex.n_replicas());
+    let mut fi = 0;
+    for (i, e) in ex.events().iter().enumerate() {
+        while fi < faults.len() && faults[fi].at_event <= i {
+            push_fault(&mut out, &faults[fi]);
+            fi += 1;
+        }
+        push_event(&mut out, ex, e);
+    }
+    for f in &faults[fi..] {
+        push_fault(&mut out, f);
     }
     out
 }
@@ -147,13 +201,86 @@ fn parse_replica(tok: &str, line: usize) -> Result<ReplicaId, ParseError> {
         })
 }
 
-/// Parses a trace back into an [`Execution`].
+/// Parses a trace back into an [`Execution`], discarding `fault` lines.
 ///
 /// # Errors
 ///
 /// Returns a [`ParseError`] with the offending line on malformed input or
 /// a trace violating well-formedness.
 pub fn parse(text: &str) -> Result<Execution, ParseError> {
+    parse_full(text).map(|(ex, _)| ex)
+}
+
+fn parse_msg(tok: &str, line: usize) -> Result<MsgId, ParseError> {
+    tok.strip_prefix('m')
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(MsgId::new)
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("bad message token `{tok}`"),
+        })
+}
+
+fn parse_fault(toks: &[&str], at_event: usize, line: usize) -> Result<FaultRecord, ParseError> {
+    let err = |message: String| ParseError { line, message };
+    let kind = match toks.get(1).copied() {
+        Some("drop") | Some("dup") => {
+            if toks.len() != 4 {
+                return Err(err("fault drop/dup expects `fault <kind> m<j> R<k>`".into()));
+            }
+            let msg = parse_msg(toks[2], line)?;
+            let to = parse_replica(toks[3], line)?;
+            if toks[1] == "drop" {
+                FaultKind::Drop { msg, to }
+            } else {
+                FaultKind::Duplicate { msg, to }
+            }
+        }
+        Some("part-start") => {
+            if toks.len() != 3 {
+                return Err(err(
+                    "fault part-start expects `fault part-start <group>`".into()
+                ));
+            }
+            let group = if toks[2] == "-" {
+                Vec::new()
+            } else {
+                toks[2]
+                    .split(',')
+                    .map(|t| {
+                        t.parse::<usize>()
+                            .map_err(|_| err(format!("bad partition group `{}`", toks[2])))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?
+            };
+            FaultKind::PartitionStart { group }
+        }
+        Some("part-heal") => {
+            if toks.len() != 2 {
+                return Err(err("fault part-heal takes no arguments".into()));
+            }
+            FaultKind::PartitionHeal
+        }
+        other => {
+            return Err(err(format!(
+                "unknown fault kind `{}`",
+                other.unwrap_or("<missing>")
+            )))
+        }
+    };
+    Ok(FaultRecord { at_event, kind })
+}
+
+/// Parses a trace back into an [`Execution`] plus its fault transcript.
+/// Each fault's `at_event` is the number of events parsed before it, which
+/// is exactly how [`to_text_with_faults`] positions fault lines — so
+/// `(execution, faults)` round-trips bit-exactly.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the offending line on malformed input or
+/// a trace violating well-formedness.
+pub fn parse_full(text: &str) -> Result<(Execution, Vec<FaultRecord>), ParseError> {
     let mut lines = text.lines().enumerate();
     let (_, header) = lines.next().ok_or(ParseError {
         line: 1,
@@ -167,6 +294,7 @@ pub fn parse(text: &str) -> Result<Execution, ParseError> {
             message: "expected `replicas <n>` header".into(),
         })?;
     let mut ex = Execution::new(n_replicas);
+    let mut faults = Vec::new();
     for (ix, raw) in lines {
         let line = ix + 1;
         let toks: Vec<&str> = raw.split_whitespace().collect();
@@ -229,18 +357,17 @@ pub fn parse(text: &str) -> Result<Execution, ParseError> {
                     return Err(err("recv expects `recv R<i> m<j>`".into()));
                 }
                 let replica = parse_replica(toks[1], line)?;
-                let msg = toks[2]
-                    .strip_prefix('m')
-                    .and_then(|s| s.parse::<u64>().ok())
-                    .map(MsgId::new)
-                    .ok_or_else(|| err(format!("bad message token `{}`", toks[2])))?;
+                let msg = parse_msg(toks[2], line)?;
                 ex.push_receive(replica, msg)
                     .map_err(|e| err(e.to_string()))?;
+            }
+            "fault" => {
+                faults.push(parse_fault(&toks, ex.events().len(), line)?);
             }
             other => return Err(err(format!("unknown directive `{other}`"))),
         }
     }
-    Ok(ex)
+    Ok((ex, faults))
 }
 
 #[cfg(test)]
@@ -358,6 +485,112 @@ mod tests {
             let text = to_text(sim.execution());
             let back = parse(&text).unwrap();
             assert_eq!(sim.execution(), &back, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn fault_records_roundtrip() {
+        let ex = sample();
+        let faults = vec![
+            FaultRecord {
+                at_event: 0,
+                kind: FaultKind::PartitionStart { group: vec![0, 1] },
+            },
+            FaultRecord {
+                at_event: 2,
+                kind: FaultKind::Drop {
+                    msg: MsgId::new(0),
+                    to: ReplicaId::new(1),
+                },
+            },
+            FaultRecord {
+                at_event: 2,
+                kind: FaultKind::Duplicate {
+                    msg: MsgId::new(0),
+                    to: ReplicaId::new(1),
+                },
+            },
+            // Trailing faults (after the last event) must survive too.
+            FaultRecord {
+                at_event: ex.events().len(),
+                kind: FaultKind::PartitionHeal,
+            },
+        ];
+        let text = to_text_with_faults(&ex, &faults);
+        assert!(text.contains("fault part-start 0,1\n"));
+        assert!(text.contains("fault drop m0 R1\n"));
+        assert!(text.contains("fault dup m0 R1\n"));
+        assert!(text.ends_with("fault part-heal\n"));
+        let (back_ex, back_faults) = parse_full(&text).unwrap();
+        assert_eq!(ex, back_ex);
+        assert_eq!(faults, back_faults);
+    }
+
+    #[test]
+    fn empty_partition_group_roundtrips() {
+        let ex = sample();
+        let faults = vec![FaultRecord {
+            at_event: 1,
+            kind: FaultKind::PartitionStart { group: Vec::new() },
+        }];
+        let text = to_text_with_faults(&ex, &faults);
+        assert!(text.contains("fault part-start -\n"));
+        let (_, back) = parse_full(&text).unwrap();
+        assert_eq!(faults, back);
+    }
+
+    #[test]
+    fn legacy_parse_discards_faults() {
+        let ex = sample();
+        let faults = vec![FaultRecord {
+            at_event: 2,
+            kind: FaultKind::Drop {
+                msg: MsgId::new(0),
+                to: ReplicaId::new(1),
+            },
+        }];
+        let back = parse(&to_text_with_faults(&ex, &faults)).unwrap();
+        assert_eq!(ex, back);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_faults() {
+        assert!(parse("replicas 2\nfault").is_err());
+        assert!(parse("replicas 2\nfault teleport m0 R1").is_err());
+        assert!(parse("replicas 2\nfault drop m0").is_err());
+        assert!(parse("replicas 2\nfault part-start 0;1").is_err());
+        assert!(parse("replicas 2\nfault part-heal now").is_err());
+    }
+
+    #[test]
+    fn faulty_schedules_roundtrip_with_faults() {
+        use crate::scheduler::Partition;
+        use crate::{run_schedule, KeyDistribution, ScheduleConfig, Simulator, Workload};
+        use haec_core::SpecKind;
+        use haec_model::StoreConfig;
+        use haec_stores::DvvMvrStore;
+        for seed in 0..5 {
+            let mut sim = Simulator::new(&DvvMvrStore, StoreConfig::new(3, 2));
+            let mut wl = Workload::new(SpecKind::Mvr, 3, 2, 0.4, KeyDistribution::Uniform);
+            let config = ScheduleConfig {
+                drop_prob: 0.2,
+                dup_prob: 0.2,
+                partition: Some(Partition {
+                    group: vec![0],
+                    from_step: 5,
+                    to_step: 15,
+                }),
+                ..ScheduleConfig::default()
+            };
+            run_schedule(&mut sim, &mut wl, &config, seed);
+            assert!(
+                !sim.faults().is_empty(),
+                "seed {seed}: schedule should inject faults"
+            );
+            let text = to_text_with_faults(sim.execution(), sim.faults());
+            let (back_ex, back_faults) = parse_full(&text).unwrap();
+            assert_eq!(sim.execution(), &back_ex, "seed {seed}");
+            assert_eq!(sim.faults(), &back_faults[..], "seed {seed}");
         }
     }
 }
