@@ -17,6 +17,9 @@ cargo test -q --workspace --locked --offline
 echo "== clippy (locked, offline, deny warnings) =="
 cargo clippy --workspace --locked --offline -- -D warnings
 
+echo "== haec-lint (determinism/hermeticity, deny mode) =="
+cargo run -q --release --locked --offline -p haec-lint
+
 echo "== report smoke (fixed seed, JSON must re-parse) =="
 cargo run -q --release --locked --offline -p haec-bench --bin report -- \
     --json --check --seed 42 > /dev/null

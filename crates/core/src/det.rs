@@ -1,0 +1,389 @@
+//! Deterministic collection wrappers — the sanctioned replacement for
+//! `std::collections::{HashMap, HashSet}` in the deterministic crates.
+//!
+//! The framework's scientific claims are checked by replaying executions
+//! and comparing byte-identical traces per seed (`tests/determinism.rs`).
+//! Hash collections break that discipline twice over: `RandomState` seeds
+//! the hasher from ambient entropy, and even with a fixed hasher the
+//! iteration order is an implementation detail. [`DetMap`] and [`DetSet`]
+//! are thin wrappers over `BTreeMap`/`BTreeSet` that make the contract a
+//! *type*: iteration is always ascending key order, so any fold, scan or
+//! serialisation over them is a pure function of the inserted contents.
+//!
+//! `haec-lint` (the workspace's determinism linter) denies raw
+//! `HashMap`/`HashSet` in the deterministic crates and points offenders
+//! here; see DESIGN.md §"Determinism contract & lint catalog".
+//!
+//! The API mirrors the `std` map/set surface the workspace actually uses
+//! (plus `FromIterator`, `Extend`, `IntoIterator` and `Index`), so a
+//! migration is a type-name change. Lookups are `O(log n)` instead of
+//! `O(1)`; every current call site is in a checker or construction whose
+//! cost is dominated elsewhere, and determinism is worth a logarithm.
+
+use std::borrow::Borrow;
+use std::collections::{btree_map, btree_set, BTreeMap, BTreeSet};
+use std::fmt;
+use std::ops::Index;
+
+/// A map with deterministic (ascending key) iteration order.
+///
+/// ```
+/// use haec_core::det::DetMap;
+///
+/// let mut m = DetMap::new();
+/// m.insert("b", 2);
+/// m.insert("a", 1);
+/// let keys: Vec<_> = m.keys().copied().collect();
+/// assert_eq!(keys, ["a", "b"]); // insertion order is irrelevant
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct DetMap<K: Ord, V> {
+    inner: BTreeMap<K, V>,
+}
+
+impl<K: Ord, V> DetMap<K, V> {
+    /// Creates an empty map.
+    #[must_use]
+    pub fn new() -> Self {
+        DetMap {
+            inner: BTreeMap::new(),
+        }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Is the map empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Inserts `value` at `key`, returning the previous value if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<V> {
+        self.inner.insert(key, value)
+    }
+
+    /// Looks up a key.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.inner.get(key)
+    }
+
+    /// Looks up a key, mutably.
+    pub fn get_mut<Q>(&mut self, key: &Q) -> Option<&mut V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.inner.get_mut(key)
+    }
+
+    /// Does the map contain `key`?
+    pub fn contains_key<Q>(&self, key: &Q) -> bool
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.inner.contains_key(key)
+    }
+
+    /// Removes a key, returning its value if present.
+    pub fn remove<Q>(&mut self, key: &Q) -> Option<V>
+    where
+        K: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.inner.remove(key)
+    }
+
+    /// The value at `key`, inserting `default()` first if absent.
+    pub fn get_or_insert_with(&mut self, key: K, default: impl FnOnce() -> V) -> &mut V {
+        self.inner.entry(key).or_insert_with(default)
+    }
+
+    /// Removes every entry.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Iterates entries in ascending key order.
+    pub fn iter(&self) -> btree_map::Iter<'_, K, V> {
+        self.inner.iter()
+    }
+
+    /// Iterates entries in ascending key order, values mutable.
+    pub fn iter_mut(&mut self) -> btree_map::IterMut<'_, K, V> {
+        self.inner.iter_mut()
+    }
+
+    /// Iterates keys in ascending order.
+    pub fn keys(&self) -> btree_map::Keys<'_, K, V> {
+        self.inner.keys()
+    }
+
+    /// Iterates values in ascending key order.
+    pub fn values(&self) -> btree_map::Values<'_, K, V> {
+        self.inner.values()
+    }
+}
+
+impl<K: Ord + fmt::Debug, V: fmt::Debug> fmt::Debug for DetMap<K, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<K: Ord, V> FromIterator<(K, V)> for DetMap<K, V> {
+    fn from_iter<I: IntoIterator<Item = (K, V)>>(iter: I) -> Self {
+        DetMap {
+            inner: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<K: Ord, V> Extend<(K, V)> for DetMap<K, V> {
+    fn extend<I: IntoIterator<Item = (K, V)>>(&mut self, iter: I) {
+        self.inner.extend(iter);
+    }
+}
+
+impl<K: Ord, V> IntoIterator for DetMap<K, V> {
+    type Item = (K, V);
+    type IntoIter = btree_map::IntoIter<K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a, K: Ord, V> IntoIterator for &'a DetMap<K, V> {
+    type Item = (&'a K, &'a V);
+    type IntoIter = btree_map::Iter<'a, K, V>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+impl<K, Q, V> Index<&Q> for DetMap<K, V>
+where
+    K: Ord + Borrow<Q>,
+    Q: Ord + ?Sized,
+{
+    type Output = V;
+    /// # Panics
+    ///
+    /// Panics if the key is absent, like `BTreeMap`'s `Index`.
+    fn index(&self, key: &Q) -> &V {
+        self.inner.index(key)
+    }
+}
+
+/// A set with deterministic (ascending) iteration order.
+///
+/// ```
+/// use haec_core::det::DetSet;
+///
+/// let s: DetSet<u32> = [3, 1, 2].into_iter().collect();
+/// let items: Vec<_> = s.iter().copied().collect();
+/// assert_eq!(items, [1, 2, 3]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct DetSet<T: Ord> {
+    inner: BTreeSet<T>,
+}
+
+impl<T: Ord> DetSet<T> {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        DetSet {
+            inner: BTreeSet::new(),
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Is the set empty?
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Inserts `value`; returns `true` if it was not already present.
+    pub fn insert(&mut self, value: T) -> bool {
+        self.inner.insert(value)
+    }
+
+    /// Does the set contain `value`?
+    pub fn contains<Q>(&self, value: &Q) -> bool
+    where
+        T: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.inner.contains(value)
+    }
+
+    /// Removes `value`; returns `true` if it was present.
+    pub fn remove<Q>(&mut self, value: &Q) -> bool
+    where
+        T: Borrow<Q>,
+        Q: Ord + ?Sized,
+    {
+        self.inner.remove(value)
+    }
+
+    /// Removes every element.
+    pub fn clear(&mut self) {
+        self.inner.clear();
+    }
+
+    /// Iterates elements in ascending order.
+    pub fn iter(&self) -> btree_set::Iter<'_, T> {
+        self.inner.iter()
+    }
+}
+
+impl<T: Ord + fmt::Debug> fmt::Debug for DetSet<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.inner.fmt(f)
+    }
+}
+
+impl<T: Ord> FromIterator<T> for DetSet<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        DetSet {
+            inner: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl<T: Ord> Extend<T> for DetSet<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        self.inner.extend(iter);
+    }
+}
+
+impl<T: Ord> IntoIterator for DetSet<T> {
+    type Item = T;
+    type IntoIter = btree_set::IntoIter<T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.into_iter()
+    }
+}
+
+impl<'a, T: Ord> IntoIterator for &'a DetSet<T> {
+    type Item = &'a T;
+    type IntoIter = btree_set::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.inner.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_iterates_in_key_order_regardless_of_insertion() {
+        let mut a = DetMap::new();
+        for k in [5u32, 1, 4, 2, 3] {
+            a.insert(k, k * 10);
+        }
+        let mut b = DetMap::new();
+        for k in [3u32, 2, 4, 1, 5] {
+            b.insert(k, k * 10);
+        }
+        let ka: Vec<_> = a.keys().copied().collect();
+        let kb: Vec<_> = b.keys().copied().collect();
+        assert_eq!(ka, [1, 2, 3, 4, 5]);
+        assert_eq!(ka, kb);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn map_basic_operations() {
+        let mut m = DetMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.insert(1, "a"), None);
+        assert_eq!(m.insert(1, "b"), Some("a"));
+        assert_eq!(m.get(&1), Some(&"b"));
+        assert!(m.contains_key(&1));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[&1], "b");
+        *m.get_mut(&1).unwrap() = "c";
+        assert_eq!(m.remove(&1), Some("c"));
+        assert_eq!(m.remove(&1), None);
+        *m.get_or_insert_with(9, || "z") = "y";
+        assert_eq!(m[&9], "y");
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn map_collect_extend_and_into_iter() {
+        let mut m: DetMap<u32, u32> = [(2, 20), (1, 10)].into_iter().collect();
+        m.extend([(3, 30)]);
+        let by_ref: Vec<_> = (&m).into_iter().map(|(k, v)| (*k, *v)).collect();
+        assert_eq!(by_ref, [(1, 10), (2, 20), (3, 30)]);
+        let owned: Vec<_> = m.into_iter().collect();
+        assert_eq!(owned, [(1, 10), (2, 20), (3, 30)]);
+    }
+
+    #[test]
+    fn map_values_follow_key_order() {
+        let m: DetMap<u32, &str> = [(3, "c"), (1, "a"), (2, "b")].into_iter().collect();
+        let vals: Vec<_> = m.values().copied().collect();
+        assert_eq!(vals, ["a", "b", "c"]);
+        let mut m = m;
+        for v in m.iter_mut() {
+            *v.1 = "x";
+        }
+        assert!(m.values().all(|v| *v == "x"));
+    }
+
+    #[test]
+    fn set_iterates_in_order_regardless_of_insertion() {
+        let a: DetSet<u32> = [4, 2, 7, 1].into_iter().collect();
+        let b: DetSet<u32> = [7, 1, 4, 2].into_iter().collect();
+        let ia: Vec<_> = a.iter().copied().collect();
+        assert_eq!(ia, [1, 2, 4, 7]);
+        assert_eq!(a, b);
+        let owned: Vec<_> = b.into_iter().collect();
+        assert_eq!(owned, [1, 2, 4, 7]);
+    }
+
+    #[test]
+    fn set_basic_operations() {
+        let mut s = DetSet::new();
+        assert!(s.is_empty());
+        assert!(s.insert(3));
+        assert!(!s.insert(3));
+        assert!(s.contains(&3));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(&3));
+        assert!(!s.remove(&3));
+        s.extend([1, 2]);
+        let by_ref: Vec<_> = (&s).into_iter().copied().collect();
+        assert_eq!(by_ref, [1, 2]);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn debug_formats_like_the_backing_collection() {
+        let m: DetMap<u32, u32> = [(1, 10)].into_iter().collect();
+        assert_eq!(format!("{m:?}"), "{1: 10}");
+        let s: DetSet<u32> = [1].into_iter().collect();
+        assert_eq!(format!("{s:?}"), "{1}");
+    }
+}

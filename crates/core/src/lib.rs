@@ -42,6 +42,7 @@ mod compliance;
 pub mod consistency;
 mod context;
 mod correctness;
+pub mod det;
 pub mod search;
 pub mod spans;
 mod specs;
@@ -57,4 +58,5 @@ pub use consistency::{
 };
 pub use context::OperationContext;
 pub use correctness::{check_correct, in_specification, CorrectnessViolation, SpecMembershipError};
+pub use det::{DetMap, DetSet};
 pub use specs::{ObjectSpecs, SpecKind};

@@ -1,0 +1,688 @@
+//! The lint driver: per-file pass, allow-comment handling, policy
+//! application and workspace walking.
+//!
+//! Pipeline per file: tokenize → collect `haec-lint:` control comments →
+//! collect `use` declarations (each import is checked once, at the `use`
+//! site) → scan call sites for qualified paths, print macros and
+//! hash-collection iteration → suppress diagnostics covered by a
+//! well-formed allow comment → drop lints the crate's policy does not
+//! deny. The result is deterministic: files are walked in sorted order
+//! and diagnostics are sorted by position.
+
+use crate::diag::{Diagnostic, LintReport};
+use crate::lints::{crate_key, wall_clock_exempt, Lint, Policy};
+use crate::resolve::{collect_uses, Resolver};
+use crate::tokenizer::{tokenize, Tok, TokKind};
+use haec_core::det::{DetMap, DetSet};
+use std::io;
+use std::path::{Path, PathBuf};
+
+const HASH_MAP_TYPES: [&str; 2] = [
+    "std::collections::HashMap",
+    "std::collections::hash_map::HashMap",
+];
+const HASH_SET_TYPES: [&str; 2] = [
+    "std::collections::HashSet",
+    "std::collections::hash_set::HashSet",
+];
+const WALL_CLOCK_TYPES: [&str; 2] = ["std::time::Instant", "std::time::SystemTime"];
+const RANDOM_STATE_TYPES: [&str; 2] = [
+    "std::collections::hash_map::RandomState",
+    "std::hash::RandomState",
+];
+const AMBIENT_MODULES: [&str; 2] = ["std::env", "std::thread"];
+
+/// Bare names worth resolving through glob imports.
+const NAMES_OF_INTEREST: [&str; 5] = ["HashMap", "HashSet", "Instant", "SystemTime", "RandomState"];
+
+const PRINT_MACROS: [&str; 3] = ["println", "eprintln", "dbg"];
+
+const ITER_METHODS: [&str; 10] = [
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+];
+
+/// Is the path (or a parent of it) one of `targets`?
+fn path_is(path: &str, targets: &[&str]) -> bool {
+    targets
+        .iter()
+        .any(|t| path == *t || (path.starts_with(t) && path[t.len()..].starts_with("::")))
+}
+
+/// Does this fully-qualified path trigger any catalog lint? (Exposed for
+/// the resolver's glob handling.)
+#[must_use]
+pub fn is_interesting_path(path: &str) -> bool {
+    classify_path(path).is_some()
+}
+
+/// Maps a fully-qualified path occurrence to the lint it violates.
+fn classify_path(path: &str) -> Option<(Lint, String)> {
+    let path = path.strip_prefix("::").unwrap_or(path);
+    if path_is(path, &RANDOM_STATE_TYPES) {
+        return Some((
+            Lint::AmbientEntropy,
+            format!("`{path}` seeds hashing from ambient entropy"),
+        ));
+    }
+    if path_is(path, &HASH_MAP_TYPES) {
+        return Some((
+            Lint::NondeterministicCollection,
+            format!("`{path}` has nondeterministic iteration order; use `haec_core::det::DetMap`"),
+        ));
+    }
+    if path_is(path, &HASH_SET_TYPES) {
+        return Some((
+            Lint::NondeterministicCollection,
+            format!("`{path}` has nondeterministic iteration order; use `haec_core::det::DetSet`"),
+        ));
+    }
+    if path_is(path, &WALL_CLOCK_TYPES) {
+        return Some((
+            Lint::WallClock,
+            format!(
+                "`{path}` reads the wall clock; timing is sanctioned only in \
+                 `testkit::bench` and `core::spans`"
+            ),
+        ));
+    }
+    if path_is(path, &AMBIENT_MODULES) {
+        return Some((
+            Lint::AmbientEntropy,
+            format!("`{path}` depends on ambient process state"),
+        ));
+    }
+    None
+}
+
+/// Is the resolved path a hash-collection *type* (for iteration
+/// tracking)?
+fn is_hash_collection_type(path: &str) -> bool {
+    let path = path.strip_prefix("::").unwrap_or(path);
+    HASH_MAP_TYPES.contains(&path) || HASH_SET_TYPES.contains(&path)
+}
+
+/// Parses a comment body as a `haec-lint:` control comment.
+///
+/// Returns `None` for ordinary comments, `Some(Ok(lints))` for a
+/// well-formed `haec-lint: allow(<lint>[, <lint>]*): <reason>`, and
+/// `Some(Err(why))` for anything that names the tool but does not parse.
+fn parse_allow(comment: &str) -> Option<Result<Vec<Lint>, String>> {
+    // Doc comments arrive as `/ text` or `! text`; strip the sigils.
+    let t = comment.trim_start_matches(['/', '!']).trim();
+    let rest = t.strip_prefix("haec-lint")?;
+    // Prose that merely mentions the tool (docs, usage text) is not a
+    // control comment: those start `haec-lint: …`. A missing colon with an
+    // `allow(` present is a typo worth flagging, though.
+    if rest.trim_start().strip_prefix(':').is_none() && !rest.contains("allow(") {
+        return None;
+    }
+    let inner = || -> Result<Vec<Lint>, String> {
+        let rest = rest
+            .trim_start()
+            .strip_prefix(':')
+            .ok_or("expected `:` after `haec-lint`")?;
+        let rest = rest
+            .trim_start()
+            .strip_prefix("allow")
+            .ok_or("expected `allow(<lint>): <reason>`")?;
+        let rest = rest
+            .trim_start()
+            .strip_prefix('(')
+            .ok_or("expected `(` after `allow`")?;
+        let close = rest.find(')').ok_or("unclosed `(`")?;
+        let names = &rest[..close];
+        let after = rest[close + 1..].trim_start();
+        let reason = after
+            .strip_prefix(':')
+            .ok_or("missing `: <reason>` after `allow(…)`")?;
+        if reason.trim().is_empty() {
+            return Err("empty reason — justify the suppression".into());
+        }
+        let mut lints = Vec::new();
+        for name in names.split(',') {
+            let name = name.trim();
+            let lint = Lint::from_name(name).ok_or(format!("unknown lint `{name}`"))?;
+            if lint == Lint::MalformedAllow {
+                return Err("`malformed-allow` cannot be suppressed".into());
+            }
+            lints.push(lint);
+        }
+        if lints.is_empty() {
+            return Err("empty lint list".into());
+        }
+        Ok(lints)
+    };
+    Some(inner())
+}
+
+/// Lints one file under the policy its workspace-relative path implies.
+#[must_use]
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    lint_source_with_policy(rel_path, source, Policy::for_crate(crate_key(rel_path)))
+}
+
+/// Lints one file under an explicit policy (fixtures use deny-all).
+#[must_use]
+pub fn lint_source_with_policy(rel_path: &str, source: &str, policy: Policy) -> Vec<Diagnostic> {
+    let toks = tokenize(source);
+    let mut diags: Vec<Diagnostic> = Vec::new();
+
+    // Control comments: build the per-line allow table, flag malformed.
+    let mut allows: DetMap<u32, Vec<Lint>> = DetMap::new();
+    for t in toks.iter().filter(|t| t.kind == TokKind::Comment) {
+        match parse_allow(&t.text) {
+            None => {}
+            Some(Err(why)) => diags.push(Diagnostic {
+                file: rel_path.to_owned(),
+                line: t.line,
+                col: t.col,
+                lint: Lint::MalformedAllow,
+                message: format!("malformed haec-lint control comment: {why}"),
+                suppressed: false,
+            }),
+            Some(Ok(lints)) => {
+                for line in t.line..=t.end_line {
+                    allows
+                        .get_or_insert_with(line, Vec::new)
+                        .extend(lints.iter().copied());
+                }
+            }
+        }
+    }
+
+    // Imports: each interesting import fires once, at the `use` site.
+    let (resolver, imports, use_ranges) = collect_uses(&toks);
+    for u in &imports {
+        if let Some((lint, message)) = classify_path(&u.path) {
+            diags.push(Diagnostic {
+                file: rel_path.to_owned(),
+                line: u.line,
+                col: u.col,
+                lint,
+                message,
+                suppressed: false,
+            });
+        }
+    }
+
+    scan_call_sites(rel_path, &toks, &resolver, &use_ranges, &mut diags);
+    scan_unordered_iteration(rel_path, &toks, &resolver, &mut diags);
+
+    // Suppression: an allow on line L covers diagnostics on L (trailing
+    // comment) and L+1 (comment above the statement).
+    for d in &mut diags {
+        if d.lint == Lint::MalformedAllow {
+            continue;
+        }
+        let covered = |line: u32| allows.get(&line).is_some_and(|ls| ls.contains(&d.lint));
+        if covered(d.line) || (d.line > 1 && covered(d.line - 1)) {
+            d.suppressed = true;
+        }
+    }
+
+    // Policy: keep only denied lints; honour the wall-clock module
+    // exemptions.
+    diags.retain(|d| {
+        policy.denies(d.lint) && !(d.lint == Lint::WallClock && wall_clock_exempt(rel_path))
+    });
+    diags.sort_by(|a, b| {
+        (a.line, a.col, a.lint, &a.message).cmp(&(b.line, b.col, b.lint, &b.message))
+    });
+    diags
+}
+
+/// Scans non-`use` code for qualified-path occurrences and print macros.
+fn scan_call_sites(
+    rel_path: &str,
+    toks: &[Tok],
+    resolver: &Resolver,
+    use_ranges: &[(usize, usize)],
+    diags: &mut Vec<Diagnostic>,
+) {
+    let in_use = |i: usize| use_ranges.iter().any(|&(s, e)| i >= s && i < e);
+    let mut prev_code: Option<usize> = None;
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].kind == TokKind::Comment {
+            i += 1;
+            continue;
+        }
+        if in_use(i) || toks[i].kind != TokKind::Ident {
+            prev_code = Some(i);
+            i += 1;
+            continue;
+        }
+        // A method or field name is not a path start.
+        if prev_code.is_some_and(|p| toks[p].kind == TokKind::Punct('.')) {
+            prev_code = Some(i);
+            i += 1;
+            continue;
+        }
+        let start = i;
+        let mut segments = vec![toks[i].text.clone()];
+        let mut j = i + 1;
+        while j + 2 < toks.len()
+            && toks[j].kind == TokKind::Punct(':')
+            && toks[j + 1].kind == TokKind::Punct(':')
+            && toks[j + 2].kind == TokKind::Ident
+        {
+            segments.push(toks[j + 2].text.clone());
+            j += 3;
+        }
+        if segments.len() == 1
+            && PRINT_MACROS.contains(&segments[0].as_str())
+            && toks.get(j).is_some_and(|t| t.kind == TokKind::Punct('!'))
+        {
+            diags.push(Diagnostic {
+                file: rel_path.to_owned(),
+                line: toks[start].line,
+                col: toks[start].col,
+                lint: Lint::StrayPrint,
+                message: format!(
+                    "`{}!` prints from library code; route output through `obs` observers",
+                    segments[0]
+                ),
+                suppressed: false,
+            });
+        } else {
+            let full = resolver.resolve(&segments, &NAMES_OF_INTEREST);
+            if let Some((lint, message)) = classify_path(&full) {
+                diags.push(Diagnostic {
+                    file: rel_path.to_owned(),
+                    line: toks[start].line,
+                    col: toks[start].col,
+                    lint,
+                    message,
+                    suppressed: false,
+                });
+            }
+        }
+        prev_code = Some(j - 1);
+        i = j;
+    }
+}
+
+/// Tracks bindings whose declared or constructed type is a raw hash
+/// collection, then flags iteration over them. Flow-insensitive and
+/// file-local by design: it catches collections that *escaped* the
+/// wrappers (parameters, struct fields, std API returns) even where the
+/// construction itself is out of view.
+fn scan_unordered_iteration(
+    rel_path: &str,
+    toks: &[Tok],
+    resolver: &Resolver,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&i| toks[i].kind != TokKind::Comment)
+        .collect();
+    let ident = |k: usize| -> Option<&str> {
+        code.get(k)
+            .and_then(|&i| (toks[i].kind == TokKind::Ident).then_some(toks[i].text.as_str()))
+    };
+    let punct = |k: usize, c: char| -> bool {
+        code.get(k)
+            .is_some_and(|&i| toks[i].kind == TokKind::Punct(c))
+    };
+
+    // Reads the path at `k`, skipping leading `&`/`mut`/`::`; returns the
+    // resolved path and the index just past it.
+    let path_at = |mut k: usize| -> Option<(String, usize)> {
+        while punct(k, '&') || ident(k) == Some("mut") || punct(k, ':') {
+            k += 1;
+        }
+        let first = ident(k)?;
+        let mut segments = vec![first.to_owned()];
+        let mut j = k + 1;
+        while punct(j, ':') && punct(j + 1, ':') {
+            let Some(seg) = ident(j + 2) else { break };
+            segments.push(seg.to_owned());
+            j += 3;
+        }
+        Some((resolver.resolve(&segments, &NAMES_OF_INTEREST), j))
+    };
+
+    let mut hash_vars: DetSet<String> = DetSet::new();
+    let mut k = 0;
+    while k < code.len() {
+        // `name: [&mut] HashMap<…>` — let ascriptions, params, fields.
+        if let Some(name) = ident(k) {
+            if punct(k + 1, ':') && !punct(k + 2, ':') && !punct(k.wrapping_sub(1), ':') {
+                if let Some((path, _)) = path_at(k + 2) {
+                    if is_hash_collection_type(&path) {
+                        hash_vars.insert(name.to_owned());
+                    }
+                }
+            }
+            // `let [mut] name = HashMap::new()` and friends.
+            if name == "let" {
+                let mut v = k + 1;
+                if ident(v) == Some("mut") {
+                    v += 1;
+                }
+                if let Some(bound) = ident(v) {
+                    if punct(v + 1, '=') && !punct(v + 2, '=') {
+                        if let Some((path, _)) = path_at(v + 2) {
+                            if is_hash_collection_type(&path) {
+                                hash_vars.insert(bound.to_owned());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+    if hash_vars.is_empty() {
+        return;
+    }
+
+    let mut k = 0;
+    while k < code.len() {
+        if let Some(name) = ident(k) {
+            let marked = hash_vars.contains(name);
+            let named_field = punct(k.wrapping_sub(1), '.');
+            // `var.iter()` / `.keys()` / … on a marked binding.
+            if marked && !named_field && punct(k + 1, '.') {
+                if let Some(m) = ident(k + 2) {
+                    if ITER_METHODS.contains(&m) && punct(k + 3, '(') {
+                        let t = &toks[code[k + 2]];
+                        diags.push(Diagnostic {
+                            file: rel_path.to_owned(),
+                            line: t.line,
+                            col: t.col,
+                            lint: Lint::UnorderedIteration,
+                            message: format!(
+                                "iterating hash collection `{name}` (`.{m}()`) has \
+                                 nondeterministic order; use `haec_core::det` wrappers"
+                            ),
+                            suppressed: false,
+                        });
+                    }
+                }
+            }
+            // `for pat in [&mut] var {` over a marked binding.
+            if name == "in" {
+                let mut v = k + 1;
+                while punct(v, '&') || ident(v) == Some("mut") {
+                    v += 1;
+                }
+                if let Some(target) = ident(v) {
+                    if hash_vars.contains(target) && punct(v + 1, '{') {
+                        let t = &toks[code[v]];
+                        diags.push(Diagnostic {
+                            file: rel_path.to_owned(),
+                            line: t.line,
+                            col: t.col,
+                            lint: Lint::UnorderedIteration,
+                            message: format!(
+                                "`for` over hash collection `{target}` has nondeterministic \
+                                 order; use `haec_core::det` wrappers"
+                            ),
+                            suppressed: false,
+                        });
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`, sorted.
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lints the workspace rooted at `root`: the facade `src/` tree plus
+/// every `crates/*/src` tree, each file under its crate's policy.
+///
+/// # Errors
+///
+/// Propagates I/O failures (unreadable directory or file).
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    let facade = root.join("src");
+    if facade.is_dir() {
+        collect_rs(&facade, &mut files)?;
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut members: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .map(|e| e.map(|e| e.path()))
+            .collect::<io::Result<_>>()?;
+        members.sort();
+        for member in members {
+            let src = member.join("src");
+            if src.is_dir() {
+                collect_rs(&src, &mut files)?;
+            }
+        }
+    }
+    let mut report = LintReport {
+        files_scanned: 0,
+        diagnostics: Vec::new(),
+    };
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let source = std::fs::read_to_string(&path)?;
+        report.diagnostics.extend(lint_source(&rel, &source));
+        report.files_scanned += 1;
+    }
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.lint).cmp(&(&b.file, b.line, b.col, b.lint)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fire(src: &str) -> Vec<Diagnostic> {
+        lint_source_with_policy("crates/core/src/x.rs", src, Policy::deny_all())
+    }
+
+    fn lints_of(src: &str) -> Vec<Lint> {
+        fire(src)
+            .into_iter()
+            .filter(|d| !d.suppressed)
+            .map(|d| d.lint)
+            .collect()
+    }
+
+    #[test]
+    fn hash_import_and_use_fire() {
+        let got = fire(
+            "use std::collections::HashMap;\nfn f() { let m: HashMap<u32, u32> = HashMap::new(); }",
+        );
+        assert_eq!(got.len(), 3, "{got:?}");
+        assert!(got
+            .iter()
+            .all(|d| d.lint == Lint::NondeterministicCollection));
+        assert_eq!((got[0].line, got[0].col), (1, 23));
+    }
+
+    #[test]
+    fn fully_qualified_use_fires_without_import() {
+        assert_eq!(
+            lints_of("fn f() { let m = std::collections::HashMap::<u32, u32>::new(); }"),
+            [Lint::NondeterministicCollection]
+        );
+    }
+
+    #[test]
+    fn aliased_import_fires_at_call_site() {
+        let got =
+            lints_of("use std::collections::HashSet as Seen;\nfn f() { let s = Seen::new(); }");
+        assert_eq!(
+            got,
+            [
+                Lint::NondeterministicCollection,
+                Lint::NondeterministicCollection
+            ]
+        );
+    }
+
+    #[test]
+    fn btree_collections_are_clean() {
+        assert!(lints_of("use std::collections::{BTreeMap, BTreeSet};\nfn f() { let m = BTreeMap::<u32, u32>::new(); }").is_empty());
+    }
+
+    #[test]
+    fn wall_clock_fires_and_exempt_files_do_not() {
+        let src = "use std::time::Instant;\nfn f() { let t = Instant::now(); }";
+        assert_eq!(lints_of(src), [Lint::WallClock, Lint::WallClock]);
+        let exempt = lint_source("crates/core/src/spans.rs", src);
+        assert!(exempt.is_empty());
+    }
+
+    #[test]
+    fn ambient_entropy_catalog() {
+        assert_eq!(
+            lints_of("fn f() { let v = std::env::var(\"X\"); }"),
+            [Lint::AmbientEntropy]
+        );
+        assert_eq!(
+            lints_of("fn f() { std::thread::spawn(|| {}); }"),
+            [Lint::AmbientEntropy]
+        );
+        assert_eq!(
+            lints_of("use std::collections::hash_map::RandomState;"),
+            [Lint::AmbientEntropy]
+        );
+    }
+
+    #[test]
+    fn stray_print_fires_only_on_macro_bang() {
+        assert_eq!(lints_of("fn f() { println!(\"x\"); }"), [Lint::StrayPrint]);
+        assert_eq!(lints_of("fn f() { dbg!(1); }"), [Lint::StrayPrint]);
+        // An fn named println (no bang) is fine.
+        assert!(lints_of("fn println() {}").is_empty());
+        assert!(lints_of("fn f() { writeln!(w, \"x\").ok(); }").is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_never_fire() {
+        assert!(fire(
+            "// std::collections::HashMap and println! here\n\
+             /* Instant::now() in a block comment */\n\
+             fn f() { let s = \"std::env::var println!\"; let r = r#\"HashMap\"#; }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn unordered_iteration_on_escaped_collections() {
+        // Parameter-typed collection: construction is out of view.
+        let got = lints_of(
+            "use std::collections::HashMap;\n\
+             fn f(m: &HashMap<u32, u32>) { for (k, v) in m { } }",
+        );
+        assert!(got.contains(&Lint::UnorderedIteration), "{got:?}");
+        let got = lints_of(
+            "use std::collections::HashMap;\n\
+             fn f(m: &HashMap<u32, u32>) -> Vec<u32> { m.keys().copied().collect() }",
+        );
+        assert!(got.contains(&Lint::UnorderedIteration), "{got:?}");
+    }
+
+    #[test]
+    fn det_wrapper_iteration_is_clean() {
+        assert!(lints_of(
+            "use haec_core::det::DetMap;\n\
+             fn f(m: &DetMap<u32, u32>) -> Vec<u32> { m.keys().copied().collect() }"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn allow_comment_suppresses_same_and_next_line() {
+        let src = "fn f() {\n\
+                   // haec-lint: allow(stray-print): harness output\n\
+                   println!(\"x\");\n\
+                   println!(\"y\"); // haec-lint: allow(stray-print): also fine\n\
+                   }";
+        let got = fire(src);
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|d| d.suppressed));
+    }
+
+    #[test]
+    fn allow_does_not_leak_to_other_lints_or_lines() {
+        let src = "// haec-lint: allow(stray-print): wrong lint\n\
+                   fn f() { let t = std::time::Instant::now(); }\n\
+                   fn g() { println!(\"far away\"); }";
+        let got = fire(src);
+        let unsuppressed: Vec<_> = got.iter().filter(|d| !d.suppressed).collect();
+        assert_eq!(unsuppressed.len(), 2); // wall-clock + far-away print
+    }
+
+    #[test]
+    fn malformed_allow_is_always_a_diagnostic() {
+        for bad in [
+            "// haec-lint: allow(no-such-lint): reason",
+            "// haec-lint: allow(stray-print)",
+            "// haec-lint: allow(stray-print):   ",
+            "// haec-lint: allow(): reason",
+            "// haec-lint: deny(stray-print): reason",
+            "// haec-lint: allow(malformed-allow): nice try",
+        ] {
+            let got = fire(bad);
+            assert_eq!(got.len(), 1, "{bad}");
+            assert_eq!(got[0].lint, Lint::MalformedAllow, "{bad}");
+            assert!(!got[0].suppressed);
+        }
+        // And an ordinary comment is not a control comment at all.
+        assert!(fire("// just mentions haec lint tooling").is_empty());
+    }
+
+    #[test]
+    fn multi_lint_allow_list() {
+        let src = "// haec-lint: allow(wall-clock, ambient-entropy): sanctioned probe\n\
+                   fn f() { let t = std::time::Instant::now(); let v = std::env::var(\"X\"); }";
+        let got = fire(src);
+        assert_eq!(got.len(), 2);
+        assert!(got.iter().all(|d| d.suppressed));
+    }
+
+    #[test]
+    fn policy_drops_allowed_lints_entirely() {
+        let got = lint_source("crates/bench/src/x.rs", "fn f() { println!(\"report\"); }");
+        assert!(got.is_empty());
+        let got = lint_source("crates/bench/src/x.rs", "use std::collections::HashMap;");
+        assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn diagnostics_sorted_by_position() {
+        let got = fire("fn f() { println!(\"b\"); }\nfn g() { println!(\"a\"); }");
+        assert!(got.windows(2).all(|w| w[0].line <= w[1].line));
+    }
+}

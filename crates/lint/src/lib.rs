@@ -1,0 +1,43 @@
+//! # haec-lint
+//!
+//! A hand-rolled, zero-external-dependency determinism/hermeticity linter
+//! for the `haec` workspace.
+//!
+//! The framework's scientific claims rest on deterministic replay: the
+//! Theorem 6 revealing-execution construction and the Theorem 12 encoding
+//! argument are validated by re-running executions and comparing
+//! byte-identical traces per seed (`tests/determinism.rs`). This crate
+//! enforces that discipline *statically*, the way a sanitizer would in a
+//! training or inference stack: a small Rust tokenizer (comments, strings
+//! and raw strings handled correctly), a `use`-path resolver good enough
+//! for `std` paths, and a lint driver that walks `crates/*/src` and `src/`
+//! with per-crate policy.
+//!
+//! The catalog ([`Lint`]): `nondeterministic-collection`, `wall-clock`,
+//! `ambient-entropy`, `stray-print`, `unordered-iteration`, plus the
+//! meta-lint `malformed-allow`. Suppressions are written in code as
+//! `// haec-lint: allow(<lint>): <reason>` and cover the comment's line
+//! and the next. See DESIGN.md §"Determinism contract & lint catalog".
+//!
+//! ```
+//! use haec_lint::{lint_source, Lint};
+//!
+//! let diags = lint_source(
+//!     "crates/core/src/example.rs",
+//!     "use std::collections::HashMap;",
+//! );
+//! assert_eq!(diags[0].lint, Lint::NondeterministicCollection);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod driver;
+pub mod lints;
+pub mod resolve;
+pub mod tokenizer;
+
+pub use diag::{Diagnostic, LintReport};
+pub use driver::{lint_source, lint_source_with_policy, lint_workspace};
+pub use lints::{crate_key, wall_clock_exempt, Lint, Policy, ALL_LINTS};

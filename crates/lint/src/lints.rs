@@ -1,0 +1,211 @@
+//! The lint catalog and the per-crate policy table.
+//!
+//! Every lint guards one leg of the determinism contract (DESIGN.md
+//! §"Determinism contract & lint catalog"): a run of the framework must be
+//! a pure function of `(store, workload, config, seed)`, because Theorem 6
+//! and Theorem 12 are checked by replaying executions and comparing
+//! byte-identical traces. The catalog is deny-by-default in the
+//! deterministic crates and selectively relaxed in the tooling crates
+//! whose *job* is timing, environment access or terminal output.
+
+/// One lint in the catalog.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Lint {
+    /// Raw `std::collections::{HashMap, HashSet}` import or use. Their
+    /// iteration order is seeded from ambient entropy; any fold or scan
+    /// over them is run-to-run nondeterministic. Use
+    /// `haec_core::det::{DetMap, DetSet}`.
+    NondeterministicCollection,
+    /// `std::time::{Instant, SystemTime}` outside the sanctioned timing
+    /// modules (`testkit::bench`, `core::spans`). Wall-clock values must
+    /// never influence simulated behaviour.
+    WallClock,
+    /// `std::env`, `std::thread` or `RandomState`: process-ambient state
+    /// that varies between runs and hosts.
+    AmbientEntropy,
+    /// `println!`/`eprintln!`/`dbg!` in library code. Output must flow
+    /// through `obs` observers so runs stay quiet and machine-checkable.
+    StrayPrint,
+    /// Iterating a hash collection that escaped the wrapper types (e.g.
+    /// received from an external API): the iteration order leaks
+    /// nondeterminism even if the collection itself is never constructed
+    /// here.
+    UnorderedIteration,
+    /// A `haec-lint:` control comment that does not parse, names an
+    /// unknown lint, or omits the justification. Always denied: a typo in
+    /// a suppression must not silently disable it.
+    MalformedAllow,
+}
+
+/// All catalog lints, in diagnostic-sort order.
+pub const ALL_LINTS: [Lint; 6] = [
+    Lint::NondeterministicCollection,
+    Lint::WallClock,
+    Lint::AmbientEntropy,
+    Lint::StrayPrint,
+    Lint::UnorderedIteration,
+    Lint::MalformedAllow,
+];
+
+impl Lint {
+    /// The kebab-case name used in diagnostics and allow comments.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Lint::NondeterministicCollection => "nondeterministic-collection",
+            Lint::WallClock => "wall-clock",
+            Lint::AmbientEntropy => "ambient-entropy",
+            Lint::StrayPrint => "stray-print",
+            Lint::UnorderedIteration => "unordered-iteration",
+            Lint::MalformedAllow => "malformed-allow",
+        }
+    }
+
+    /// Parses an allow-comment lint name.
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<Lint> {
+        ALL_LINTS.iter().copied().find(|l| l.name() == name)
+    }
+}
+
+impl std::fmt::Display for Lint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The set of lints denied for one crate.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Policy {
+    denied: &'static [Lint],
+}
+
+const DENY_ALL: &[Lint] = &[
+    Lint::NondeterministicCollection,
+    Lint::WallClock,
+    Lint::AmbientEntropy,
+    Lint::StrayPrint,
+    Lint::UnorderedIteration,
+];
+
+/// Timing crates: terminal output and env-driven configuration are their
+/// interface, but collections and the wall clock stay policed (the clock
+/// only inside the sanctioned module, see [`wall_clock_exempt`]).
+const DENY_TESTKIT: &[Lint] = &[
+    Lint::NondeterministicCollection,
+    Lint::WallClock,
+    Lint::UnorderedIteration,
+];
+
+/// CLI crates (`bench`, `lint` itself): printing results and reading args
+/// is the point; hash collections are still banned.
+const DENY_CLI: &[Lint] = &[Lint::NondeterministicCollection, Lint::UnorderedIteration];
+
+impl Policy {
+    /// The policy for a crate, keyed by its directory name under
+    /// `crates/` (the root facade crate is keyed `"haec"`). Unknown crates
+    /// get the full deny set — a new crate must opt *out* via this table,
+    /// never silently in.
+    #[must_use]
+    pub fn for_crate(crate_key: &str) -> Policy {
+        let denied = match crate_key {
+            "testkit" => DENY_TESTKIT,
+            "bench" | "lint" => DENY_CLI,
+            // model, stores, sim, core, theory, haec — and anything new.
+            _ => DENY_ALL,
+        };
+        Policy { denied }
+    }
+
+    /// A policy denying every catalog lint (what fixtures lint under).
+    #[must_use]
+    pub fn deny_all() -> Policy {
+        Policy { denied: DENY_ALL }
+    }
+
+    /// Is `lint` denied under this policy? [`Lint::MalformedAllow`] is
+    /// denied everywhere, unconditionally.
+    #[must_use]
+    pub fn denies(&self, lint: Lint) -> bool {
+        lint == Lint::MalformedAllow || self.denied.contains(&lint)
+    }
+}
+
+/// The crate key for a workspace-relative path: `crates/<name>/…` maps to
+/// `<name>`, the root `src/…` tree to `"haec"`.
+#[must_use]
+pub fn crate_key(rel_path: &str) -> &str {
+    if let Some(rest) = rel_path.strip_prefix("crates/") {
+        rest.split('/').next().unwrap_or(rest)
+    } else if rel_path.starts_with("src/") {
+        "haec"
+    } else {
+        rel_path.split('/').next().unwrap_or(rel_path)
+    }
+}
+
+/// Files sanctioned to read the wall clock: the micro-bench harness and
+/// the span timer are *about* measuring wall time.
+#[must_use]
+pub fn wall_clock_exempt(rel_path: &str) -> bool {
+    matches!(
+        rel_path,
+        "crates/core/src/spans.rs" | "crates/testkit/src/bench.rs"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for l in ALL_LINTS {
+            assert_eq!(Lint::from_name(l.name()), Some(l));
+        }
+        assert_eq!(Lint::from_name("no-such-lint"), None);
+    }
+
+    #[test]
+    fn deterministic_crates_deny_everything() {
+        for key in ["model", "stores", "sim", "core", "theory", "haec"] {
+            let p = Policy::for_crate(key);
+            for l in ALL_LINTS {
+                assert!(p.denies(l), "{key} must deny {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_crates_default_to_deny() {
+        assert!(Policy::for_crate("brand-new").denies(Lint::StrayPrint));
+    }
+
+    #[test]
+    fn cli_crates_may_print_but_not_hash() {
+        for key in ["bench", "lint"] {
+            let p = Policy::for_crate(key);
+            assert!(!p.denies(Lint::StrayPrint));
+            assert!(!p.denies(Lint::AmbientEntropy));
+            assert!(p.denies(Lint::NondeterministicCollection));
+            assert!(p.denies(Lint::MalformedAllow));
+        }
+    }
+
+    #[test]
+    fn testkit_polices_the_clock_outside_bench() {
+        let p = Policy::for_crate("testkit");
+        assert!(p.denies(Lint::WallClock));
+        assert!(!p.denies(Lint::AmbientEntropy));
+        assert!(wall_clock_exempt("crates/testkit/src/bench.rs"));
+        assert!(wall_clock_exempt("crates/core/src/spans.rs"));
+        assert!(!wall_clock_exempt("crates/testkit/src/prop.rs"));
+    }
+
+    #[test]
+    fn crate_keys() {
+        assert_eq!(crate_key("crates/core/src/witness.rs"), "core");
+        assert_eq!(crate_key("src/lib.rs"), "haec");
+        assert_eq!(crate_key("fixtures/x.rs"), "fixtures");
+    }
+}

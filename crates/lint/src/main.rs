@@ -1,0 +1,75 @@
+//! The `haec-lint` binary: lint the workspace, print diagnostics, exit
+//! non-zero on any unsuppressed finding.
+//!
+//! Usage:
+//!   haec-lint                # human `file:line:col lint: message` output
+//!   haec-lint --json         # one JSON object (obs::json conventions)
+//!   haec-lint --root <dir>   # explicit workspace root
+//!   haec-lint --list         # print the lint catalog and exit
+//!
+//! Without `--root` the workspace root is found by walking up from the
+//! current directory to the first `Cargo.toml` declaring `[workspace]`.
+
+use haec_lint::{lint_workspace, ALL_LINTS};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!("usage: haec-lint [--json] [--root <dir>] [--list]");
+    std::process::exit(2);
+}
+
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => root = Some(PathBuf::from(args.next().unwrap_or_else(|| usage()))),
+            "--list" => {
+                for lint in ALL_LINTS {
+                    println!("{lint}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            _ => usage(),
+        }
+    }
+    let Some(root) = root.or_else(find_workspace_root) else {
+        eprintln!("haec-lint: no workspace root found (run inside the repo or pass --root)");
+        return ExitCode::from(2);
+    };
+    let report = match lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("haec-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        println!("{}", report.to_json_string());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,451 @@
+//! A small Rust tokenizer — just enough lexical structure for the lint
+//! pass to be trustworthy.
+//!
+//! The one thing a grep-based linter cannot do is tell code from text:
+//! `HashMap` inside a string literal, a doc comment or a nested block
+//! comment must never fire a lint. This lexer handles exactly that
+//! boundary correctly — line and (nested) block comments, string literals
+//! with escapes, raw strings with arbitrary `#` fences, byte strings,
+//! char literals vs. lifetimes, raw identifiers — and otherwise stays
+//! deliberately dumb: numbers and literals carry no text, and everything
+//! that is not an identifier, literal, lifetime or comment is a
+//! single-character punct.
+//!
+//! Every token carries a 1-based `(line, col)` position (columns count
+//! characters, matching how editors display them), so diagnostics point at
+//! the offending token, not the start of the line.
+
+/// What kind of token this is.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum TokKind {
+    /// An identifier or keyword (`use`, `HashMap`, `r#try`, …).
+    Ident,
+    /// A single punctuation character.
+    Punct(char),
+    /// A string/char/byte/number literal. Content is irrelevant to lints.
+    Literal,
+    /// A lifetime (`'a`). Distinguished from char literals so `'a'` never
+    /// truncates the token stream.
+    Lifetime,
+    /// A comment; `text` holds the content without delimiters.
+    Comment,
+}
+
+/// One token with its source position.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Identifier name or comment body; empty for puncts and literals.
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in characters) of the token's first character.
+    pub col: u32,
+    /// 1-based line of the token's last character (differs from `line`
+    /// only for multi-line comments and literals).
+    pub end_line: u32,
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.i + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn is_ident_start(c: char) -> bool {
+        c.is_alphabetic() || c == '_'
+    }
+
+    fn is_ident_continue(c: char) -> bool {
+        c.is_alphanumeric() || c == '_'
+    }
+
+    /// Number of `#`s such that `r#…#"` starts a raw string at offset
+    /// `from` (which must point just past the `r`), or `None`.
+    fn raw_string_hashes(&self, from: usize) -> Option<usize> {
+        let mut n = 0;
+        while self.chars.get(from + n) == Some(&'#') {
+            n += 1;
+        }
+        (self.chars.get(from + n) == Some(&'"')).then_some(n)
+    }
+}
+
+/// Tokenizes `src`. Never fails: malformed input degrades to puncts or a
+/// literal running to end of file, which at worst *misses* lints inside
+/// the malformed region — it cannot invent a firing.
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut toks = Vec::new();
+    while let Some(c) = lx.peek(0) {
+        let (line, col) = (lx.line, lx.col);
+        if c.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+        if c == '/' && lx.peek(1) == Some('/') {
+            lx.bump();
+            lx.bump();
+            let mut text = String::new();
+            while let Some(c) = lx.peek(0) {
+                if c == '\n' {
+                    break;
+                }
+                text.push(c);
+                lx.bump();
+            }
+            toks.push(Tok {
+                kind: TokKind::Comment,
+                text,
+                line,
+                col,
+                end_line: line,
+            });
+            continue;
+        }
+        if c == '/' && lx.peek(1) == Some('*') {
+            lx.bump();
+            lx.bump();
+            let mut text = String::new();
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (lx.peek(0), lx.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        text.push('/');
+                        text.push('*');
+                        lx.bump();
+                        lx.bump();
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        if depth > 0 {
+                            text.push('*');
+                            text.push('/');
+                        }
+                        lx.bump();
+                        lx.bump();
+                    }
+                    (Some(c), _) => {
+                        text.push(c);
+                        lx.bump();
+                    }
+                    (None, _) => break, // unterminated: degrade gracefully
+                }
+            }
+            toks.push(Tok {
+                kind: TokKind::Comment,
+                text,
+                line,
+                col,
+                end_line: lx.line,
+            });
+            continue;
+        }
+        if c == '"' {
+            lx.bump();
+            consume_string_body(&mut lx);
+            toks.push(lit(line, col, lx.line));
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime iff an identifier follows and the char after it is
+            // not a closing quote ('a vs. 'a').
+            let next = lx.peek(1);
+            let is_lifetime = match next {
+                Some(n) if Lexer::is_ident_start(n) => {
+                    let mut j = 2;
+                    while lx.peek(j).is_some_and(Lexer::is_ident_continue) {
+                        j += 1;
+                    }
+                    lx.peek(j) != Some('\'')
+                }
+                _ => false,
+            };
+            lx.bump(); // the opening quote
+            if is_lifetime {
+                let mut text = String::new();
+                while lx.peek(0).is_some_and(Lexer::is_ident_continue) {
+                    text.push(lx.bump().expect("peeked"));
+                }
+                toks.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text,
+                    line,
+                    col,
+                    end_line: line,
+                });
+            } else {
+                // Char literal: consume to the closing quote.
+                while let Some(c) = lx.bump() {
+                    if c == '\\' {
+                        lx.bump();
+                    } else if c == '\'' {
+                        break;
+                    }
+                }
+                toks.push(lit(line, col, lx.line));
+            }
+            continue;
+        }
+        if Lexer::is_ident_start(c) {
+            // Raw/byte string prefixes share the ident namespace.
+            if c == 'r' {
+                if let Some(n) = lx.raw_string_hashes(lx.i + 1) {
+                    lx.bump(); // r
+                    consume_raw_string(&mut lx, n);
+                    toks.push(lit(line, col, lx.line));
+                    continue;
+                }
+            }
+            if c == 'b' {
+                if lx.peek(1) == Some('"') {
+                    lx.bump();
+                    lx.bump();
+                    consume_string_body(&mut lx);
+                    toks.push(lit(line, col, lx.line));
+                    continue;
+                }
+                if lx.peek(1) == Some('\'') {
+                    lx.bump();
+                    lx.bump();
+                    while let Some(c) = lx.bump() {
+                        if c == '\\' {
+                            lx.bump();
+                        } else if c == '\'' {
+                            break;
+                        }
+                    }
+                    toks.push(lit(line, col, lx.line));
+                    continue;
+                }
+                if lx.peek(1) == Some('r') {
+                    if let Some(n) = lx.raw_string_hashes(lx.i + 2) {
+                        lx.bump(); // b
+                        lx.bump(); // r
+                        consume_raw_string(&mut lx, n);
+                        toks.push(lit(line, col, lx.line));
+                        continue;
+                    }
+                }
+            }
+            let mut text = String::new();
+            // Raw identifier r#name: strip the sigil, keep the name.
+            if c == 'r' && lx.peek(1) == Some('#') {
+                lx.bump();
+                lx.bump();
+            }
+            while lx.peek(0).is_some_and(Lexer::is_ident_continue) {
+                text.push(lx.bump().expect("peeked"));
+            }
+            toks.push(Tok {
+                kind: TokKind::Ident,
+                text,
+                line,
+                col,
+                end_line: line,
+            });
+            continue;
+        }
+        if c.is_ascii_digit() {
+            while let Some(c) = lx.peek(0) {
+                let in_number = Lexer::is_ident_continue(c)
+                    || (c == '.' && lx.peek(1).is_some_and(|d| d.is_ascii_digit()));
+                if !in_number {
+                    break;
+                }
+                lx.bump();
+            }
+            toks.push(lit(line, col, lx.line));
+            continue;
+        }
+        lx.bump();
+        toks.push(Tok {
+            kind: TokKind::Punct(c),
+            text: String::new(),
+            line,
+            col,
+            end_line: line,
+        });
+    }
+    toks
+}
+
+fn lit(line: u32, col: u32, end_line: u32) -> Tok {
+    Tok {
+        kind: TokKind::Literal,
+        text: String::new(),
+        line,
+        col,
+        end_line,
+    }
+}
+
+/// Consumes a (non-raw) string body; the opening quote is already eaten.
+fn consume_string_body(lx: &mut Lexer) {
+    while let Some(c) = lx.bump() {
+        if c == '\\' {
+            lx.bump();
+        } else if c == '"' {
+            break;
+        }
+    }
+}
+
+/// Consumes a raw string body with `n` hash fences; `r#…#` already eaten,
+/// the opening quote not yet.
+fn consume_raw_string(lx: &mut Lexer, n: usize) {
+    lx.bump(); // opening quote
+    'outer: while let Some(c) = lx.bump() {
+        if c == '"' {
+            for k in 0..n {
+                if lx.peek(k) != Some('#') {
+                    continue 'outer;
+                }
+            }
+            for _ in 0..n {
+                lx.bump();
+            }
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        tokenize(src)
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = tokenize("use std::x;");
+        assert_eq!(toks[0].text, "use");
+        assert_eq!(toks[1].text, "std");
+        assert_eq!(toks[2].kind, TokKind::Punct(':'));
+        assert_eq!(toks[3].kind, TokKind::Punct(':'));
+        assert_eq!(toks[4].text, "x");
+        assert_eq!(toks[5].kind, TokKind::Punct(';'));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = tokenize("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn line_comment_text_captured() {
+        let toks = tokenize("x // hello\ny");
+        assert_eq!(toks[1].kind, TokKind::Comment);
+        assert_eq!(toks[1].text, " hello");
+        assert_eq!(toks[2].text, "y");
+        assert_eq!(toks[2].line, 2);
+    }
+
+    #[test]
+    fn nested_block_comment_swallows_idents() {
+        assert_eq!(idents("a /* x /* y */ z */ b"), ["a", "b"]);
+        let toks = tokenize("/* l1\nl2 */ x");
+        assert_eq!(toks[0].end_line, 2);
+        assert_eq!(toks[1].line, 2);
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        assert_eq!(
+            idents(r#"let s = "use std::collections::HashMap";"#),
+            ["let", "s"]
+        );
+        assert_eq!(idents(r#"let s = "esc \" HashMap";"#), ["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        assert_eq!(
+            idents(r###"let s = r#"HashMap "quoted" "#; x"###),
+            ["let", "s", "x"]
+        );
+        assert_eq!(idents(r##"let s = r"HashMap"; y"##), ["let", "s", "y"]);
+        assert_eq!(idents(r###"let s = br#"HashMap"#; z"###), ["let", "s", "z"]);
+    }
+
+    #[test]
+    fn raw_identifier_keeps_name() {
+        assert_eq!(idents("let r#use = 1;"), ["let", "use"]);
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        assert_eq!(
+            idents("let c = 'x'; fn f<'a>(v: &'a str) {}"),
+            ["let", "c", "fn", "f", "v", "str"]
+        );
+        let toks = tokenize("&'a str");
+        assert!(toks
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "a"));
+        // Escaped quote inside a char literal.
+        assert_eq!(idents(r"let q = '\''; x"), ["let", "q", "x"]);
+    }
+
+    #[test]
+    fn byte_literals() {
+        assert_eq!(
+            idents(r#"let b = b"HashMap"; let c = b'h'; x"#),
+            ["let", "b", "let", "c", "x"]
+        );
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = tokenize("for i in 0..10 {}");
+        let puncts: Vec<_> = toks
+            .iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Punct(c) => Some(c),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(puncts, ['.', '.', '{', '}']);
+        assert_eq!(idents("let x = 1.5e3;"), ["let", "x"]);
+    }
+
+    #[test]
+    fn unterminated_input_degrades() {
+        // No panics, and nothing after the opening quote leaks as idents.
+        assert_eq!(idents("let s = \"unterminated HashMap"), ["let", "s"]);
+        assert_eq!(idents("a /* open HashMap"), ["a"]);
+    }
+}

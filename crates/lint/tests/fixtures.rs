@@ -1,0 +1,112 @@
+//! Known-answer tests for the lint catalog.
+//!
+//! Every fixture in `tests/fixtures/` is linted under the deny-all policy
+//! and its diagnostics — suppressed ones included, rendered in the human
+//! `file:line:col lint: message` format — must match the committed file
+//! in `tests/fixtures/expected/` byte for byte. `*_fire.rs` fixtures must
+//! produce at least one unsuppressed diagnostic; `*_clean.rs` fixtures
+//! must produce none. Together the corpus covers every lint in the
+//! catalog, firing and non-firing, including the tricky cases (lint
+//! tokens inside string literals and comments must NOT fire).
+//!
+//! To regenerate the expected corpus after an intentional change:
+//! `HAEC_LINT_BLESS=1 cargo test -p haec-lint --test fixtures`.
+
+use haec_lint::{lint_source_with_policy, Lint, Policy, ALL_LINTS};
+use std::path::PathBuf;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixture_names() -> Vec<String> {
+    let mut names: Vec<String> = std::fs::read_dir(fixture_dir())
+        .expect("fixtures dir")
+        .filter_map(|e| {
+            let name = e.expect("dir entry").file_name().into_string().ok()?;
+            name.ends_with(".rs").then_some(name)
+        })
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "fixture corpus is missing");
+    names
+}
+
+fn render(name: &str) -> String {
+    let source = std::fs::read_to_string(fixture_dir().join(name)).expect("fixture readable");
+    let rel = format!("fixtures/{name}");
+    lint_source_with_policy(&rel, &source, Policy::deny_all())
+        .iter()
+        .map(|d| format!("{d}\n"))
+        .collect()
+}
+
+#[test]
+fn fixtures_match_committed_expected_output() {
+    let bless = std::env::var("HAEC_LINT_BLESS").is_ok();
+    for name in fixture_names() {
+        let got = render(&name);
+        let expected_path = fixture_dir()
+            .join("expected")
+            .join(name.replace(".rs", ".txt"));
+        if bless {
+            std::fs::write(&expected_path, &got).expect("bless expected file");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&expected_path).unwrap_or_else(|_| {
+            panic!(
+                "missing {}; run with HAEC_LINT_BLESS=1",
+                expected_path.display()
+            )
+        });
+        assert_eq!(
+            got, expected,
+            "fixture {name} diverged from its expected output \
+             (HAEC_LINT_BLESS=1 regenerates after an intentional change)"
+        );
+    }
+}
+
+#[test]
+fn fire_fixtures_fire_and_clean_fixtures_do_not() {
+    for name in fixture_names() {
+        let source = std::fs::read_to_string(fixture_dir().join(name.as_str())).unwrap();
+        let diags =
+            lint_source_with_policy(&format!("fixtures/{name}"), &source, Policy::deny_all());
+        let unsuppressed = diags.iter().filter(|d| !d.suppressed).count();
+        if name.ends_with("_fire.rs") {
+            assert!(unsuppressed > 0, "{name} was expected to fire");
+        } else {
+            assert_eq!(
+                unsuppressed, 0,
+                "{name} was expected to come up clean: {diags:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_catalog_lint_has_a_firing_fixture() {
+    let mut covered: Vec<Lint> = Vec::new();
+    for name in fixture_names() {
+        if !name.ends_with("_fire.rs") {
+            continue;
+        }
+        let source = std::fs::read_to_string(fixture_dir().join(name.as_str())).unwrap();
+        for d in lint_source_with_policy(&format!("fixtures/{name}"), &source, Policy::deny_all()) {
+            if !covered.contains(&d.lint) {
+                covered.push(d.lint);
+            }
+        }
+    }
+    for lint in ALL_LINTS {
+        assert!(covered.contains(&lint), "no firing fixture covers {lint}");
+    }
+}
+
+#[test]
+fn tricky_fixture_is_completely_silent() {
+    // Not just unsuppressed-clean: no diagnostics at all, suppressed or
+    // otherwise — strings and comments are invisible to the linter.
+    assert_eq!(render("tricky_strings_comments.rs"), "");
+}

@@ -1,0 +1,6 @@
+//! Non-firing: configuration flows in as arguments, never read from the
+//! ambient process.
+
+fn probe(seed: u64, lanes: u64) -> u64 {
+    seed.wrapping_mul(lanes | 1)
+}

@@ -1,0 +1,9 @@
+//! Firing: environment variables, threads and hash seeding.
+
+use std::collections::hash_map::RandomState;
+
+fn probe() -> RandomState {
+    let _home = std::env::var("HOME");
+    std::thread::yield_now();
+    RandomState::new()
+}

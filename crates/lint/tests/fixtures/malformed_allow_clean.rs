@@ -1,0 +1,10 @@
+//! Non-firing: well-formed suppressions with justifications. The
+//! suppressed findings still appear in the report, marked `[allowed]`,
+//! but they do not gate.
+
+fn trace(x: u32) -> u32 {
+    // haec-lint: allow(stray-print): fixture demonstrating a justified print
+    println!("x = {x}");
+    eprintln!("y = {x}"); // haec-lint: allow(stray-print, wall-clock): trailing multi-lint allow
+    x
+}

@@ -1,0 +1,17 @@
+//! Firing: control comments that name the tool but do not parse. A typo
+//! in a suppression must never silently disable it.
+
+// haec-lint: allow(no-such-lint): typo in the lint name
+fn a() {}
+
+// haec-lint: allow(stray-print)
+fn b() {}
+
+// haec-lint allow(stray-print): missing colon after the tool name
+fn c() {}
+
+// haec-lint: allow(stray-print):
+fn d() {}
+
+// haec-lint: allow(malformed-allow): the meta-lint cannot be suppressed
+fn e() {}

@@ -1,0 +1,12 @@
+//! Non-firing: ordered std collections and the sanctioned det wrappers.
+
+use haec_core::det::{DetMap, DetSet};
+use std::collections::{BTreeMap, BTreeSet};
+
+fn build() -> usize {
+    let m: BTreeMap<u32, u32> = BTreeMap::new();
+    let d: DetMap<u32, u32> = DetMap::new();
+    let s = BTreeSet::<u32>::new();
+    let e = DetSet::<u32>::new();
+    m.len() + d.len() + s.len() + e.len()
+}

@@ -1,0 +1,12 @@
+//! Firing: raw hash collections — by import, alias, construction and
+//! fully-qualified path.
+
+use std::collections::HashMap;
+use std::collections::HashSet as Seen;
+
+fn build() -> usize {
+    let m: HashMap<u32, u32> = HashMap::new();
+    let s: Seen = Seen::new();
+    let q = std::collections::HashSet::<u32>::new();
+    m.len() + s.len() + q.len()
+}

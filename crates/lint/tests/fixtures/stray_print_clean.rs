@@ -1,0 +1,8 @@
+//! Non-firing: output flows into a writer the caller owns (as the `obs`
+//! observers do).
+
+use std::fmt::Write;
+
+fn report(out: &mut String, x: u32) {
+    writeln!(out, "x = {x}").expect("string writer");
+}

@@ -1,0 +1,7 @@
+//! Firing: printing from library code.
+
+fn report(x: u32) -> u32 {
+    println!("x = {x}");
+    eprintln!("warn");
+    dbg!(x)
+}

@@ -1,0 +1,15 @@
+//! Non-firing: lint tokens inside strings and comments are text, not
+//! code. `std::collections::HashMap`, `Instant::now()` and `println!` in
+//! a doc comment are prose.
+
+// std::collections::HashMap in a line comment
+/* std::time::Instant::now() in a block comment
+   /* nested: println!("x") and std::env::var("HOME") */
+   still inside the outer comment: dbg!(1) */
+
+fn texts() -> (String, &'static str, &'static str) {
+    let s = "use std::collections::HashMap; println!(\"escaped\")".to_string();
+    let r = r#"std::time::SystemTime::now() and "quoted" dbg!(1)"#;
+    let b = "std::thread::spawn and RandomState and eprintln!";
+    (s, r, b)
+}

@@ -1,0 +1,12 @@
+//! Non-firing: the det wrappers iterate in ascending key order, so the
+//! same shapes are deterministic.
+
+use haec_core::det::{DetMap, DetSet};
+
+fn scan(index: &DetMap<u32, u32>, seen: &DetSet<u32>) -> u32 {
+    let mut total = 0;
+    for (k, v) in index {
+        total += k + v;
+    }
+    total + seen.iter().sum::<u32>()
+}

@@ -1,0 +1,12 @@
+//! Firing: iterating hash collections that escaped the wrappers — the
+//! parameter types mean the construction happened elsewhere.
+
+use std::collections::{HashMap, HashSet};
+
+fn scan(index: &HashMap<u32, u32>, seen: HashSet<u32>) -> u32 {
+    let mut total = 0;
+    for (k, v) in index {
+        total += k + v;
+    }
+    total + seen.iter().sum::<u32>()
+}

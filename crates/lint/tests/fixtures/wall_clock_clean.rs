@@ -1,0 +1,8 @@
+//! Non-firing: `Duration` is pure data; simulated time is a counter the
+//! schedule advances deterministically.
+
+use std::time::Duration;
+
+fn tick(now: u64) -> (u64, Duration) {
+    (now + 1, Duration::from_millis(1))
+}

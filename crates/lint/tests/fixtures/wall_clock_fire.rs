@@ -1,0 +1,8 @@
+//! Firing: wall-clock reads — by aliased import, plain import and
+//! fully-qualified path.
+
+use std::time::{Instant as Clock, SystemTime};
+
+fn stamp() -> (Clock, SystemTime, std::time::Instant) {
+    (Clock::now(), SystemTime::now(), std::time::Instant::now())
+}

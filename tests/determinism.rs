@@ -67,6 +67,71 @@ fn different_seeds_different_schedules() {
 }
 
 #[test]
+fn det_collections_iterate_in_stable_order() {
+    // The haec_core::det wrappers are the sanctioned replacement for raw
+    // hash collections (enforced by haec-lint): whatever order entries
+    // arrive in — here, two seeded shuffles of the same key set — the
+    // iteration order is ascending and therefore identical.
+    use haec::core::det::{DetMap, DetSet};
+    use haec_testkit::Rng;
+
+    let mut keys: Vec<u64> = (0..64).collect();
+    let mut shuffled = keys.clone();
+    let mut rng = Rng::seed_from_u64(99);
+    for i in (1..shuffled.len()).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        shuffled.swap(i, j);
+    }
+    assert_ne!(keys, shuffled, "shuffle must change insertion order");
+
+    let a: DetMap<u64, u64> = keys.iter().map(|&k| (k, k * 2)).collect();
+    let b: DetMap<u64, u64> = shuffled.iter().map(|&k| (k, k * 2)).collect();
+    let order_a: Vec<u64> = a.keys().copied().collect();
+    let order_b: Vec<u64> = b.keys().copied().collect();
+    keys.sort_unstable();
+    assert_eq!(order_a, keys, "DetMap iterates in ascending key order");
+    assert_eq!(order_a, order_b, "insertion order is invisible");
+
+    let sa: DetSet<u64> = keys.iter().copied().collect();
+    let sb: DetSet<u64> = shuffled.iter().copied().collect();
+    let items_a: Vec<u64> = sa.iter().copied().collect();
+    let items_b: Vec<u64> = sb.iter().copied().collect();
+    assert_eq!(items_a, keys);
+    assert_eq!(items_a, items_b);
+}
+
+#[test]
+fn report_json_is_byte_identical_across_same_seed_runs() {
+    // The structured run report — the same path `report --json` drives —
+    // must serialize byte-identically for the same (store, config, seed).
+    // The normalized form zeroes the wall-clock span nanoseconds, which
+    // are the one sanctioned nondeterministic field.
+    use haec::sim::{ReportConfig, RunReport};
+
+    let config = ReportConfig {
+        exploration: ExplorationConfig {
+            schedule: ScheduleConfig {
+                steps: 200,
+                drop_prob: 0.05,
+                dup_prob: 0.05,
+                ..ScheduleConfig::default()
+            },
+            ..ExplorationConfig::default()
+        },
+        log_capacity: 16,
+    };
+    for seed in [7u64, 42] {
+        let a = RunReport::collect(&DvvMvrStore, &config, seed).to_json_normalized();
+        let b = RunReport::collect(&DvvMvrStore, &config, seed).to_json_normalized();
+        assert_eq!(
+            a.as_bytes(),
+            b.as_bytes(),
+            "report JSON for seed {seed} not byte-identical"
+        );
+    }
+}
+
+#[test]
 fn workload_stream_is_deterministic_standalone() {
     // The workload PRNG stream itself (not just the end-to-end trace) is
     // stable: the same seed yields the same operation sequence.
