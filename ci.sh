@@ -24,6 +24,10 @@ echo "== report smoke (fixed seed, JSON must re-parse) =="
 cargo run -q --release --locked --offline -p haec-bench --bin report -- \
     --json --check --seed 42 > /dev/null
 
+echo "== explore smoke (engines must agree at depth 3) =="
+cargo bench -q --locked --offline -p haec-bench --bench explore -- \
+    --smoke > /dev/null
+
 echo "== fmt =="
 cargo fmt --check
 

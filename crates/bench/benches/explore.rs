@@ -1,0 +1,181 @@
+//! Explorer-engine comparison: legacy replay-from-scratch enumeration vs
+//! the incremental snapshot/restore DFS, with and without state-fingerprint
+//! dedup. Each engine runs the same workload — every schedule of a
+//! 4-replica, 1-object write/read cluster checked for correctness and
+//! causal consistency — and reports schedules per second plus its speedup
+//! over the replay baseline. Each engine is timed `--runs` times and the
+//! fastest run is reported, to suppress scheduler noise.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo bench --bench explore                  # human-readable, depth 6
+//! cargo bench --bench explore -- --json        # JSON (for BENCH_explore.json)
+//! cargo bench --bench explore -- --smoke       # depth 3 agreement check
+//! cargo bench --bench explore -- --depth 5 --replicas 3 --runs 1
+//! ```
+
+use haec_core::{causal, check_correct, ObjectSpecs, SpecKind};
+use haec_model::{Op, StoreConfig, Value};
+use haec_sim::exhaustive::{explore_all, explore_all_replay, ExhaustiveConfig, ExhaustiveReport};
+use haec_sim::Simulator;
+use haec_stores::DvvMvrStore;
+use std::time::Instant;
+
+fn causal_check(sim: &Simulator) -> bool {
+    let Ok(a) = sim.abstract_execution() else {
+        return false;
+    };
+    check_correct(&a, &ObjectSpecs::uniform(SpecKind::Mvr)).is_ok() && causal::check(&a).is_ok()
+}
+
+struct EngineRun {
+    name: &'static str,
+    schedules: usize,
+    dedup_hits: u64,
+    dedup_misses: u64,
+    seconds: f64,
+}
+
+impl EngineRun {
+    fn per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.schedules as f64 / self.seconds
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn run_engine(
+    name: &'static str,
+    runs: usize,
+    mut f: impl FnMut() -> ExhaustiveReport,
+) -> EngineRun {
+    let mut best: Option<EngineRun> = None;
+    for _ in 0..runs.max(1) {
+        let t = Instant::now();
+        let report = f();
+        let seconds = t.elapsed().as_secs_f64();
+        assert!(
+            report.all_passed(),
+            "{name}: workload unexpectedly produced a counterexample"
+        );
+        let run = EngineRun {
+            name,
+            schedules: report.schedules,
+            dedup_hits: report.dedup_hits,
+            dedup_misses: report.dedup_misses,
+            seconds,
+        };
+        if best.as_ref().is_none_or(|b| run.seconds < b.seconds) {
+            best = Some(run);
+        }
+    }
+    best.expect("at least one run")
+}
+
+fn main() {
+    let mut json = false;
+    let mut depth = 6usize;
+    let mut replicas = 4usize;
+    let mut runs = 3usize;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--smoke" => {
+                depth = 3;
+                replicas = 2;
+                runs = 1;
+            }
+            "--depth" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    depth = n;
+                }
+            }
+            "--replicas" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    replicas = n;
+                }
+            }
+            "--runs" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    runs = n;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    let config = ExhaustiveConfig {
+        store_config: StoreConfig::new(replicas, 1),
+        ops: vec![Op::Write(Value::new(0)), Op::Read],
+        depth,
+        max_schedules: usize::MAX,
+        dedup: false,
+    };
+    let dedup_config = ExhaustiveConfig {
+        dedup: true,
+        ..config.clone()
+    };
+
+    let replay = run_engine("replay", runs, || {
+        explore_all_replay(&DvvMvrStore, &config, &mut causal_check)
+    });
+    let dfs = run_engine("dfs", runs, || {
+        explore_all(&DvvMvrStore, &config, &mut causal_check)
+    });
+    let dedup = run_engine("dfs-dedup", runs, || {
+        explore_all(&DvvMvrStore, &dedup_config, &mut causal_check)
+    });
+
+    // The engines must agree before any timing claim means anything.
+    assert_eq!(replay.schedules, dfs.schedules, "dfs diverges from replay");
+    assert_eq!(
+        replay.schedules, dedup.schedules,
+        "dedup diverges from replay"
+    );
+
+    let runs = [replay, dfs, dedup];
+    let base = runs[0].per_sec();
+    if json {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"suite\": \"explore\",\n");
+        out.push_str("  \"store\": \"dvv-mvr\",\n");
+        out.push_str(&format!("  \"depth\": {depth},\n"));
+        out.push_str(&format!("  \"replicas\": {replicas},\n"));
+        out.push_str(&format!("  \"schedules\": {},\n", runs[0].schedules));
+        out.push_str("  \"engines\": [\n");
+        for (i, r) in runs.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"seconds\": {:.6}, \"schedules_per_sec\": {:.1}, \
+                 \"speedup_vs_replay\": {:.2}, \"dedup_hits\": {}, \"dedup_misses\": {}}}{}\n",
+                r.name,
+                r.seconds,
+                r.per_sec(),
+                r.per_sec() / base,
+                r.dedup_hits,
+                r.dedup_misses,
+                if i + 1 < runs.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        print!("{out}");
+    } else {
+        println!(
+            "explore: {} schedules at depth {depth}, {replicas} replicas (dvv-mvr, causal check)",
+            runs[0].schedules
+        );
+        for r in &runs {
+            println!(
+                "  {:<10} {:>9.3} s  {:>12.0} schedules/s  {:>6.2}x vs replay",
+                r.name,
+                r.seconds,
+                r.per_sec(),
+                r.per_sec() / base,
+            );
+        }
+    }
+}

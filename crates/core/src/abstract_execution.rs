@@ -1,7 +1,23 @@
 //! Abstract executions `(H, vis)` (Definition 4) and prefixes (Definition 5).
 
+use crate::bits;
 use haec_model::{ObjectId, Op, Relation, ReplicaId, ReturnValue, Value};
 use std::fmt;
+
+/// Per-replica event bitmasks in [`Relation::row_words`] layout, indexed by
+/// `ReplicaId::index()`.
+fn replica_masks(events: &[AbstractDo], words: usize) -> Vec<Vec<u64>> {
+    let max_r = events
+        .iter()
+        .map(|e| e.replica.index() + 1)
+        .max()
+        .unwrap_or(0);
+    let mut masks = vec![vec![0u64; words]; max_r];
+    for (i, e) in events.iter().enumerate() {
+        bits::set(&mut masks[e.replica.index()], i);
+    }
+    masks
+}
 
 /// A `do` event of an abstract execution: the client-observable part of an
 /// operation invocation.
@@ -175,19 +191,31 @@ impl AbstractExecution {
                 return Err(AbstractExecutionError::VisAgainstHistoryOrder { from: i, to: j });
             }
         }
-        // (1) program order within a replica.
+        let words = bits::words_for(n);
+        let masks = replica_masks(&self.events, words);
+        // (1) program order within a replica: the same-replica events after
+        // `i` must all be in row(i). The first missing one is the lowest set
+        // bit of mask(R(i)) & above(i) & !row(i), scanned word-parallel.
         for i in 0..n {
-            for j in (i + 1)..n {
-                if self.events[i].replica == self.events[j].replica && !self.vis.contains(i, j) {
+            let mask = &masks[self.events[i].replica.index()];
+            let row = self.vis.row_words(i);
+            for w in (i / 64)..words {
+                let miss = mask[w] & bits::above_word(i, w) & !row[w];
+                if miss != 0 {
+                    let j = w * 64 + miss.trailing_zeros() as usize;
                     return Err(AbstractExecutionError::MissingProgramOrderEdge { from: i, to: j });
                 }
             }
         }
-        // (2) session closure.
+        // (2) session closure: for `e1 vis e2`, the same-replica events
+        // after `e2` must all be in row(e1).
         for (e1, e2) in self.vis.iter_pairs() {
-            for e3 in (e2 + 1)..n {
-                if self.events[e3].replica == self.events[e2].replica && !self.vis.contains(e1, e3)
-                {
+            let mask = &masks[self.events[e2].replica.index()];
+            let row = self.vis.row_words(e1);
+            for w in (e2 / 64)..words {
+                let miss = mask[w] & bits::above_word(e2, w) & !row[w];
+                if miss != 0 {
+                    let e3 = w * 64 + miss.trailing_zeros() as usize;
                     return Err(AbstractExecutionError::MissingSessionClosureEdge {
                         from: e1,
                         to: e3,
@@ -359,25 +387,43 @@ impl AbstractExecutionBuilder {
             }
             vis.insert(i, j);
         }
-        // Condition (1): program order.
+        let words = bits::words_for(n);
+        let masks = replica_masks(&self.events, words);
+        let mut targets = vec![0u64; words];
+        // Condition (1): program order — OR the same-replica events after
+        // `i` into row(i) in one word-parallel pass.
         for i in 0..n {
-            for j in (i + 1)..n {
-                if self.events[i].replica == self.events[j].replica {
-                    vis.insert(i, j);
-                }
+            let mask = &masks[self.events[i].replica.index()];
+            for (w, t) in targets.iter_mut().enumerate() {
+                *t = if w < i / 64 {
+                    0
+                } else {
+                    mask[w] & bits::above_word(i, w)
+                };
             }
+            vis.or_into_row(i, &targets);
         }
         // Condition (2): session closure, to fixpoint. Processing targets in
         // increasing order suffices because closure edges always point
-        // forward.
+        // forward. Every predecessor of e2 receives the same target row —
+        // the same-replica events after e2 — via a bitwise OR.
         for e2 in 0..n {
+            let mask = &masks[self.events[e2].replica.index()];
+            let mut any = 0u64;
+            for (w, t) in targets.iter_mut().enumerate() {
+                *t = if w < e2 / 64 {
+                    0
+                } else {
+                    mask[w] & bits::above_word(e2, w)
+                };
+                any |= *t;
+            }
+            if any == 0 {
+                continue;
+            }
             let preds: Vec<usize> = vis.predecessors(e2).collect();
-            for e3 in (e2 + 1)..n {
-                if self.events[e3].replica == self.events[e2].replica {
-                    for &e1 in &preds {
-                        vis.insert(e1, e3);
-                    }
-                }
+            for &e1 in &preds {
+                vis.or_into_row(e1, &targets);
             }
         }
         AbstractExecution::from_parts(self.events.clone(), vis)

@@ -1,0 +1,94 @@
+//! Word-level bitset helpers shared by the consistency checkers.
+//!
+//! All rows use the same layout as
+//! [`Relation::row_words`](haec_model::Relation::row_words): bit `i % 64`
+//! of word `i / 64` represents event `i`. The helpers here let checkers
+//! replace per-pair point queries with word-parallel row algebra while
+//! preserving ascending scan order, so first-violation witnesses are
+//! identical to the scalar loops they replace.
+
+/// Number of `u64` words needed for `n` bits.
+pub(crate) fn words_for(n: usize) -> usize {
+    n.div_ceil(64)
+}
+
+/// Sets bit `i`.
+pub(crate) fn set(words: &mut [u64], i: usize) {
+    words[i / 64] |= 1u64 << (i % 64);
+}
+
+/// The word of a row mask covering indices *strictly above* `i` within word
+/// `w`: all-ones for words past `i`'s, a high-bits mask in `i`'s own word.
+/// Callers iterate `w` from `i / 64` upward; earlier words contribute
+/// nothing.
+pub(crate) fn above_word(i: usize, w: usize) -> u64 {
+    if w == i / 64 {
+        // Two shifts so `i % 64 == 63` stays in range (yields 0).
+        (!0u64 << (i % 64)) << 1
+    } else {
+        !0
+    }
+}
+
+/// First index present in `a` but absent from `b` — the lowest set bit of
+/// `a & !b` — scanning words (and therefore indices) in ascending order.
+pub(crate) fn first_in_diff(a: &[u64], b: &[u64]) -> Option<usize> {
+    for (w, (&x, &y)) in a.iter().zip(b).enumerate() {
+        let d = x & !y;
+        if d != 0 {
+            return Some(w * 64 + d.trailing_zeros() as usize);
+        }
+    }
+    None
+}
+
+/// Iterates the set bits of `words` in ascending index order.
+pub(crate) fn iter_bits(words: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    words.iter().enumerate().flat_map(|(w, &word)| {
+        let mut rest = word;
+        std::iter::from_fn(move || {
+            if rest == 0 {
+                None
+            } else {
+                let b = rest.trailing_zeros() as usize;
+                rest &= rest - 1;
+                Some(w * 64 + b)
+            }
+        })
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_iter_round_trip() {
+        let mut row = vec![0u64; 3];
+        for &i in &[0, 1, 63, 64, 130] {
+            set(&mut row, i);
+        }
+        let got: Vec<usize> = iter_bits(&row).collect();
+        assert_eq!(got, vec![0, 1, 63, 64, 130]);
+    }
+
+    #[test]
+    fn first_in_diff_finds_lowest() {
+        let mut a = vec![0u64; 2];
+        let mut b = vec![0u64; 2];
+        set(&mut a, 5);
+        set(&mut a, 70);
+        set(&mut b, 5);
+        assert_eq!(first_in_diff(&a, &b), Some(70));
+        set(&mut b, 70);
+        assert_eq!(first_in_diff(&a, &b), None);
+    }
+
+    #[test]
+    fn above_word_boundaries() {
+        assert_eq!(above_word(0, 0), !0u64 << 1);
+        assert_eq!(above_word(63, 0), 0);
+        assert_eq!(above_word(63, 1), !0);
+        assert_eq!(above_word(64, 1), !0u64 << 1);
+    }
+}

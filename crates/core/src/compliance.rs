@@ -2,7 +2,7 @@
 //! (Definitions 9/10).
 
 use crate::abstract_execution::AbstractExecution;
-use haec_model::{Execution, ReplicaId};
+use haec_model::{Execution, Op, ReplicaId, ReturnValue};
 use std::fmt;
 
 /// A replica whose observed operation sequence differs between the concrete
@@ -48,20 +48,24 @@ pub fn complies(ex: &Execution, a: &AbstractExecution) -> Result<(), ComplianceE
     );
     for ri in 0..n {
         let rid = ReplicaId::new(ri as u32);
-        let conc: Vec<_> = ex
+        // Compare projections by reference: responses can hold sibling sets,
+        // so cloning every (op, rval) pair made this check allocate per
+        // event. Borrowing from both executions is enough for equality and
+        // for formatting the first mismatch.
+        let conc: Vec<(_, &Op, &ReturnValue)> = ex
             .do_projection(rid)
             .into_iter()
             .map(|i| {
                 let (obj, op, rval) = ex.event(i).as_do().expect("do projection");
-                (obj, op.clone(), rval.clone())
+                (obj, op, rval)
             })
             .collect();
-        let abst: Vec<_> = a
+        let abst: Vec<(_, &Op, &ReturnValue)> = a
             .replica_projection(rid)
             .into_iter()
             .map(|i| {
                 let e = a.event(i);
-                (e.obj, e.op.clone(), e.rval.clone())
+                (e.obj, &e.op, &e.rval)
             })
             .collect();
         if conc.len() != abst.len() {

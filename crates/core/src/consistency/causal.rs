@@ -42,10 +42,11 @@ pub fn check(a: &AbstractExecution) -> Result<(), CausalityViolation> {
     crate::spans::timed("check.causal", || {
         let vis = a.vis();
         for (e1, e2) in vis.iter_pairs() {
-            for e3 in vis.successors(e2) {
-                if !vis.contains(e1, e3) {
-                    return Err(CausalityViolation { e1, e2, e3 });
-                }
+            // Transitivity at (e1, e2) means successors(e2) ⊆ successors(e1).
+            // The first failing e3 is the lowest set bit of
+            // row(e2) & !row(e1), found 64 events per word.
+            if let Some(e3) = crate::bits::first_in_diff(vis.row_words(e2), vis.row_words(e1)) {
+                return Err(CausalityViolation { e1, e2, e3 });
             }
         }
         Ok(())

@@ -7,7 +7,9 @@
 //! "pretend" one write was visible to the other (Figure 3).
 
 use crate::abstract_execution::AbstractExecution;
-use haec_model::Op;
+use crate::bits;
+use crate::det::DetMap;
+use haec_model::{ObjectId, Op, Relation};
 use std::fmt;
 
 /// A read returning a concurrent pair for which no OCC witnesses exist.
@@ -44,12 +46,77 @@ pub struct OccWitness {
     pub witnesses: (usize, usize),
 }
 
-fn condition4(a: &AbstractExecution, writes: &[usize], w_prime: usize, w_same: usize) -> bool {
+/// Word-parallel visibility index built once per execution: the transposed
+/// `vis` (row `e` = predecessor bitset of `e`), a mask of all write events,
+/// and a mask of events per object, all in [`Relation::row_words`] layout.
+struct VisIndex {
+    words: usize,
+    preds: Relation,
+    writes: Vec<u64>,
+    by_obj: DetMap<ObjectId, Vec<u64>>,
+}
+
+impl VisIndex {
+    fn new(a: &AbstractExecution) -> VisIndex {
+        let n = a.len();
+        let words = bits::words_for(n);
+        let preds = a.vis().transpose();
+        let mut writes = vec![0u64; words];
+        let mut by_obj: DetMap<ObjectId, Vec<u64>> = DetMap::new();
+        for i in 0..n {
+            let e = a.event(i);
+            if matches!(e.op, Op::Write(_)) {
+                bits::set(&mut writes, i);
+            }
+            bits::set(by_obj.get_or_insert_with(e.obj, || vec![0u64; words]), i);
+        }
+        VisIndex {
+            words,
+            preds,
+            writes,
+            by_obj,
+        }
+    }
+
+    /// Candidate witnesses for one side of the pair: writes to objects other
+    /// than `o` that are visible to `seen` but not to `unseen`, computed as
+    /// `preds(seen) & !preds(unseen) & writes & !obj(o)` word by word.
+    fn candidates(&self, o: ObjectId, seen: usize, unseen: usize) -> Vec<u64> {
+        let obj_mask = self.by_obj.get(&o);
+        let mut cands = self.preds.row_words(seen).to_vec();
+        for (w, (c, &p)) in cands
+            .iter_mut()
+            .zip(self.preds.row_words(unseen))
+            .enumerate()
+        {
+            *c &= !p & self.writes[w];
+            if let Some(m) = obj_mask {
+                *c &= !m[w];
+            }
+        }
+        cands
+    }
+}
+
+fn condition4(a: &AbstractExecution, idx: &VisIndex, w_prime: usize, w_same: usize) -> bool {
     // For any write w̃ with obj(w̃) = obj(w′) and w̃ vis w_same: w̃ vis w′.
+    // A violator has its bit set in obj(w′) & writes & preds(w_same) &
+    // !preds(w′), excluding w′ itself; the condition holds iff that row is
+    // all zero.
     let objp = a.event(w_prime).obj;
-    writes.iter().all(|&wt| {
-        a.event(wt).obj != objp || !a.sees(wt, w_same) || a.sees(wt, w_prime) || wt == w_prime
-    })
+    let obj_mask = idx.by_obj.get(&objp).expect("w_prime is an event on objp");
+    let same = idx.preds.row_words(w_same);
+    let prime = idx.preds.row_words(w_prime);
+    for w in 0..idx.words {
+        let mut viol = obj_mask[w] & idx.writes[w] & same[w] & !prime[w];
+        if w == w_prime / 64 {
+            viol &= !(1u64 << (w_prime % 64));
+        }
+        if viol != 0 {
+            return false;
+        }
+    }
+    true
 }
 
 /// Searches for OCC witnesses for one read and one pair of writes it
@@ -60,30 +127,30 @@ pub fn find_witnesses(
     w0: usize,
     w1: usize,
 ) -> Option<OccWitness> {
+    find_witnesses_indexed(a, &VisIndex::new(a), read, w0, w1)
+}
+
+fn find_witnesses_indexed(
+    a: &AbstractExecution,
+    idx: &VisIndex,
+    read: usize,
+    w0: usize,
+    w1: usize,
+) -> Option<OccWitness> {
     let o = a.event(read).obj;
-    let writes: Vec<usize> = (0..a.len())
-        .filter(|&i| matches!(a.event(i).op, Op::Write(_)))
-        .collect();
     // w1′ vis w0, w1′ ¬vis w1; w0′ vis w1, w0′ ¬vis w0; both to objects ≠ o.
-    let cands1: Vec<usize> = writes
-        .iter()
-        .copied()
-        .filter(|&wp| a.event(wp).obj != o && a.sees(wp, w0) && !a.sees(wp, w1))
-        .collect();
-    let cands0: Vec<usize> = writes
-        .iter()
-        .copied()
-        .filter(|&wp| a.event(wp).obj != o && a.sees(wp, w1) && !a.sees(wp, w0))
-        .collect();
-    for &w1p in &cands1 {
-        if !condition4(a, &writes, w1p, w1) {
+    let cands1 = idx.candidates(o, w0, w1);
+    let cands0 = idx.candidates(o, w1, w0);
+    for w1p in bits::iter_bits(&cands1) {
+        if !condition4(a, idx, w1p, w1) {
             continue;
         }
-        for &w0p in &cands0 {
-            if a.event(w0p).obj == a.event(w1p).obj {
+        let obj1p = a.event(w1p).obj;
+        for w0p in bits::iter_bits(&cands0) {
+            if a.event(w0p).obj == obj1p {
                 continue;
             }
-            if condition4(a, &writes, w0p, w0) {
+            if condition4(a, idx, w0p, w0) {
                 return Some(OccWitness {
                     read,
                     pair: (w0, w1),
@@ -112,6 +179,7 @@ pub fn check(a: &AbstractExecution) -> Result<(), OccViolation> {
 }
 
 fn check_inner(a: &AbstractExecution) -> Result<(), OccViolation> {
+    let idx = VisIndex::new(a);
     for read in 0..a.len() {
         let e = a.event(read);
         if !e.op.is_read() {
@@ -137,7 +205,7 @@ fn check_inner(a: &AbstractExecution) -> Result<(), OccViolation> {
         for i in 0..write_events.len() {
             for j in (i + 1)..write_events.len() {
                 let (w0, w1) = (write_events[i], write_events[j]);
-                if find_witnesses(a, read, w0, w1).is_none() {
+                if find_witnesses_indexed(a, &idx, read, w0, w1).is_none() {
                     return Err(OccViolation { read, w0, w1 });
                 }
             }

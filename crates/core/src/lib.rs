@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod abstract_execution;
+mod bits;
 mod compliance;
 pub mod consistency;
 mod context;

@@ -145,6 +145,28 @@ impl Execution {
         &self.messages[m.index()]
     }
 
+    /// Rewinds the transcript to its first `events` events and `messages`
+    /// message records. Both sequences are append-only, so truncating them
+    /// restores exactly the transcript that existed when those lengths were
+    /// recorded — this is the O(dropped-suffix) rewind the incremental
+    /// explorer relies on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count exceeds the current length (a rewind can only
+    /// go backwards).
+    pub fn truncate(&mut self, events: usize, messages: usize) {
+        assert!(
+            events <= self.events.len() && messages <= self.messages.len(),
+            "truncate target ({events} events, {messages} messages) is ahead of \
+             the transcript ({} events, {} messages)",
+            self.events.len(),
+            self.messages.len()
+        );
+        self.events.truncate(events);
+        self.messages.truncate(messages);
+    }
+
     fn check_replica(&self, replica: ReplicaId) -> WellFormedness {
         if replica.index() >= self.n_replicas {
             return Err(WellFormednessError::ReplicaOutOfRange {

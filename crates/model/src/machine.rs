@@ -185,6 +185,14 @@ pub trait ReplicaMachine {
     /// A fingerprint (hash) of the complete replica state `σ`.
     fn state_fingerprint(&self) -> u64;
 
+    /// Clones the machine, including its complete state `σ`, behind a fresh
+    /// box. This is the snapshot capability the incremental explorer builds
+    /// on: the clone must be observationally indistinguishable from the
+    /// original — every future transition sequence applied to the clone
+    /// yields the same outcomes, payloads, and fingerprints as it would on
+    /// the original.
+    fn boxed_clone(&self) -> Box<dyn ReplicaMachine>;
+
     /// The number of bits a canonical encoding of the replica state would
     /// occupy. Used by the state-space experiments (E9); defaults to 0 for
     /// stores that do not participate in those experiments.

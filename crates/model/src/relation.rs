@@ -77,6 +77,61 @@ impl Relation {
         &self.bits[i * self.words_per_row..(i + 1) * self.words_per_row]
     }
 
+    /// The successor bitset of `i` as raw words: bit `j % 64` of word
+    /// `j / 64` is set iff `(i, j)` is in the relation. Exposed so checkers
+    /// can run word-parallel row algebra instead of per-pair point queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row_words(&self, i: usize) -> &[u64] {
+        assert!(i < self.n, "row {i} out of range");
+        self.row(i)
+    }
+
+    /// Tests `successors(i) ⊆ successors(j)` word-parallel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` or `j` is out of range.
+    pub fn row_is_subset(&self, i: usize, j: usize) -> bool {
+        assert!(i < self.n && j < self.n, "rows ({i},{j}) out of range");
+        self.row(i)
+            .iter()
+            .zip(self.row(j))
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Bitwise-ORs a row-shaped word slice into row `i` — the word-parallel
+    /// form of inserting every `(i, j)` with bit `j` set in `words`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range or `words` is not exactly one row long.
+    pub fn or_into_row(&mut self, i: usize, words: &[u64]) {
+        assert!(i < self.n, "row {i} out of range");
+        assert_eq!(words.len(), self.words_per_row, "row width mismatch");
+        let start = i * self.words_per_row;
+        for (a, &w) in self.bits[start..start + self.words_per_row]
+            .iter_mut()
+            .zip(words)
+        {
+            *a |= w;
+        }
+    }
+
+    /// Returns the transposed relation: `(i, j)` present iff `(j, i)` is in
+    /// `self`. Row `j` of the transpose is the *predecessor* bitset of `j`,
+    /// which turns `contains(_, j)` point-query loops into row algebra.
+    #[must_use]
+    pub fn transpose(&self) -> Relation {
+        let mut t = Relation::new(self.n);
+        for (i, j) in self.iter_pairs() {
+            t.insert(j, i);
+        }
+        t
+    }
+
     /// Iterates over the successors of `i` in increasing order.
     pub fn successors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
         let row = self.row(i);

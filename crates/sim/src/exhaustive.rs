@@ -6,13 +6,33 @@
 //! shows, e.g., that the DVV store is causally consistent on *all*
 //! executions with ≤ N scheduler steps, not just on sampled ones.
 //!
-//! Replica machines are not clonable (they live behind `dyn`), so the
-//! explorer replays each action sequence from scratch — fine at the depths
-//! where exhaustive enumeration is feasible anyway.
+//! ## Engine
+//!
+//! The explorer walks the schedule tree depth-first, carrying one live
+//! [`Simulator`] along the current branch: it takes a [snapshot]
+//! (crate::simulator::SimSnapshot) at each interior node, applies one
+//! action per child edge, and restores the snapshot on backtrack. Each
+//! tree edge therefore costs O(state) instead of the O(depth × state)
+//! replay-from-scratch of the reference implementation, which is kept as
+//! [`explore_all_replay`] for differential testing.
+//!
+//! With [`ExhaustiveConfig::dedup`] enabled the explorer additionally
+//! memoises subtrees by *canonical global state*: a fingerprint of every
+//! replica's [`state_fingerprint`](haec_model::ReplicaMachine::state_fingerprint)
+//! (in replica order) plus the multiset of in-flight `(addressee, payload)`
+//! copies, keyed together with the remaining depth. A prefix that reaches
+//! an already-explored global state with the same remaining depth prunes
+//! the whole subtree and credits its (previously counted) schedules, so
+//! dedup-on reports the same schedule count as dedup-off. Fingerprinting
+//! is a *heuristic* for history-dependent checkers — see
+//! `DESIGN.md` §exploration-engine for the soundness argument and its
+//! caveat; the differential suite pins the equivalence empirically.
 
 use crate::obs::{Observer, Observers};
 use crate::simulator::Simulator;
+use haec_core::det::DetMap;
 use haec_model::{ObjectId, Op, ReplicaId, StoreConfig, StoreFactory};
+use std::fmt;
 
 /// One scheduler action in the enumeration.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -33,12 +53,25 @@ pub struct ExhaustiveConfig {
     /// The client operations each replica may invoke, per step. Written
     /// values are automatically uniquified.
     pub ops: Vec<Op>,
-    /// Maximum number of scheduler steps.
+    /// Maximum number of scheduler steps. Must be nonzero (a depth-0
+    /// exploration would visit only the empty schedule).
     pub depth: usize,
-    /// Cap on explored schedules (safety valve; `usize::MAX` = none).
+    /// Cap on explored schedules (safety valve). Must be nonzero;
+    /// `usize::MAX` disables the cap. With [`dedup`](Self::dedup) enabled
+    /// the cap is checked after whole-subtree credits, so the reported
+    /// count may overshoot it by the size of the last memoised subtree.
     pub max_schedules: usize,
+    /// Memoise and prune schedule prefixes that reach an already-explored
+    /// canonical global state (same replica states, same in-flight
+    /// multiset, same remaining depth). Off by default: with dedup off the
+    /// explorer visits exactly the nodes the replay reference visits, in
+    /// the same order.
+    pub dedup: bool,
 }
 
+/// Default exploration parameters: a 2-replica, 1-object cluster whose
+/// replicas may issue a (uniquified) write or a read at each step, explored
+/// to depth 5 with a 1 000 000-schedule safety cap and dedup off.
 impl Default for ExhaustiveConfig {
     fn default() -> Self {
         ExhaustiveConfig {
@@ -46,7 +79,48 @@ impl Default for ExhaustiveConfig {
             ops: vec![Op::Write(Value(0)), Op::Read],
             depth: 5,
             max_schedules: 1_000_000,
+            dedup: false,
         }
+    }
+}
+
+/// An invalid [`ExhaustiveConfig`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ExhaustiveConfigError {
+    /// `depth` was 0.
+    ZeroDepth,
+    /// `max_schedules` was 0.
+    ZeroMaxSchedules,
+}
+
+impl fmt::Display for ExhaustiveConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExhaustiveConfigError::ZeroDepth => write!(f, "depth must be nonzero"),
+            ExhaustiveConfigError::ZeroMaxSchedules => {
+                write!(f, "max_schedules must be nonzero")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExhaustiveConfigError {}
+
+impl ExhaustiveConfig {
+    /// Validates the parameters: `depth` and `max_schedules` must both be
+    /// nonzero.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint.
+    pub fn validate(&self) -> Result<(), ExhaustiveConfigError> {
+        if self.depth == 0 {
+            return Err(ExhaustiveConfigError::ZeroDepth);
+        }
+        if self.max_schedules == 0 {
+            return Err(ExhaustiveConfigError::ZeroMaxSchedules);
+        }
+        Ok(())
     }
 }
 
@@ -60,16 +134,46 @@ fn Value(v: u64) -> Value {
 /// Summary of an exhaustive run.
 #[derive(Clone, Debug)]
 pub struct ExhaustiveReport {
-    /// Number of complete schedules explored.
+    /// Number of complete schedules explored (including, under dedup,
+    /// schedules credited from memoised subtrees).
     pub schedules: usize,
     /// The first failing schedule, if any.
     pub counterexample: Option<Vec<Action>>,
+    /// Fingerprint-cache hits (0 unless [`ExhaustiveConfig::dedup`]).
+    pub dedup_hits: u64,
+    /// Fingerprint-cache misses (0 unless [`ExhaustiveConfig::dedup`]).
+    pub dedup_misses: u64,
 }
 
 impl ExhaustiveReport {
     /// Did every schedule satisfy the predicate?
     pub fn all_passed(&self) -> bool {
         self.counterexample.is_none()
+    }
+}
+
+/// Applies one action to the simulator, uniquifying written values by the
+/// schedule position `step` (shared by the replay reference and the
+/// incremental explorer so both produce identical executions).
+fn apply(sim: &mut Simulator, action: &Action, step: usize) {
+    match action {
+        Action::Do(replica, obj, op) => {
+            let op = match op {
+                Op::Write(_) => Op::Write(Value(1000 + step as u64)),
+                Op::Add(_) => Op::Add(Value(1 + (step % 3) as u64)),
+                Op::Remove(_) => Op::Remove(Value(1 + (step % 3) as u64)),
+                other => other.clone(),
+            };
+            sim.do_op(*replica, *obj, op);
+        }
+        Action::Flush(replica) => {
+            sim.flush(*replica);
+        }
+        Action::Deliver(i) => {
+            if *i < sim.inflight().len() {
+                sim.deliver(*i);
+            }
+        }
     }
 }
 
@@ -82,37 +186,58 @@ pub fn replay(
 ) -> Simulator {
     let mut sim = Simulator::new(factory, config.store_config);
     for (step, action) in actions.iter().enumerate() {
-        match action {
-            Action::Do(replica, obj, op) => {
-                let op = match op {
-                    Op::Write(_) => Op::Write(Value(1000 + step as u64)),
-                    Op::Add(_) => Op::Add(Value(1 + (step % 3) as u64)),
-                    Op::Remove(_) => Op::Remove(Value(1 + (step % 3) as u64)),
-                    other => other.clone(),
-                };
-                sim.do_op(*replica, *obj, op);
-            }
-            Action::Flush(replica) => {
-                sim.flush(*replica);
-            }
-            Action::Deliver(i) => {
-                if *i < sim.inflight().len() {
-                    sim.deliver(*i);
-                }
-            }
-        }
+        apply(&mut sim, action, step);
     }
     sim
+}
+
+/// A canonical fingerprint of the multiset of in-flight
+/// `(addressee, payload)` copies: entries are sorted so enqueue order is
+/// canonicalised away, and message identities are deliberately excluded —
+/// they index the transcript, not the state. The explorer caches this and
+/// recomputes it only after actions that touch the in-flight list.
+fn inflight_fingerprint(sim: &Simulator) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    let mut inflight: Vec<(usize, &[u8], usize)> = sim
+        .inflight()
+        .iter()
+        .map(|f| {
+            let p = &sim.execution().message(f.msg).payload;
+            (f.to.index(), p.bytes(), p.bits())
+        })
+        .collect();
+    inflight.sort();
+    inflight.hash(&mut h);
+    h.finish()
+}
+
+/// A canonical fingerprint of the global state: every replica's state
+/// fingerprint in replica order (`fps`) plus the [`inflight_fingerprint`].
+/// Both inputs are maintained incrementally by the explorer — an action
+/// re-hashes only the one machine it touched, and the in-flight summary
+/// only when the action was a flush or a delivery.
+fn global_fingerprint(fps: &[u64], inflight_fp: u64) -> u64 {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut h = DefaultHasher::new();
+    fps.hash(&mut h);
+    inflight_fp.hash(&mut h);
+    h.finish()
 }
 
 /// Enumerates every schedule up to `config.depth` steps and evaluates
 /// `check` on the resulting simulator. Stops at the first failure (the
 /// counterexample schedule is returned) or after `max_schedules`.
 ///
-/// Enumeration prunes syntactically useless actions (flushing a replica
-/// with nothing pending, delivering a nonexistent copy) by replaying
-/// prefixes — correctness over speed, which is appropriate at these
-/// depths.
+/// Uses the incremental snapshot/restore engine (see the module docs);
+/// with [`ExhaustiveConfig::dedup`] off it visits exactly the schedules of
+/// the replay reference [`explore_all_replay`], in the same order.
+///
+/// # Panics
+///
+/// Panics if `config` fails [`ExhaustiveConfig::validate`].
 pub fn explore_all(
     factory: &dyn StoreFactory,
     config: &ExhaustiveConfig,
@@ -123,13 +248,194 @@ pub fn explore_all(
 
 /// Like [`explore_all`], but reports search progress to `obs`:
 /// [`Observer::on_search_node`] fires once per expanded schedule prefix
-/// with the prefix depth and the current frontier (stack) size.
+/// with the prefix depth and the current frontier size (prefixes queued
+/// but not yet visited), and [`Observer::on_dedup_lookup`] fires once per
+/// fingerprint-cache probe when dedup is enabled.
+///
+/// # Panics
+///
+/// Panics if `config` fails [`ExhaustiveConfig::validate`].
 pub fn explore_all_observed(
     factory: &dyn StoreFactory,
     config: &ExhaustiveConfig,
     check: &mut dyn FnMut(&Simulator) -> bool,
     obs: &mut dyn Observer,
 ) -> ExhaustiveReport {
+    config.validate().expect("invalid ExhaustiveConfig");
+    let mut sim = Simulator::new(factory, config.store_config);
+    let fps = (0..config.store_config.n_replicas)
+        .map(|r| sim.machine(ReplicaId::new(r as u32)).state_fingerprint())
+        .collect();
+    let mut dfs = Dfs {
+        config,
+        check,
+        obs,
+        schedules: 0,
+        counterexample: None,
+        prefix: Vec::new(),
+        queued: 1,
+        memo: DetMap::new(),
+        fps,
+        inflight_fp: inflight_fingerprint(&sim),
+        hits: 0,
+        misses: 0,
+        done: false,
+    };
+    dfs.visit(&mut sim);
+    ExhaustiveReport {
+        schedules: dfs.schedules,
+        counterexample: dfs.counterexample,
+        dedup_hits: dfs.hits,
+        dedup_misses: dfs.misses,
+    }
+}
+
+/// The incremental depth-first explorer: one live simulator walked along
+/// the current branch, snapshot per interior node, restore per edge.
+struct Dfs<'a> {
+    config: &'a ExhaustiveConfig,
+    check: &'a mut dyn FnMut(&Simulator) -> bool,
+    obs: &'a mut dyn Observer,
+    schedules: usize,
+    counterexample: Option<Vec<Action>>,
+    prefix: Vec<Action>,
+    /// Prefixes queued but not yet visited — the DFS equivalent of the
+    /// replay reference's stack size, reported as the frontier.
+    queued: usize,
+    /// `(global fingerprint, remaining depth)` → schedules in the
+    /// fully-explored passing subtree rooted there.
+    memo: DetMap<(u64, usize), usize>,
+    /// Per-replica state fingerprints, kept in sync with the live simulator
+    /// so each dedup probe re-hashes only the machine the action touched.
+    fps: Vec<u64>,
+    /// Cached [`inflight_fingerprint`], refreshed only after flush/deliver.
+    inflight_fp: u64,
+    hits: u64,
+    misses: u64,
+    done: bool,
+}
+
+impl Dfs<'_> {
+    /// The possible next actions from the current state, in the order the
+    /// replay reference visits them (it pushes onto a LIFO stack, so its
+    /// visit order is the reverse of its push order).
+    fn children(&self, sim: &Simulator) -> Vec<Action> {
+        let n_replicas = self.config.store_config.n_replicas;
+        let n_objects = self.config.store_config.n_objects;
+        let mut out = Vec::new();
+        for i in (0..sim.inflight().len()).rev() {
+            out.push(Action::Deliver(i));
+        }
+        for r in (0..n_replicas).rev() {
+            let replica = ReplicaId::new(r as u32);
+            if sim.machine(replica).pending_message().is_some() {
+                out.push(Action::Flush(replica));
+            }
+            for o in (0..n_objects).rev() {
+                for op in self.config.ops.iter().rev() {
+                    out.push(Action::Do(replica, ObjectId::new(o as u32), op.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Visits the node the simulator currently sits on; returns the number
+    /// of schedules in its subtree (meaningful only when the subtree was
+    /// fully explored, i.e. `!self.done`).
+    fn visit(&mut self, sim: &mut Simulator) -> usize {
+        self.queued -= 1;
+        if self.schedules >= self.config.max_schedules || self.counterexample.is_some() {
+            self.done = true;
+            return 0;
+        }
+        self.obs.on_search_node(self.prefix.len(), self.queued);
+        self.schedules += 1;
+        if !(self.check)(sim) {
+            self.counterexample = Some(self.prefix.clone());
+            self.done = true;
+            return 1;
+        }
+        if self.prefix.len() >= self.config.depth {
+            return 1;
+        }
+        let children = self.children(sim);
+        self.queued += children.len();
+        let mut count = 1usize;
+        for action in children {
+            if self.done {
+                break;
+            }
+            // Each explorer action mutates exactly one replica's machine,
+            // so a per-step undo (one machine clone, moved back afterwards)
+            // beats a full checkpoint of the whole cluster.
+            let (touched, saves_inflight) = match &action {
+                Action::Do(replica, _, _) => (*replica, false),
+                Action::Flush(replica) => (*replica, true),
+                Action::Deliver(i) => (sim.inflight()[*i].to, true),
+            };
+            let undo = sim.begin_step(touched, saves_inflight);
+            apply(sim, &action, self.prefix.len());
+            let saved_fp = self.fps[touched.index()];
+            let saved_inflight_fp = self.inflight_fp;
+            if self.config.dedup {
+                self.fps[touched.index()] = sim.machine(touched).state_fingerprint();
+                if saves_inflight {
+                    self.inflight_fp = inflight_fingerprint(sim);
+                }
+            }
+            self.prefix.push(action);
+            if self.config.dedup {
+                let key = (
+                    global_fingerprint(&self.fps, self.inflight_fp),
+                    self.config.depth - self.prefix.len(),
+                );
+                if let Some(&sub) = self.memo.get(&key) {
+                    self.hits += 1;
+                    self.obs.on_dedup_lookup(true);
+                    self.queued -= 1;
+                    self.schedules += sub;
+                    count += sub;
+                    if self.schedules >= self.config.max_schedules {
+                        self.done = true;
+                    }
+                } else {
+                    self.misses += 1;
+                    self.obs.on_dedup_lookup(false);
+                    let sub = self.visit(sim);
+                    if !self.done {
+                        self.memo.insert(key, sub);
+                    }
+                    count += sub;
+                }
+            } else {
+                count += self.visit(sim);
+            }
+            self.prefix.pop();
+            self.fps[touched.index()] = saved_fp;
+            self.inflight_fp = saved_inflight_fp;
+            sim.undo_step(undo);
+        }
+        count
+    }
+}
+
+/// The replay reference explorer: enumerates the same tree as
+/// [`explore_all`] by keeping a stack of schedule prefixes and replaying
+/// each from scratch on a fresh cluster — O(depth) simulator steps per
+/// node instead of O(1). Kept as the independent oracle for the
+/// differential equivalence suite (`tests/explore_differential.rs`) and
+/// the bench baseline.
+///
+/// # Panics
+///
+/// Panics if `config` fails [`ExhaustiveConfig::validate`].
+pub fn explore_all_replay(
+    factory: &dyn StoreFactory,
+    config: &ExhaustiveConfig,
+    check: &mut dyn FnMut(&Simulator) -> bool,
+) -> ExhaustiveReport {
+    config.validate().expect("invalid ExhaustiveConfig");
     let mut schedules = 0usize;
     let mut counterexample = None;
     let mut stack: Vec<Vec<Action>> = vec![Vec::new()];
@@ -137,7 +443,6 @@ pub fn explore_all_observed(
         if schedules >= config.max_schedules || counterexample.is_some() {
             break;
         }
-        obs.on_search_node(prefix.len(), stack.len());
         // Evaluate complete-at-this-length schedule.
         let sim = replay(factory, config, &prefix);
         schedules += 1;
@@ -175,6 +480,8 @@ pub fn explore_all_observed(
     ExhaustiveReport {
         schedules,
         counterexample,
+        dedup_hits: 0,
+        dedup_misses: 0,
     }
 }
 
@@ -254,6 +561,7 @@ mod tests {
             ops: vec![Op::Write(Value(0)), Op::Read],
             depth: 5,
             max_schedules: 500_000,
+            dedup: false,
         };
         let report = explore_all(&DvvMvrStore, &config, &mut causal_check);
         assert!(
@@ -275,6 +583,7 @@ mod tests {
             ops: vec![Op::Write(Value(0)), Op::Read],
             depth: 4,
             max_schedules: 500_000,
+            dedup: false,
         };
         let report = explore_all(&DvvMvrStore, &config, &mut causal_check);
         assert!(report.all_passed(), "{:?}", report.counterexample);
@@ -289,6 +598,7 @@ mod tests {
             ops: vec![Op::Write(Value(0)), Op::Read],
             depth: 6,
             max_schedules: 500_000,
+            dedup: false,
         };
         let report = explore_all(&BoundedStore, &config, &mut causal_check);
         assert!(
@@ -367,5 +677,85 @@ mod tests {
         };
         let report = explore_all(&DvvMvrStore, &config, &mut |_| true);
         assert!(report.schedules <= 100);
+    }
+
+    #[test]
+    fn config_validation_rejects_zeros() {
+        assert!(ExhaustiveConfig::default().validate().is_ok());
+        let zero_depth = ExhaustiveConfig {
+            depth: 0,
+            ..ExhaustiveConfig::default()
+        };
+        assert_eq!(
+            zero_depth.validate().unwrap_err(),
+            ExhaustiveConfigError::ZeroDepth
+        );
+        let zero_cap = ExhaustiveConfig {
+            max_schedules: 0,
+            ..ExhaustiveConfig::default()
+        };
+        assert_eq!(
+            zero_cap.validate().unwrap_err(),
+            ExhaustiveConfigError::ZeroMaxSchedules
+        );
+        assert!(zero_cap
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("max_schedules"));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid ExhaustiveConfig")]
+    fn explore_rejects_zero_depth() {
+        let config = ExhaustiveConfig {
+            depth: 0,
+            ..ExhaustiveConfig::default()
+        };
+        explore_all(&DvvMvrStore, &config, &mut |_| true);
+    }
+
+    #[test]
+    fn dedup_reports_same_counts_and_hits() {
+        let config = ExhaustiveConfig {
+            depth: 4,
+            max_schedules: usize::MAX,
+            ..ExhaustiveConfig::default()
+        };
+        let plain = explore_all(&DvvMvrStore, &config, &mut |_| true);
+        let deduped = explore_all(
+            &DvvMvrStore,
+            &ExhaustiveConfig {
+                dedup: true,
+                ..config.clone()
+            },
+            &mut |_| true,
+        );
+        assert_eq!(plain.schedules, deduped.schedules);
+        assert_eq!(plain.dedup_hits, 0);
+        assert!(deduped.dedup_hits > 0, "depth-4 tree must revisit states");
+        // Every probe is a hit or a miss, and every miss is a visited
+        // non-root node: probes can never exceed the schedule count.
+        assert!(
+            deduped.dedup_misses < deduped.schedules as u64,
+            "more misses ({}) than schedules ({})",
+            deduped.dedup_misses,
+            deduped.schedules
+        );
+    }
+
+    #[test]
+    fn dfs_matches_replay_reference_exactly() {
+        let config = ExhaustiveConfig {
+            store_config: StoreConfig::new(2, 1),
+            ops: vec![Op::Write(Value(0)), Op::Read],
+            depth: 4,
+            max_schedules: usize::MAX,
+            dedup: false,
+        };
+        let fast = explore_all(&DvvMvrStore, &config, &mut causal_check);
+        let slow = explore_all_replay(&DvvMvrStore, &config, &mut causal_check);
+        assert_eq!(fast.schedules, slow.schedules);
+        assert_eq!(fast.counterexample, slow.counterexample);
     }
 }

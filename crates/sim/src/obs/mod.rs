@@ -167,6 +167,12 @@ pub trait Observer {
     fn on_shrink_step(&mut self, len: usize) {
         let _ = len;
     }
+
+    /// The exhaustive explorer probed its state-fingerprint cache;
+    /// `hit == true` means the subtree was pruned as already explored.
+    fn on_dedup_lookup(&mut self, hit: bool) {
+        let _ = hit;
+    }
 }
 
 /// Fan-out to any number of boxed observers, itself an [`Observer`].
@@ -256,6 +262,11 @@ impl Observer for Observers {
             o.on_shrink_step(len);
         }
     }
+    fn on_dedup_lookup(&mut self, hit: bool) {
+        for o in &mut self.list {
+            o.on_dedup_lookup(hit);
+        }
+    }
 }
 
 /// A shared observer handle: the simulator holds one clone, the caller
@@ -290,6 +301,9 @@ impl<O: Observer> Observer for Rc<RefCell<O>> {
     }
     fn on_shrink_step(&mut self, len: usize) {
         self.borrow_mut().on_shrink_step(len);
+    }
+    fn on_dedup_lookup(&mut self, hit: bool) {
+        self.borrow_mut().on_dedup_lookup(hit);
     }
 }
 
@@ -353,5 +367,6 @@ mod tests {
         n.on_state_sample(0, 0);
         n.on_search_node(0, 0);
         n.on_shrink_step(0);
+        n.on_dedup_lookup(true);
     }
 }

@@ -249,6 +249,23 @@ impl RunReport {
                     ),
                 ]),
             ),
+            (
+                "search".into(),
+                Json::Obj(vec![
+                    ("nodes".into(), Json::uint(self.stats.search_nodes())),
+                    (
+                        "max_frontier".into(),
+                        Json::Int(self.stats.max_frontier() as i128),
+                    ),
+                    ("shrink_steps".into(), Json::uint(self.stats.shrink_steps())),
+                    ("dedup_hits".into(), Json::uint(self.stats.dedup_hits())),
+                    ("dedup_misses".into(), Json::uint(self.stats.dedup_misses())),
+                    (
+                        "dedup_hit_rate".into(),
+                        Json::Float(self.stats.dedup_hit_rate()),
+                    ),
+                ]),
+            ),
         ])
     }
 
@@ -381,6 +398,49 @@ mod tests {
         // Same seed → byte-identical normalized reports.
         let again = RunReport::collect(&CopsStore, &ReportConfig::default(), 42);
         assert_eq!(rep.to_json_normalized(), again.to_json_normalized());
+    }
+
+    #[test]
+    fn search_section_known_answer() {
+        use crate::exhaustive::{explore_all_observed, ExhaustiveConfig};
+        use crate::obs::stats::StatsObserver;
+        use haec_model::Op;
+
+        // A tiny exploration with a hand-checkable shape: 2 replicas, 1
+        // object, ops {write, read}, depth 2, dedup on. The root has 4
+        // children; reads are invisible, so the two read-children collapse
+        // onto the initial state and the whole level-1 read subtree is
+        // memoised once and credited once.
+        let config = ExhaustiveConfig {
+            store_config: haec_model::StoreConfig::new(2, 1),
+            ops: vec![Op::Write(haec_model::Value::new(0)), Op::Read],
+            depth: 2,
+            max_schedules: usize::MAX,
+            dedup: true,
+        };
+        let mut stats = StatsObserver::new();
+        let report = explore_all_observed(&DvvMvrStore, &config, &mut |_| true, &mut stats);
+        assert_eq!(report.schedules, 23);
+        assert_eq!(report.dedup_hits, 4);
+        assert_eq!(report.dedup_misses, 14);
+        // Every visited node is the root or a cache miss.
+        assert_eq!(stats.search_nodes(), 15);
+        assert_eq!(stats.max_frontier(), 6);
+
+        // The same numbers flow through the JSON "search" section.
+        let mut rep = RunReport::collect(&DvvMvrStore, &ReportConfig::default(), 7);
+        rep.stats = stats;
+        let v = Json::parse(&rep.to_json_string()).expect("valid JSON");
+        let search = v.get("search").expect("search section");
+        assert_eq!(search.get("nodes").and_then(Json::as_int), Some(15));
+        assert_eq!(search.get("max_frontier").and_then(Json::as_int), Some(6));
+        assert_eq!(search.get("dedup_hits").and_then(Json::as_int), Some(4));
+        assert_eq!(search.get("dedup_misses").and_then(Json::as_int), Some(14));
+        let rate = search
+            .get("dedup_hit_rate")
+            .and_then(Json::as_f64)
+            .expect("hit rate");
+        assert!((rate - 4.0 / 18.0).abs() < 1e-9, "hit rate {rate}");
     }
 
     #[test]

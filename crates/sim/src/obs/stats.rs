@@ -25,6 +25,8 @@ pub struct StatsObserver {
     search_nodes: u64,
     max_frontier: usize,
     shrink_steps: u64,
+    dedup_hits: u64,
+    dedup_misses: u64,
 }
 
 impl StatsObserver {
@@ -113,6 +115,27 @@ impl StatsObserver {
     pub fn shrink_steps(&self) -> u64 {
         self.shrink_steps
     }
+
+    /// Fingerprint-cache hits (pruned subtrees) in the exhaustive explorer.
+    pub fn dedup_hits(&self) -> u64 {
+        self.dedup_hits
+    }
+
+    /// Fingerprint-cache misses in the exhaustive explorer.
+    pub fn dedup_misses(&self) -> u64 {
+        self.dedup_misses
+    }
+
+    /// Fraction of fingerprint-cache probes that hit, or 0.0 if the cache
+    /// was never probed.
+    pub fn dedup_hit_rate(&self) -> f64 {
+        let probes = self.dedup_hits + self.dedup_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.dedup_hits as f64 / probes as f64
+        }
+    }
 }
 
 impl Observer for StatsObserver {
@@ -155,6 +178,13 @@ impl Observer for StatsObserver {
     }
     fn on_shrink_step(&mut self, _len: usize) {
         self.shrink_steps += 1;
+    }
+    fn on_dedup_lookup(&mut self, hit: bool) {
+        if hit {
+            self.dedup_hits += 1;
+        } else {
+            self.dedup_misses += 1;
+        }
     }
 }
 
@@ -214,6 +244,9 @@ mod tests {
         s.on_state_sample(8, 80);
         s.on_search_node(2, 9);
         s.on_shrink_step(4);
+        s.on_dedup_lookup(true);
+        s.on_dedup_lookup(true);
+        s.on_dedup_lookup(false);
 
         assert_eq!(s.do_events(), 2);
         assert_eq!(s.updates(), 1);
@@ -232,5 +265,8 @@ mod tests {
         assert_eq!(s.search_nodes(), 1);
         assert_eq!(s.max_frontier(), 9);
         assert_eq!(s.shrink_steps(), 1);
+        assert_eq!(s.dedup_hits(), 2);
+        assert_eq!(s.dedup_misses(), 1);
+        assert!((s.dedup_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
     }
 }

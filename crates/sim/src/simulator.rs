@@ -65,6 +65,92 @@ pub enum FaultKind {
     PartitionHeal,
 }
 
+/// A saved copy of the complete dynamic state of a [`Simulator`]:
+/// replica machines, execution transcript, witnesses, in-flight copies,
+/// dot counters, and the fault record. Static parts (store configuration,
+/// name) and attached observers are *not* captured — restoring rewinds the
+/// run, not the instrumentation.
+///
+/// Created by [`Simulator::snapshot`]; applied by [`Simulator::restore`].
+/// A snapshot can be restored any number of times.
+pub struct SimSnapshot {
+    machines: Vec<Box<dyn ReplicaMachine>>,
+    execution: Execution,
+    witnesses: Vec<DoWitness>,
+    timestamps: Vec<Option<u64>>,
+    inflight: Vec<InFlight>,
+    update_seq: Vec<u32>,
+    faults: Vec<FaultRecord>,
+    peak_state_bits: usize,
+}
+
+impl std::fmt::Debug for SimSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimSnapshot")
+            .field("events", &self.execution.len())
+            .field("inflight", &self.inflight.len())
+            .finish()
+    }
+}
+
+/// A lightweight checkpoint for *forward-only* rewinds: replica machines and
+/// the (mutable) in-flight list are copied, while the append-only transcript
+/// state — events, messages, witnesses, timestamps, faults — is recorded by
+/// length alone and rewound by truncation.
+///
+/// This makes [`Simulator::rewind`] cost O(state + appended suffix) instead
+/// of the O(entire history) of [`Simulator::restore`], which is what lets
+/// the incremental explorer pop a search node in near-constant time. The
+/// contract is narrower than [`SimSnapshot`]'s: a checkpoint may only be
+/// rewound to from states reached by *advancing* the same simulator (the
+/// transcript must still have the checkpointed prefix).
+pub struct SimCheckpoint {
+    machines: Vec<Box<dyn ReplicaMachine>>,
+    events_len: usize,
+    messages_len: usize,
+    witnesses_len: usize,
+    inflight: Vec<InFlight>,
+    update_seq: Vec<u32>,
+    faults_len: usize,
+    peak_state_bits: usize,
+}
+
+impl std::fmt::Debug for SimCheckpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimCheckpoint")
+            .field("events", &self.events_len)
+            .field("inflight", &self.inflight.len())
+            .finish()
+    }
+}
+
+/// Undo record for a *single* simulator transition that touches one
+/// replica's machine, captured by [`Simulator::begin_step`] and applied by
+/// [`Simulator::undo_step`]. Strictly cheaper than [`SimCheckpoint`]: only
+/// the affected machine is cloned up front, and undoing moves it back into
+/// place without cloning at all. The in-flight list is copied only when the
+/// caller declares the transition may mutate it.
+pub struct StepUndo {
+    replica: ReplicaId,
+    machine: Box<dyn ReplicaMachine>,
+    update_seq: u32,
+    inflight: Option<Vec<InFlight>>,
+    events_len: usize,
+    messages_len: usize,
+    witnesses_len: usize,
+    faults_len: usize,
+    peak_state_bits: usize,
+}
+
+impl std::fmt::Debug for StepUndo {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StepUndo")
+            .field("replica", &self.replica)
+            .field("events", &self.events_len)
+            .finish()
+    }
+}
+
 /// A cluster of replicas under simulation.
 pub struct Simulator {
     config: StoreConfig,
@@ -119,6 +205,129 @@ impl Simulator {
     /// The store configuration.
     pub fn config(&self) -> StoreConfig {
         self.config
+    }
+
+    /// Captures the complete dynamic state of the cluster: every replica
+    /// machine (via [`ReplicaMachine::boxed_clone`]), the execution
+    /// transcript, the visibility witnesses and arbitration timestamps, the
+    /// in-flight message copies, the per-replica dot counters, and the
+    /// fault record. Observers are not captured.
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            machines: self.machines.iter().map(|m| m.boxed_clone()).collect(),
+            execution: self.execution.clone(),
+            witnesses: self.witnesses.clone(),
+            timestamps: self.timestamps.clone(),
+            inflight: self.inflight.clone(),
+            update_seq: self.update_seq.clone(),
+            faults: self.faults.clone(),
+            peak_state_bits: self.peak_state_bits,
+        }
+    }
+
+    /// Rewinds the cluster to a previously captured [`SimSnapshot`]. The
+    /// snapshot is not consumed and can be restored again. Attached
+    /// observers keep accumulating across restores (they witness the
+    /// *search*, not a single linear run).
+    ///
+    /// The snapshot must come from this simulator (or one with the same
+    /// store and configuration); restoring a foreign snapshot would splice
+    /// unrelated state.
+    pub fn restore(&mut self, snap: &SimSnapshot) {
+        self.machines = snap.machines.iter().map(|m| m.boxed_clone()).collect();
+        self.execution = snap.execution.clone();
+        self.witnesses = snap.witnesses.clone();
+        self.timestamps = snap.timestamps.clone();
+        self.inflight = snap.inflight.clone();
+        self.update_seq = snap.update_seq.clone();
+        self.faults = snap.faults.clone();
+        self.peak_state_bits = snap.peak_state_bits;
+    }
+
+    /// Captures a lightweight [`SimCheckpoint`]: machines and in-flight
+    /// copies by value, the append-only transcript by length. See
+    /// [`SimCheckpoint`] for the narrower rewind contract.
+    pub fn checkpoint(&self) -> SimCheckpoint {
+        debug_assert_eq!(self.witnesses.len(), self.timestamps.len());
+        SimCheckpoint {
+            machines: self.machines.iter().map(|m| m.boxed_clone()).collect(),
+            events_len: self.execution.len(),
+            messages_len: self.execution.messages().len(),
+            witnesses_len: self.witnesses.len(),
+            inflight: self.inflight.clone(),
+            update_seq: self.update_seq.clone(),
+            faults_len: self.faults.len(),
+            peak_state_bits: self.peak_state_bits,
+        }
+    }
+
+    /// Rewinds to a [`SimCheckpoint`] taken earlier on this simulator by
+    /// truncating the append-only transcript and restoring machines and
+    /// in-flight copies. The checkpoint is not consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transcript is shorter than at checkpoint time — i.e.
+    /// the simulator was not advanced (or already rewound past the
+    /// checkpoint) since [`checkpoint`](Self::checkpoint).
+    pub fn rewind(&mut self, cp: &SimCheckpoint) {
+        self.machines = cp.machines.iter().map(|m| m.boxed_clone()).collect();
+        self.execution.truncate(cp.events_len, cp.messages_len);
+        self.witnesses.truncate(cp.witnesses_len);
+        self.timestamps.truncate(cp.witnesses_len);
+        self.inflight.clear();
+        self.inflight.extend_from_slice(&cp.inflight);
+        self.update_seq.copy_from_slice(&cp.update_seq);
+        self.faults.truncate(cp.faults_len);
+        self.peak_state_bits = cp.peak_state_bits;
+    }
+
+    /// Captures undo information for one upcoming transition that will
+    /// touch only `replica`'s machine: a client operation there, a flush of
+    /// its pending message, or a delivery addressed to it. Cheaper than
+    /// [`checkpoint`](Self::checkpoint): only the one affected machine is
+    /// cloned, and [`undo_step`](Self::undo_step) *moves* it back without
+    /// cloning again. `save_inflight` must be `true` when the transition
+    /// may alter the in-flight list (flush, deliver, faults).
+    pub fn begin_step(&self, replica: ReplicaId, save_inflight: bool) -> StepUndo {
+        debug_assert_eq!(self.witnesses.len(), self.timestamps.len());
+        StepUndo {
+            replica,
+            machine: self.machines[replica.index()].boxed_clone(),
+            update_seq: self.update_seq[replica.index()],
+            inflight: if save_inflight {
+                Some(self.inflight.clone())
+            } else {
+                None
+            },
+            events_len: self.execution.len(),
+            messages_len: self.execution.messages().len(),
+            witnesses_len: self.witnesses.len(),
+            faults_len: self.faults.len(),
+            peak_state_bits: self.peak_state_bits,
+        }
+    }
+
+    /// Reverts the single transition recorded by
+    /// [`begin_step`](Self::begin_step), consuming the undo record. The
+    /// transition must have touched only the recorded replica's machine
+    /// (and, if `save_inflight` was set, the in-flight list).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transcript is shorter than when the undo was captured.
+    pub fn undo_step(&mut self, undo: StepUndo) {
+        let r = undo.replica.index();
+        self.machines[r] = undo.machine;
+        self.update_seq[r] = undo.update_seq;
+        if let Some(inflight) = undo.inflight {
+            self.inflight = inflight;
+        }
+        self.execution.truncate(undo.events_len, undo.messages_len);
+        self.witnesses.truncate(undo.witnesses_len);
+        self.timestamps.truncate(undo.witnesses_len);
+        self.faults.truncate(undo.faults_len);
+        self.peak_state_bits = undo.peak_state_bits;
     }
 
     /// The store's name.
@@ -562,6 +771,113 @@ mod tests {
             })
             .collect();
         assert_eq!(*vals.last().unwrap(), 30);
+    }
+
+    #[test]
+    fn snapshot_restore_rewinds_everything() {
+        let mut sim = Simulator::new(&DvvMvrStore, cfg());
+        sim.do_op(r(0), x(0), Op::Write(v(1)));
+        sim.flush(r(0)).unwrap();
+        let snap = sim.snapshot();
+        let fps: Vec<u64> = (0..3)
+            .map(|i| sim.machine(r(i)).state_fingerprint())
+            .collect();
+        let events = sim.execution().events().to_vec();
+        // Mutate: deliver, write, flush again.
+        sim.deliver(0);
+        sim.do_op(r(1), x(1), Op::Write(v(2)));
+        sim.flush(r(1)).unwrap();
+        assert_ne!(sim.execution().events().len(), events.len());
+        sim.restore(&snap);
+        let fps2: Vec<u64> = (0..3)
+            .map(|i| sim.machine(r(i)).state_fingerprint())
+            .collect();
+        assert_eq!(fps, fps2);
+        assert_eq!(sim.execution().events(), &events[..]);
+        assert_eq!(sim.inflight().len(), 2);
+        assert_eq!(sim.witnesses().len(), 1);
+        // The snapshot survives a restore and can be applied again.
+        sim.deliver_all();
+        sim.restore(&snap);
+        assert_eq!(sim.inflight().len(), 2);
+        // The restored cluster behaves identically going forward.
+        sim.deliver_to(MsgId::new(0), r(1)).expect("copy exists");
+        assert_eq!(sim.read(r(1), x(0)), ReturnValue::values([v(1)]));
+        assert_eq!(sim.read(r(2), x(0)), ReturnValue::empty());
+    }
+
+    /// Everything the explorer can observe about a cluster's state.
+    fn observable(sim: &Simulator) -> (Vec<u64>, usize, usize, usize, usize) {
+        (
+            (0..sim.config().n_replicas)
+                .map(|i| sim.machine(r(i as u32)).state_fingerprint())
+                .collect(),
+            sim.execution().len(),
+            sim.execution().messages().len(),
+            sim.inflight().len(),
+            sim.witnesses().len(),
+        )
+    }
+
+    #[test]
+    fn checkpoint_rewind_truncates_forward_progress() {
+        let mut sim = Simulator::new(&DvvMvrStore, cfg());
+        sim.do_op(r(0), x(0), Op::Write(v(1)));
+        sim.flush(r(0)).unwrap();
+        let cp = sim.checkpoint();
+        let before = observable(&sim);
+        let events = sim.execution().events().to_vec();
+        sim.deliver(0);
+        sim.do_op(r(1), x(1), Op::Write(v(2)));
+        sim.flush(r(1)).unwrap();
+        sim.rewind(&cp);
+        assert_eq!(observable(&sim), before);
+        assert_eq!(sim.execution().events(), &events[..]);
+        // A checkpoint survives a rewind and can be rewound to again.
+        sim.deliver_all();
+        sim.rewind(&cp);
+        assert_eq!(observable(&sim), before);
+        // The rewound cluster behaves identically going forward.
+        sim.deliver_to(MsgId::new(0), r(1)).expect("copy exists");
+        assert_eq!(sim.read(r(1), x(0)), ReturnValue::values([v(1)]));
+    }
+
+    #[test]
+    fn begin_undo_step_reverts_each_action_kind() {
+        let mut sim = Simulator::new(&DvvMvrStore, cfg());
+        sim.do_op(r(0), x(0), Op::Write(v(1)));
+        sim.flush(r(0)).unwrap();
+
+        // A client op touches only its replica's machine.
+        let before = observable(&sim);
+        let undo = sim.begin_step(r(1), false);
+        sim.do_op(r(1), x(1), Op::Write(v(2)));
+        assert_ne!(observable(&sim), before);
+        sim.undo_step(undo);
+        assert_eq!(observable(&sim), before);
+
+        // A delivery touches the addressee's machine and the in-flight list.
+        let to = sim.inflight()[0].to;
+        let undo = sim.begin_step(to, true);
+        sim.deliver(0);
+        assert_ne!(observable(&sim), before);
+        sim.undo_step(undo);
+        assert_eq!(observable(&sim), before);
+
+        // A flush touches the sender's machine and the in-flight list.
+        sim.do_op(r(2), x(0), Op::Write(v(3)));
+        let before = observable(&sim);
+        let undo = sim.begin_step(r(2), true);
+        sim.flush(r(2)).unwrap();
+        assert_ne!(observable(&sim), before);
+        sim.undo_step(undo);
+        assert_eq!(observable(&sim), before);
+
+        // The undone cluster behaves identically going forward: replica 2's
+        // pending message is still flushable and delivers the same write.
+        sim.flush(r(2)).unwrap();
+        sim.deliver_all();
+        assert_eq!(sim.read(r(0), x(0)), ReturnValue::values([v(1), v(3)]));
     }
 
     #[test]

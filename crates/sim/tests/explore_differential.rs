@@ -1,0 +1,271 @@
+//! Differential tests for the exploration engines.
+//!
+//! The incremental snapshot/restore DFS explorer — with and without
+//! fingerprint dedup — must agree with the legacy replay-from-scratch
+//! explorer on every store: same schedule count, same verdict, same first
+//! counterexample. The replay explorer is the oracle: it rebuilds every
+//! prefix from a fresh cluster, so it cannot be contaminated by
+//! snapshot/restore or memoisation bugs.
+
+use haec_core::{causal, check_correct, ObjectSpecs, SpecKind};
+use haec_model::{ObjectId, Op, ReplicaId, StoreConfig, StoreFactory, Value};
+use haec_sim::exhaustive::{explore_all, explore_all_replay, replay, Action, ExhaustiveConfig};
+use haec_sim::Simulator;
+use haec_stores::{
+    BoundedStore, CausalRegisterStore, CopsStore, DvvMvrStore, EwFlagStore, LwwStore, OrSetStore,
+};
+
+fn r(i: u32) -> ReplicaId {
+    ReplicaId::new(i)
+}
+fn x(i: u32) -> ObjectId {
+    ObjectId::new(i)
+}
+fn v(i: u64) -> Value {
+    Value::new(i)
+}
+
+/// Correct-and-causal predicate against the store's specification.
+fn check_against(spec: SpecKind) -> impl FnMut(&Simulator) -> bool {
+    move |sim| {
+        let Ok(a) = sim.abstract_execution() else {
+            return false;
+        };
+        check_correct(&a, &ObjectSpecs::uniform(spec)).is_ok() && causal::check(&a).is_ok()
+    }
+}
+
+/// Runs all three engines on one store and asserts they agree exactly.
+fn assert_engines_agree(
+    factory: &dyn StoreFactory,
+    spec: SpecKind,
+    config: &ExhaustiveConfig,
+) -> usize {
+    let reference = explore_all_replay(factory, config, &mut check_against(spec));
+    let dfs = explore_all(factory, config, &mut check_against(spec));
+    assert_eq!(
+        reference.schedules,
+        dfs.schedules,
+        "{}: DFS schedule count diverges from replay",
+        factory.name()
+    );
+    assert_eq!(
+        reference.counterexample,
+        dfs.counterexample,
+        "{}: DFS counterexample diverges from replay",
+        factory.name()
+    );
+    let deduped = explore_all(
+        factory,
+        &ExhaustiveConfig {
+            dedup: true,
+            ..config.clone()
+        },
+        &mut check_against(spec),
+    );
+    assert_eq!(
+        reference.schedules,
+        deduped.schedules,
+        "{}: dedup changes the schedule count",
+        factory.name()
+    );
+    assert_eq!(
+        reference.counterexample,
+        deduped.counterexample,
+        "{}: dedup changes the counterexample",
+        factory.name()
+    );
+    reference.schedules
+}
+
+fn register_config(depth: usize) -> ExhaustiveConfig {
+    ExhaustiveConfig {
+        store_config: StoreConfig::new(2, 1),
+        ops: vec![Op::Write(v(0)), Op::Read],
+        depth,
+        max_schedules: usize::MAX,
+        dedup: false,
+    }
+}
+
+#[test]
+fn dvv_mvr_engines_agree_depth5() {
+    let n = assert_engines_agree(&DvvMvrStore, SpecKind::Mvr, &register_config(5));
+    assert!(n > 1000, "exploration too shallow: {n}");
+}
+
+#[test]
+fn cops_engines_agree_depth4() {
+    assert_engines_agree(&CopsStore, SpecKind::Mvr, &register_config(4));
+}
+
+#[test]
+fn causal_register_engines_agree_depth4() {
+    assert_engines_agree(&CausalRegisterStore, SpecKind::Mvr, &register_config(4));
+}
+
+#[test]
+fn lww_engines_agree_depth4() {
+    assert_engines_agree(&LwwStore, SpecKind::LwwRegister, &register_config(4));
+}
+
+#[test]
+fn orset_engines_agree_depth4() {
+    let config = ExhaustiveConfig {
+        ops: vec![Op::Add(v(0)), Op::Remove(v(0)), Op::Read],
+        ..register_config(4)
+    };
+    assert_engines_agree(&OrSetStore, SpecKind::OrSet, &config);
+}
+
+#[test]
+fn ewflag_engines_agree_depth4() {
+    let config = ExhaustiveConfig {
+        ops: vec![Op::Enable, Op::Disable, Op::Read],
+        ..register_config(4)
+    };
+    assert_engines_agree(&EwFlagStore, SpecKind::EwFlag, &config);
+}
+
+#[test]
+fn bounded_engines_agree_depth4_three_replicas() {
+    let config = ExhaustiveConfig {
+        store_config: StoreConfig::new(3, 2),
+        ..register_config(4)
+    };
+    assert_engines_agree(&BoundedStore, SpecKind::Mvr, &config);
+}
+
+#[test]
+fn engines_agree_on_a_failing_predicate() {
+    // A history-sensitive predicate that does fail somewhere in the tree:
+    // all three engines must stop at the same first counterexample.
+    let config = register_config(5);
+    let mk =
+        || |sim: &Simulator| !(sim.execution().events().len() >= 3 && !sim.inflight().is_empty());
+    let reference = explore_all_replay(&DvvMvrStore, &config, &mut mk());
+    let dfs = explore_all(&DvvMvrStore, &config, &mut mk());
+    let deduped = explore_all(
+        &DvvMvrStore,
+        &ExhaustiveConfig {
+            dedup: true,
+            ..config.clone()
+        },
+        &mut mk(),
+    );
+    assert!(reference.counterexample.is_some(), "predicate never failed");
+    assert_eq!(reference.schedules, dfs.schedules);
+    assert_eq!(reference.counterexample, dfs.counterexample);
+    assert_eq!(reference.schedules, deduped.schedules);
+    assert_eq!(reference.counterexample, deduped.counterexample);
+    // The counterexample replays to a failing state.
+    let sim = replay(
+        &DvvMvrStore,
+        &config,
+        reference.counterexample.as_ref().unwrap(),
+    );
+    assert!(sim.execution().events().len() >= 3 && !sim.inflight().is_empty());
+}
+
+/// Fingerprint of everything `snapshot()` captures that a later transition
+/// could disturb.
+fn observable_state(sim: &Simulator) -> (Vec<u64>, usize, usize) {
+    let n = sim.config().n_replicas;
+    let fps: Vec<u64> = (0..n)
+        .map(|i| sim.machine(r(i as u32)).state_fingerprint())
+        .collect();
+    (fps, sim.execution().events().len(), sim.inflight().len())
+}
+
+#[test]
+fn snapshot_op_restore_is_identity_for_every_store() {
+    // Property: for every store, every prefix and every follow-up action,
+    // `snapshot → action → restore` leaves the simulator indistinguishable
+    // from never applying the action.
+    for factory in haec_stores::all_factories() {
+        // Each store accepts only its own update vocabulary.
+        let update = |val: u64| match factory.name() {
+            "orset" => Op::Add(v(val)),
+            "counter" => Op::Inc,
+            "ew-flag" => {
+                if val % 2 == 0 {
+                    Op::Enable
+                } else {
+                    Op::Disable
+                }
+            }
+            _ => Op::Write(v(val)),
+        };
+        let prefixes: Vec<Vec<Action>> = vec![
+            vec![],
+            vec![Action::Do(r(0), x(0), update(1))],
+            vec![Action::Do(r(0), x(0), update(1)), Action::Flush(r(0))],
+            vec![
+                Action::Do(r(0), x(0), update(1)),
+                Action::Flush(r(0)),
+                Action::Deliver(0),
+                Action::Do(r(1), x(0), update(2)),
+                Action::Flush(r(1)),
+            ],
+        ];
+        let follow_ups = [
+            Action::Do(r(0), x(0), update(9)),
+            Action::Do(r(1), x(0), update(4)),
+            Action::Do(r(0), x(0), Op::Read),
+            Action::Flush(r(0)),
+            Action::Flush(r(1)),
+            Action::Deliver(0),
+        ];
+        for prefix in &prefixes {
+            let mut sim = Simulator::new(factory.as_ref(), StoreConfig::new(2, 1));
+            for (step, action) in prefix.iter().enumerate() {
+                apply_action(&mut sim, action, step);
+            }
+            let before = observable_state(&sim);
+            let snap = sim.snapshot();
+            for action in &follow_ups {
+                apply_action(&mut sim, action, prefix.len());
+                sim.restore(&snap);
+                assert_eq!(
+                    observable_state(&sim),
+                    before,
+                    "{}: restore after {action:?} did not rewind prefix {prefix:?}",
+                    factory.name()
+                );
+            }
+            // The restored simulator also *behaves* identically: a full
+            // quiesce from the restored state matches one from a replayed
+            // fresh state.
+            let mut fresh = Simulator::new(factory.as_ref(), StoreConfig::new(2, 1));
+            for (step, action) in prefix.iter().enumerate() {
+                apply_action(&mut fresh, action, step);
+            }
+            sim.quiesce();
+            fresh.quiesce();
+            assert_eq!(
+                observable_state(&sim),
+                observable_state(&fresh),
+                "{}: restored simulator diverges from fresh replay",
+                factory.name()
+            );
+        }
+    }
+}
+
+/// Applies an action the same way the explorers do (without uniquification,
+/// which is irrelevant here since values are explicit).
+fn apply_action(sim: &mut Simulator, action: &Action, _step: usize) {
+    match action {
+        Action::Do(replica, obj, op) => {
+            sim.do_op(*replica, *obj, op.clone());
+        }
+        Action::Flush(replica) => {
+            sim.flush(*replica);
+        }
+        Action::Deliver(i) => {
+            if *i < sim.inflight().len() {
+                sim.deliver(*i);
+            }
+        }
+    }
+}

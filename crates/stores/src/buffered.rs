@@ -117,6 +117,10 @@ impl CopsReplica {
 }
 
 impl ReplicaMachine for CopsReplica {
+    fn boxed_clone(&self) -> Box<dyn ReplicaMachine> {
+        Box::new(self.clone())
+    }
+
     /// # Panics
     ///
     /// Panics if the operation is not a register operation (write/read).

@@ -82,6 +82,10 @@ impl CausalRegisterReplica {
 }
 
 impl ReplicaMachine for CausalRegisterReplica {
+    fn boxed_clone(&self) -> Box<dyn ReplicaMachine> {
+        Box::new(self.clone())
+    }
+
     /// # Panics
     ///
     /// Panics if the operation is not a register operation (write/read).

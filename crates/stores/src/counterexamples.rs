@@ -110,6 +110,10 @@ impl KDelayedReplica {
 }
 
 impl ReplicaMachine for KDelayedReplica {
+    fn boxed_clone(&self) -> Box<dyn ReplicaMachine> {
+        Box::new(self.clone())
+    }
+
     /// # Panics
     ///
     /// Panics if the operation is not a register operation (write/read).
@@ -296,6 +300,10 @@ impl SequencedReplica {
 }
 
 impl ReplicaMachine for SequencedReplica {
+    fn boxed_clone(&self) -> Box<dyn ReplicaMachine> {
+        Box::new(self.clone())
+    }
+
     /// # Panics
     ///
     /// Panics if the operation is not a register operation (write/read).
@@ -494,6 +502,10 @@ impl BoundedReplica {
 }
 
 impl ReplicaMachine for BoundedReplica {
+    fn boxed_clone(&self) -> Box<dyn ReplicaMachine> {
+        Box::new(self.clone())
+    }
+
     /// # Panics
     ///
     /// Panics if the operation is not a register operation (write/read).

@@ -78,6 +78,10 @@ impl EwFlagReplica {
 }
 
 impl ReplicaMachine for EwFlagReplica {
+    fn boxed_clone(&self) -> Box<dyn ReplicaMachine> {
+        Box::new(self.clone())
+    }
+
     /// # Panics
     ///
     /// Panics if the operation is not a flag operation

@@ -91,6 +91,10 @@ impl LwwReplica {
 }
 
 impl ReplicaMachine for LwwReplica {
+    fn boxed_clone(&self) -> Box<dyn ReplicaMachine> {
+        Box::new(self.clone())
+    }
+
     /// # Panics
     ///
     /// Panics if the operation is not a register operation (write/read).

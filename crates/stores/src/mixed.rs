@@ -96,6 +96,10 @@ impl MixedReplica {
 }
 
 impl ReplicaMachine for MixedReplica {
+    fn boxed_clone(&self) -> Box<dyn ReplicaMachine> {
+        Box::new(self.clone())
+    }
+
     /// # Panics
     ///
     /// Panics if the operation is not a register operation (write/read).

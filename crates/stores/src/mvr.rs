@@ -83,6 +83,10 @@ impl MvrReplica {
 }
 
 impl ReplicaMachine for MvrReplica {
+    fn boxed_clone(&self) -> Box<dyn ReplicaMachine> {
+        Box::new(self.clone())
+    }
+
     /// # Panics
     ///
     /// Panics if the operation is not a register operation (write/read).

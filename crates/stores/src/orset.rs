@@ -88,6 +88,10 @@ impl OrSetReplica {
 }
 
 impl ReplicaMachine for OrSetReplica {
+    fn boxed_clone(&self) -> Box<dyn ReplicaMachine> {
+        Box::new(self.clone())
+    }
+
     /// # Panics
     ///
     /// Panics if the operation is not a set operation (add/remove/read).
@@ -177,6 +181,10 @@ pub struct CounterReplica {
 }
 
 impl ReplicaMachine for CounterReplica {
+    fn boxed_clone(&self) -> Box<dyn ReplicaMachine> {
+        Box::new(self.clone())
+    }
+
     /// # Panics
     ///
     /// Panics if the operation is not a counter operation (inc/read).

@@ -43,6 +43,7 @@ impl StoreFactory for StateGossipStore {
 
 type Siblings = BTreeMap<Dot, (Value, VersionVector)>;
 
+#[derive(Clone)]
 struct GossipReplica {
     replica: ReplicaId,
     config: StoreConfig,
@@ -78,6 +79,10 @@ impl GossipReplica {
 }
 
 impl ReplicaMachine for GossipReplica {
+    fn boxed_clone(&self) -> Box<dyn ReplicaMachine> {
+        Box::new(self.clone())
+    }
+
     fn do_op(&mut self, obj: ObjectId, op: &Op) -> DoOutcome {
         match op {
             Op::Read => DoOutcome::new(

@@ -22,6 +22,7 @@ fn orset_store_exhaustive_depth4() {
         ops: vec![Op::Add(Value::new(0)), Op::Remove(Value::new(0)), Op::Read],
         depth: 4,
         max_schedules: 400_000,
+        dedup: false,
     };
     let report = explore_all(&OrSetStore, &config, &mut check_against(SpecKind::OrSet));
     assert!(
@@ -39,6 +40,7 @@ fn ewflag_store_exhaustive_depth4() {
         ops: vec![Op::Enable, Op::Disable, Op::Read],
         depth: 4,
         max_schedules: 400_000,
+        dedup: false,
     };
     let report = explore_all(
         &haec::stores::EwFlagStore,
@@ -59,6 +61,7 @@ fn counter_store_exhaustive_depth4() {
         ops: vec![Op::Inc, Op::Read],
         depth: 4,
         max_schedules: 400_000,
+        dedup: false,
     };
     let report = explore_all(
         &CounterStore,
@@ -79,6 +82,7 @@ fn cops_store_exhaustive_depth4() {
         ops: vec![Op::Write(Value::new(0)), Op::Read],
         depth: 4,
         max_schedules: 400_000,
+        dedup: false,
     };
     let report = explore_all(
         &haec::stores::CopsStore,
@@ -101,6 +105,7 @@ fn arbitration_store_exhaustively_caught_as_mvr_imposter() {
         ops: vec![Op::Write(Value::new(0)), Op::Read],
         depth: 6,
         max_schedules: 400_000,
+        dedup: false,
     };
     let report = explore_all(
         &ArbitrationStore,
