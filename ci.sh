@@ -20,13 +20,16 @@ cargo clippy --workspace --locked --offline -- -D warnings
 echo "== haec-lint (determinism/hermeticity, deny mode) =="
 cargo run -q --release --locked --offline -p haec-lint
 
+echo "== haec-lint fixtures (known-answer corpus) =="
+cargo test -q --locked --offline -p haec-lint --test fixtures > /dev/null
+
 echo "== report smoke (fixed seed, JSON must re-parse) =="
 cargo run -q --release --locked --offline -p haec-bench --bin report -- \
     --json --check --seed 42 > /dev/null
 
-echo "== explore smoke (engines must agree at depth 3) =="
+echo "== explore smoke (all engines incl. par-2 must agree at depth 3) =="
 cargo bench -q --locked --offline -p haec-bench --bench explore -- \
-    --smoke > /dev/null
+    --smoke --threads 2 > /dev/null
 
 echo "== fmt =="
 cargo fmt --check

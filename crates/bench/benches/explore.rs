@@ -13,11 +13,20 @@
 //! cargo bench --bench explore -- --json        # JSON (for BENCH_explore.json)
 //! cargo bench --bench explore -- --smoke       # depth 3 agreement check
 //! cargo bench --bench explore -- --depth 5 --replicas 3 --runs 1
+//! cargo bench --bench explore -- --threads 2 --threads 4   # add par-N rows
 //! ```
+//!
+//! `--threads N` (repeatable) adds a `par-N` row for the deterministic
+//! parallel engine; without the flag the default is 1, 2 and 4 (just 2 in
+//! `--smoke` mode). Every engine, parallel included, must produce the
+//! replay engine's exact schedule count before timings are printed.
 
 use haec_core::{causal, check_correct, ObjectSpecs, SpecKind};
 use haec_model::{Op, StoreConfig, Value};
-use haec_sim::exhaustive::{explore_all, explore_all_replay, ExhaustiveConfig, ExhaustiveReport};
+use haec_sim::exhaustive::{
+    explore_all, explore_all_parallel, explore_all_replay, ExhaustiveConfig, ExhaustiveReport,
+    ParallelConfig,
+};
 use haec_sim::Simulator;
 use haec_stores::DvvMvrStore;
 use std::time::Instant;
@@ -30,7 +39,7 @@ fn causal_check(sim: &Simulator) -> bool {
 }
 
 struct EngineRun {
-    name: &'static str,
+    name: String,
     schedules: usize,
     dedup_hits: u64,
     dedup_misses: u64,
@@ -47,11 +56,7 @@ impl EngineRun {
     }
 }
 
-fn run_engine(
-    name: &'static str,
-    runs: usize,
-    mut f: impl FnMut() -> ExhaustiveReport,
-) -> EngineRun {
+fn run_engine(name: &str, runs: usize, mut f: impl FnMut() -> ExhaustiveReport) -> EngineRun {
     let mut best: Option<EngineRun> = None;
     for _ in 0..runs.max(1) {
         let t = Instant::now();
@@ -62,7 +67,7 @@ fn run_engine(
             "{name}: workload unexpectedly produced a counterexample"
         );
         let run = EngineRun {
-            name,
+            name: name.to_owned(),
             schedules: report.schedules,
             dedup_hits: report.dedup_hits,
             dedup_misses: report.dedup_misses,
@@ -80,6 +85,7 @@ fn main() {
     let mut depth = 6usize;
     let mut replicas = 4usize;
     let mut runs = 3usize;
+    let mut thread_counts: Vec<usize> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -104,6 +110,11 @@ fn main() {
                     runs = n;
                 }
             }
+            "--threads" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    thread_counts.push(n);
+                }
+            }
             _ => {}
         }
     }
@@ -119,6 +130,10 @@ fn main() {
         dedup: true,
         ..config.clone()
     };
+
+    if thread_counts.is_empty() {
+        thread_counts = if depth <= 3 { vec![2] } else { vec![1, 2, 4] };
+    }
 
     let replay = run_engine("replay", runs, || {
         explore_all_replay(&DvvMvrStore, &config, &mut causal_check)
@@ -137,7 +152,24 @@ fn main() {
         "dedup diverges from replay"
     );
 
-    let runs = [replay, dfs, dedup];
+    let mut engine_runs = vec![replay, dfs, dedup];
+    for &t in &thread_counts {
+        let par = run_engine(&format!("par-{t}"), runs, || {
+            explore_all_parallel(
+                &DvvMvrStore,
+                &config,
+                &ParallelConfig::with_threads(t),
+                &causal_check,
+            )
+        });
+        assert_eq!(
+            engine_runs[0].schedules, par.schedules,
+            "par-{t} diverges from replay"
+        );
+        engine_runs.push(par);
+    }
+
+    let runs = engine_runs;
     let base = runs[0].per_sec();
     if json {
         let mut out = String::new();

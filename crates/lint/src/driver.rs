@@ -10,7 +10,7 @@
 //! and diagnostics are sorted by position.
 
 use crate::diag::{Diagnostic, LintReport};
-use crate::lints::{crate_key, wall_clock_exempt, Lint, Policy};
+use crate::lints::{crate_key, thread_exempt, wall_clock_exempt, Lint, Policy};
 use crate::resolve::{collect_uses, Resolver};
 use crate::tokenizer::{tokenize, Tok, TokKind};
 use haec_core::det::{DetMap, DetSet};
@@ -101,6 +101,13 @@ fn classify_path(path: &str) -> Option<(Lint, String)> {
         ));
     }
     None
+}
+
+/// Is the resolved path under `std::thread`? The worker-pool module
+/// exemption ([`thread_exempt`]) lifts only this slice of the
+/// ambient-entropy lint — `std::env` and `RandomState` stay denied there.
+fn is_thread_path(path: &str) -> bool {
+    path_is(path.strip_prefix("::").unwrap_or(path), &["std::thread"])
 }
 
 /// Is the resolved path a hash-collection *type* (for iteration
@@ -202,6 +209,9 @@ pub fn lint_source_with_policy(rel_path: &str, source: &str, policy: Policy) -> 
     // Imports: each interesting import fires once, at the `use` site.
     let (resolver, imports, use_ranges) = collect_uses(&toks);
     for u in &imports {
+        if thread_exempt(rel_path) && is_thread_path(&u.path) {
+            continue;
+        }
         if let Some((lint, message)) = classify_path(&u.path) {
             diags.push(Diagnostic {
                 file: rel_path.to_owned(),
@@ -296,6 +306,11 @@ fn scan_call_sites(
         } else {
             let full = resolver.resolve(&segments, &NAMES_OF_INTEREST);
             if let Some((lint, message)) = classify_path(&full) {
+                if thread_exempt(rel_path) && is_thread_path(&full) {
+                    prev_code = Some(j - 1);
+                    i = j;
+                    continue;
+                }
                 diags.push(Diagnostic {
                     file: rel_path.to_owned(),
                     line: toks[start].line,
@@ -576,6 +591,36 @@ mod tests {
         assert_eq!(
             lints_of("use std::collections::hash_map::RandomState;"),
             [Lint::AmbientEntropy]
+        );
+    }
+
+    #[test]
+    fn thread_use_is_exempt_only_in_the_worker_pool_module() {
+        let src = "fn f() { std::thread::scope(|s| { s.spawn(|| {}); }); }";
+        // Everywhere else in `sim` (and the workspace) the gate fires...
+        assert_eq!(
+            lint_source("crates/sim/src/exhaustive/mod.rs", src)
+                .iter()
+                .filter(|d| !d.suppressed)
+                .count(),
+            1
+        );
+        // ...but the worker-pool module is sanctioned.
+        assert!(lint_source("crates/sim/src/exhaustive/parallel.rs", src).is_empty());
+        // The exemption covers imports too, and only the thread slice of
+        // ambient-entropy: `std::env` still fires there.
+        assert!(lint_source(
+            "crates/sim/src/exhaustive/parallel.rs",
+            "use std::thread;\nfn f() { thread::scope(|_| {}); }"
+        )
+        .is_empty());
+        assert_eq!(
+            lint_source(
+                "crates/sim/src/exhaustive/parallel.rs",
+                "fn f() { let v = std::env::var(\"X\"); }"
+            )
+            .len(),
+            1
         );
     }
 

@@ -154,6 +154,18 @@ pub fn wall_clock_exempt(rel_path: &str) -> bool {
     )
 }
 
+/// The one file sanctioned to use `std::thread`: the parallel explorer's
+/// worker pool. Its determinism comes from structure, not timing — the
+/// tree partition is a pure function of the config and results merge in
+/// canonical subtree order, which `crates/sim/tests/explore_differential.rs`
+/// pins against the sequential engine for every thread count. Everywhere
+/// else `std::thread` stays an ambient-entropy lint: scheduling order is
+/// exactly the kind of run-to-run variance the contract bans.
+#[must_use]
+pub fn thread_exempt(rel_path: &str) -> bool {
+    rel_path == "crates/sim/src/exhaustive/parallel.rs"
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -200,6 +212,15 @@ mod tests {
         assert!(wall_clock_exempt("crates/testkit/src/bench.rs"));
         assert!(wall_clock_exempt("crates/core/src/spans.rs"));
         assert!(!wall_clock_exempt("crates/testkit/src/prop.rs"));
+    }
+
+    #[test]
+    fn thread_exemption_is_scoped_to_the_worker_pool_module() {
+        assert!(thread_exempt("crates/sim/src/exhaustive/parallel.rs"));
+        assert!(!thread_exempt("crates/sim/src/exhaustive/mod.rs"));
+        assert!(!thread_exempt("crates/sim/src/simulator.rs"));
+        assert!(!thread_exempt("crates/core/src/spans.rs"));
+        assert!(!thread_exempt("fixtures/thread_worker_pool_clean.rs"));
     }
 
     #[test]

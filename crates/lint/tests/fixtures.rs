@@ -9,6 +9,11 @@
 //! catalog, firing and non-firing, including the tricky cases (lint
 //! tokens inside string literals and comments must NOT fire).
 //!
+//! A fixture is linted under the path `fixtures/<name>` unless its first
+//! line is a `//@ lint-path: <path>` directive, which pins it to that
+//! workspace-relative path instead — used to exercise path-scoped policy
+//! exemptions from both sides with identical source.
+//!
 //! To regenerate the expected corpus after an intentional change:
 //! `HAEC_LINT_BLESS=1 cargo test -p haec-lint --test fixtures`.
 
@@ -32,9 +37,23 @@ fn fixture_names() -> Vec<String> {
     names
 }
 
+/// The workspace-relative path a fixture is linted under. By default
+/// `fixtures/<name>`, but a fixture whose first line reads
+/// `//@ lint-path: <path>` pins itself to that path instead — this is how
+/// the corpus proves *path-scoped* policy exemptions both ways from
+/// identical source (see the `thread_worker_pool_*` pair).
+fn lint_rel_path(name: &str, source: &str) -> String {
+    source
+        .lines()
+        .next()
+        .and_then(|line| line.trim().strip_prefix("//@ lint-path:"))
+        .map(|path| path.trim().to_owned())
+        .unwrap_or_else(|| format!("fixtures/{name}"))
+}
+
 fn render(name: &str) -> String {
     let source = std::fs::read_to_string(fixture_dir().join(name)).expect("fixture readable");
-    let rel = format!("fixtures/{name}");
+    let rel = lint_rel_path(name, &source);
     lint_source_with_policy(&rel, &source, Policy::deny_all())
         .iter()
         .map(|d| format!("{d}\n"))
@@ -72,7 +91,7 @@ fn fire_fixtures_fire_and_clean_fixtures_do_not() {
     for name in fixture_names() {
         let source = std::fs::read_to_string(fixture_dir().join(name.as_str())).unwrap();
         let diags =
-            lint_source_with_policy(&format!("fixtures/{name}"), &source, Policy::deny_all());
+            lint_source_with_policy(&lint_rel_path(&name, &source), &source, Policy::deny_all());
         let unsuppressed = diags.iter().filter(|d| !d.suppressed).count();
         if name.ends_with("_fire.rs") {
             assert!(unsuppressed > 0, "{name} was expected to fire");

@@ -1,0 +1,17 @@
+//@ lint-path: crates/sim/src/exhaustive/parallel.rs
+//! Clean: the identical worker-pool source as
+//! `thread_worker_pool_fire.rs`, linted under the one path where the
+//! scoped `std::thread` allowance applies (see `thread_exempt` and
+//! DESIGN.md §9). Only the path differs — proving the exemption is
+//! keyed on the module, not on the code.
+
+use std::thread;
+
+fn fan_out(jobs: &[fn()]) {
+    thread::scope(|scope| {
+        for job in jobs {
+            scope.spawn(|| job());
+        }
+    });
+    std::thread::yield_now();
+}

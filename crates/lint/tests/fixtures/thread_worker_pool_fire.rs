@@ -1,0 +1,16 @@
+//! Firing: a worker pool outside the sanctioned parallel-explorer module.
+//! Same source as `thread_worker_pool_clean.rs`, which pins itself (via
+//! `//@ lint-path`) to `crates/sim/src/exhaustive/parallel.rs` — the one
+//! file where `std::thread` is allowed. Anywhere else, including here,
+//! the ambient-entropy gate still fires.
+
+use std::thread;
+
+fn fan_out(jobs: &[fn()]) {
+    thread::scope(|scope| {
+        for job in jobs {
+            scope.spawn(|| job());
+        }
+    });
+    std::thread::yield_now();
+}

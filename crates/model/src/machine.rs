@@ -160,7 +160,12 @@ impl StoreConfig {
 ///   state `σ`, so that two calls return different values whenever the state
 ///   differs. It is used to verify invisible reads (Definition 16) and
 ///   send-determinism.
-pub trait ReplicaMachine {
+///
+/// Machines are `Send` so that a simulator snapshot (which owns boxed
+/// machines) can be shipped to a worker thread by the parallel explorer.
+/// Replica state is plain data — values, clocks, buffers — so this costs
+/// implementations nothing.
+pub trait ReplicaMachine: Send {
     /// Applies a client operation and returns its response plus the
     /// visibility witness. This is the `do(o, op, v)` transition.
     fn do_op(&mut self, obj: ObjectId, op: &Op) -> DoOutcome;
@@ -206,8 +211,10 @@ pub trait ReplicaMachine {
 ///
 /// Implementations are cheap, cloneable descriptions of a store algorithm
 /// plus its parameters; the theorem constructions in `haec-theory` take a
-/// `&dyn StoreFactory` so they run against *any* store.
-pub trait StoreFactory {
+/// `&dyn StoreFactory` so they run against *any* store. Factories are
+/// `Sync` so a single `&dyn StoreFactory` can spawn machines concurrently
+/// from the parallel explorer's worker threads.
+pub trait StoreFactory: Sync {
     /// Spawns the state machine of replica `replica` in its initial state
     /// `σ₀`.
     fn spawn(&self, replica: ReplicaId, config: StoreConfig) -> Box<dyn ReplicaMachine>;

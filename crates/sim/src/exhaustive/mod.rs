@@ -34,6 +34,10 @@ use haec_core::det::DetMap;
 use haec_model::{ObjectId, Op, ReplicaId, StoreConfig, StoreFactory};
 use std::fmt;
 
+pub mod parallel;
+
+pub use parallel::{explore_all_parallel, explore_all_parallel_observed, ParallelConfig};
+
 /// One scheduler action in the enumeration.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub enum Action {
@@ -315,31 +319,43 @@ struct Dfs<'a> {
     done: bool,
 }
 
-impl Dfs<'_> {
-    /// The possible next actions from the current state, in the order the
-    /// replay reference visits them (it pushes onto a LIFO stack, so its
-    /// visit order is the reverse of its push order).
-    fn children(&self, sim: &Simulator) -> Vec<Action> {
-        let n_replicas = self.config.store_config.n_replicas;
-        let n_objects = self.config.store_config.n_objects;
-        let mut out = Vec::new();
-        for i in (0..sim.inflight().len()).rev() {
-            out.push(Action::Deliver(i));
-        }
-        for r in (0..n_replicas).rev() {
-            let replica = ReplicaId::new(r as u32);
-            if sim.machine(replica).pending_message().is_some() {
-                out.push(Action::Flush(replica));
-            }
-            for o in (0..n_objects).rev() {
-                for op in self.config.ops.iter().rev() {
-                    out.push(Action::Do(replica, ObjectId::new(o as u32), op.clone()));
-                }
-            }
-        }
-        out
+/// The possible next actions from the current state, in the order the
+/// replay reference visits them (it pushes onto a LIFO stack, so its
+/// visit order is the reverse of its push order). Shared by the
+/// incremental DFS and the parallel explorer's prefix walk so every
+/// engine enumerates the same canonical tree.
+fn children(config: &ExhaustiveConfig, sim: &Simulator) -> Vec<Action> {
+    let n_replicas = config.store_config.n_replicas;
+    let n_objects = config.store_config.n_objects;
+    let mut out = Vec::new();
+    for i in (0..sim.inflight().len()).rev() {
+        out.push(Action::Deliver(i));
     }
+    for r in (0..n_replicas).rev() {
+        let replica = ReplicaId::new(r as u32);
+        if sim.machine(replica).pending_message().is_some() {
+            out.push(Action::Flush(replica));
+        }
+        for o in (0..n_objects).rev() {
+            for op in config.ops.iter().rev() {
+                out.push(Action::Do(replica, ObjectId::new(o as u32), op.clone()));
+            }
+        }
+    }
+    out
+}
 
+/// The replica whose machine an action mutates, and whether the action can
+/// disturb the in-flight message list (flush enqueues, deliver dequeues).
+fn touched_by(sim: &Simulator, action: &Action) -> (ReplicaId, bool) {
+    match action {
+        Action::Do(replica, _, _) => (*replica, false),
+        Action::Flush(replica) => (*replica, true),
+        Action::Deliver(i) => (sim.inflight()[*i].to, true),
+    }
+}
+
+impl Dfs<'_> {
     /// Visits the node the simulator currently sits on; returns the number
     /// of schedules in its subtree (meaningful only when the subtree was
     /// fully explored, i.e. `!self.done`).
@@ -359,7 +375,7 @@ impl Dfs<'_> {
         if self.prefix.len() >= self.config.depth {
             return 1;
         }
-        let children = self.children(sim);
+        let children = children(self.config, sim);
         self.queued += children.len();
         let mut count = 1usize;
         for action in children {
@@ -369,11 +385,7 @@ impl Dfs<'_> {
             // Each explorer action mutates exactly one replica's machine,
             // so a per-step undo (one machine clone, moved back afterwards)
             // beats a full checkpoint of the whole cluster.
-            let (touched, saves_inflight) = match &action {
-                Action::Do(replica, _, _) => (*replica, false),
-                Action::Flush(replica) => (*replica, true),
-                Action::Deliver(i) => (sim.inflight()[*i].to, true),
-            };
+            let (touched, saves_inflight) = touched_by(sim, &action);
             let undo = sim.begin_step(touched, saves_inflight);
             apply(sim, &action, self.prefix.len());
             let saved_fp = self.fps[touched.index()];

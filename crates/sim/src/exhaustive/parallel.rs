@@ -1,0 +1,657 @@
+//! Deterministic parallel schedule exploration.
+//!
+//! [`explore_all_parallel`] shards the DFS schedule tree of the sequential
+//! explorer across a fixed worker pool. Determinism comes from structure,
+//! not timing:
+//!
+//! 1. **Split.** A sequential *prefix walk* enumerates the tree down to a
+//!    configurable `split_depth`, producing (a) the prefix nodes the
+//!    sequential engine would visit, in its exact pre-order, and (b) one
+//!    **work unit** per depth-`split_depth` subtree root: the action
+//!    prefix, a [`SimSnapshot`](crate::simulator::SimSnapshot) of the
+//!    simulator state there, and the frontier offset the sequential engine
+//!    would carry into that subtree. The partition is a pure function of
+//!    the config — no thread count, no clocks.
+//! 2. **Explore.** Workers drain the unit list. Each unit is explored by
+//!    the *same* incremental DFS as the sequential engine, on a private
+//!    [`Simulator`](crate::simulator::Simulator) rebuilt from the
+//!    snapshot, with a share-nothing dedup table and a forked
+//!    ([`ForkJoinObserver::fork`]) observer. Nothing mutable is shared
+//!    between workers, so scheduling order cannot leak into results.
+//! 3. **Merge.** Worker results are folded in **canonical subtree order**
+//!    (the order the sequential DFS visits the units), never completion
+//!    order: schedule counts accumulate, the first counterexample in
+//!    canonical order wins, buffered prefix-node events and forked
+//!    observers replay into the caller's observer exactly where the
+//!    sequential engine would have produced them.
+//!
+//! With dedup off the resulting [`ExhaustiveReport`] and observer state are
+//! bit-identical to [`explore_all`](super::explore_all) for every thread
+//! count — the differential suite and `tests/determinism.rs` pin this.
+//! With dedup **on**, schedule counts and counterexamples still match the
+//! sequential engine exactly (memoisation never changes either), but the
+//! hit/miss *statistics* are those of the per-unit tables: a cross-subtree
+//! hit that a single global table would score depends on sequential
+//! exploration order, which is precisely what a share-nothing partition
+//! gives up. Those statistics are still a pure function of the config and
+//! split depth, hence identical for every thread count; `split_depth = 0`
+//! (one unit rooted at the empty schedule) degenerates to exact sequential
+//! semantics including dedup statistics.
+//!
+//! A finite [`max_schedules`](ExhaustiveConfig::max_schedules) cap is
+//! honoured at merge time with unit granularity: the reported count is
+//! exact with dedup off, while the observer may see the remainder of the
+//! unit the cap landed in (workers cannot know the global budget without
+//! sharing mutable state). Counterexamples compare against the remaining
+//! budget so a failure the sequential engine would not have reached is not
+//! reported.
+//!
+//! This module is the one place in the workspace allowed to use
+//! `std::thread` — see `thread_exempt` in `haec-lint` and DESIGN.md §9 for
+//! the policy rationale.
+
+use super::{
+    apply, children, inflight_fingerprint, touched_by, Action, Dfs, ExhaustiveConfig,
+    ExhaustiveReport,
+};
+use crate::obs::{ForkJoinObserver, Observer};
+use crate::simulator::{SimSnapshot, Simulator};
+use haec_core::det::DetMap;
+use haec_model::{ReplicaId, StoreFactory};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Parameters of the parallel exploration, on top of an
+/// [`ExhaustiveConfig`].
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelConfig {
+    /// Number of worker threads. Clamped to the number of work units (and
+    /// to at least 1). Must be nonzero. The *results* are identical for
+    /// every value; only wall-clock time changes.
+    pub threads: usize,
+    /// Prefix depth at which the schedule tree is split into work units:
+    /// `Some(d)` shards at depth `d` (clamped to the exploration depth),
+    /// `Some(0)` yields a single unit rooted at the empty schedule
+    /// (sequential semantics, including dedup statistics, on one worker),
+    /// and `None` picks `min(2, depth - 1)` — a few hundred units for
+    /// typical configs, enough to load-balance without snapshot overhead
+    /// dominating.
+    pub split_depth: Option<usize>,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            threads: 1,
+            split_depth: None,
+        }
+    }
+}
+
+impl ParallelConfig {
+    /// `threads` workers with the automatic split depth.
+    pub fn with_threads(threads: usize) -> Self {
+        ParallelConfig {
+            threads,
+            split_depth: None,
+        }
+    }
+
+    /// The effective split depth for an exploration of `depth` steps.
+    fn split_for(&self, depth: usize) -> usize {
+        self.split_depth
+            .unwrap_or_else(|| depth.saturating_sub(1).min(2))
+            .min(depth)
+    }
+}
+
+/// One shard of the schedule tree: the subtree rooted at `prefix`.
+struct Unit {
+    prefix: Vec<Action>,
+    snap: SimSnapshot,
+    /// The sequential engine's frontier (queued-but-unvisited prefixes)
+    /// the moment it would visit this subtree's root. Workers start their
+    /// frontier counter here so every `on_search_node` frontier value
+    /// matches the sequential engine's global counter exactly.
+    offset: usize,
+}
+
+/// What the prefix walk buffers, in the sequential engine's pre-order.
+enum Item {
+    /// A prefix node the sequential engine visits itself (depth <
+    /// split): its observer event, and the schedule prefix if the
+    /// predicate failed there.
+    Node {
+        depth: usize,
+        frontier: usize,
+        cex: Option<Vec<Action>>,
+    },
+    /// The subtree of `units[i]`, explored by a worker.
+    Unit(usize),
+}
+
+/// The result of exploring one unit's subtree to exhaustion (or to its
+/// first counterexample).
+struct UnitResult<O> {
+    schedules: usize,
+    counterexample: Option<Vec<Action>>,
+    hits: u64,
+    misses: u64,
+    obs: O,
+}
+
+/// Per-unit slot: workers take the work (unit + forked observer) and leave
+/// the result. One mutex per slot — never contended beyond the take/store
+/// pair.
+struct Slot<O> {
+    work: Option<(Unit, O)>,
+    result: Option<UnitResult<O>>,
+}
+
+/// Sequential enumeration of the tree down to the split depth. Mirrors
+/// `Dfs::visit` (same canonical child order, same uniquification, same
+/// frontier accounting) but buffers observer events instead of emitting
+/// them, so the merge can stop replaying exactly where the sequential
+/// engine would have stopped.
+struct PrefixWalk<'a> {
+    config: &'a ExhaustiveConfig,
+    check: &'a (dyn Fn(&Simulator) -> bool + Sync),
+    split: usize,
+    queued: usize,
+    items: Vec<Item>,
+    units: Vec<Unit>,
+    stopped: bool,
+}
+
+impl PrefixWalk<'_> {
+    fn visit(&mut self, sim: &mut Simulator, prefix: &mut Vec<Action>) {
+        self.queued -= 1;
+        let failed = !(self.check)(sim);
+        self.items.push(Item::Node {
+            depth: prefix.len(),
+            frontier: self.queued,
+            cex: failed.then(|| prefix.clone()),
+        });
+        if failed {
+            self.stopped = true;
+            return;
+        }
+        let children = children(self.config, sim);
+        self.queued += children.len();
+        for action in children {
+            if self.stopped {
+                return;
+            }
+            let (touched, saves_inflight) = touched_by(sim, &action);
+            let undo = sim.begin_step(touched, saves_inflight);
+            apply(sim, &action, prefix.len());
+            prefix.push(action);
+            if prefix.len() == self.split {
+                // Subtree root: snapshot it into a work unit instead of
+                // descending. The sequential engine nets the frontier back
+                // to `queued - 1` once it finishes this subtree, so that is
+                // both the unit's offset and the walk's continuation value.
+                self.queued -= 1;
+                self.units.push(Unit {
+                    prefix: prefix.clone(),
+                    snap: sim.snapshot(),
+                    offset: self.queued,
+                });
+                self.items.push(Item::Unit(self.units.len() - 1));
+            } else {
+                self.visit(sim, prefix);
+            }
+            prefix.pop();
+            sim.undo_step(undo);
+        }
+    }
+}
+
+/// Explores one unit's subtree with the sequential engine's incremental
+/// DFS: private simulator from the snapshot, fresh dedup table, forked
+/// observer, frontier counter primed with the unit's offset.
+fn explore_unit<O: ForkJoinObserver>(
+    factory: &dyn StoreFactory,
+    config: &ExhaustiveConfig,
+    check: &(dyn Fn(&Simulator) -> bool + Sync),
+    unit: Unit,
+    mut obs: O,
+) -> UnitResult<O> {
+    let mut sim = Simulator::from_snapshot(factory, config.store_config, &unit.snap);
+    let fps = (0..config.store_config.n_replicas)
+        .map(|r| sim.machine(ReplicaId::new(r as u32)).state_fingerprint())
+        .collect();
+    let inflight_fp = inflight_fingerprint(&sim);
+    let mut local_check = |sim: &Simulator| check(sim);
+    let mut dfs = Dfs {
+        config,
+        check: &mut local_check,
+        obs: &mut obs,
+        schedules: 0,
+        counterexample: None,
+        prefix: unit.prefix,
+        queued: unit.offset + 1,
+        memo: DetMap::new(),
+        fps,
+        inflight_fp,
+        hits: 0,
+        misses: 0,
+        done: false,
+    };
+    dfs.visit(&mut sim);
+    let schedules = dfs.schedules;
+    let counterexample = dfs.counterexample.take();
+    let hits = dfs.hits;
+    let misses = dfs.misses;
+    UnitResult {
+        schedules,
+        counterexample,
+        hits,
+        misses,
+        obs,
+    }
+}
+
+/// Worker loop: claim the next unclaimed unit, explore it, store the
+/// result. Units canonically after a unit already known to hold a
+/// counterexample are skipped — the merge can never read them, so skipping
+/// is invisible to the results and only saves work.
+fn worker_loop<O: ForkJoinObserver>(
+    factory: &dyn StoreFactory,
+    config: &ExhaustiveConfig,
+    check: &(dyn Fn(&Simulator) -> bool + Sync),
+    slots: &[Mutex<Slot<O>>],
+    next: &AtomicUsize,
+    earliest_cex: &AtomicUsize,
+) {
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= slots.len() {
+            return;
+        }
+        if earliest_cex.load(Ordering::Relaxed) < i {
+            continue;
+        }
+        let (unit, obs) = slots[i]
+            .lock()
+            .expect("worker poisoned a unit slot")
+            .work
+            .take()
+            .expect("unit claimed twice");
+        let result = explore_unit(factory, config, check, unit, obs);
+        if result.counterexample.is_some() {
+            earliest_cex.fetch_min(i, Ordering::Relaxed);
+        }
+        slots[i].lock().expect("worker poisoned a unit slot").result = Some(result);
+    }
+}
+
+/// Like [`explore_all`](super::explore_all), but shards the schedule tree
+/// across `par.threads` worker threads. The report is bit-identical to the
+/// sequential engine for every thread count (see the module docs for the
+/// exact dedup-statistics contract).
+///
+/// Unlike the sequential entry points the predicate is `Fn + Sync`: it is
+/// evaluated concurrently from worker threads.
+///
+/// # Panics
+///
+/// Panics if `config` fails [`ExhaustiveConfig::validate`] or
+/// `par.threads` is zero.
+pub fn explore_all_parallel(
+    factory: &dyn StoreFactory,
+    config: &ExhaustiveConfig,
+    par: &ParallelConfig,
+    check: &(dyn Fn(&Simulator) -> bool + Sync),
+) -> ExhaustiveReport {
+    /// Discards every event; `fork` and `join` are trivially sound.
+    struct NullObserver;
+    impl Observer for NullObserver {}
+    impl ForkJoinObserver for NullObserver {
+        fn fork(&self) -> Self {
+            NullObserver
+        }
+        fn join(&mut self, _child: Self) {}
+    }
+    explore_all_parallel_observed(factory, config, par, check, &mut NullObserver)
+}
+
+/// Like [`explore_all_parallel`], but replays search progress into `obs`
+/// exactly as [`explore_all_observed`](super::explore_all_observed) would:
+/// prefix-node events in canonical pre-order, each unit's events as one
+/// [`ForkJoinObserver::join`] at the unit's canonical position.
+///
+/// # Panics
+///
+/// Panics if `config` fails [`ExhaustiveConfig::validate`] or
+/// `par.threads` is zero.
+pub fn explore_all_parallel_observed<O: ForkJoinObserver + Send>(
+    factory: &dyn StoreFactory,
+    config: &ExhaustiveConfig,
+    par: &ParallelConfig,
+    check: &(dyn Fn(&Simulator) -> bool + Sync),
+    obs: &mut O,
+) -> ExhaustiveReport {
+    config.validate().expect("invalid ExhaustiveConfig");
+    assert!(par.threads > 0, "ParallelConfig::threads must be nonzero");
+    let split = par.split_for(config.depth);
+
+    // Phase 1: canonical partition of the tree into prefix items and work
+    // units. Pure function of `config` and `split`.
+    let mut walk = PrefixWalk {
+        config,
+        check,
+        split,
+        queued: 1,
+        items: Vec::new(),
+        units: Vec::new(),
+        stopped: false,
+    };
+    let mut sim = Simulator::new(factory, config.store_config);
+    if split == 0 {
+        walk.queued -= 1;
+        walk.units.push(Unit {
+            prefix: Vec::new(),
+            snap: sim.snapshot(),
+            offset: walk.queued,
+        });
+        walk.items.push(Item::Unit(0));
+    } else {
+        let mut prefix = Vec::new();
+        walk.visit(&mut sim, &mut prefix);
+    }
+    drop(sim);
+
+    // Phase 2: explore the units on a fixed worker pool. Workers own their
+    // unit's state outright; the only shared mutation is claiming work and
+    // depositing results, so timing cannot reach the data.
+    let slots: Vec<Mutex<Slot<O>>> = walk
+        .units
+        .drain(..)
+        .map(|unit| {
+            Mutex::new(Slot {
+                work: Some((unit, obs.fork())),
+                result: None,
+            })
+        })
+        .collect();
+    // Workers are uncapped: the global schedule budget is applied at merge
+    // time, where canonical order makes it deterministic.
+    let worker_config = ExhaustiveConfig {
+        max_schedules: usize::MAX,
+        ..config.clone()
+    };
+    let next = AtomicUsize::new(0);
+    let earliest_cex = AtomicUsize::new(usize::MAX);
+    let threads = par.threads.min(slots.len()).max(1);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                worker_loop(factory, &worker_config, check, &slots, &next, &earliest_cex)
+            });
+        }
+    });
+
+    // Phase 3: canonical-order merge. Replays the exact accounting of the
+    // sequential engine over buffered prefix nodes and whole units.
+    let mut schedules = 0usize;
+    let mut counterexample: Option<Vec<Action>> = None;
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    for item in walk.items {
+        if schedules >= config.max_schedules || counterexample.is_some() {
+            break;
+        }
+        match item {
+            Item::Node {
+                depth,
+                frontier,
+                cex,
+            } => {
+                obs.on_search_node(depth, frontier);
+                schedules += 1;
+                if cex.is_some() {
+                    counterexample = cex;
+                }
+            }
+            Item::Unit(i) => {
+                let result = slots[i]
+                    .lock()
+                    .expect("worker poisoned a unit slot")
+                    .result
+                    .take()
+                    .expect("canonical merge reached an unexplored unit");
+                let budget = config.max_schedules - schedules;
+                if result.schedules >= budget {
+                    // The cap lands inside this unit. A counterexample
+                    // counts only if the sequential engine would still
+                    // have reached it: its in-unit position is the unit's
+                    // schedule count (the DFS stops at the failure).
+                    if result.counterexample.is_some() && result.schedules == budget {
+                        counterexample = result.counterexample;
+                        schedules += result.schedules;
+                    } else if config.dedup {
+                        // Whole-subtree credits already overshoot the cap
+                        // in the sequential engine; unit granularity is
+                        // the parallel analogue.
+                        schedules += result.schedules;
+                    } else {
+                        schedules = config.max_schedules;
+                    }
+                } else {
+                    schedules += result.schedules;
+                    counterexample = result.counterexample;
+                }
+                hits += result.hits;
+                misses += result.misses;
+                obs.join(result.obs);
+            }
+        }
+    }
+    ExhaustiveReport {
+        schedules,
+        counterexample,
+        dedup_hits: hits,
+        dedup_misses: misses,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::{explore_all, explore_all_observed, ExhaustiveConfig};
+    use super::*;
+    use crate::obs::stats::StatsObserver;
+    use haec_core::{causal, check_correct, ObjectSpecs, SpecKind};
+    use haec_stores::{BoundedStore, DvvMvrStore};
+
+    fn causal_check(sim: &Simulator) -> bool {
+        let Ok(a) = sim.abstract_execution() else {
+            return false;
+        };
+        check_correct(&a, &ObjectSpecs::uniform(SpecKind::Mvr)).is_ok() && causal::check(&a).is_ok()
+    }
+
+    fn depth_config(depth: usize) -> ExhaustiveConfig {
+        ExhaustiveConfig {
+            depth,
+            max_schedules: usize::MAX,
+            ..ExhaustiveConfig::default()
+        }
+    }
+
+    #[test]
+    fn parallel_report_matches_sequential_for_every_thread_count() {
+        let config = depth_config(4);
+        let sequential = explore_all(&DvvMvrStore, &config, &mut causal_check);
+        for threads in [1, 2, 3, 8] {
+            let par = explore_all_parallel(
+                &DvvMvrStore,
+                &config,
+                &ParallelConfig::with_threads(threads),
+                &causal_check,
+            );
+            assert_eq!(par.schedules, sequential.schedules, "threads={threads}");
+            assert_eq!(par.counterexample, sequential.counterexample);
+            assert_eq!(par.dedup_hits, 0);
+            assert_eq!(par.dedup_misses, 0);
+        }
+    }
+
+    #[test]
+    fn split_zero_degenerates_to_exact_sequential_semantics() {
+        // One unit rooted at the empty schedule: even the dedup statistics
+        // must match the sequential engine's global table.
+        let config = ExhaustiveConfig {
+            dedup: true,
+            ..depth_config(4)
+        };
+        let sequential = explore_all(&DvvMvrStore, &config, &mut causal_check);
+        let par = explore_all_parallel(
+            &DvvMvrStore,
+            &config,
+            &ParallelConfig {
+                threads: 2,
+                split_depth: Some(0),
+            },
+            &causal_check,
+        );
+        assert_eq!(par.schedules, sequential.schedules);
+        assert_eq!(par.counterexample, sequential.counterexample);
+        assert_eq!(par.dedup_hits, sequential.dedup_hits);
+        assert_eq!(par.dedup_misses, sequential.dedup_misses);
+    }
+
+    #[test]
+    fn dedup_counts_match_sequential_and_stats_are_thread_invariant() {
+        let config = ExhaustiveConfig {
+            dedup: true,
+            ..depth_config(4)
+        };
+        let sequential = explore_all(&DvvMvrStore, &config, &mut causal_check);
+        let baseline = explore_all_parallel(
+            &DvvMvrStore,
+            &config,
+            &ParallelConfig::with_threads(1),
+            &causal_check,
+        );
+        assert_eq!(baseline.schedules, sequential.schedules);
+        assert_eq!(baseline.counterexample, sequential.counterexample);
+        assert!(baseline.dedup_misses > 0, "units never probe their tables?");
+        for threads in [2, 8] {
+            let par = explore_all_parallel(
+                &DvvMvrStore,
+                &config,
+                &ParallelConfig::with_threads(threads),
+                &causal_check,
+            );
+            assert_eq!(par.schedules, baseline.schedules);
+            assert_eq!(par.counterexample, baseline.counterexample);
+            assert_eq!(par.dedup_hits, baseline.dedup_hits, "threads={threads}");
+            assert_eq!(par.dedup_misses, baseline.dedup_misses);
+        }
+    }
+
+    #[test]
+    fn counterexamples_agree_with_the_sequential_engine() {
+        // The bounded store fails somewhere at depth 6 with 3 replicas; the
+        // parallel engine must find the *same first* counterexample.
+        let config = ExhaustiveConfig {
+            store_config: haec_model::StoreConfig::new(3, 2),
+            depth: 5,
+            max_schedules: usize::MAX,
+            ..ExhaustiveConfig::default()
+        };
+        let sequential = explore_all(&BoundedStore, &config, &mut causal_check);
+        for threads in [1, 4] {
+            let par = explore_all_parallel(
+                &BoundedStore,
+                &config,
+                &ParallelConfig::with_threads(threads),
+                &causal_check,
+            );
+            assert_eq!(par.schedules, sequential.schedules);
+            assert_eq!(par.counterexample, sequential.counterexample);
+        }
+    }
+
+    #[test]
+    fn observer_stream_matches_sequential_exactly() {
+        let config = depth_config(4);
+        let mut seq_stats = StatsObserver::new();
+        let seq = explore_all_observed(&DvvMvrStore, &config, &mut causal_check, &mut seq_stats);
+        for threads in [1, 3] {
+            let mut par_stats = StatsObserver::new();
+            let par = explore_all_parallel_observed(
+                &DvvMvrStore,
+                &config,
+                &ParallelConfig::with_threads(threads),
+                &causal_check,
+                &mut par_stats,
+            );
+            assert_eq!(par.schedules, seq.schedules);
+            assert_eq!(par_stats.search_nodes(), seq_stats.search_nodes());
+            assert_eq!(par_stats.max_frontier(), seq_stats.max_frontier());
+            assert_eq!(par_stats.dedup_hits(), seq_stats.dedup_hits());
+            assert_eq!(par_stats.dedup_misses(), seq_stats.dedup_misses());
+        }
+    }
+
+    #[test]
+    fn max_schedules_cap_is_exact_and_thread_invariant() {
+        let config = ExhaustiveConfig {
+            depth: 6,
+            max_schedules: 500,
+            ..ExhaustiveConfig::default()
+        };
+        let sequential = explore_all(&DvvMvrStore, &config, &mut |_| true);
+        assert_eq!(sequential.schedules, 500);
+        for threads in [1, 2, 8] {
+            let par = explore_all_parallel(
+                &DvvMvrStore,
+                &config,
+                &ParallelConfig::with_threads(threads),
+                &|_| true,
+            );
+            assert_eq!(par.schedules, 500, "threads={threads}");
+            assert_eq!(par.counterexample, None);
+        }
+    }
+
+    #[test]
+    fn explicit_split_depths_agree() {
+        let config = depth_config(4);
+        let auto = explore_all_parallel(
+            &DvvMvrStore,
+            &config,
+            &ParallelConfig::with_threads(2),
+            &causal_check,
+        );
+        for split in [0, 1, 2, 3, 4, 9] {
+            let par = explore_all_parallel(
+                &DvvMvrStore,
+                &config,
+                &ParallelConfig {
+                    threads: 2,
+                    split_depth: Some(split),
+                },
+                &causal_check,
+            );
+            assert_eq!(par.schedules, auto.schedules, "split={split}");
+            assert_eq!(par.counterexample, auto.counterexample);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "threads must be nonzero")]
+    fn zero_threads_panics() {
+        explore_all_parallel(
+            &DvvMvrStore,
+            &ExhaustiveConfig::default(),
+            &ParallelConfig {
+                threads: 0,
+                split_depth: None,
+            },
+            &|_| true,
+        );
+    }
+}

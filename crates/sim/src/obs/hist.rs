@@ -74,6 +74,33 @@ impl Histogram {
         self.sum += u128::from(value);
     }
 
+    /// Folds another histogram into this one, as if every sample recorded
+    /// into `other` had been recorded here instead. Because buckets are
+    /// fixed by value, merging is order-insensitive: any partition of a
+    /// sample stream across histograms merges back to the histogram of the
+    /// whole stream. This is what lets the parallel explorer's per-worker
+    /// histograms recombine deterministically.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.counts.len() < other.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (bucket, &c) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *bucket += c;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
     /// Total number of samples.
     pub fn count(&self) -> u64 {
         self.count
@@ -178,6 +205,31 @@ mod tests {
         assert_eq!(h.max(), Some(16));
         assert!((h.mean() - 6.0).abs() < 1e-9);
         assert!(h.to_string().contains("n=3"));
+    }
+
+    #[test]
+    fn merge_equals_recording_the_concatenated_stream() {
+        let left_samples = [5u64, 1, 9, 0];
+        let right_samples = [1u64, 1 << 40, 7];
+        let mut left = Histogram::new();
+        let mut right = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in left_samples {
+            left.record(v);
+            whole.record(v);
+        }
+        for v in right_samples {
+            right.record(v);
+            whole.record(v);
+        }
+        left.merge(&right);
+        assert_eq!(left, whole);
+        // Merging an empty histogram is the identity, in both directions.
+        let mut empty = Histogram::new();
+        empty.merge(&whole);
+        assert_eq!(empty, whole);
+        whole.merge(&Histogram::new());
+        assert_eq!(whole, empty);
     }
 
     #[test]

@@ -164,7 +164,14 @@ fn write_escaped(s: &str, out: &mut String) {
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
             c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
+                // Hex digits pushed directly: a `format!` here allocates a
+                // fresh String per control character on the report hot
+                // path. Codes below 0x20 need two digits at most.
+                let code = c as u32;
+                const HEX: &[u8; 16] = b"0123456789abcdef";
+                out.push_str("\\u00");
+                out.push(HEX[(code >> 4) as usize] as char);
+                out.push(HEX[(code & 0xf) as usize] as char);
             }
             c => out.push(c),
         }
@@ -301,15 +308,41 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
-                        let hex =
-                            std::str::from_utf8(hex).map_err(|_| err(*pos, "bad \\u escape"))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| err(*pos, "bad \\u escape"))?;
-                        // Surrogates are not produced by our renderer.
-                        out.push(char::from_u32(code).ok_or_else(|| err(*pos, "bad \\u escape"))?);
+                        let code = hex4(bytes, *pos + 1, *pos)?;
+                        if (0xDC00..=0xDFFF).contains(&code) {
+                            return Err(err(*pos, "lone trailing surrogate in \\u escape"));
+                        }
+                        if (0xD800..=0xDBFF).contains(&code) {
+                            // A lead surrogate is only valid as the first
+                            // half of a `\uD8xx\uDCxx` pair encoding one
+                            // supplementary-plane scalar (JSON strings may
+                            // carry these even though our renderer emits
+                            // such characters as raw UTF-8).
+                            if bytes.get(*pos + 5) != Some(&b'\\')
+                                || bytes.get(*pos + 6) != Some(&b'u')
+                            {
+                                return Err(err(*pos, "lone lead surrogate in \\u escape"));
+                            }
+                            let low = hex4(bytes, *pos + 7, *pos + 5)?;
+                            if !(0xDC00..=0xDFFF).contains(&low) {
+                                return Err(err(*pos + 5, "lone lead surrogate in \\u escape"));
+                            }
+                            let scalar = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            out.push(
+                                char::from_u32(scalar)
+                                    .expect("paired surrogates decode to a valid scalar"),
+                            );
+                            // Skip the second escape's `\u` here; its four
+                            // hex digits fall under the shared advance
+                            // below, and the closing `*pos += 1` then steps
+                            // past the pair exactly as for a single escape.
+                            *pos += 6;
+                        } else {
+                            out.push(
+                                char::from_u32(code)
+                                    .expect("non-surrogate BMP code is a valid scalar"),
+                            );
+                        }
                         *pos += 4;
                     }
                     _ => return Err(err(*pos, "bad escape")),
@@ -326,6 +359,16 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
             }
         }
     }
+}
+
+/// Reads the four hex digits of a `\uXXXX` escape starting at byte `at`;
+/// errors point at `escape_offset`, the escape's backslash-adjacent `u`.
+fn hex4(bytes: &[u8], at: usize, escape_offset: usize) -> Result<u32, JsonError> {
+    let hex = bytes
+        .get(at..at + 4)
+        .ok_or_else(|| err(escape_offset, "truncated \\u escape"))?;
+    let hex = std::str::from_utf8(hex).map_err(|_| err(escape_offset, "bad \\u escape"))?;
+    u32::from_str_radix(hex, 16).map_err(|_| err(escape_offset, "bad \\u escape"))
 }
 
 fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
@@ -394,6 +437,69 @@ mod tests {
         let text = v.render();
         let back = Json::parse(&text).expect("round trip");
         assert_eq!(back, v);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_and_round_trip() {
+        // Externally-produced JSON is allowed to escape supplementary-plane
+        // characters as UTF-16 surrogate pairs.
+        let v = Json::parse(r#""\ud83d\ude00""#).expect("surrogate pair");
+        assert_eq!(v.as_str(), Some("😀"));
+        // Uppercase hex, and a pair embedded between other escapes.
+        let v = Json::parse(r#""a\uD83D\uDE00\tz""#).unwrap();
+        assert_eq!(v.as_str(), Some("a😀\tz"));
+        // Our renderer emits the raw UTF-8 character; parsing that back
+        // must agree with parsing the escaped spelling.
+        let direct = Json::str("😀");
+        assert_eq!(Json::parse(&direct.render()).unwrap(), direct);
+        assert_eq!(Json::parse(r#""\ud83d\ude00""#).unwrap(), direct);
+        // Boundary pairs of the supplementary planes.
+        assert_eq!(
+            Json::parse(r#""\ud800\udc00""#).unwrap().as_str(),
+            Some("\u{10000}")
+        );
+        assert_eq!(
+            Json::parse(r#""\udbff\udfff""#).unwrap().as_str(),
+            Some("\u{10ffff}")
+        );
+    }
+
+    #[test]
+    fn lone_surrogates_are_clear_errors() {
+        let e = Json::parse(r#""\ud83d""#).unwrap_err();
+        assert!(e.message.contains("lone lead surrogate"), "{e}");
+        // Lead surrogate followed by a non-surrogate escape.
+        let e = Json::parse(r#""\ud83d\u0041""#).unwrap_err();
+        assert!(e.message.contains("lone lead surrogate"), "{e}");
+        // Lead surrogate followed by a plain character.
+        let e = Json::parse(r#""\ud83dx""#).unwrap_err();
+        assert!(e.message.contains("lone lead surrogate"), "{e}");
+        // A trailing surrogate with no lead before it.
+        let e = Json::parse(r#""\ude00""#).unwrap_err();
+        assert!(e.message.contains("lone trailing surrogate"), "{e}");
+        // Truncated second half.
+        let e = Json::parse(r#""\ud83d\ude""#).unwrap_err();
+        assert!(e.message.contains("truncated"), "{e}");
+    }
+
+    #[test]
+    fn control_characters_escape_byte_identically_and_round_trip() {
+        // The direct hex-digit push must render exactly what the old
+        // format!("\\u{:04x}") spelling produced, for every control code
+        // that lacks a short escape.
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).unwrap();
+            let rendered = Json::str(c.to_string()).render();
+            let expected = match c {
+                '\n' => "\"\\n\"".to_string(),
+                '\r' => "\"\\r\"".to_string(),
+                '\t' => "\"\\t\"".to_string(),
+                _ => format!("\"\\u{code:04x}\""),
+            };
+            assert_eq!(rendered, expected, "control char {code:#x}");
+            let back = Json::parse(&rendered).unwrap();
+            assert_eq!(back.as_str(), Some(c.to_string().as_str()));
+        }
     }
 
     #[test]

@@ -175,6 +175,26 @@ pub trait Observer {
     }
 }
 
+/// An [`Observer`] that can be split across the parallel explorer's worker
+/// threads and deterministically recombined.
+///
+/// [`explore_all_parallel_observed`](crate::exhaustive::explore_all_parallel_observed)
+/// gives every work unit a fresh child created by [`fork`](Self::fork) and
+/// folds the children back into the parent with [`join`](Self::join) in
+/// **canonical subtree order** — the order the sequential DFS would have
+/// produced the same events — never in thread-completion order. An
+/// implementation is deterministic under parallelism iff its `join` makes
+/// the parent state depend only on the multiset of events each child saw
+/// and the canonical join order, not on wall-clock interleaving.
+pub trait ForkJoinObserver: Observer + Sized {
+    /// Creates an empty child observer that will record one work unit.
+    fn fork(&self) -> Self;
+
+    /// Folds a finished child back into `self`. Children are joined in
+    /// canonical subtree order.
+    fn join(&mut self, child: Self);
+}
+
 /// Fan-out to any number of boxed observers, itself an [`Observer`].
 #[derive(Default)]
 pub struct Observers {
@@ -269,41 +289,58 @@ impl Observer for Observers {
     }
 }
 
+/// Borrows the wrapped observer for one hook dispatch, failing with a
+/// message that names the hook instead of `RefCell`'s opaque
+/// "already mutably borrowed".
+fn borrow_for_hook<'a, O: Observer>(cell: &'a RefCell<O>, hook: &str) -> std::cell::RefMut<'a, O> {
+    cell.try_borrow_mut().unwrap_or_else(|_| {
+        panic!(
+            "shared observer is still borrowed while dispatching `{hook}`: \
+             drop the borrow()/borrow_mut() guard before driving the simulator"
+        )
+    })
+}
+
 /// A shared observer handle: the simulator holds one clone, the caller
 /// keeps another to read results after the run.
+///
+/// Dispatch borrows the cell per hook via `try_borrow_mut`, so a caller
+/// that still holds a `borrow()` guard while the simulator runs gets a
+/// panic naming the offending hook rather than `RefCell`'s generic
+/// "already mutably borrowed" at an unrelated line.
 impl<O: Observer> Observer for Rc<RefCell<O>> {
     fn on_do(&mut self, ev: &DoEvent<'_>) {
-        self.borrow_mut().on_do(ev);
+        borrow_for_hook(self, "on_do").on_do(ev);
     }
     fn on_send(&mut self, ev: &SendEvent) {
-        self.borrow_mut().on_send(ev);
+        borrow_for_hook(self, "on_send").on_send(ev);
     }
     fn on_receive(&mut self, ev: &ReceiveEvent) {
-        self.borrow_mut().on_receive(ev);
+        borrow_for_hook(self, "on_receive").on_receive(ev);
     }
     fn on_drop(&mut self, ev: &FaultEvent) {
-        self.borrow_mut().on_drop(ev);
+        borrow_for_hook(self, "on_drop").on_drop(ev);
     }
     fn on_duplicate(&mut self, ev: &FaultEvent) {
-        self.borrow_mut().on_duplicate(ev);
+        borrow_for_hook(self, "on_duplicate").on_duplicate(ev);
     }
     fn on_partition_change(&mut self, step: usize, active: bool) {
-        self.borrow_mut().on_partition_change(step, active);
+        borrow_for_hook(self, "on_partition_change").on_partition_change(step, active);
     }
     fn on_quiesce(&mut self, rounds: usize, reached: bool) {
-        self.borrow_mut().on_quiesce(rounds, reached);
+        borrow_for_hook(self, "on_quiesce").on_quiesce(rounds, reached);
     }
     fn on_state_sample(&mut self, step: usize, state_bits: usize) {
-        self.borrow_mut().on_state_sample(step, state_bits);
+        borrow_for_hook(self, "on_state_sample").on_state_sample(step, state_bits);
     }
     fn on_search_node(&mut self, depth: usize, frontier: usize) {
-        self.borrow_mut().on_search_node(depth, frontier);
+        borrow_for_hook(self, "on_search_node").on_search_node(depth, frontier);
     }
     fn on_shrink_step(&mut self, len: usize) {
-        self.borrow_mut().on_shrink_step(len);
+        borrow_for_hook(self, "on_shrink_step").on_shrink_step(len);
     }
     fn on_dedup_lookup(&mut self, hit: bool) {
-        self.borrow_mut().on_dedup_lookup(hit);
+        borrow_for_hook(self, "on_dedup_lookup").on_dedup_lookup(hit);
     }
 }
 
@@ -355,6 +392,44 @@ mod tests {
         assert_eq!(a.borrow().dos, 1);
         assert_eq!(b.borrow().dos, 1);
         assert_eq!(a.borrow().quiesces, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "shared observer is still borrowed while dispatching `on_quiesce`")]
+    fn shared_observer_borrow_panic_names_the_hook() {
+        let handle = shared(Counting::default());
+        let guard = handle.borrow();
+        let mut attached = handle.clone();
+        attached.on_quiesce(1, true);
+        drop(guard);
+    }
+
+    #[test]
+    fn fork_join_round_trips_through_the_multiplexer_contract() {
+        // A minimal fork/join observer: counts events, joins by addition.
+        #[derive(Default)]
+        struct Sum(usize);
+        impl Observer for Sum {
+            fn on_search_node(&mut self, _depth: usize, _frontier: usize) {
+                self.0 += 1;
+            }
+        }
+        impl ForkJoinObserver for Sum {
+            fn fork(&self) -> Self {
+                Sum::default()
+            }
+            fn join(&mut self, child: Self) {
+                self.0 += child.0;
+            }
+        }
+        let mut parent = Sum::default();
+        parent.on_search_node(0, 0);
+        let mut child = parent.fork();
+        assert_eq!(child.0, 0, "fork starts empty");
+        child.on_search_node(1, 2);
+        child.on_search_node(2, 1);
+        parent.join(child);
+        assert_eq!(parent.0, 3);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Event counters and network-cost histograms.
 
 use super::hist::Histogram;
-use super::{DoEvent, FaultEvent, Observer, ReceiveEvent, SendEvent};
+use super::{DoEvent, FaultEvent, ForkJoinObserver, Observer, ReceiveEvent, SendEvent};
 
 /// Counts every kind of simulator event and aggregates network costs:
 /// message sizes (bits, per send), delivery latency (transcript events
@@ -188,6 +188,39 @@ impl Observer for StatsObserver {
     }
 }
 
+/// Every `StatsObserver` field is either a sum, a max, or a fixed-shape
+/// histogram, so the collector partitions cleanly across worker threads:
+/// fork children, record disjoint event streams, join by adding counters,
+/// merging histograms, and taking maxima. The result equals what one
+/// collector would have recorded over the concatenated stream, regardless
+/// of how the stream was partitioned.
+impl ForkJoinObserver for StatsObserver {
+    fn fork(&self) -> Self {
+        StatsObserver::new()
+    }
+
+    fn join(&mut self, child: Self) {
+        self.do_events += child.do_events;
+        self.updates += child.updates;
+        self.reads += child.reads;
+        self.sends += child.sends;
+        self.receives += child.receives;
+        self.drops += child.drops;
+        self.duplicates += child.duplicates;
+        self.partition_changes += child.partition_changes;
+        self.quiesce_calls += child.quiesce_calls;
+        self.quiesce_rounds += child.quiesce_rounds;
+        self.message_bits.merge(&child.message_bits);
+        self.delivery_latency.merge(&child.delivery_latency);
+        self.peak_state_bits = self.peak_state_bits.max(child.peak_state_bits);
+        self.search_nodes += child.search_nodes;
+        self.max_frontier = self.max_frontier.max(child.max_frontier);
+        self.shrink_steps += child.shrink_steps;
+        self.dedup_hits += child.dedup_hits;
+        self.dedup_misses += child.dedup_misses;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,5 +301,44 @@ mod tests {
         assert_eq!(s.dedup_hits(), 2);
         assert_eq!(s.dedup_misses(), 1);
         assert!((s.dedup_hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn join_equals_one_collector_over_the_whole_stream() {
+        // Split an event stream across two forked children; the joined
+        // parent must match a single collector that saw everything.
+        let send = |step: usize, bits: usize| SendEvent {
+            step,
+            replica: ReplicaId::new(0),
+            msg: MsgId::new(0),
+            bits,
+        };
+        let mut whole = StatsObserver::new();
+        let mut parent = StatsObserver::new();
+        let mut a = parent.fork();
+        let mut b = parent.fork();
+        for (obs, half) in [(&mut a, 0..3), (&mut b, 3..7)] {
+            for i in half {
+                obs.on_send(&send(i, 8 * (i + 1)));
+                obs.on_search_node(i, 10 - i);
+                obs.on_state_sample(i, 100 * i);
+                obs.on_dedup_lookup(i % 2 == 0);
+            }
+        }
+        for i in 0..7 {
+            whole.on_send(&send(i, 8 * (i + 1)));
+            whole.on_search_node(i, 10 - i);
+            whole.on_state_sample(i, 100 * i);
+            whole.on_dedup_lookup(i % 2 == 0);
+        }
+        parent.join(a);
+        parent.join(b);
+        assert_eq!(parent.sends(), whole.sends());
+        assert_eq!(parent.message_bits(), whole.message_bits());
+        assert_eq!(parent.search_nodes(), whole.search_nodes());
+        assert_eq!(parent.max_frontier(), whole.max_frontier());
+        assert_eq!(parent.peak_state_bits(), whole.peak_state_bits());
+        assert_eq!(parent.dedup_hits(), whole.dedup_hits());
+        assert_eq!(parent.dedup_misses(), whole.dedup_misses());
     }
 }

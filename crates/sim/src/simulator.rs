@@ -202,6 +202,25 @@ impl Simulator {
         }
     }
 
+    /// Spawns a cluster and immediately rewinds it to `snap`. This is the
+    /// clone-into-thread path used by the parallel explorer: a
+    /// [`SimSnapshot`] is `Send` (machines are plain data behind
+    /// [`ReplicaMachine::boxed_clone`]), so a worker can rebuild the shared
+    /// prefix state locally without the originating [`Simulator`] — which
+    /// owns non-`Send` observers — ever crossing a thread boundary.
+    ///
+    /// The snapshot must come from a simulator with the same store and
+    /// configuration, as with [`restore`](Self::restore).
+    pub fn from_snapshot(
+        factory: &dyn StoreFactory,
+        config: StoreConfig,
+        snap: &SimSnapshot,
+    ) -> Self {
+        let mut sim = Simulator::new(factory, config);
+        sim.restore(snap);
+        sim
+    }
+
     /// The store configuration.
     pub fn config(&self) -> StoreConfig {
         self.config

@@ -9,7 +9,10 @@
 
 use haec_core::{causal, check_correct, ObjectSpecs, SpecKind};
 use haec_model::{ObjectId, Op, ReplicaId, StoreConfig, StoreFactory, Value};
-use haec_sim::exhaustive::{explore_all, explore_all_replay, replay, Action, ExhaustiveConfig};
+use haec_sim::exhaustive::{
+    explore_all, explore_all_parallel, explore_all_replay, replay, Action, ExhaustiveConfig,
+    ParallelConfig,
+};
 use haec_sim::Simulator;
 use haec_stores::{
     BoundedStore, CausalRegisterStore, CopsStore, DvvMvrStore, EwFlagStore, LwwStore, OrSetStore,
@@ -27,6 +30,17 @@ fn v(i: u64) -> Value {
 
 /// Correct-and-causal predicate against the store's specification.
 fn check_against(spec: SpecKind) -> impl FnMut(&Simulator) -> bool {
+    move |sim| {
+        let Ok(a) = sim.abstract_execution() else {
+            return false;
+        };
+        check_correct(&a, &ObjectSpecs::uniform(spec)).is_ok() && causal::check(&a).is_ok()
+    }
+}
+
+/// The same predicate, shaped for the parallel engine (`Fn + Sync` so the
+/// worker pool can call it from every thread).
+fn check_against_sync(spec: SpecKind) -> impl Fn(&Simulator) -> bool + Sync {
     move |sim| {
         let Ok(a) = sim.abstract_execution() else {
             return false;
@@ -75,6 +89,33 @@ fn assert_engines_agree(
         "{}: dedup changes the counterexample",
         factory.name()
     );
+    // The parallel engine must reproduce the sequential result for every
+    // thread count, with and without dedup.
+    for threads in [1, 2, 8] {
+        for dedup in [false, true] {
+            let par = explore_all_parallel(
+                factory,
+                &ExhaustiveConfig {
+                    dedup,
+                    ..config.clone()
+                },
+                &ParallelConfig::with_threads(threads),
+                &check_against_sync(spec),
+            );
+            assert_eq!(
+                reference.schedules,
+                par.schedules,
+                "{}: parallel schedule count diverges (threads={threads}, dedup={dedup})",
+                factory.name()
+            );
+            assert_eq!(
+                reference.counterexample,
+                par.counterexample,
+                "{}: parallel counterexample diverges (threads={threads}, dedup={dedup})",
+                factory.name()
+            );
+        }
+    }
     reference.schedules
 }
 
@@ -158,6 +199,21 @@ fn engines_agree_on_a_failing_predicate() {
     assert_eq!(reference.counterexample, dfs.counterexample);
     assert_eq!(reference.schedules, deduped.schedules);
     assert_eq!(reference.counterexample, deduped.counterexample);
+    // The parallel engine stops at the same first counterexample and
+    // counts the same number of schedules before it, at every thread count.
+    for threads in [1, 2, 8] {
+        let par = explore_all_parallel(
+            &DvvMvrStore,
+            &config,
+            &ParallelConfig::with_threads(threads),
+            &|sim: &Simulator| !(sim.execution().events().len() >= 3 && !sim.inflight().is_empty()),
+        );
+        assert_eq!(reference.schedules, par.schedules, "threads={threads}");
+        assert_eq!(
+            reference.counterexample, par.counterexample,
+            "threads={threads}"
+        );
+    }
     // The counterexample replays to a failing state.
     let sim = replay(
         &DvvMvrStore,

@@ -132,6 +132,53 @@ fn report_json_is_byte_identical_across_same_seed_runs() {
 }
 
 #[test]
+fn parallel_exploration_report_json_is_byte_identical_across_thread_counts() {
+    // The parallel explorer's whole claim: the run-report JSON assembled
+    // from its observer stream is byte-for-byte the sequential report, at
+    // every thread count. Nothing about worker scheduling may leak into
+    // the serialized output.
+    use haec::sim::exhaustive::{explore_all_observed, explore_all_parallel_observed};
+    use haec::sim::exhaustive::{ExhaustiveConfig, ParallelConfig};
+    use haec::sim::obs::stats::StatsObserver;
+    use haec::sim::{ReportConfig, RunReport};
+
+    let config = ExhaustiveConfig {
+        store_config: StoreConfig::new(2, 1),
+        ops: vec![Op::Write(Value::new(0)), Op::Read],
+        depth: 4,
+        max_schedules: usize::MAX,
+        dedup: false,
+    };
+    let report_json = |stats: StatsObserver| {
+        let mut rep = RunReport::collect(&DvvMvrStore, &ReportConfig::default(), 7);
+        rep.stats = stats;
+        rep.to_json_normalized()
+    };
+
+    let mut seq_stats = StatsObserver::new();
+    let seq = explore_all_observed(&DvvMvrStore, &config, &mut |_| true, &mut seq_stats);
+    let seq_json = report_json(seq_stats);
+
+    for threads in [1usize, 2, 8] {
+        let mut par_stats = StatsObserver::new();
+        let par = explore_all_parallel_observed(
+            &DvvMvrStore,
+            &config,
+            &ParallelConfig::with_threads(threads),
+            &|_| true,
+            &mut par_stats,
+        );
+        assert_eq!(seq.schedules, par.schedules, "threads={threads}");
+        let par_json = report_json(par_stats);
+        assert_eq!(
+            seq_json.as_bytes(),
+            par_json.as_bytes(),
+            "report JSON diverges from sequential at threads={threads}"
+        );
+    }
+}
+
+#[test]
 fn workload_stream_is_deterministic_standalone() {
     // The workload PRNG stream itself (not just the end-to-end trace) is
     // stable: the same seed yields the same operation sequence.
