@@ -31,6 +31,10 @@ echo "== explore smoke (all engines incl. par-2 must agree at depth 3) =="
 cargo bench -q --locked --offline -p haec-bench --bench explore -- \
     --smoke --threads 2 > /dev/null
 
+echo "== scenario smoke (fixture families enumerate, family sweep seq==par-2) =="
+cargo bench -q --locked --offline -p haec-bench --bench scenario -- \
+    --smoke --threads 2 > /dev/null
+
 echo "== fmt =="
 cargo fmt --check
 

@@ -36,7 +36,10 @@ use std::fmt;
 
 pub mod parallel;
 
-pub use parallel::{explore_all_parallel, explore_all_parallel_observed, ParallelConfig};
+pub use parallel::{
+    explore_all_parallel, explore_all_parallel_observed, explore_family_parallel,
+    explore_family_parallel_observed, ParallelConfig,
+};
 
 /// One scheduler action in the enumeration.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -64,6 +67,16 @@ pub struct ExhaustiveConfig {
     /// `usize::MAX` disables the cap. With [`dedup`](Self::dedup) enabled
     /// the cap is checked after whole-subtree credits, so the reported
     /// count may overshoot it by the size of the last memoised subtree.
+    ///
+    /// The parallel engine applies this cap at merge time with *work-unit*
+    /// granularity (see [`explore_all_parallel`]); the count stays exact
+    /// with dedup off. Scenario-family exploration does **not** use this
+    /// field: families cap via
+    /// [`FamilyConfig::max_members`](crate::scenario::FamilyConfig::max_members),
+    /// which truncates the canonical member enumeration *before* any
+    /// member runs — member granularity, so cap accounting is
+    /// bit-identical under `--threads N` for every `N` (pinned by
+    /// `family_cap_hit_accounting_is_exact_across_threads`).
     pub max_schedules: usize,
     /// Memoise and prune schedule prefixes that reach an already-explored
     /// canonical global state (same replica states, same in-flight
@@ -112,7 +125,11 @@ impl std::error::Error for ExhaustiveConfigError {}
 
 impl ExhaustiveConfig {
     /// Validates the parameters: `depth` and `max_schedules` must both be
-    /// nonzero.
+    /// nonzero. The family analogue is
+    /// [`FamilyConfig::validate`](crate::scenario::FamilyConfig::validate),
+    /// which checks `depth`/`max_members` under the same contract; every
+    /// exploration entry point (sequential, parallel, family) validates
+    /// before touching a simulator.
     ///
     /// # Errors
     ///

@@ -55,6 +55,7 @@ use super::{
     ExhaustiveReport,
 };
 use crate::obs::{ForkJoinObserver, Observer};
+use crate::scenario::{FamilyConfig, FamilyReport, Scenario};
 use crate::simulator::{SimSnapshot, Simulator};
 use haec_core::det::DetMap;
 use haec_model::{ReplicaId, StoreFactory};
@@ -456,6 +457,117 @@ pub fn explore_all_parallel_observed<O: ForkJoinObserver + Send>(
     }
 }
 
+/// Parallel twin of [`explore_family`](crate::scenario::explore_family):
+/// the members to run are a pure function of `(scenario, config)`, each
+/// member's verdict is computed on a private simulator, and the sweep has
+/// no early exit — so sharding members across `threads` workers changes
+/// nothing observable. The report (including
+/// [`cap_hit`](crate::scenario::FamilyReport::cap_hit) accounting and the
+/// canonical-first counterexample) is bit-identical for every thread
+/// count.
+///
+/// # Panics
+///
+/// Panics if `config` fails
+/// [`FamilyConfig::validate`](crate::scenario::FamilyConfig::validate) or
+/// `threads` is zero.
+pub fn explore_family_parallel(
+    factory: &dyn StoreFactory,
+    config: &FamilyConfig,
+    threads: usize,
+    name: &str,
+    scenario: &Scenario,
+    check: &(dyn Fn(&Simulator) -> bool + Sync),
+) -> FamilyReport {
+    struct NullObserver;
+    impl Observer for NullObserver {}
+    explore_family_parallel_observed(
+        factory,
+        config,
+        threads,
+        name,
+        scenario,
+        check,
+        &mut NullObserver,
+    )
+}
+
+/// Like [`explore_family_parallel`], but announces every member to `obs`
+/// via [`Observer::on_family_member`]. Workers only compute verdicts; the
+/// hooks fire on the caller's observer during the canonical-order merge,
+/// so the observer sees the exact event stream of
+/// [`explore_family_observed`](crate::scenario::explore_family_observed)
+/// regardless of thread count.
+///
+/// # Panics
+///
+/// Panics if `config` fails
+/// [`FamilyConfig::validate`](crate::scenario::FamilyConfig::validate) or
+/// `threads` is zero.
+pub fn explore_family_parallel_observed<O: Observer>(
+    factory: &dyn StoreFactory,
+    config: &FamilyConfig,
+    threads: usize,
+    name: &str,
+    scenario: &Scenario,
+    check: &(dyn Fn(&Simulator) -> bool + Sync),
+    obs: &mut O,
+) -> FamilyReport {
+    config.validate().expect("invalid FamilyConfig");
+    assert!(threads > 0, "threads must be nonzero");
+    let members = scenario.iter_to_depth(config.depth);
+    let enumerated = members.len();
+    let run = enumerated.min(config.max_members);
+    let to_run = &members[..run];
+
+    // Phase 1: verdicts, sharded by contiguous chunk. Each worker owns its
+    // simulators outright; results are collected in spawn (= canonical)
+    // order, so wall-clock interleaving cannot reach them.
+    let chunk = run.div_ceil(threads).max(1);
+    let verdicts: Vec<bool> = std::thread::scope(|scope| {
+        let handles: Vec<_> = to_run
+            .chunks(chunk)
+            .map(|part| {
+                scope.spawn(move || {
+                    part.iter()
+                        .map(|member| {
+                            let mut sim = Simulator::new(factory, config.store_config);
+                            crate::scenario::run_member(&mut sim, member);
+                            check(&sim)
+                        })
+                        .collect::<Vec<bool>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("family worker panicked"))
+            .collect()
+    });
+
+    // Phase 2: canonical-order merge — identical accounting to the
+    // sequential sweep.
+    let mut failures = 0;
+    let mut counterexample = None;
+    for (member, &passed) in to_run.iter().zip(&verdicts) {
+        obs.on_family_member(name, member.len(), passed);
+        if !passed {
+            failures += 1;
+            if counterexample.is_none() {
+                counterexample = Some(member.clone());
+            }
+        }
+    }
+    FamilyReport {
+        family: name.to_owned(),
+        enumerated,
+        run,
+        cap_hit: enumerated > config.max_members,
+        failures,
+        counterexample,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::super::{explore_all, explore_all_observed, ExhaustiveConfig};
@@ -639,6 +751,78 @@ mod tests {
             assert_eq!(par.schedules, auto.schedules, "split={split}");
             assert_eq!(par.counterexample, auto.counterexample);
         }
+    }
+
+    #[test]
+    fn family_sweep_is_thread_invariant_including_observer_stream() {
+        use crate::scenario::{explore_family_observed, heal_before_quiesce, FamilyConfig};
+
+        let family = heal_before_quiesce(SpecKind::Mvr);
+        let config = FamilyConfig::default();
+        let mut seq_stats = StatsObserver::new();
+        let sequential = explore_family_observed(
+            &DvvMvrStore,
+            &config,
+            "hbq",
+            &family,
+            &mut causal_check,
+            &mut seq_stats,
+        );
+        assert_eq!(sequential.run, 4);
+        for threads in [1, 2, 4, 9] {
+            let mut par_stats = StatsObserver::new();
+            let par = explore_family_parallel_observed(
+                &DvvMvrStore,
+                &config,
+                threads,
+                "hbq",
+                &family,
+                &causal_check,
+                &mut par_stats,
+            );
+            assert_eq!(par, sequential, "threads={threads}");
+            assert_eq!(par_stats.families(), seq_stats.families());
+        }
+    }
+
+    #[test]
+    fn family_cap_hit_accounting_is_exact_across_threads() {
+        // Regression for the cap/family interaction: when max_members lands
+        // inside the family, the enumeration prefix that runs — and the
+        // cap_hit flag — are a pure function of the config, so every thread
+        // count reports identical numbers (member granularity; compare the
+        // unit-granularity contract of max_schedules above).
+        use crate::scenario::{concurrent_write_pair, explore_family, FamilyConfig};
+
+        let family = concurrent_write_pair(SpecKind::Mvr, 3);
+        let config = FamilyConfig {
+            max_members: 4,
+            ..FamilyConfig::default()
+        };
+        let sequential = explore_family(&DvvMvrStore, &config, "cwp", &family, &mut |_| false);
+        assert_eq!(sequential.enumerated, 6);
+        assert_eq!(sequential.run, 4);
+        assert!(sequential.cap_hit);
+        assert_eq!(sequential.failures, 4, "only capped members run");
+        for threads in [1, 2, 3, 8] {
+            let par =
+                explore_family_parallel(&DvvMvrStore, &config, threads, "cwp", &family, &|_| false);
+            assert_eq!(par, sequential, "threads={threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "threads must be nonzero")]
+    fn family_zero_threads_panics() {
+        use crate::scenario::{dup_storm, FamilyConfig};
+        explore_family_parallel(
+            &DvvMvrStore,
+            &FamilyConfig::default(),
+            0,
+            "dup",
+            &dup_storm(SpecKind::Mvr),
+            &|_| true,
+        );
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod explorer;
 pub mod liveness;
 pub mod metrics;
 pub mod obs;
+pub mod scenario;
 pub mod scheduler;
 mod simulator;
 pub mod trace;
@@ -47,6 +48,10 @@ pub use liveness::{fair_run, fair_run_with, FairRunConfig, LivenessReport};
 pub use metrics::{measure, RunMetrics};
 pub use obs::report::{ReportConfig, RunReport};
 pub use obs::{Observer, Observers};
+pub use scenario::{
+    explore_family, explore_family_observed, run_member, FamilyConfig, FamilyReport, Pat, Scenario,
+    ScenarioFilter,
+};
 pub use scheduler::{run_schedule, DeliveryPolicy, Partition, ScheduleConfig};
 pub use simulator::{FaultKind, FaultRecord, InFlight, Simulator};
 pub use workload::{KeyDistribution, Workload};

@@ -173,6 +173,13 @@ pub trait Observer {
     fn on_dedup_lookup(&mut self, hit: bool) {
         let _ = hit;
     }
+
+    /// A scenario-family explorer ran one member (of `len` patterns) of
+    /// the family named `family`; `passed` is the predicate's verdict.
+    /// Members are announced in canonical enumeration order.
+    fn on_family_member(&mut self, family: &str, len: usize, passed: bool) {
+        let _ = (family, len, passed);
+    }
 }
 
 /// An [`Observer`] that can be split across the parallel explorer's worker
@@ -287,6 +294,11 @@ impl Observer for Observers {
             o.on_dedup_lookup(hit);
         }
     }
+    fn on_family_member(&mut self, family: &str, len: usize, passed: bool) {
+        for o in &mut self.list {
+            o.on_family_member(family, len, passed);
+        }
+    }
 }
 
 /// Borrows the wrapped observer for one hook dispatch, failing with a
@@ -341,6 +353,9 @@ impl<O: Observer> Observer for Rc<RefCell<O>> {
     }
     fn on_dedup_lookup(&mut self, hit: bool) {
         borrow_for_hook(self, "on_dedup_lookup").on_dedup_lookup(hit);
+    }
+    fn on_family_member(&mut self, family: &str, len: usize, passed: bool) {
+        borrow_for_hook(self, "on_family_member").on_family_member(family, len, passed);
     }
 }
 
@@ -443,5 +458,6 @@ mod tests {
         n.on_search_node(0, 0);
         n.on_shrink_step(0);
         n.on_dedup_lookup(true);
+        n.on_family_member("f", 0, true);
     }
 }

@@ -264,6 +264,28 @@ impl RunReport {
                         "dedup_hit_rate".into(),
                         Json::Float(self.stats.dedup_hit_rate()),
                     ),
+                    (
+                        "families".into(),
+                        Json::Obj(
+                            self.stats
+                                .families()
+                                .iter()
+                                .map(|(name, tally)| {
+                                    (
+                                        name.clone(),
+                                        Json::Obj(vec![
+                                            ("members".into(), Json::uint(tally.members)),
+                                            ("failures".into(), Json::uint(tally.failures)),
+                                            (
+                                                "pattern_total".into(),
+                                                Json::uint(tally.pattern_total),
+                                            ),
+                                        ]),
+                                    )
+                                })
+                                .collect(),
+                        ),
+                    ),
                 ]),
             ),
         ])
@@ -441,6 +463,34 @@ mod tests {
             .and_then(Json::as_f64)
             .expect("hit rate");
         assert!((rate - 4.0 / 18.0).abs() < 1e-9, "hit rate {rate}");
+    }
+
+    #[test]
+    fn families_flow_through_the_search_section() {
+        use crate::obs::stats::StatsObserver;
+        use crate::scenario::{concurrent_write_pair, explore_family_observed, FamilyConfig};
+        use haec_core::SpecKind;
+
+        let mut stats = StatsObserver::new();
+        let family = concurrent_write_pair(SpecKind::Mvr, 3);
+        explore_family_observed(
+            &DvvMvrStore,
+            &FamilyConfig::default(),
+            "cwp",
+            &family,
+            &mut |_| true,
+            &mut stats,
+        );
+        let mut rep = RunReport::collect(&DvvMvrStore, &ReportConfig::default(), 7);
+        rep.stats = stats;
+        let v = Json::parse(&rep.to_json_string()).expect("valid JSON");
+        let fam = v
+            .get("search")
+            .and_then(|s| s.get("families"))
+            .and_then(|f| f.get("cwp"))
+            .expect("cwp family in search section");
+        assert_eq!(fam.get("members").and_then(Json::as_int), Some(6));
+        assert_eq!(fam.get("failures").and_then(Json::as_int), Some(0));
     }
 
     #[test]

@@ -2,6 +2,20 @@
 
 use super::hist::Histogram;
 use super::{DoEvent, FaultEvent, ForkJoinObserver, Observer, ReceiveEvent, SendEvent};
+use haec_core::det::DetMap;
+
+/// Per-family tallies from scenario-family sweeps
+/// ([`Observer::on_family_member`]).
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Default)]
+pub struct FamilyTally {
+    /// Members run.
+    pub members: u64,
+    /// Members whose predicate failed.
+    pub failures: u64,
+    /// Total patterns across the members run (so mean member length is
+    /// `pattern_total / members`).
+    pub pattern_total: u64,
+}
 
 /// Counts every kind of simulator event and aggregates network costs:
 /// message sizes (bits, per send), delivery latency (transcript events
@@ -27,6 +41,7 @@ pub struct StatsObserver {
     shrink_steps: u64,
     dedup_hits: u64,
     dedup_misses: u64,
+    families: DetMap<String, FamilyTally>,
 }
 
 impl StatsObserver {
@@ -126,6 +141,12 @@ impl StatsObserver {
         self.dedup_misses
     }
 
+    /// Per-family member/failure tallies from scenario-family sweeps,
+    /// keyed by family name (deterministic iteration order).
+    pub fn families(&self) -> &DetMap<String, FamilyTally> {
+        &self.families
+    }
+
     /// Fraction of fingerprint-cache probes that hit, or 0.0 if the cache
     /// was never probed.
     pub fn dedup_hit_rate(&self) -> f64 {
@@ -186,6 +207,16 @@ impl Observer for StatsObserver {
             self.dedup_misses += 1;
         }
     }
+    fn on_family_member(&mut self, family: &str, len: usize, passed: bool) {
+        let tally = self
+            .families
+            .get_or_insert_with(family.to_owned(), FamilyTally::default);
+        tally.members += 1;
+        tally.pattern_total += len as u64;
+        if !passed {
+            tally.failures += 1;
+        }
+    }
 }
 
 /// Every `StatsObserver` field is either a sum, a max, or a fixed-shape
@@ -218,6 +249,14 @@ impl ForkJoinObserver for StatsObserver {
         self.shrink_steps += child.shrink_steps;
         self.dedup_hits += child.dedup_hits;
         self.dedup_misses += child.dedup_misses;
+        for (family, tally) in child.families.iter() {
+            let mine = self
+                .families
+                .get_or_insert_with(family.clone(), FamilyTally::default);
+            mine.members += tally.members;
+            mine.failures += tally.failures;
+            mine.pattern_total += tally.pattern_total;
+        }
     }
 }
 
@@ -331,9 +370,24 @@ mod tests {
             whole.on_state_sample(i, 100 * i);
             whole.on_dedup_lookup(i % 2 == 0);
         }
+        a.on_family_member("cwp", 3, true);
+        a.on_family_member("cwp", 4, false);
+        b.on_family_member("cwp", 5, true);
+        b.on_family_member("hbq", 10, true);
+        for (fam, len, passed) in [
+            ("cwp", 3, true),
+            ("cwp", 4, false),
+            ("cwp", 5, true),
+            ("hbq", 10, true),
+        ] {
+            whole.on_family_member(fam, len, passed);
+        }
         parent.join(a);
         parent.join(b);
         assert_eq!(parent.sends(), whole.sends());
+        assert_eq!(parent.families(), whole.families());
+        let cwp = parent.families().get("cwp").unwrap();
+        assert_eq!((cwp.members, cwp.failures, cwp.pattern_total), (3, 1, 12));
         assert_eq!(parent.message_bits(), whole.message_bits());
         assert_eq!(parent.search_nodes(), whole.search_nodes());
         assert_eq!(parent.max_frontier(), whole.max_frontier());

@@ -1,0 +1,277 @@
+//! Exhaustive exploration of a scenario family: run every member.
+//!
+//! [`explore_family`] is the family analogue of
+//! [`explore_all`](crate::exhaustive::explore_all): it enumerates the
+//! family to the configured depth and drives every member (up to the
+//! [`max_members`](FamilyConfig::max_members) cap) on a fresh simulator,
+//! classifying each with the caller's predicate. Unlike the schedule-tree
+//! DFS it is a **sweep** — it never stops at the first failure. That
+//! choice is what makes the parallel twin
+//! ([`explore_family_parallel`](crate::exhaustive::explore_family_parallel))
+//! trivially bit-identical for every thread count: every member's verdict
+//! is computed unconditionally, the cap truncates the *enumeration* (a
+//! pure function of the scenario), and the counterexample is defined as
+//! the first failing member in canonical order, not the first found.
+
+use super::{run_member, Pat, Scenario};
+use crate::obs::Observer;
+use crate::simulator::Simulator;
+use haec_model::{StoreConfig, StoreFactory};
+use std::fmt;
+
+/// Parameters of a family exploration.
+#[derive(Clone, Copy, Debug)]
+pub struct FamilyConfig {
+    /// Cluster shape for every member run.
+    pub store_config: StoreConfig,
+    /// Enumeration depth: members longer than this are not generated.
+    pub depth: usize,
+    /// Cap on members *run*. The enumeration itself is never truncated
+    /// mid-member: the first `max_members` members in canonical order
+    /// run, the rest are reported via
+    /// [`cap_hit`](FamilyReport::cap_hit) — so the cap accounting is
+    /// exact and thread-invariant (compare the schedule-granular cap of
+    /// [`ExhaustiveConfig::max_schedules`](crate::exhaustive::ExhaustiveConfig)).
+    pub max_members: usize,
+}
+
+impl Default for FamilyConfig {
+    fn default() -> Self {
+        FamilyConfig {
+            store_config: StoreConfig::new(3, 2),
+            depth: 12,
+            max_members: 4096,
+        }
+    }
+}
+
+/// Why a [`FamilyConfig`] is unusable.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum FamilyConfigError {
+    /// `depth` is 0: no member, not even the empty one's extensions.
+    ZeroDepth,
+    /// `max_members` is 0: nothing would run.
+    ZeroMaxMembers,
+}
+
+impl fmt::Display for FamilyConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FamilyConfigError::ZeroDepth => write!(f, "depth must be nonzero"),
+            FamilyConfigError::ZeroMaxMembers => write!(f, "max_members must be nonzero"),
+        }
+    }
+}
+
+impl FamilyConfig {
+    /// Checks the configuration, mirroring
+    /// [`ExhaustiveConfig::validate`](crate::exhaustive::ExhaustiveConfig::validate).
+    pub fn validate(&self) -> Result<(), FamilyConfigError> {
+        if self.depth == 0 {
+            return Err(FamilyConfigError::ZeroDepth);
+        }
+        if self.max_members == 0 {
+            return Err(FamilyConfigError::ZeroMaxMembers);
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a family sweep. Fully deterministic in
+/// `(store, config, scenario)` — byte-identical across runs and thread
+/// counts.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FamilyReport {
+    /// Family name (as passed to the exploration).
+    pub family: String,
+    /// Distinct members the family enumerates at the configured depth.
+    pub enumerated: usize,
+    /// Members actually run (`min(enumerated, max_members)`).
+    pub run: usize,
+    /// Whether the cap truncated the sweep.
+    pub cap_hit: bool,
+    /// Members whose run failed the predicate.
+    pub failures: usize,
+    /// The first failing member in canonical enumeration order.
+    pub counterexample: Option<Vec<Pat>>,
+}
+
+impl FamilyReport {
+    /// Did every member that ran satisfy the predicate?
+    pub fn all_passed(&self) -> bool {
+        self.failures == 0
+    }
+}
+
+/// Runs every member of `scenario` (in canonical order, up to the cap)
+/// on a fresh simulator and classifies it with `check`.
+///
+/// # Panics
+///
+/// Panics if `config` fails [`FamilyConfig::validate`].
+pub fn explore_family(
+    factory: &dyn StoreFactory,
+    config: &FamilyConfig,
+    name: &str,
+    scenario: &Scenario,
+    check: &mut dyn FnMut(&Simulator) -> bool,
+) -> FamilyReport {
+    struct NullObserver;
+    impl Observer for NullObserver {}
+    explore_family_observed(factory, config, name, scenario, check, &mut NullObserver)
+}
+
+/// Like [`explore_family`], but announces every member run to `obs` via
+/// [`Observer::on_family_member`], in canonical order.
+///
+/// # Panics
+///
+/// Panics if `config` fails [`FamilyConfig::validate`].
+pub fn explore_family_observed<O: Observer>(
+    factory: &dyn StoreFactory,
+    config: &FamilyConfig,
+    name: &str,
+    scenario: &Scenario,
+    check: &mut dyn FnMut(&Simulator) -> bool,
+    obs: &mut O,
+) -> FamilyReport {
+    config.validate().expect("invalid FamilyConfig");
+    let members = scenario.iter_to_depth(config.depth);
+    let enumerated = members.len();
+    let run = enumerated.min(config.max_members);
+    let mut failures = 0;
+    let mut counterexample = None;
+    for member in &members[..run] {
+        let mut sim = Simulator::new(factory, config.store_config);
+        run_member(&mut sim, member);
+        let passed = check(&sim);
+        obs.on_family_member(name, member.len(), passed);
+        if !passed {
+            failures += 1;
+            if counterexample.is_none() {
+                counterexample = Some(member.clone());
+            }
+        }
+    }
+    FamilyReport {
+        family: name.to_owned(),
+        enumerated,
+        run,
+        cap_hit: enumerated > config.max_members,
+        failures,
+        counterexample,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::obs::stats::StatsObserver;
+    use crate::scenario::{concurrent_write_pair, ScenarioFilter};
+    use haec_core::{causal, check_correct, ObjectSpecs, SpecKind};
+    use haec_stores::DvvMvrStore;
+
+    fn causal_check(sim: &Simulator) -> bool {
+        let Ok(a) = sim.abstract_execution() else {
+            return false;
+        };
+        check_correct(&a, &ObjectSpecs::uniform(SpecKind::Mvr)).is_ok() && causal::check(&a).is_ok()
+    }
+
+    #[test]
+    fn sweep_counts_and_cap_accounting() {
+        let family = concurrent_write_pair(SpecKind::Mvr, 3);
+        let config = FamilyConfig::default();
+        let report = explore_family(&DvvMvrStore, &config, "cwp", &family, &mut causal_check);
+        assert_eq!(report.family, "cwp");
+        assert_eq!(report.enumerated, 6, "3 replicas, ordered distinct pairs");
+        assert_eq!(report.run, 6);
+        assert!(!report.cap_hit);
+        assert!(report.all_passed(), "dvv-mvr is causally consistent");
+
+        let capped = FamilyConfig {
+            max_members: 2,
+            ..config
+        };
+        let report = explore_family(&DvvMvrStore, &capped, "cwp", &family, &mut causal_check);
+        assert_eq!(report.enumerated, 6);
+        assert_eq!(report.run, 2);
+        assert!(report.cap_hit);
+    }
+
+    #[test]
+    fn counterexample_is_first_failing_in_canonical_order_without_early_exit() {
+        // A predicate that fails every member: the sweep still visits all
+        // of them (no early exit), and the counterexample is member 0.
+        let family = concurrent_write_pair(SpecKind::Mvr, 3);
+        let members = family.iter_to_depth(FamilyConfig::default().depth);
+        let mut seen = 0;
+        let report = explore_family(
+            &DvvMvrStore,
+            &FamilyConfig::default(),
+            "cwp",
+            &family,
+            &mut |_| {
+                seen += 1;
+                false
+            },
+        );
+        assert_eq!(seen, members.len(), "sweep must not stop early");
+        assert_eq!(report.failures, members.len());
+        assert_eq!(report.counterexample.as_ref(), members.first());
+    }
+
+    #[test]
+    fn observer_sees_every_member_in_order() {
+        let family = concurrent_write_pair(SpecKind::Mvr, 3);
+        let mut stats = StatsObserver::new();
+        let report = explore_family_observed(
+            &DvvMvrStore,
+            &FamilyConfig::default(),
+            "cwp",
+            &family,
+            &mut causal_check,
+            &mut stats,
+        );
+        let tally = stats.families().get("cwp").expect("family recorded");
+        assert_eq!(tally.members, report.run as u64);
+        assert_eq!(tally.failures, report.failures as u64);
+    }
+
+    #[test]
+    fn empty_family_reports_cleanly() {
+        let family = crate::scenario::Scenario::filter(
+            ScenarioFilter::MinLen(99),
+            crate::scenario::Scenario::empty(),
+        );
+        let report = explore_family(
+            &DvvMvrStore,
+            &FamilyConfig::default(),
+            "empty",
+            &family,
+            &mut causal_check,
+        );
+        assert_eq!(report.enumerated, 0);
+        assert_eq!(report.run, 0);
+        assert!(!report.cap_hit);
+        assert!(report.all_passed());
+    }
+
+    #[test]
+    fn validate_rejects_zero_fields() {
+        let ok = FamilyConfig::default();
+        assert_eq!(ok.validate(), Ok(()));
+        let bad = FamilyConfig { depth: 0, ..ok };
+        assert_eq!(bad.validate(), Err(FamilyConfigError::ZeroDepth));
+        let bad = FamilyConfig {
+            max_members: 0,
+            ..ok
+        };
+        assert_eq!(bad.validate(), Err(FamilyConfigError::ZeroMaxMembers));
+        assert!(bad
+            .validate()
+            .unwrap_err()
+            .to_string()
+            .contains("max_members"));
+    }
+}

@@ -1,0 +1,172 @@
+//! The named fixture families used by the conformance matrix, the
+//! determinism pins, CI smoke, and the docs.
+//!
+//! All three are parameterised by [`SpecKind`] so every store in the
+//! matrix exercises them with its own update operation; enumeration
+//! counts are spec-independent (pinned in `tests/scenario_families.rs`).
+
+use super::{Pat, Scenario, ScenarioFilter};
+use haec_core::SpecKind;
+use haec_model::{ObjectId, Op, ReplicaId, Value};
+
+/// The canonical update operation for a spec. Payload values are
+/// placeholders — [`run_member`](super::run_member) uniquifies them by
+/// step position.
+pub fn update_op(spec: SpecKind) -> Op {
+    match spec {
+        SpecKind::Mvr | SpecKind::LwwRegister => Op::Write(Value::new(0)),
+        SpecKind::OrSet => Op::Add(Value::new(0)),
+        SpecKind::Counter => Op::Inc,
+        SpecKind::EwFlag => Op::Enable,
+    }
+}
+
+fn x() -> ObjectId {
+    ObjectId::new(0)
+}
+
+fn r(i: u32) -> ReplicaId {
+    ReplicaId::new(i)
+}
+
+/// **concurrent-write-pair**: two updates to the same object from a
+/// choice of replicas, then quiescence, filtered to genuinely concurrent
+/// pairs (distinct replicas, no delivery between). With `n_replicas = 3`
+/// this enumerates 6 members — the ordered distinct pairs.
+///
+/// This is the shape behind the paper's Theorem 6 separation: a
+/// concurrent-write pair is exactly what an MVR must keep and an LWW
+/// register must arbitrate.
+pub fn concurrent_write_pair(spec: SpecKind, n_replicas: usize) -> Scenario {
+    let writes = Scenario::choice(
+        (0..n_replicas)
+            .map(|i| Scenario::atom(Pat::Op(r(i as u32), x(), update_op(spec))))
+            .collect(),
+    );
+    let body = Scenario::seq(vec![
+        Scenario::hole("a"),
+        Scenario::hole("b"),
+        Scenario::atom(Pat::Quiesce),
+    ]);
+    Scenario::filter(
+        ScenarioFilter::ConcurrentWritePairs { min: 1 },
+        Scenario::plug(Scenario::plug(body, "a", writes.clone()), "b", writes),
+    )
+}
+
+/// **heal-before-quiesce**: replica 2 is partitioned off while a causal
+/// chain of two updates forms on the majority side; the window heals and
+/// the *newest* copy — the causally later update — reaches replica 2
+/// first, read there before quiescence. 4 members: writer order
+/// (R0→R1 / R1→R0) × an optional duplication of the stale copy.
+///
+/// Causally consistent stores buffer the out-of-order delivery; an LWW
+/// register applies it immediately, so the pre-quiescence read exposes
+/// the Definition 12 violation (the paper's Theorem 12 shape).
+pub fn heal_before_quiesce(spec: SpecKind) -> Scenario {
+    let chain = |w1: u32, w2: u32| {
+        Scenario::seq(vec![
+            Scenario::atom(Pat::Op(r(w1), x(), update_op(spec))),
+            Scenario::atom(Pat::Flush(r(w1))),
+            Scenario::atom(Pat::DeliverOldest),
+            Scenario::atom(Pat::Op(r(w2), x(), update_op(spec))),
+            Scenario::atom(Pat::Flush(r(w2))),
+        ])
+    };
+    let body = Scenario::seq(vec![
+        Scenario::atom(Pat::PartitionStart(vec![2])),
+        Scenario::hole("chain"),
+        Scenario::atom(Pat::PartitionHeal),
+        Scenario::hole("dup"),
+        Scenario::atom(Pat::DeliverNewest),
+        Scenario::atom(Pat::Op(r(2), x(), Op::Read)),
+        Scenario::atom(Pat::Quiesce),
+    ]);
+    Scenario::filter(
+        ScenarioFilter::HealsBeforeQuiesce,
+        Scenario::plug(
+            Scenario::plug(
+                body,
+                "chain",
+                Scenario::choice(vec![chain(0, 1), chain(1, 0)]),
+            ),
+            "dup",
+            Scenario::choice(vec![Scenario::empty(), Scenario::atom(Pat::DupOldest)]),
+        ),
+    )
+}
+
+/// **dup-storm**: one update broadcast, its oldest copy duplicated one
+/// to three times, then quiescence delivers every copy. 3 members.
+/// Idempotent delivery (every store's duplicate-tolerance obligation)
+/// must keep the outcome identical to a single delivery.
+pub fn dup_storm(spec: SpecKind) -> Scenario {
+    let dups = |k: usize| Scenario::seq(vec![Scenario::atom(Pat::DupOldest); k]);
+    Scenario::filter(
+        ScenarioFilter::MinDuplicates(1),
+        Scenario::seq(vec![
+            Scenario::atom(Pat::Op(r(0), x(), update_op(spec))),
+            Scenario::atom(Pat::Flush(r(0))),
+            Scenario::choice(vec![dups(1), dups(2), dups(3)]),
+            Scenario::atom(Pat::Quiesce),
+        ]),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn update_op_matches_each_spec() {
+        assert_eq!(update_op(SpecKind::Mvr), Op::Write(Value::new(0)));
+        assert_eq!(update_op(SpecKind::LwwRegister), Op::Write(Value::new(0)));
+        assert_eq!(update_op(SpecKind::OrSet), Op::Add(Value::new(0)));
+        assert_eq!(update_op(SpecKind::Counter), Op::Inc);
+        assert_eq!(update_op(SpecKind::EwFlag), Op::Enable);
+    }
+
+    #[test]
+    fn fixture_counts_are_spec_independent() {
+        for spec in [
+            SpecKind::Mvr,
+            SpecKind::LwwRegister,
+            SpecKind::OrSet,
+            SpecKind::Counter,
+            SpecKind::EwFlag,
+        ] {
+            assert_eq!(concurrent_write_pair(spec, 3).count_to_depth(12), 6);
+            assert_eq!(heal_before_quiesce(spec).count_to_depth(12), 4);
+            assert_eq!(dup_storm(spec).count_to_depth(12), 3);
+        }
+    }
+
+    #[test]
+    fn every_member_satisfies_the_family_filters() {
+        let families = [
+            concurrent_write_pair(SpecKind::Mvr, 3),
+            heal_before_quiesce(SpecKind::Mvr),
+            dup_storm(SpecKind::OrSet),
+        ];
+        for family in &families {
+            let filters = family.top_filters();
+            assert!(!filters.is_empty());
+            for m in family.iter_to_depth(12) {
+                for f in &filters {
+                    assert!(f.accepts(&m), "{f:?} rejects member {m:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn depth_gates_the_longer_members() {
+        // heal-before-quiesce members have lengths 10 and 11; at depth 10
+        // only the two no-dup members survive.
+        let family = heal_before_quiesce(SpecKind::Mvr);
+        let lens: Vec<usize> = family.iter_to_depth(12).iter().map(Vec::len).collect();
+        assert_eq!(lens, [10, 11, 10, 11]);
+        assert_eq!(family.count_to_depth(10), 2);
+        assert_eq!(family.count_to_depth(9), 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Property-testing over scenario families.
+//!
+//! [`FamilyGen`] adapts a [`Scenario`] to the testkit's
+//! [`Gen`] trait: generation draws a uniform member of the enumerated
+//! family, and shrinking walks the family's *subsequence lattice* —
+//! every candidate is itself a member (so it still satisfies the
+//! family's filters), strictly shorter than the current value, offered
+//! shortest-first. The greedy runner therefore converges on a minimal
+//! **in-family** witness: never a bare shortened pattern list that the
+//! filters would reject.
+//!
+//! Replay is inherited from the testkit runner: the failure report's
+//! `HAEC_PROP_SEED` regenerates the identical member (generation is a
+//! pure index draw over the canonical enumeration) and shrinking is
+//! deterministic, so the shrunk witness is byte-identical on replay.
+
+use super::{Pat, Scenario};
+use haec_testkit::prop::Gen;
+use haec_testkit::Rng;
+
+/// A [`Gen`] over the members of one scenario family.
+#[derive(Clone, Debug)]
+pub struct FamilyGen {
+    name: String,
+    members: Vec<Vec<Pat>>,
+}
+
+impl FamilyGen {
+    /// Enumerates `scenario` to `depth` and wraps the members as a
+    /// generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the family is empty at this depth — a generator with
+    /// nothing to draw is a test-authoring bug, not a runtime condition.
+    pub fn new(name: &str, scenario: &Scenario, depth: usize) -> FamilyGen {
+        let members = scenario.iter_to_depth(depth);
+        assert!(
+            !members.is_empty(),
+            "family `{name}` is empty at depth {depth}"
+        );
+        FamilyGen {
+            name: name.to_owned(),
+            members,
+        }
+    }
+
+    /// The family name (used in failure messages by callers).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The enumerated members, in canonical order.
+    #[must_use]
+    pub fn members(&self) -> &[Vec<Pat>] {
+        &self.members
+    }
+
+    /// Is `member` in the family (at the enumerated depth)?
+    #[must_use]
+    pub fn contains(&self, member: &[Pat]) -> bool {
+        self.members.iter().any(|m| m == member)
+    }
+}
+
+/// Is `small` a (not necessarily contiguous) subsequence of `big`?
+fn is_subsequence(small: &[Pat], big: &[Pat]) -> bool {
+    let mut it = big.iter();
+    small.iter().all(|p| it.any(|q| q == p))
+}
+
+impl Gen for FamilyGen {
+    type Value = Vec<Pat>;
+
+    fn generate(&self, rng: &mut Rng) -> Vec<Pat> {
+        self.members[rng.gen_range(0..self.members.len())].clone()
+    }
+
+    fn shrink(&self, value: &Vec<Pat>) -> Vec<Vec<Pat>> {
+        let mut out: Vec<Vec<Pat>> = self
+            .members
+            .iter()
+            .filter(|m| m.len() < value.len() && is_subsequence(m, value))
+            .cloned()
+            .collect();
+        // Shortest first; sort is stable, so ties keep canonical order.
+        out.sort_by_key(Vec::len);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{dup_storm, heal_before_quiesce};
+    use haec_core::SpecKind;
+    use haec_testkit::prop::{check_with, Config};
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    fn dup_count(m: &[Pat]) -> usize {
+        m.iter().filter(|p| **p == Pat::DupOldest).count()
+    }
+
+    #[test]
+    fn generate_draws_members_deterministically() {
+        let gen = FamilyGen::new("dup-storm", &dup_storm(SpecKind::OrSet), 12);
+        let mut rng = Rng::seed_from_u64(42);
+        for _ in 0..32 {
+            assert!(gen.contains(&gen.generate(&mut rng)));
+        }
+        let a = gen.generate(&mut Rng::seed_from_u64(7));
+        let b = gen.generate(&mut Rng::seed_from_u64(7));
+        assert_eq!(a, b, "same seed, same member");
+    }
+
+    #[test]
+    fn shrink_candidates_are_shorter_in_family_subsequences() {
+        let gen = FamilyGen::new("hbq", &heal_before_quiesce(SpecKind::Mvr), 12);
+        for m in gen.members() {
+            for cand in gen.shrink(m) {
+                assert!(cand.len() < m.len());
+                assert!(gen.contains(&cand), "shrink left the family: {cand:?}");
+                assert!(is_subsequence(&cand, m));
+            }
+        }
+        // Shortest candidates come first.
+        let longest = gen.members().iter().max_by_key(|m| m.len()).unwrap();
+        let cands = gen.shrink(longest);
+        assert!(cands.windows(2).all(|w| w[0].len() <= w[1].len()));
+    }
+
+    #[test]
+    fn greedy_walk_finds_the_minimal_in_family_witness() {
+        // Known answer: in dup-storm, "at least 2 duplicates" fails for the
+        // 2- and 3-dup members; the minimal in-family witness is exactly
+        // the 2-dup member (the 1-dup member passes, so the walk stops).
+        let gen = FamilyGen::new("dup-storm", &dup_storm(SpecKind::OrSet), 12);
+        let fails = |m: &Vec<Pat>| dup_count(m) >= 2;
+        let mut value = gen
+            .members()
+            .iter()
+            .find(|m| dup_count(m) == 3)
+            .unwrap()
+            .clone();
+        assert!(fails(&value));
+        'walk: loop {
+            for cand in gen.shrink(&value) {
+                if fails(&cand) {
+                    value = cand;
+                    continue 'walk;
+                }
+            }
+            break;
+        }
+        assert_eq!(dup_count(&value), 2, "minimal witness is the 2-dup member");
+        assert!(gen.contains(&value));
+    }
+
+    #[test]
+    fn runner_integration_shrinks_and_replays_byte_identically() {
+        let gen = FamilyGen::new("dup-storm", &dup_storm(SpecKind::OrSet), 12);
+        let config = Config {
+            cases: 16,
+            seed: 0xFA11_5EED,
+            max_shrink_steps: 50,
+        };
+        let run = || {
+            catch_unwind(AssertUnwindSafe(|| {
+                check_with(&config, "no double dup", &gen, |m| {
+                    if dup_count(m) >= 2 {
+                        return Err(format!("{} dups", dup_count(m)));
+                    }
+                    Ok(())
+                });
+            }))
+            .expect_err("property must fail on the 2- and 3-dup members")
+        };
+        let msg = |e: Box<dyn std::any::Any + Send>| {
+            e.downcast_ref::<String>().expect("string panic").clone()
+        };
+        let first = msg(run());
+        assert!(first.contains("HAEC_PROP_SEED="), "{first}");
+        assert!(
+            first.contains("2 dups"),
+            "minimal witness has 2 dups: {first}"
+        );
+        let second = msg(run());
+        assert_eq!(first, second, "replay must be byte-identical");
+    }
+}

@@ -44,6 +44,7 @@
 
 mod buffered;
 mod causal_reg;
+pub mod conformance;
 mod counterexamples;
 pub mod engine;
 mod flag;
@@ -57,6 +58,7 @@ pub mod wire;
 
 pub use buffered::CopsStore;
 pub use causal_reg::CausalRegisterStore;
+pub use conformance::{conformance_matrix, Conformance};
 pub use counterexamples::{ArbitrationStore, BoundedStore, KDelayedStore, SequencedStore};
 pub use flag::EwFlagStore;
 pub use lww::LwwStore;

@@ -11,68 +11,11 @@
 
 use haec::model::EventKind;
 use haec::prelude::*;
-use haec::stores::{CausalRegisterStore, CopsStore, EwFlagStore, MixedStore};
+use haec::stores::{conformance_matrix as matrix, Conformance};
 use haec_sim::check_quiescent_agreement;
-
-/// Which checks a store's runs must pass.
-#[derive(Copy, Clone, Debug)]
-struct Conformance {
-    spec: SpecKind,
-    /// Check Definition 8 correctness of the witness (in execution order,
-    /// or arbitration order for LWW). Off for the dot-arbitrated register
-    /// stores, whose arbitration the execution-order LWW checker
-    /// misjudges (see E13's notes); their causality is still asserted.
-    correct: bool,
-    /// Order the history by store arbitration timestamps (LWW-style).
-    arbitrated: bool,
-    /// Check Definition 12 causal consistency of the witness.
-    causal: bool,
-}
-
-fn matrix() -> Vec<(Box<dyn StoreFactory>, Conformance)> {
-    let causal_full = |spec| Conformance {
-        spec,
-        correct: true,
-        arbitrated: false,
-        causal: true,
-    };
-    vec![
-        (
-            Box::new(DvvMvrStore) as Box<dyn StoreFactory>,
-            causal_full(SpecKind::Mvr),
-        ),
-        (Box::new(CopsStore), causal_full(SpecKind::Mvr)),
-        (Box::new(OrSetStore), causal_full(SpecKind::OrSet)),
-        (Box::new(EwFlagStore), causal_full(SpecKind::EwFlag)),
-        (
-            Box::new(LwwStore),
-            Conformance {
-                spec: SpecKind::LwwRegister,
-                correct: true,
-                arbitrated: true,
-                causal: false, // eventually but not causally consistent
-            },
-        ),
-        (
-            Box::new(CausalRegisterStore),
-            Conformance {
-                spec: SpecKind::LwwRegister,
-                correct: false, // dot arbitration vs execution-order checker
-                arbitrated: false,
-                causal: true,
-            },
-        ),
-        (
-            Box::new(MixedStore::new(1)), // object 0 MVR, object 1 register
-            Conformance {
-                spec: SpecKind::Mvr,
-                correct: false, // register half arbitrates by dot
-                arbitrated: false,
-                causal: true,
-            },
-        ),
-    ]
-}
+use haec_sim::scenario::{
+    concurrent_write_pair, dup_storm, explore_family, heal_before_quiesce, FamilyConfig, Scenario,
+};
 
 /// The three fault schedules; drops forfeit the convergence guarantee.
 fn fault_schedules(steps: usize) -> Vec<(&'static str, ScheduleConfig, bool)> {
@@ -158,6 +101,79 @@ fn store_fault_conformance_matrix() {
                 }
                 check_compliance(&sim, &conf, &label);
             }
+        }
+    }
+}
+
+/// The same verdict logic as `check_compliance`, as a boolean for
+/// family sweeps.
+fn conformance_check(conf: Conformance) -> impl FnMut(&Simulator) -> bool {
+    move |sim| {
+        let a = if conf.arbitrated {
+            sim.abstract_execution_arbitrated()
+        } else {
+            sim.abstract_execution()
+        };
+        let Ok(a) = a else { return false };
+        (!conf.correct || check_correct(&a, &ObjectSpecs::uniform(conf.spec)).is_ok())
+            && (!conf.causal || causal::check(&a).is_ok())
+    }
+}
+
+#[test]
+fn scenario_families_classify_per_store() {
+    // Three named scenario families swept across the seven matrix stores,
+    // with two classifications pinned per (store, family): compliance with
+    // the store's own conformance contract (everything passes — the
+    // families stay inside each store's guarantees), and strict
+    // Definition 12 causality, where heal-before-quiesce separates the
+    // causal stores from LWW exactly: the causally-later write reaches the
+    // healed replica first and is read before quiescence, which only a
+    // buffering (causal) store survives.
+    let config = FamilyConfig::default();
+    for (factory, conf) in matrix() {
+        let families: Vec<(&str, Scenario)> = vec![
+            ("concurrent-write-pair", concurrent_write_pair(conf.spec, 3)),
+            ("heal-before-quiesce", heal_before_quiesce(conf.spec)),
+            ("dup-storm", dup_storm(conf.spec)),
+        ];
+        for (name, family) in &families {
+            let report = explore_family(
+                factory.as_ref(),
+                &config,
+                name,
+                family,
+                &mut conformance_check(conf),
+            );
+            assert!(
+                report.all_passed(),
+                "{} × {name}: {} of {} members violate the conformance contract (first: {:?})",
+                factory.name(),
+                report.failures,
+                report.run,
+                report.counterexample
+            );
+
+            let strict = explore_family(
+                factory.as_ref(),
+                &config,
+                name,
+                family,
+                &mut |sim: &Simulator| {
+                    sim.abstract_execution()
+                        .map(|a| causal::check(&a).is_ok())
+                        .unwrap_or(false)
+                },
+            );
+            let expect_violation = *name == "heal-before-quiesce" && !conf.causal;
+            assert_eq!(
+                !strict.all_passed(),
+                expect_violation,
+                "{} × {name}: strict causal classification drifted ({} failures of {} members)",
+                factory.name(),
+                strict.failures,
+                strict.run
+            );
         }
     }
 }
