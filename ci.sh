@@ -35,6 +35,10 @@ echo "== scenario smoke (fixture families enumerate, family sweep seq==par-2) ==
 cargo bench -q --locked --offline -p haec-bench --bench scenario -- \
     --smoke --threads 2 > /dev/null
 
+echo "== stream smoke (online checkers: sublinear residency, lossless feed clean) =="
+cargo bench -q --locked --offline -p haec-bench --bench stream -- \
+    --smoke > /dev/null
+
 echo "== fmt =="
 cargo fmt --check
 

@@ -107,6 +107,7 @@ fn main() -> ExitCode {
                 ..ExplorationConfig::default()
             },
             log_capacity: opts.log_cap,
+            ..ReportConfig::default()
         };
         let report = RunReport::collect(factory.as_ref(), &config, opts.seed);
         let text = report.to_json_string();

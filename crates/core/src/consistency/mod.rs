@@ -11,6 +11,7 @@ pub mod causal;
 pub mod eventual;
 pub mod occ;
 pub mod sessions;
+pub mod stream;
 
 use crate::abstract_execution::AbstractExecution;
 use crate::correctness::check_correct;

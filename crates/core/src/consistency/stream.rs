@@ -1,0 +1,1178 @@
+//! Streaming (incremental) consistency checkers over an event stream.
+//!
+//! The batch checkers ([`causal::check`](crate::consistency::causal::check),
+//! [`eventual::check_prefix`](crate::consistency::eventual::check_prefix),
+//! [`sessions::check_all`](crate::consistency::sessions::check_all)) consume
+//! a complete [`AbstractExecution`](crate::abstract_execution::AbstractExecution),
+//! which caps every experiment at transcript sizes the checker can hold in
+//! memory. [`StreamChecker`] consumes one event at a time — replica, object,
+//! update-ness, and the same visibility-witness dots an instrumented store
+//! reports with each `do` — and maintains exactly enough state to emit the
+//! **same first-violation witnesses** the batch checkers pin, while
+//! garbage-collecting events once they are *stable*.
+//!
+//! # The incremental frontier
+//!
+//! The batch pipeline builds `vis` from witnesses
+//! ([`abstract_from_witness`](crate::witness::abstract_from_witness)) and the
+//! Definition 4 closure rules. Two structural facts make an online rebuild
+//! possible:
+//!
+//! 1. **Edges only ever target the arriving event.** Witness edges, the
+//!    read-prefix rule, program order and session closure all produce edges
+//!    `e → t` with `e < t`, so the predecessor set `P(t) = vis⁻¹(t)` is
+//!    final the moment `t` arrives.
+//! 2. **Session closure telescopes per replica.** With `prev` the previous
+//!    event at `t`'s replica, `P(t) = P(prev) ∪ {prev} ∪ explicit(t)` where
+//!    `explicit(t)` are the witness-dot sources plus the read-prefix reads.
+//!    So one cumulative per-replica set `R_r = P(last event at r) ∪ {last}`
+//!    reproduces the builder's fixpoint with `O(|explicit|)` work per event.
+//!
+//! # Stability and garbage collection
+//!
+//! An event is **stable** once it is in `R_r` for *every* replica — the
+//! witness-level analogue of "delivered everywhere", the quantity the
+//! Lemma 3 quiesce machinery drives to completion (and the event-retirement
+//! criterion the eventual-consistency failure-detector literature
+//! motivates). Stability is monotone, and a stable event is in `P(t)` for
+//! every later `t` — so it can never again be the *missing* element of any
+//! violation. An event retires (is dropped entirely) once it is stable
+//! **and** all its recorded unstable-at-arrival predecessors are stable;
+//! until then it may still be the middle element of a causal violation or
+//! the `u2` of a session violation whose missing element is one of those
+//! predecessors. Retirement is evidence-based only: a quiesce round makes
+//! events stabilize quickly but is never itself taken as proof (a store
+//! reporting partial witnesses, e.g. an LWW register dropping losing
+//! writes, must keep its losers checkable — they are exactly the events
+//! whose invisibility the causal checker must flag).
+//!
+//! Models that are not online-checkable this way on non-quiescing workloads
+//! (nothing ever stabilizes, state grows with the trace) can opt into the
+//! **bounded-window fallback** ([`StreamConfig::gc_window`]): events older
+//! than the window are force-retired and optimistically treated as visible
+//! everywhere. That mode only ever *under*-reports violations; leave it
+//! `None` for the exact streaming-equals-batch contract.
+//!
+//! # Equality contract
+//!
+//! Feed the events of a concrete execution in order with their batch
+//! witnesses and `gc_window: None`; then every verdict method returns
+//! byte-identical results to its batch counterpart on
+//! [`abstract_from_witness`](crate::witness::abstract_from_witness):
+//! the same `Ok(())` or the same lexicographically-first violation. The
+//! equivalence rests on the batch checkers returning the lexicographic
+//! minimum violating tuple, whose largest component is always the event at
+//! which the violation becomes knowable — the streaming checker discovers
+//! each tuple exactly then and keeps the running minimum.
+
+use crate::consistency::causal::CausalityViolation;
+use crate::consistency::eventual::EventualViolation;
+use crate::consistency::sessions::SessionViolation;
+use crate::det::{DetMap, DetSet};
+use crate::spans;
+use haec_model::{Dot, ObjectId, ReplicaId};
+use std::fmt;
+
+/// Coverage bitmask width: replicas are tracked in a `u64`.
+pub const MAX_REPLICAS: usize = 64;
+
+/// How many stabilizations accumulate before an automatic retirement sweep.
+const AUTO_SWEEP_EVERY: usize = 32;
+
+/// Parameters of a [`StreamChecker`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StreamConfig {
+    /// Number of replicas feeding the stream (at most [`MAX_REPLICAS`]).
+    pub n_replicas: usize,
+    /// Eventual-consistency window, with the exact semantics of
+    /// [`eventual::check_prefix`](crate::consistency::eventual::check_prefix):
+    /// every same-object event at least `window` positions later must see
+    /// the event.
+    pub window: usize,
+    /// Bounded-window fallback: `Some(w)` force-retires every event older
+    /// than `w` positions, treating it as visible everywhere from then on
+    /// (sound for `Ok` verdicts never, for violations always — it only
+    /// suppresses violations, never invents them). `None` is the exact
+    /// mode. Must be nonzero when present.
+    pub gc_window: Option<usize>,
+}
+
+impl StreamConfig {
+    /// A config for `n_replicas` replicas with a window of 32 and exact
+    /// (stability-driven) garbage collection.
+    pub fn new(n_replicas: usize) -> Self {
+        StreamConfig {
+            n_replicas,
+            window: 32,
+            gc_window: None,
+        }
+    }
+}
+
+/// Errors raised by a [`StreamChecker`]. The first error poisons the
+/// checker: every later [`push`](StreamChecker::push) returns it again.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum StreamError {
+    /// More replicas than the coverage bitmask can track.
+    TooManyReplicas {
+        /// The configured replica count.
+        n_replicas: usize,
+    },
+    /// `gc_window` was `Some(0)`, which would retire every event at its own
+    /// arrival.
+    ZeroGcWindow,
+    /// An event named a replica outside `0..n_replicas`.
+    ReplicaOutOfRange {
+        /// Index of the offending event.
+        event: usize,
+        /// The out-of-range replica.
+        replica: ReplicaId,
+    },
+    /// A witness dot does not resolve to any update issued so far — the
+    /// streaming analogue of the batch `UnknownDot`/`FutureDot` errors
+    /// (online, the two are indistinguishable).
+    UnknownDot {
+        /// Index of the event whose witness is broken.
+        event: usize,
+        /// The dangling dot.
+        dot: Dot,
+    },
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::TooManyReplicas { n_replicas } => {
+                write!(f, "{n_replicas} replicas exceed the {MAX_REPLICAS} maximum")
+            }
+            StreamError::ZeroGcWindow => write!(f, "gc_window must be nonzero when present"),
+            StreamError::ReplicaOutOfRange { event, replica } => {
+                write!(f, "event {event} names out-of-range replica {replica}")
+            }
+            StreamError::UnknownDot { event, dot } => {
+                write!(f, "witness of event {event} names unissued update {dot}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Point-in-time resource statistics of a [`StreamChecker`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct StreamStats {
+    /// Total events pushed.
+    pub events: usize,
+    /// Events currently resident (frontier size), including `pending`.
+    pub live: usize,
+    /// Resident events that are stable but whose predecessors are not yet
+    /// all stable (retirement candidates).
+    pub pending: usize,
+    /// Events retired after stabilizing (exact garbage collection).
+    pub retired: usize,
+    /// Unstable events force-retired by the bounded-window fallback.
+    pub forced_retired: usize,
+    /// High-water mark of `live`.
+    pub peak_live: usize,
+    /// Deterministic estimate of resident checker bytes (entry counts times
+    /// entry sizes, one pointer word of tree overhead per entry — not
+    /// allocator truth, but a faithful growth curve).
+    pub bytes: usize,
+    /// High-water mark of `bytes`.
+    pub peak_bytes: usize,
+}
+
+/// Per-event resident state.
+#[derive(Clone, Debug)]
+struct LiveEvent {
+    replica: ReplicaId,
+    obj: ObjectId,
+    is_update: bool,
+    /// Dot sequence number for updates, 0 for reads.
+    seq: u32,
+    /// Bit `r` set iff this event is in `R_r`.
+    coverage: u64,
+    stable: bool,
+    /// The unstable-at-arrival members of `P(event)`, ascending. Any later
+    /// violation whose missing element lies in `P(event)` must name one of
+    /// these (stable events are visible everywhere forever).
+    preds: Vec<usize>,
+}
+
+/// Tests `e ∈ P(t)` during the arrival scan of `t`: retired events are
+/// stable (or optimistically visible, in forced mode), stable events are in
+/// every later `P`, and unstable live events are in `P(t)` iff they are in
+/// the explicit unstable predecessor vector.
+fn in_p(live: &DetMap<usize, LiveEvent>, pvec: &[usize], e: usize) -> bool {
+    match live.get(&e) {
+        None => true,
+        Some(le) => le.stable || pvec.binary_search(&e).is_ok(),
+    }
+}
+
+/// Keeps the lexicographic minimum in `slot`.
+fn keep_min<T: Ord>(slot: &mut Option<T>, cand: T) {
+    if slot.as_ref().is_none_or(|best| cand < *best) {
+        *slot = Some(cand);
+    }
+}
+
+/// An incremental checker for causal consistency, the windowed eventual
+/// check, and the two non-trivial session guarantees, over a stream of
+/// witnessed `do` events. See the [module docs](self) for the design and
+/// the streaming-equals-batch contract.
+#[derive(Clone, Debug)]
+pub struct StreamChecker {
+    config: StreamConfig,
+    full_mask: u64,
+    /// Next event index == events pushed so far.
+    next: usize,
+    /// Updates issued per replica (dot sequence counters).
+    issued: Vec<u32>,
+    /// Resident events.
+    live: DetMap<usize, LiveEvent>,
+    /// Stable but unretired events.
+    pending: DetSet<usize>,
+    /// Unstable members of each replica's cumulative visibility set `R_r`.
+    r_explicit: Vec<DetSet<usize>>,
+    /// Per replica: dot seq → event index, for unstable updates only.
+    dots: Vec<DetMap<u32, usize>>,
+    /// Per replica: unstable update indices (monotonic-writes `u1` pool).
+    un_updates: Vec<DetSet<usize>>,
+    /// Per replica: unstable read index → its `puc` (read-prefix pool).
+    un_reads: Vec<DetMap<usize, u32>>,
+    /// Per replica: read → its unstable-at-arrival update predecessors
+    /// (writes-follow-reads `seen` pool; kept until the read retires).
+    wfr_reads: Vec<DetMap<usize, Vec<usize>>>,
+    /// Per object: unstable live events (eventual-window candidates).
+    ev_unstable: DetMap<ObjectId, DetSet<usize>>,
+    best_causal: Option<(usize, usize, usize)>,
+    best_eventual: Option<(usize, usize)>,
+    best_mw: Option<(usize, usize, usize)>,
+    /// `(r, u2, e, u)` in batch iteration (= lexicographic key) order.
+    best_wfr: Option<(usize, usize, usize, usize)>,
+    error: Option<StreamError>,
+    retired: usize,
+    forced: usize,
+    since_sweep: usize,
+    /// Sum of `preds.len()` over live events.
+    pred_slots: usize,
+    /// Sum of `seen.len()` over writes-follow-reads entries.
+    wfr_slots: usize,
+    peak_live: usize,
+    peak_bytes: usize,
+}
+
+impl StreamChecker {
+    /// Creates a checker.
+    ///
+    /// # Errors
+    ///
+    /// Rejects more than [`MAX_REPLICAS`] replicas and a zero `gc_window`.
+    pub fn new(config: StreamConfig) -> Result<Self, StreamError> {
+        if config.n_replicas > MAX_REPLICAS {
+            return Err(StreamError::TooManyReplicas {
+                n_replicas: config.n_replicas,
+            });
+        }
+        if config.gc_window == Some(0) {
+            return Err(StreamError::ZeroGcWindow);
+        }
+        let n = config.n_replicas;
+        let full_mask = if n == 0 {
+            0
+        } else {
+            u64::MAX >> (MAX_REPLICAS - n)
+        };
+        Ok(StreamChecker {
+            config,
+            full_mask,
+            next: 0,
+            issued: vec![0; n],
+            live: DetMap::new(),
+            pending: DetSet::new(),
+            r_explicit: vec![DetSet::new(); n],
+            dots: vec![DetMap::new(); n],
+            un_updates: vec![DetSet::new(); n],
+            un_reads: vec![DetMap::new(); n],
+            wfr_reads: vec![DetMap::new(); n],
+            ev_unstable: DetMap::new(),
+            best_causal: None,
+            best_eventual: None,
+            best_mw: None,
+            best_wfr: None,
+            error: None,
+            retired: 0,
+            forced: 0,
+            since_sweep: 0,
+            pred_slots: 0,
+            wfr_slots: 0,
+            peak_live: 0,
+            peak_bytes: 0,
+        })
+    }
+
+    /// The configuration the checker was built with.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Number of events pushed so far.
+    pub fn len(&self) -> usize {
+        self.next
+    }
+
+    /// Returns `true` if no events were pushed.
+    pub fn is_empty(&self) -> bool {
+        self.next == 0
+    }
+
+    /// The poisoning error, if any push has failed.
+    pub fn error(&self) -> Option<&StreamError> {
+        self.error.as_ref()
+    }
+
+    /// Feeds the next `do` event: its replica, object, whether it is an
+    /// update, and the store-reported visibility witness (dots of the
+    /// updates visible at the replica, the event's own dot permitted and
+    /// ignored). Updates are assigned dots by the machine convention — the
+    /// `q`-th update at replica `r` is `(r, q)` — exactly as the batch
+    /// witness assembly resolves them. Returns the event's index.
+    ///
+    /// # Errors
+    ///
+    /// Returns (and records, poisoning the checker) a [`StreamError`] if
+    /// the replica is out of range or a witness dot has not been issued.
+    pub fn push(
+        &mut self,
+        replica: ReplicaId,
+        obj: ObjectId,
+        is_update: bool,
+        visible: &[Dot],
+    ) -> Result<usize, StreamError> {
+        if let Some(e) = &self.error {
+            return Err(e.clone());
+        }
+        match self.push_inner(replica, obj, is_update, visible) {
+            Ok(ix) => Ok(ix),
+            Err(e) => {
+                self.error = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
+
+    fn push_inner(
+        &mut self,
+        replica: ReplicaId,
+        obj: ObjectId,
+        is_update: bool,
+        visible: &[Dot],
+    ) -> Result<usize, StreamError> {
+        let t = self.next;
+        let rho = replica.index();
+        if rho >= self.config.n_replicas {
+            return Err(StreamError::ReplicaOutOfRange { event: t, replica });
+        }
+        let puc = self.issued[rho];
+        if is_update {
+            self.issued[rho] += 1;
+        }
+        let own_seq = self.issued[rho];
+
+        let extra = spans::timed("stream.ingest", || {
+            self.resolve_witness(t, rho, is_update, own_seq, replica, visible)
+        })?;
+
+        // P(t) = R_ρ ∪ explicit(t); its unstable members, ascending, are the
+        // merge of R_ρ's explicit set with the new entrants.
+        let pvec: Vec<usize> = {
+            let mut merged = Vec::with_capacity(self.r_explicit[rho].len() + extra.len());
+            let mut a = self.r_explicit[rho].iter().copied().peekable();
+            let mut b = extra.iter().copied().peekable();
+            loop {
+                match (a.peek(), b.peek()) {
+                    (Some(&x), Some(&y)) if x < y => merged.push(a.next().unwrap_or(x)),
+                    (Some(_), Some(&y)) => merged.push(b.next().unwrap_or(y)),
+                    (Some(&x), None) => merged.push(a.next().unwrap_or(x)),
+                    (None, Some(&y)) => merged.push(b.next().unwrap_or(y)),
+                    (None, None) => break,
+                }
+            }
+            merged
+        };
+
+        self.scan_causal(t, &pvec);
+        self.scan_eventual(t, obj, &pvec);
+        self.scan_sessions(t, &pvec);
+
+        // Promote the new entrants into R_ρ and propagate stability.
+        let bit = 1u64 << rho;
+        let mut newly_stable = Vec::new();
+        for &e in extra.iter() {
+            self.r_explicit[rho].insert(e);
+            if let Some(le) = self.live.get_mut(&e) {
+                if le.coverage & bit == 0 {
+                    le.coverage |= bit;
+                    if le.coverage == self.full_mask {
+                        newly_stable.push(e);
+                    }
+                }
+            }
+        }
+        for e in newly_stable {
+            self.stabilize(e);
+        }
+
+        // Insert t itself.
+        self.r_explicit[rho].insert(t);
+        if is_update {
+            self.dots[rho].insert(own_seq, t);
+            self.un_updates[rho].insert(t);
+        } else {
+            self.un_reads[rho].insert(t, puc);
+            let seen: Vec<usize> = pvec
+                .iter()
+                .copied()
+                .filter(|e| self.live.get(e).is_some_and(|le| le.is_update))
+                .collect();
+            if !seen.is_empty() {
+                self.wfr_slots += seen.len();
+                self.wfr_reads[rho].insert(t, seen);
+            }
+        }
+        self.ev_unstable
+            .get_or_insert_with(obj, DetSet::new)
+            .insert(t);
+        self.pred_slots += pvec.len();
+        self.live.insert(
+            t,
+            LiveEvent {
+                replica,
+                obj,
+                is_update,
+                seq: if is_update { own_seq } else { 0 },
+                coverage: bit,
+                stable: false,
+                preds: pvec,
+            },
+        );
+        self.next = t + 1;
+        if bit == self.full_mask {
+            self.stabilize(t);
+        }
+
+        if let Some(w) = self.config.gc_window {
+            let doomed: Vec<usize> = self
+                .live
+                .keys()
+                .copied()
+                .take_while(|&e| e + w <= t)
+                .collect();
+            for e in doomed {
+                self.retire(e, true);
+            }
+        }
+
+        self.peak_live = self.peak_live.max(self.live.len());
+        self.peak_bytes = self.peak_bytes.max(self.resident_bytes());
+        if self.since_sweep >= AUTO_SWEEP_EVERY {
+            self.sweep();
+        }
+        Ok(t)
+    }
+
+    /// Resolves the witness of event `t` into the set of *new* explicit
+    /// unstable members of `P(t)` (beyond `R_ρ`): for each visible dot, the
+    /// source update if it is still unstable, plus — the read-prefix rule —
+    /// every unstable read that precedes that update at its replica.
+    fn resolve_witness(
+        &self,
+        t: usize,
+        rho: usize,
+        is_update: bool,
+        own_seq: u32,
+        replica: ReplicaId,
+        visible: &[Dot],
+    ) -> Result<DetSet<usize>, StreamError> {
+        let mut extra = DetSet::new();
+        for &d in visible {
+            let dr = d.replica.index();
+            if dr >= self.config.n_replicas {
+                return Err(StreamError::ReplicaOutOfRange {
+                    event: t,
+                    replica: d.replica,
+                });
+            }
+            if is_update && d.replica == replica && d.seq == own_seq {
+                continue; // the operation's own dot
+            }
+            if d.seq == 0 || d.seq > self.issued[dr] {
+                return Err(StreamError::UnknownDot { event: t, dot: d });
+            }
+            if let Some(&s) = self.dots[dr].get(&d.seq) {
+                if !self.r_explicit[rho].contains(&s) {
+                    extra.insert(s);
+                }
+            }
+            // `puc` is nondecreasing along a replica's reads, so the pool
+            // is exhausted at the first read at or past the update.
+            for (&f, &fpuc) in self.un_reads[dr].iter() {
+                if fpuc >= d.seq {
+                    break;
+                }
+                if !self.r_explicit[rho].contains(&f) {
+                    extra.insert(f);
+                }
+            }
+        }
+        Ok(extra)
+    }
+
+    /// Causal violations discovered at the arrival of `t` (as `e3`): an
+    /// `e2 ∈ P(t)` with a recorded predecessor `e1 ∉ P(t)`.
+    fn scan_causal(&mut self, t: usize, pvec: &[usize]) {
+        let found = spans::timed("stream.causal", || {
+            let mut best: Option<(usize, usize)> = None;
+            for &e2 in pvec.iter().chain(self.pending.iter()) {
+                let Some(le) = self.live.get(&e2) else {
+                    continue;
+                };
+                for &e1 in &le.preds {
+                    if !in_p(&self.live, pvec, e1) {
+                        keep_min(&mut best, (e1, e2));
+                        break;
+                    }
+                }
+            }
+            best
+        });
+        if let Some((e1, e2)) = found {
+            keep_min(&mut self.best_causal, (e1, e2, t));
+        }
+    }
+
+    /// Eventual violations discovered at the arrival of `t` (as the blind
+    /// event): the first same-object unstable event at least `window`
+    /// positions back that `t` does not see.
+    fn scan_eventual(&mut self, t: usize, obj: ObjectId, pvec: &[usize]) {
+        let window = self.config.window;
+        let found = spans::timed("stream.eventual", || {
+            let pool = self.ev_unstable.get(&obj)?;
+            for &e in pool.iter() {
+                if e + window > t {
+                    break;
+                }
+                if !in_p(&self.live, pvec, e) {
+                    return Some(e);
+                }
+            }
+            None
+        });
+        if let Some(e) = found {
+            keep_min(&mut self.best_eventual, (e, t));
+        }
+    }
+
+    /// Session-guarantee violations discovered at the arrival of `t` (as
+    /// the observing event `e`): for each update `u2 ∈ P(t)`, an earlier
+    /// same-replica update `u1 ∉ P(t)` (monotonic writes) or an earlier
+    /// same-replica read whose seen update is `∉ P(t)` (writes follow
+    /// reads).
+    fn scan_sessions(&mut self, t: usize, pvec: &[usize]) {
+        let (mw, wfr) = spans::timed("stream.sessions", || {
+            let mut best_mw: Option<(usize, usize)> = None;
+            let mut best_wfr: Option<(usize, usize, usize)> = None;
+            for &u2 in pvec.iter().chain(self.pending.iter()) {
+                let Some(le) = self.live.get(&u2) else {
+                    continue;
+                };
+                if !le.is_update {
+                    continue;
+                }
+                let rr = le.replica.index();
+                for &u1 in self.un_updates[rr].iter() {
+                    if u1 >= u2 {
+                        break;
+                    }
+                    if !in_p(&self.live, pvec, u1) {
+                        keep_min(&mut best_mw, (u1, u2));
+                        break;
+                    }
+                }
+                for (&r, seen) in self.wfr_reads[rr].iter() {
+                    if r >= u2 {
+                        break;
+                    }
+                    for &u in seen {
+                        if !in_p(&self.live, pvec, u) {
+                            keep_min(&mut best_wfr, (r, u2, u));
+                            break;
+                        }
+                    }
+                }
+            }
+            (best_mw, best_wfr)
+        });
+        if let Some((u1, u2)) = mw {
+            keep_min(&mut self.best_mw, (u1, u2, t));
+        }
+        if let Some((r, u2, u)) = wfr {
+            keep_min(&mut self.best_wfr, (r, u2, t, u));
+        }
+    }
+
+    /// Marks `e` stable: it is now in every replica's `R_r`, hence in every
+    /// later event's `P`, hence never again a missing element. Its entries
+    /// in the unstable pools are dropped; the event itself stays resident
+    /// (pending) until its own recorded predecessors are all stable.
+    fn stabilize(&mut self, e: usize) {
+        let Some(le) = self.live.get_mut(&e) else {
+            return;
+        };
+        le.stable = true;
+        let (rr, is_up, seq, obj) = (le.replica.index(), le.is_update, le.seq, le.obj);
+        self.pending.insert(e);
+        self.since_sweep += 1;
+        for set in &mut self.r_explicit {
+            set.remove(&e);
+        }
+        if is_up {
+            self.dots[rr].remove(&seq);
+            self.un_updates[rr].remove(&e);
+        } else {
+            self.un_reads[rr].remove(&e);
+        }
+        if let Some(set) = self.ev_unstable.get_mut(&obj) {
+            set.remove(&e);
+        }
+    }
+
+    /// Retires every pending event whose recorded predecessors are all
+    /// stable (or already gone). Called automatically every
+    /// [`AUTO_SWEEP_EVERY`] stabilizations; call it explicitly at quiesce
+    /// points to compact eagerly.
+    pub fn sweep(&mut self) {
+        spans::timed("stream.sweep", || {
+            let retirable: Vec<usize> = self
+                .pending
+                .iter()
+                .copied()
+                .filter(|e| {
+                    self.live.get(e).is_some_and(|le| {
+                        le.preds
+                            .iter()
+                            .all(|p| self.live.get(p).is_none_or(|l| l.stable))
+                    })
+                })
+                .collect();
+            for e in retirable {
+                self.retire(e, false);
+            }
+            self.since_sweep = 0;
+        });
+    }
+
+    /// Drops `e` from residency. `forced` marks the bounded-window path,
+    /// which may retire unstable events (purging their pool entries and
+    /// treating them as visible from then on).
+    fn retire(&mut self, e: usize, forced: bool) {
+        let Some(le) = self.live.remove(&e) else {
+            return;
+        };
+        self.pred_slots -= le.preds.len();
+        self.pending.remove(&e);
+        let rr = le.replica.index();
+        if forced && !le.stable {
+            self.forced += 1;
+            for set in &mut self.r_explicit {
+                set.remove(&e);
+            }
+            if le.is_update {
+                self.dots[rr].remove(&le.seq);
+                self.un_updates[rr].remove(&e);
+            } else {
+                self.un_reads[rr].remove(&e);
+            }
+            if let Some(set) = self.ev_unstable.get_mut(&le.obj) {
+                set.remove(&e);
+            }
+        } else {
+            self.retired += 1;
+        }
+        if !le.is_update {
+            if let Some(seen) = self.wfr_reads[rr].remove(&e) {
+                self.wfr_slots -= seen.len();
+            }
+        }
+    }
+
+    /// Deterministic estimate of resident bytes: entry counts times entry
+    /// sizes plus one pointer word of tree overhead per entry.
+    fn resident_bytes(&self) -> usize {
+        use std::mem::size_of;
+        let w = size_of::<usize>();
+        let mut b = self.live.len() * (size_of::<LiveEvent>() + 2 * w);
+        b += (self.pred_slots + self.wfr_slots) * w;
+        b += self.pending.len() * 2 * w;
+        for r in 0..self.config.n_replicas {
+            b += self.r_explicit[r].len() * 2 * w;
+            b += self.dots[r].len() * 3 * w;
+            b += self.un_updates[r].len() * 2 * w;
+            b += self.un_reads[r].len() * 3 * w;
+            b += self.wfr_reads[r].len() * 4 * w;
+        }
+        for (_, set) in self.ev_unstable.iter() {
+            b += set.len() * 2 * w;
+        }
+        b
+    }
+
+    /// Current resource statistics.
+    pub fn stats(&self) -> StreamStats {
+        StreamStats {
+            events: self.next,
+            live: self.live.len(),
+            pending: self.pending.len(),
+            retired: self.retired,
+            forced_retired: self.forced,
+            peak_live: self.peak_live,
+            bytes: self.resident_bytes(),
+            peak_bytes: self.peak_bytes,
+        }
+    }
+
+    /// Causal-consistency verdict over the events so far: `Ok` or the same
+    /// first violation [`causal::check`](crate::consistency::causal::check)
+    /// returns on the batch-assembled execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns the lexicographically-first missing transitive edge.
+    pub fn causal(&self) -> Result<(), CausalityViolation> {
+        match self.best_causal {
+            None => Ok(()),
+            Some((e1, e2, e3)) => Err(CausalityViolation { e1, e2, e3 }),
+        }
+    }
+
+    /// Windowed eventual-consistency verdict, matching
+    /// [`eventual::check_prefix`](crate::consistency::eventual::check_prefix)
+    /// at [`StreamConfig::window`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the lexicographically-first blind event.
+    pub fn eventual(&self) -> Result<(), EventualViolation> {
+        match self.best_eventual {
+            None => Ok(()),
+            Some((event, blind_event)) => Err(EventualViolation {
+                event,
+                blind_event,
+                window: self.config.window,
+            }),
+        }
+    }
+
+    /// Monotonic-writes verdict, matching
+    /// [`sessions::check_monotonic_writes`](crate::consistency::sessions::check_monotonic_writes).
+    ///
+    /// # Errors
+    ///
+    /// Returns the lexicographically-first violation.
+    pub fn monotonic_writes(&self) -> Result<(), SessionViolation> {
+        match self.best_mw {
+            None => Ok(()),
+            Some((earlier, later, event)) => Err(SessionViolation::MonotonicWrites {
+                earlier,
+                later,
+                event,
+            }),
+        }
+    }
+
+    /// Writes-follow-reads verdict, matching
+    /// [`sessions::check_writes_follow_reads`](crate::consistency::sessions::check_writes_follow_reads).
+    ///
+    /// # Errors
+    ///
+    /// Returns the lexicographically-first violation.
+    pub fn writes_follow_reads(&self) -> Result<(), SessionViolation> {
+        match self.best_wfr {
+            None => Ok(()),
+            Some((r, u2, e, u)) => Err(SessionViolation::WritesFollowReads {
+                seen: u,
+                read: r,
+                update: u2,
+                event: e,
+            }),
+        }
+    }
+
+    /// Combined session verdict, matching
+    /// [`sessions::check_all`](crate::consistency::sessions::check_all):
+    /// monotonic writes first, then writes follow reads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation in that order.
+    pub fn sessions(&self) -> Result<(), SessionViolation> {
+        self.monotonic_writes()?;
+        self.writes_follow_reads()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::abstract_execution::AbstractExecution;
+    use crate::consistency::{causal, eventual, sessions};
+    use crate::witness::{abstract_from_witness, DoWitness};
+    use haec_model::{Execution, Op, ReturnValue, Value};
+
+    fn r(i: u32) -> ReplicaId {
+        ReplicaId::new(i)
+    }
+    fn x(i: u32) -> ObjectId {
+        ObjectId::new(i)
+    }
+    fn dot(rep: u32, seq: u32) -> Dot {
+        Dot::new(r(rep), seq)
+    }
+
+    /// One feed entry: `(replica, object, is_update, witness)`.
+    type Feed = (u32, u32, bool, Vec<Dot>);
+
+    /// Runs the same witnessed event sequence through the streaming checker
+    /// and the batch pipeline.
+    fn run_both(
+        n_replicas: usize,
+        window: usize,
+        feed: &[Feed],
+    ) -> (StreamChecker, AbstractExecution) {
+        let mut ex = Execution::new(n_replicas);
+        let mut ws = Vec::new();
+        let mut checker = StreamChecker::new(StreamConfig {
+            n_replicas,
+            window,
+            gc_window: None,
+        })
+        .unwrap();
+        let mut val = 0u64;
+        for &(rep, obj, upd, ref visible) in feed {
+            let (op, rv) = if upd {
+                val += 1;
+                (Op::Write(Value::new(val)), ReturnValue::Ok)
+            } else {
+                (Op::Read, ReturnValue::empty())
+            };
+            let e = ex.push_do(r(rep), x(obj), op, rv);
+            ws.push(DoWitness {
+                event: e,
+                visible: visible.clone(),
+            });
+            checker.push(r(rep), x(obj), upd, visible).unwrap();
+        }
+        let a = abstract_from_witness(&ex, &ws).unwrap();
+        (checker, a)
+    }
+
+    fn assert_agree(checker: &StreamChecker, a: &AbstractExecution, window: usize) {
+        assert_eq!(checker.causal(), causal::check(a), "causal diverged");
+        assert_eq!(
+            checker.eventual(),
+            eventual::check_prefix(a, window),
+            "eventual diverged"
+        );
+        assert_eq!(
+            checker.monotonic_writes(),
+            sessions::check_monotonic_writes(a),
+            "monotonic writes diverged"
+        );
+        assert_eq!(
+            checker.writes_follow_reads(),
+            sessions::check_writes_follow_reads(a),
+            "writes follow reads diverged"
+        );
+        assert_eq!(
+            checker.sessions(),
+            sessions::check_all(a),
+            "sessions diverged"
+        );
+    }
+
+    #[test]
+    fn causal_chain_with_full_witnesses_passes() {
+        let feed: Vec<Feed> = vec![
+            (0, 0, true, vec![]),
+            (1, 0, true, vec![dot(0, 1)]),
+            (2, 0, false, vec![dot(0, 1), dot(1, 1)]),
+        ];
+        let (c, a) = run_both(3, 1, &feed);
+        assert_agree(&c, &a, 1);
+        assert!(c.causal().is_ok());
+        assert!(c.sessions().is_ok());
+    }
+
+    #[test]
+    fn missing_transitive_edge_matches_batch() {
+        // R2 sees R1's write but not the R0 write R1 had seen.
+        let feed: Vec<Feed> = vec![
+            (0, 0, true, vec![]),
+            (1, 1, true, vec![dot(0, 1)]),
+            (2, 2, true, vec![dot(1, 1)]),
+        ];
+        let (c, a) = run_both(3, 8, &feed);
+        assert_agree(&c, &a, 8);
+        let viol = c.causal().unwrap_err();
+        assert_eq!((viol.e1, viol.e2, viol.e3), (0, 1, 2));
+    }
+
+    #[test]
+    fn monotonic_writes_violation_matches_batch() {
+        // R0 writes twice; R1 witnesses only the second.
+        let feed: Vec<Feed> = vec![
+            (0, 0, true, vec![]),
+            (0, 1, true, vec![]),
+            (1, 1, false, vec![dot(0, 2)]),
+        ];
+        let (c, a) = run_both(2, 8, &feed);
+        assert_agree(&c, &a, 8);
+        assert_eq!(
+            c.monotonic_writes(),
+            Err(SessionViolation::MonotonicWrites {
+                earlier: 0,
+                later: 1,
+                event: 2
+            })
+        );
+        // check_all surfaces the monotonic-writes violation first.
+        assert_eq!(c.sessions(), c.monotonic_writes());
+    }
+
+    #[test]
+    fn writes_follow_reads_violation_matches_batch() {
+        // R1 reads R0's write then writes; R2 witnesses only R1's write.
+        let feed: Vec<Feed> = vec![
+            (0, 0, true, vec![]),
+            (1, 0, false, vec![dot(0, 1)]),
+            (1, 1, true, vec![]),
+            (2, 1, false, vec![dot(1, 1)]),
+        ];
+        let (c, a) = run_both(3, 8, &feed);
+        assert_agree(&c, &a, 8);
+        assert_eq!(
+            c.writes_follow_reads(),
+            Err(SessionViolation::WritesFollowReads {
+                seen: 0,
+                read: 1,
+                update: 2,
+                event: 3
+            })
+        );
+    }
+
+    #[test]
+    fn eventual_window_violation_matches_batch() {
+        // A write never witnessed by five later same-object reads.
+        let feed: Vec<Feed> = vec![
+            (0, 0, true, vec![]),
+            (1, 0, false, vec![]),
+            (1, 0, false, vec![]),
+            (1, 0, false, vec![]),
+            (1, 0, false, vec![]),
+            (1, 0, false, vec![]),
+        ];
+        for window in 1..5 {
+            let (c, a) = run_both(2, window, &feed);
+            assert_agree(&c, &a, window);
+        }
+        let (c, _) = run_both(2, 3, &feed);
+        let viol = c.eventual().unwrap_err();
+        assert_eq!((viol.event, viol.blind_event, viol.window), (0, 3, 3));
+    }
+
+    #[test]
+    fn stable_middle_event_still_yields_violation() {
+        // R1's write stabilizes (witnessed at every replica) while the R0
+        // write it saw stays unstable — the pending pool must keep serving
+        // it as the middle of the causal violation.
+        let feed: Vec<Feed> = vec![
+            (0, 0, true, vec![]),
+            (1, 0, true, vec![dot(0, 1)]),
+            (0, 0, false, vec![dot(0, 1), dot(1, 1)]),
+            (2, 0, false, vec![dot(1, 1)]),
+            (2, 0, true, vec![dot(1, 1)]),
+        ];
+        let (c, a) = run_both(3, 16, &feed);
+        assert_agree(&c, &a, 16);
+        let viol = c.causal().unwrap_err();
+        assert_eq!((viol.e1, viol.e2, viol.e3), (0, 1, 3));
+        // Event 1 is stable but must not retire: its predecessor 0 is not.
+        let mut c = c;
+        c.sweep();
+        assert!(c.stats().pending >= 1);
+        assert_eq!(c.stats().retired, 0);
+    }
+
+    #[test]
+    fn quiescing_chain_retires_almost_everything() {
+        // Two replicas fully acknowledging each other: every event's witness
+        // names all issued updates, so stability (and retirement) tracks the
+        // frontier closely.
+        let mut feed: Vec<Feed> = Vec::new();
+        let mut seqs = [0u32, 0u32];
+        for i in 0..40u32 {
+            let rep = i % 2;
+            seqs[rep as usize] += 1;
+            let visible = vec![dot(0, seqs[0]), dot(1, seqs[1])]
+                .into_iter()
+                .filter(|d| d.seq > 0)
+                .collect();
+            feed.push((rep, 0, true, visible));
+        }
+        let (mut c, a) = run_both(2, 8, &feed);
+        assert_agree(&c, &a, 8);
+        assert!(c.causal().is_ok());
+        c.sweep();
+        let stats = c.stats();
+        assert_eq!(stats.events, 40);
+        assert!(stats.retired >= 35, "retired only {}", stats.retired);
+        assert!(stats.live <= 5, "live still {}", stats.live);
+        assert!(stats.peak_live <= 40);
+        assert!(stats.peak_bytes > 0);
+    }
+
+    #[test]
+    fn bounded_window_caps_residency_on_non_quiescing_feed() {
+        // Two replicas that never exchange anything: nothing ever
+        // stabilizes, so only the forced window bounds memory.
+        let mut c = StreamChecker::new(StreamConfig {
+            n_replicas: 2,
+            window: 4,
+            gc_window: Some(8),
+        })
+        .unwrap();
+        for i in 0..100u32 {
+            c.push(r(i % 2), x(0), true, &[]).unwrap();
+        }
+        let stats = c.stats();
+        assert!(stats.live <= 9, "live {}", stats.live);
+        assert!(stats.forced_retired >= 90);
+        // Forced retirement only suppresses violations, never invents them.
+        // (The exact checker would flag the mutual blindness as both an
+        // eventual and a monotonic-writes violation long before event 100.)
+        assert!(c.error().is_none());
+    }
+
+    #[test]
+    fn exact_mode_flags_mutually_blind_writers() {
+        let feed: Vec<Feed> = (0..12u32).map(|i| (i % 2, 0, true, vec![])).collect();
+        let (c, a) = run_both(2, 4, &feed);
+        assert_agree(&c, &a, 4);
+        // With no cross-replica edges, vis is pure program order: the
+        // session guarantees hold vacuously but the window check flags the
+        // first blind same-object event.
+        assert!(c.eventual().is_err());
+        assert!(c.sessions().is_ok());
+    }
+
+    #[test]
+    fn unknown_dot_poisons_the_checker() {
+        let mut c = StreamChecker::new(StreamConfig::new(2)).unwrap();
+        c.push(r(0), x(0), true, &[]).unwrap();
+        let err = c.push(r(1), x(0), false, &[dot(0, 7)]).unwrap_err();
+        assert!(matches!(err, StreamError::UnknownDot { event: 1, .. }));
+        assert!(err.to_string().contains("unissued"));
+        // Poisoned: even a valid push now fails with the same error.
+        let again = c.push(r(1), x(0), false, &[]).unwrap_err();
+        assert_eq!(again, err);
+        assert_eq!(c.error(), Some(&err));
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(matches!(
+            StreamChecker::new(StreamConfig::new(65)).unwrap_err(),
+            StreamError::TooManyReplicas { n_replicas: 65 }
+        ));
+        let bad = StreamConfig {
+            gc_window: Some(0),
+            ..StreamConfig::new(2)
+        };
+        assert_eq!(
+            StreamChecker::new(bad).unwrap_err(),
+            StreamError::ZeroGcWindow
+        );
+        let mut c = StreamChecker::new(StreamConfig::new(1)).unwrap();
+        let err = c.push(r(3), x(0), true, &[]).unwrap_err();
+        assert!(matches!(err, StreamError::ReplicaOutOfRange { .. }));
+    }
+
+    #[test]
+    fn own_dot_and_duplicate_dots_are_tolerated() {
+        let feed: Vec<Feed> = vec![
+            (0, 0, true, vec![dot(0, 1)]),
+            (1, 0, true, vec![dot(0, 1), dot(0, 1), dot(1, 1)]),
+        ];
+        let (c, a) = run_both(2, 4, &feed);
+        assert_agree(&c, &a, 4);
+        assert!(c.causal().is_ok());
+    }
+
+    #[test]
+    fn single_replica_stream_is_trivially_clean_and_compact() {
+        let mut c = StreamChecker::new(StreamConfig::new(1)).unwrap();
+        for i in 0..100u32 {
+            let upd = i % 3 != 2;
+            c.push(r(0), x(i % 2), upd, &[]).unwrap();
+        }
+        c.sweep();
+        assert!(c.causal().is_ok());
+        assert!(c.eventual().is_ok());
+        assert!(c.sessions().is_ok());
+        let stats = c.stats();
+        assert_eq!(stats.retired, 100);
+        assert_eq!(stats.live, 0);
+    }
+
+    #[test]
+    fn empty_checker_reports_clean() {
+        let c = StreamChecker::new(StreamConfig::new(3)).unwrap();
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert!(c.causal().is_ok());
+        assert!(c.eventual().is_ok());
+        assert!(c.sessions().is_ok());
+        assert_eq!(c.stats(), StreamStats::default());
+        assert_eq!(c.config().n_replicas, 3);
+    }
+
+    #[test]
+    fn stats_are_deterministic_per_feed() {
+        let feed: Vec<Feed> = vec![
+            (0, 0, true, vec![]),
+            (1, 1, true, vec![dot(0, 1)]),
+            (2, 0, false, vec![dot(1, 1)]),
+            (0, 1, false, vec![dot(0, 1), dot(1, 1)]),
+        ];
+        let (c1, _) = run_both(3, 8, &feed);
+        let (c2, _) = run_both(3, 8, &feed);
+        assert_eq!(c1.stats(), c2.stats());
+        assert_eq!(c1.causal(), c2.causal());
+    }
+
+    #[test]
+    fn error_display_variants() {
+        assert!(StreamError::TooManyReplicas { n_replicas: 99 }
+            .to_string()
+            .contains("99"));
+        assert!(StreamError::ZeroGcWindow.to_string().contains("nonzero"));
+        assert!(StreamError::ReplicaOutOfRange {
+            event: 4,
+            replica: r(9)
+        }
+        .to_string()
+        .contains("R9"));
+    }
+}

@@ -55,7 +55,7 @@ pub use abstract_execution::{
 };
 pub use compliance::{complies, ComplianceError};
 pub use consistency::{
-    causal, compare_on, eventual, occ, sessions, ConsistencyModel, ModelComparison,
+    causal, compare_on, eventual, occ, sessions, stream, ConsistencyModel, ModelComparison,
 };
 pub use context::OperationContext;
 pub use correctness::{check_correct, in_specification, CorrectnessViolation, SpecMembershipError};

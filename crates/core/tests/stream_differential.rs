@@ -1,0 +1,230 @@
+//! Streaming-vs-batch differential suite.
+//!
+//! Drives every store of the seven-store conformance matrix through
+//! schedules with drop, duplication and partition faults, with the
+//! streaming checker attached as an observer, then pins the streaming
+//! verdicts — including the exact first-violation witnesses — against the
+//! batch checkers run on the assembled witness abstract execution. The
+//! batch checkers are the specification; the streaming checker must agree
+//! event for event.
+
+use haec_core::consistency::{causal, eventual, sessions};
+use haec_core::stream::{StreamConfig, StreamError};
+use haec_sim::obs::stream::StreamObserver;
+use haec_sim::obs::{self, json::Json};
+use haec_sim::{
+    explore_with, ExplorationConfig, Partition, ReportConfig, RunReport, ScheduleConfig,
+};
+use haec_stores::conformance_matrix;
+
+const WINDOW: usize = 32;
+
+fn fault_schedules() -> Vec<(&'static str, ScheduleConfig)> {
+    vec![
+        (
+            "drop",
+            ScheduleConfig {
+                drop_prob: 0.2,
+                dup_prob: 0.0,
+                ..ScheduleConfig::default()
+            },
+        ),
+        (
+            "duplicate",
+            ScheduleConfig {
+                drop_prob: 0.0,
+                dup_prob: 0.25,
+                ..ScheduleConfig::default()
+            },
+        ),
+        (
+            "partition",
+            ScheduleConfig {
+                drop_prob: 0.0,
+                dup_prob: 0.0,
+                partition: Some(Partition {
+                    from_step: 20,
+                    to_step: 120,
+                    group: vec![0],
+                }),
+                ..ScheduleConfig::default()
+            },
+        ),
+    ]
+}
+
+/// Runs one store under one fault schedule with the streaming checker
+/// attached; returns `(violations_seen, events_checked)`.
+fn differential_run(
+    factory: &dyn haec_model::StoreFactory,
+    conf_spec: haec_core::SpecKind,
+    schedule: &ScheduleConfig,
+    seed: u64,
+    label: &str,
+) -> (usize, usize) {
+    let config = ExplorationConfig {
+        spec: conf_spec,
+        schedule: schedule.clone(),
+        ..ExplorationConfig::default()
+    };
+    let stream = obs::shared(
+        StreamObserver::new(StreamConfig {
+            n_replicas: config.n_replicas,
+            window: WINDOW,
+            gc_window: None,
+        })
+        .unwrap(),
+    );
+    let handle = stream.clone();
+    let rep = explore_with(factory, &config, seed, move |sim| {
+        sim.attach_observer(Box::new(handle));
+    });
+    let stream = stream.borrow();
+    let checker = stream.checker();
+    let a = rep
+        .abstract_execution
+        .as_ref()
+        .unwrap_or_else(|e| panic!("{label}: witness failed: {e}"));
+    assert_eq!(
+        checker.error().cloned(),
+        None::<StreamError>,
+        "{label}: stream checker errored"
+    );
+    assert_eq!(checker.len(), a.len(), "{label}: event count");
+    // Exact verdict-and-witness equality, checker by checker.
+    assert_eq!(checker.causal(), causal::check(a), "{label}: causal");
+    assert_eq!(
+        checker.eventual(),
+        eventual::check_prefix(a, WINDOW),
+        "{label}: eventual"
+    );
+    assert_eq!(
+        checker.monotonic_writes(),
+        sessions::check_monotonic_writes(a),
+        "{label}: monotonic writes"
+    );
+    assert_eq!(
+        checker.writes_follow_reads(),
+        sessions::check_writes_follow_reads(a),
+        "{label}: writes follow reads"
+    );
+    assert_eq!(
+        checker.sessions(),
+        sessions::check_all(a),
+        "{label}: sessions"
+    );
+    let violations = usize::from(checker.causal().is_err())
+        + usize::from(checker.eventual().is_err())
+        + usize::from(checker.sessions().is_err());
+    (violations, checker.len())
+}
+
+#[test]
+fn streaming_matches_batch_across_the_conformance_matrix() {
+    let mut total_events = 0;
+    let mut total_violations = 0;
+    for (factory, conf) in conformance_matrix() {
+        for (fault, schedule) in fault_schedules() {
+            for seed in 0..4 {
+                let label = format!("{}/{fault}/seed{seed}", factory.name());
+                let (violations, events) =
+                    differential_run(&*factory, conf.spec, &schedule, seed, &label);
+                total_events += events;
+                total_violations += violations;
+            }
+        }
+    }
+    assert!(
+        total_events > 5_000,
+        "matrix too small to mean anything: {total_events} events"
+    );
+    // The matrix includes LWW (causally broken by design) and windowed
+    // eventual checks under partitions — agreement on a matrix with zero
+    // violations would be vacuous.
+    assert!(
+        total_violations > 0,
+        "differential matrix never exercised a violating verdict"
+    );
+}
+
+#[test]
+fn streaming_gc_window_only_suppresses_violations() {
+    // The bounded-window fallback force-retires unstable events; it may
+    // therefore miss violations the exact checker pins, but must never
+    // invent one, and whenever it does report, the witness must be one the
+    // exact checker also reports.
+    for (factory, conf) in conformance_matrix() {
+        let config = ExplorationConfig {
+            spec: conf.spec,
+            schedule: ScheduleConfig {
+                drop_prob: 0.15,
+                ..ScheduleConfig::default()
+            },
+            ..ExplorationConfig::default()
+        };
+        let make = |gc_window: Option<usize>| {
+            obs::shared(
+                StreamObserver::new(StreamConfig {
+                    n_replicas: config.n_replicas,
+                    window: WINDOW,
+                    gc_window,
+                })
+                .unwrap(),
+            )
+        };
+        let exact = make(None);
+        let windowed = make(Some(48));
+        for obs_handle in [&exact, &windowed] {
+            let handle = obs_handle.clone();
+            explore_with(&*factory, &config, 11, move |sim| {
+                sim.attach_observer(Box::new(handle));
+            });
+        }
+        let exact = exact.borrow();
+        let windowed = windowed.borrow();
+        if let Err(v) = windowed.checker().causal() {
+            assert_eq!(exact.checker().causal(), Err(v), "{}", factory.name());
+        }
+        if let Err(v) = windowed.checker().sessions() {
+            assert_eq!(exact.checker().sessions(), Err(v), "{}", factory.name());
+        }
+        assert!(
+            windowed.checker().stats().live <= exact.checker().stats().live,
+            "{}: forced retirement must not grow the frontier",
+            factory.name()
+        );
+    }
+}
+
+#[test]
+fn stream_report_section_is_byte_identical_per_seed() {
+    // Incremental-feed-order determinism: two full collections from the
+    // same seed must render the identical `stream` section (and identical
+    // normalized report overall).
+    for (factory, conf) in conformance_matrix() {
+        let config = ReportConfig {
+            exploration: ExplorationConfig {
+                spec: conf.spec,
+                ..ExplorationConfig::default()
+            },
+            ..ReportConfig::default()
+        };
+        let one = RunReport::collect(&*factory, &config, 42);
+        let two = RunReport::collect(&*factory, &config, 42);
+        assert_eq!(
+            one.to_json_normalized(),
+            two.to_json_normalized(),
+            "{}: normalized reports diverge",
+            factory.name()
+        );
+        let section = |r: &RunReport| {
+            Json::parse(&r.to_json_string())
+                .expect("valid JSON")
+                .get("stream")
+                .expect("stream section")
+                .render()
+        };
+        assert_eq!(section(&one), section(&two), "{}", factory.name());
+        assert_eq!(one.stream, two.stream, "{}", factory.name());
+    }
+}

@@ -215,6 +215,28 @@ mod tests {
     }
 
     #[test]
+    fn streaming_checker_modules_get_no_exemptions() {
+        // The online checkers are hot-path code inside the determinism
+        // boundary: full deny policy, no clock or thread carve-outs. Lag
+        // there is counted in logical events, never wall time.
+        for path in [
+            "crates/core/src/consistency/stream.rs",
+            "crates/sim/src/obs/stream.rs",
+        ] {
+            let p = Policy::for_crate(crate_key(path));
+            for l in ALL_LINTS {
+                assert!(p.denies(l), "{path} must deny {l}");
+            }
+            assert!(!wall_clock_exempt(path), "{path} must not read the clock");
+            assert!(!thread_exempt(path), "{path} must not spawn threads");
+        }
+        // The stream bench is CLI-side: it may time, but not hash.
+        let bench = Policy::for_crate(crate_key("crates/bench/benches/stream.rs"));
+        assert!(!bench.denies(Lint::WallClock));
+        assert!(bench.denies(Lint::NondeterministicCollection));
+    }
+
+    #[test]
     fn thread_exemption_is_scoped_to_the_worker_pool_module() {
         assert!(thread_exempt("crates/sim/src/exhaustive/parallel.rs"));
         assert!(!thread_exempt("crates/sim/src/exhaustive/mod.rs"));

@@ -1,0 +1,38 @@
+//! Firing: a streaming-checker frontier written the forbidden way — hash
+//! maps for the live-event set, wall-clock lag measurement, and unordered
+//! iteration when picking retirement candidates. This is the exact shape
+//! of code the online checkers must NOT contain.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+struct Frontier {
+    live: HashMap<u64, u64>,
+    started: Instant,
+}
+
+impl Frontier {
+    fn new() -> Self {
+        Frontier {
+            live: HashMap::new(),
+            started: Instant::now(),
+        }
+    }
+
+    fn lag_secs(&self) -> u64 {
+        self.started.elapsed().as_secs()
+    }
+
+    fn retire_stable(&mut self, stable_below: u64) -> usize {
+        let doomed: Vec<u64> = self
+            .live
+            .iter()
+            .filter(|(_, &cover)| cover < stable_below)
+            .map(|(&id, _)| id)
+            .collect();
+        for id in &doomed {
+            self.live.remove(id);
+        }
+        doomed.len() + self.lag_secs() as usize
+    }
+}

@@ -709,6 +709,31 @@ mod tests {
     }
 
     #[test]
+    fn streaming_observer_state_is_thread_invariant() {
+        // The streaming checker rides through the parallel explorer via
+        // ForkJoinObserver: children fork empty and the canonical-order
+        // merge must yield a bit-identical snapshot at every thread count.
+        use crate::obs::stream::StreamObserver;
+
+        let config = depth_config(4);
+        let mut seq_obs = StreamObserver::for_replicas(2);
+        let seq = explore_all_observed(&DvvMvrStore, &config, &mut causal_check, &mut seq_obs);
+        let seq_snap = seq_obs.snapshot();
+        for threads in [1, 2, 8] {
+            let mut par_obs = StreamObserver::for_replicas(2);
+            let par = explore_all_parallel_observed(
+                &DvvMvrStore,
+                &config,
+                &ParallelConfig::with_threads(threads),
+                &causal_check,
+                &mut par_obs,
+            );
+            assert_eq!(par.schedules, seq.schedules, "threads={threads}");
+            assert_eq!(par_obs.snapshot(), seq_snap, "threads={threads}");
+        }
+    }
+
+    #[test]
     fn max_schedules_cap_is_exact_and_thread_invariant() {
         let config = ExhaustiveConfig {
             depth: 6,
@@ -782,6 +807,34 @@ mod tests {
             );
             assert_eq!(par, sequential, "threads={threads}");
             assert_eq!(par_stats.families(), seq_stats.families());
+        }
+
+        // The streaming observer's family tally rides the same
+        // canonical-order merge: its snapshot is thread-invariant too.
+        use crate::obs::stream::StreamObserver;
+        let mut seq_stream = StreamObserver::for_replicas(3);
+        explore_family_observed(
+            &DvvMvrStore,
+            &config,
+            "hbq",
+            &family,
+            &mut causal_check,
+            &mut seq_stream,
+        );
+        let seq_snap = seq_stream.snapshot();
+        assert_eq!(seq_snap.family_members, 4);
+        for threads in [1, 2, 8] {
+            let mut par_stream = StreamObserver::for_replicas(3);
+            explore_family_parallel_observed(
+                &DvvMvrStore,
+                &config,
+                threads,
+                "hbq",
+                &family,
+                &causal_check,
+                &mut par_stream,
+            );
+            assert_eq!(par_stream.snapshot(), seq_snap, "threads={threads}");
         }
     }
 

@@ -1,6 +1,7 @@
 //! The exploration pipeline: run a store under a random schedule, build the
 //! witness abstract execution, and check every property at once.
 
+use crate::obs::hist::Histogram;
 use crate::scheduler::{run_schedule, ScheduleConfig};
 use crate::simulator::Simulator;
 use crate::workload::{KeyDistribution, Workload};
@@ -64,6 +65,9 @@ pub struct ConsistencyReport {
     /// Residual staleness: max events an update stayed invisible to a
     /// same-object event.
     pub max_staleness: usize,
+    /// Full per-update staleness distribution (one sample per update, the
+    /// aggregated form of [`eventual::staleness`]).
+    pub staleness: Histogram,
 }
 
 impl ConsistencyReport {
@@ -98,6 +102,7 @@ impl fmt::Display for ConsistencyReport {
         writeln!(f, "  correct:  {}", fmt_check(&self.correct))?;
         writeln!(f, "  causal:   {}", fmt_check(&self.causal))?;
         writeln!(f, "  occ:      {}", fmt_check(&self.occ))?;
+        writeln!(f, "  staleness: {}", self.staleness)?;
         write!(f, "  max staleness: {}", self.max_staleness)
     }
 }
@@ -168,14 +173,20 @@ pub fn report_on(sim: &Simulator, config: &ExplorationConfig, seed: u64) -> Cons
     } else {
         sim.abstract_execution()
     };
-    let (correct, causal_res, occ_res, max_staleness) = match &abstract_execution {
-        Ok(a) => (
-            check_correct(a, &specs).err().map(|e| e.to_string()),
-            causal::check(a).err().map(|e| e.to_string()),
-            occ::check(a).err().map(|e| e.to_string()),
-            eventual::staleness(a).into_iter().max().unwrap_or(0),
-        ),
-        Err(_) => (None, None, None, 0),
+    let (correct, causal_res, occ_res, staleness) = match &abstract_execution {
+        Ok(a) => {
+            let mut hist = Histogram::new();
+            for s in eventual::staleness(a) {
+                hist.record(s as u64);
+            }
+            (
+                check_correct(a, &specs).err().map(|e| e.to_string()),
+                causal::check(a).err().map(|e| e.to_string()),
+                occ::check(a).err().map(|e| e.to_string()),
+                hist,
+            )
+        }
+        Err(_) => (None, None, None, Histogram::new()),
     };
     ConsistencyReport {
         store: sim.store_name().to_owned(),
@@ -185,7 +196,8 @@ pub fn report_on(sim: &Simulator, config: &ExplorationConfig, seed: u64) -> Cons
         correct,
         causal: causal_res,
         occ: occ_res,
-        max_staleness,
+        max_staleness: staleness.max().unwrap_or(0) as usize,
+        staleness,
     }
 }
 

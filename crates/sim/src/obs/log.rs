@@ -171,6 +171,12 @@ impl EventLog {
         self.seen
     }
 
+    /// Events observed but no longer retained — evicted by the drop-oldest
+    /// ring policy (or never stored, with capacity 0).
+    pub fn dropped(&self) -> u64 {
+        self.seen - self.buf.len() as u64
+    }
+
     /// The retention capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
@@ -247,6 +253,7 @@ mod tests {
             log.push(do_ev(step));
         }
         assert_eq!(log.total_seen(), 5);
+        assert_eq!(log.dropped(), 3);
         assert_eq!(log.capacity(), 2);
         let steps: Vec<usize> = log
             .records()
@@ -263,6 +270,7 @@ mod tests {
         let mut log = EventLog::new(0);
         log.push(do_ev(0));
         assert_eq!(log.total_seen(), 1);
+        assert_eq!(log.dropped(), 1);
         assert_eq!(log.records().count(), 0);
     }
 

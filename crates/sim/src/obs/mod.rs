@@ -15,6 +15,8 @@
 //! - [`stats::StatsObserver`] — event counters, message-size and
 //!   delivery-latency histograms, peak state size, search statistics;
 //! - [`lag::LagObserver`] — per-update visibility lag and read staleness;
+//! - [`stream::StreamObserver`] — online consistency checking (causal,
+//!   eventual, session guarantees) with stability-driven event GC;
 //! - [`json::Json`] — a tiny dependency-free JSON tree (serialise + parse);
 //! - [`report::RunReport`] — everything above aggregated into one report
 //!   with a stable JSON rendering.
@@ -44,6 +46,7 @@ pub mod lag;
 pub mod log;
 pub mod report;
 pub mod stats;
+pub mod stream;
 
 use haec_model::{Dot, MsgId, ObjectId, Op, ReplicaId, ReturnValue};
 use std::cell::RefCell;

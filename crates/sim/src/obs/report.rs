@@ -23,10 +23,12 @@ use crate::obs::json::Json;
 use crate::obs::lag::LagObserver;
 use crate::obs::log::EventLog;
 use crate::obs::stats::StatsObserver;
+use crate::obs::stream::{StreamObserver, StreamSnapshot};
 use crate::scheduler::run_schedule;
 use crate::simulator::Simulator;
 use crate::workload::Workload;
 use haec_core::spans::{self, SpanRecord};
+use haec_core::stream::StreamConfig;
 use haec_model::{StoreConfig, StoreFactory};
 use std::fmt;
 
@@ -40,6 +42,11 @@ pub struct ReportConfig {
     pub exploration: ExplorationConfig,
     /// Retention capacity of the structured event log.
     pub log_capacity: usize,
+    /// Eventual-consistency window of the streaming checker.
+    pub stream_window: usize,
+    /// Bounded-window GC fallback for the streaming checker (`None` =
+    /// exact stability-driven retirement).
+    pub stream_gc_window: Option<usize>,
 }
 
 impl Default for ReportConfig {
@@ -47,6 +54,8 @@ impl Default for ReportConfig {
         ReportConfig {
             exploration: ExplorationConfig::default(),
             log_capacity: 64,
+            stream_window: 32,
+            stream_gc_window: None,
         }
     }
 }
@@ -79,6 +88,12 @@ pub struct RunReport {
     pub occ: Option<String>,
     /// Max events an update stayed invisible to a same-object event.
     pub max_staleness: usize,
+    /// Full per-update staleness distribution (aggregated
+    /// `eventual::staleness`).
+    pub staleness: Histogram,
+    /// Streaming-checker state: online verdicts, frontier size, retirement
+    /// and memory high-water marks.
+    pub stream: StreamSnapshot,
     /// Checker span timings (call counts are deterministic; `total_ns` is
     /// wall-clock and is not).
     pub spans: Vec<SpanRecord>,
@@ -86,6 +101,8 @@ pub struct RunReport {
     pub log_tail: Vec<String>,
     /// Total events the log observed (including evicted ones).
     pub log_total: u64,
+    /// Log records evicted by the drop-oldest ring policy.
+    pub log_dropped: u64,
 }
 
 impl RunReport {
@@ -98,17 +115,33 @@ impl RunReport {
         let stats = super::shared(StatsObserver::new());
         let lag = super::shared(LagObserver::new(ec.n_replicas));
         let log = super::shared(EventLog::new(config.log_capacity));
+        let stream_config = StreamConfig {
+            n_replicas: ec.n_replicas,
+            window: config.stream_window,
+            gc_window: config.stream_gc_window,
+        };
+        let stream = super::shared(
+            StreamObserver::new(stream_config).expect("ReportConfig stream parameters invalid"),
+        );
         sim.attach_observer(Box::new(stats.clone()));
         sim.attach_observer(Box::new(lag.clone()));
         sim.attach_observer(Box::new(log.clone()));
+        sim.attach_observer(Box::new(stream.clone()));
         let mut workload =
             Workload::new(ec.spec, ec.n_replicas, ec.n_objects, ec.read_ratio, ec.keys);
-        run_schedule(&mut sim, &mut workload, &ec.schedule, seed);
-        let (consistency, spans) = spans::collect(|| report_on(&sim, ec, seed));
+        // One span collector over both the schedule (streaming-checker
+        // ingestion spans fire from observer hooks as the run proceeds)
+        // and the batch checkers, so the report's `spans` section shows
+        // online and batch costs side by side.
+        let (consistency, spans) = spans::collect(|| {
+            run_schedule(&mut sim, &mut workload, &ec.schedule, seed);
+            report_on(&sim, ec, seed)
+        });
         let metrics = measure(&sim);
         let stats = stats.borrow().clone();
         let lag = lag.borrow();
         let log = log.borrow();
+        let stream = stream.borrow().snapshot();
         RunReport {
             store: sim.store_name().to_owned(),
             seed,
@@ -122,9 +155,12 @@ impl RunReport {
             causal: consistency.causal,
             occ: consistency.occ,
             max_staleness: consistency.max_staleness,
+            staleness: consistency.staleness,
+            stream,
             spans,
             log_tail: log.records().map(|r| r.to_string()).collect(),
             log_total: log.total_seen(),
+            log_dropped: log.dropped(),
         }
     }
 
@@ -219,6 +255,7 @@ impl RunReport {
                         "max_staleness".into(),
                         Json::Int(self.max_staleness as i128),
                     ),
+                    ("staleness_hist".into(), hist_json(&self.staleness)),
                 ]),
             ),
             (
@@ -243,6 +280,7 @@ impl RunReport {
                 "log".into(),
                 Json::Obj(vec![
                     ("total".into(), Json::uint(self.log_total)),
+                    ("dropped".into(), Json::uint(self.log_dropped)),
                     (
                         "tail".into(),
                         Json::Arr(self.log_tail.iter().map(Json::str).collect()),
@@ -285,6 +323,49 @@ impl RunReport {
                                 })
                                 .collect(),
                         ),
+                    ),
+                ]),
+            ),
+            (
+                "stream".into(),
+                Json::Obj(vec![
+                    ("events".into(), Json::Int(self.stream.stats.events as i128)),
+                    ("live".into(), Json::Int(self.stream.stats.live as i128)),
+                    (
+                        "pending".into(),
+                        Json::Int(self.stream.stats.pending as i128),
+                    ),
+                    (
+                        "retired".into(),
+                        Json::Int(self.stream.stats.retired as i128),
+                    ),
+                    (
+                        "forced_retired".into(),
+                        Json::Int(self.stream.stats.forced_retired as i128),
+                    ),
+                    (
+                        "peak_live".into(),
+                        Json::Int(self.stream.stats.peak_live as i128),
+                    ),
+                    ("bytes".into(), Json::Int(self.stream.stats.bytes as i128)),
+                    (
+                        "peak_bytes".into(),
+                        Json::Int(self.stream.stats.peak_bytes as i128),
+                    ),
+                    ("causal".into(), verdict(&self.stream.causal)),
+                    ("eventual".into(), verdict(&self.stream.eventual)),
+                    ("sessions".into(), verdict(&self.stream.sessions)),
+                    (
+                        "error".into(),
+                        match &self.stream.error {
+                            None => Json::Null,
+                            Some(e) => Json::str(e.clone()),
+                        },
+                    ),
+                    ("quiesces".into(), Json::uint(self.stream.quiesces)),
+                    (
+                        "family_members".into(),
+                        Json::uint(self.stream.family_members),
                     ),
                 ]),
             ),
@@ -376,6 +457,21 @@ impl fmt::Display for RunReport {
             verdict(&self.causal),
             verdict(&self.occ),
             self.max_staleness
+        )?;
+        writeln!(
+            f,
+            "  stream:     {} events, {} live ({} pending), {} retired (+{} forced), \
+             peak {} events / {} bytes, causal {}, eventual {}, sessions {}",
+            self.stream.stats.events,
+            self.stream.stats.live,
+            self.stream.stats.pending,
+            self.stream.stats.retired,
+            self.stream.stats.forced_retired,
+            self.stream.stats.peak_live,
+            self.stream.stats.peak_bytes,
+            verdict(&self.stream.causal),
+            verdict(&self.stream.eventual),
+            verdict(&self.stream.sessions)
         )?;
         write!(f, "  spans:     ")?;
         if self.spans.is_empty() {
@@ -499,6 +595,74 @@ mod tests {
         let text = rep.to_string();
         assert!(text.contains("dvv-mvr"));
         assert!(text.contains("staleness"));
+        assert!(text.contains("stream"));
         assert!(text.contains("spans"));
+    }
+
+    #[test]
+    fn stream_section_reports_online_checker_state() {
+        let rep = RunReport::collect(&DvvMvrStore, &ReportConfig::default(), 7);
+        // The streaming checker saw exactly the do events the stats
+        // observer counted, and its causal verdict agrees with the batch
+        // checker run on the witness execution.
+        assert_eq!(rep.stream.stats.events as u64, rep.stats.do_events());
+        assert_eq!(rep.stream.causal.is_some(), rep.causal.is_some());
+        assert!(rep.stream.error.is_none(), "{:?}", rep.stream.error);
+        assert!(
+            rep.stream.stats.live + rep.stream.stats.retired + rep.stream.stats.forced_retired
+                == rep.stream.stats.events,
+            "{:?}",
+            rep.stream.stats
+        );
+        assert!(rep.stream.quiesces > 0, "default schedule quiesces at end");
+        // Online ingestion was span-timed alongside the batch checkers.
+        assert!(rep.spans.iter().any(|s| s.name == "stream.ingest"));
+        assert!(rep.spans.iter().any(|s| s.name == "check.causal"));
+        // The same numbers flow through the JSON `stream` section.
+        let v = Json::parse(&rep.to_json_string()).expect("valid JSON");
+        let stream = v.get("stream").expect("stream section");
+        assert_eq!(
+            stream.get("events").and_then(Json::as_int),
+            Some(rep.stream.stats.events as i128)
+        );
+        assert_eq!(stream.get("causal").and_then(Json::as_str), Some("ok"));
+        assert!(stream.get("peak_bytes").and_then(Json::as_int).unwrap() > 0);
+    }
+
+    #[test]
+    fn log_dropped_count_matches_eviction() {
+        let config = ReportConfig {
+            log_capacity: 8,
+            ..ReportConfig::default()
+        };
+        let rep = RunReport::collect(&DvvMvrStore, &config, 7);
+        assert_eq!(rep.log_tail.len(), 8);
+        assert_eq!(rep.log_dropped, rep.log_total - 8);
+        let v = Json::parse(&rep.to_json_string()).expect("valid JSON");
+        let log = v.get("log").expect("log section");
+        assert_eq!(
+            log.get("dropped").and_then(Json::as_int),
+            Some(rep.log_dropped as i128)
+        );
+    }
+
+    #[test]
+    fn staleness_histogram_aggregates_into_checks_section() {
+        let rep = RunReport::collect(&DvvMvrStore, &ReportConfig::default(), 7);
+        assert_eq!(
+            rep.staleness.max().unwrap_or(0) as usize,
+            rep.max_staleness,
+            "histogram max and max_staleness must agree"
+        );
+        assert!(rep.staleness.count() > 0, "updates must produce samples");
+        let v = Json::parse(&rep.to_json_string()).expect("valid JSON");
+        let hist = v
+            .get("checks")
+            .and_then(|c| c.get("staleness_hist"))
+            .expect("staleness_hist in checks");
+        assert_eq!(
+            hist.get("count").and_then(Json::as_int),
+            Some(rep.staleness.count() as i128)
+        );
     }
 }

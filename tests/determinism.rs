@@ -119,6 +119,7 @@ fn report_json_is_byte_identical_across_same_seed_runs() {
             ..ExplorationConfig::default()
         },
         log_capacity: 16,
+        ..ReportConfig::default()
     };
     for seed in [7u64, 42] {
         let a = RunReport::collect(&DvvMvrStore, &config, seed).to_json_normalized();
