@@ -17,8 +17,25 @@ cargo test -q --workspace --locked --offline
 echo "== clippy (locked, offline, deny warnings) =="
 cargo clippy --workspace --locked --offline -- -D warnings
 
-echo "== haec-lint (determinism/hermeticity, deny mode) =="
-cargo run -q --release --locked --offline -p haec-lint
+echo "== haec-lint (interprocedural taint + token lints, deny mode, self-hosting) =="
+# The linter gates the whole workspace, its own sources included. The
+# --json report is archived, run twice, and byte-compared: the analysis
+# itself must be deterministic. Both runs together stay under a 10s
+# wall-clock budget — the pass is a fixpoint over function summaries,
+# not a whole-program blowup.
+mkdir -p target/lint
+lint_t0=$(date +%s)
+cargo run -q --release --locked --offline -p haec-lint -- --json > target/lint/report.json
+cargo run -q --release --locked --offline -p haec-lint -- --json > target/lint/report-again.json
+lint_t1=$(date +%s)
+cmp target/lint/report.json target/lint/report-again.json || {
+    echo "ci: haec-lint --json is not byte-identical across two runs" >&2
+    exit 1
+}
+if [ $((lint_t1 - lint_t0)) -ge 10 ]; then
+    echo "ci: haec-lint exceeded its 10s wall-clock budget ($((lint_t1 - lint_t0))s for two runs)" >&2
+    exit 1
+fi
 
 echo "== haec-lint fixtures (known-answer corpus) =="
 cargo test -q --locked --offline -p haec-lint --test fixtures > /dev/null

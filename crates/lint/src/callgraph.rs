@@ -1,0 +1,1008 @@
+//! Workspace symbol table, per-function source detection, and call-graph
+//! construction for the interprocedural taint pass.
+//!
+//! [`Workspace::build`] runs over every file of a lint invocation (one
+//! file for fixtures, the whole tree for `lint_workspace`): it tokenizes,
+//! recovers items with [`crate::parse`], detects *taint sources* inside
+//! each function body, extracts call sites, and resolves them against a
+//! workspace-wide symbol table. Method calls resolve by a receiver-type
+//! heuristic (`self`, `let x: T`, typed parameters, `let x = T::new()`);
+//! a receiver whose type is unknown over-approximates to every workspace
+//! method of that name that takes `self` — trait-object dispatch is thus
+//! over-approximated, never missed. Calls that resolve to nothing in the
+//! workspace (std, closures) contribute no edge: std functions are
+//! modelled by the source patterns instead.
+//!
+//! A tiny *side-channel summary* registry overrides two functions whose
+//! token-level bodies would mislead the analysis: `core::spans::timed`
+//! wraps nearly every checker in the workspace but returns the wrapped
+//! closure's value unchanged (the clock reading goes only to the
+//! thread-local span collector), so it is forced taint-transparent; its
+//! dual `core::spans::collect` *returns* the collected `SpanRecord`s with
+//! their wall-clock `total_ns`, so it is forced to generate wall-clock
+//! taint regardless of what its body looks like.
+
+use crate::driver::unordered_iteration_sites;
+use crate::lints::Lint;
+use crate::parse::{parse_file, FnDef};
+use crate::resolve::{collect_uses, Resolver};
+use crate::tokenizer::{tokenize, Tok, TokKind};
+use haec_core::det::DetMap;
+
+/// The seven kinds of nondeterminism the taint lattice tracks. The
+/// lattice is the powerset of these, represented as a bitset ([`bit`]);
+/// join is bitwise or.
+///
+/// [`bit`]: SourceKind::bit
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum SourceKind {
+    /// `std::time::Instant` / `SystemTime` reads.
+    WallClock,
+    /// `std::env`, `RandomState` — ambient process state.
+    AmbientEntropy,
+    /// `std::thread::current()` — thread identity.
+    ThreadId,
+    /// Iteration over a raw hash collection.
+    UnorderedIter,
+    /// `sort_unstable_by`/`sort_unstable_by_key` — equal-under-comparator
+    /// elements land in unspecified order.
+    UnstableSort,
+    /// Pointer/address observation: `.as_ptr()`, `as *const _`,
+    /// `ptr::eq`/`addr_of` — addresses vary run to run.
+    AddressCast,
+    /// An `Ordering::Relaxed` atomic access — unsynchronized values may
+    /// differ between runs and thread counts.
+    RelaxedRead,
+}
+
+impl SourceKind {
+    /// Every kind, in bit order.
+    pub const ALL: [SourceKind; 7] = [
+        SourceKind::WallClock,
+        SourceKind::AmbientEntropy,
+        SourceKind::ThreadId,
+        SourceKind::UnorderedIter,
+        SourceKind::UnstableSort,
+        SourceKind::AddressCast,
+        SourceKind::RelaxedRead,
+    ];
+
+    /// This kind's bit in the taint bitset.
+    #[must_use]
+    pub fn bit(self) -> u8 {
+        1 << (self as u8)
+    }
+
+    /// The lint class a flow from this source raises at a sink.
+    #[must_use]
+    pub fn lint(self) -> Lint {
+        match self {
+            SourceKind::WallClock | SourceKind::AmbientEntropy | SourceKind::ThreadId => {
+                Lint::TaintedFingerprint
+            }
+            SourceKind::UnorderedIter | SourceKind::UnstableSort => Lint::UnstableOrderSink,
+            SourceKind::AddressCast => Lint::AddressAsIdentity,
+            SourceKind::RelaxedRead => Lint::RelaxedOrderingDecision,
+        }
+    }
+
+    /// Human description used in diagnostics.
+    #[must_use]
+    pub fn describe(self) -> &'static str {
+        match self {
+            SourceKind::WallClock => "wall-clock time",
+            SourceKind::AmbientEntropy => "ambient process state",
+            SourceKind::ThreadId => "thread identity",
+            SourceKind::UnorderedIter => "hash-order iteration",
+            SourceKind::UnstableSort => "unstable-sort order",
+            SourceKind::AddressCast => "a pointer address",
+            SourceKind::RelaxedRead => "a `Relaxed` atomic value",
+        }
+    }
+}
+
+/// The four sink classes — functions whose *output is the product*: if a
+/// nondeterministic value reaches one, runs stop being reproducible.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum SinkKind {
+    /// State fingerprints (`*fingerprint*`).
+    Fingerprint,
+    /// Canonical enumeration order (`iter_to_depth`, `*canonical*`).
+    EnumOrder,
+    /// Run-report serialization (`to_json*`, `json_tree`, `render_human`,
+    /// `Report::collect`).
+    Report,
+    /// Counterexample selection (`explore*`, `shrink*`, `replay`,
+    /// `*counterexample*`).
+    CexSelection,
+}
+
+impl SinkKind {
+    /// Human description used in diagnostics.
+    #[must_use]
+    pub fn describe(self) -> &'static str {
+        match self {
+            SinkKind::Fingerprint => "a state fingerprint",
+            SinkKind::EnumOrder => "canonical enumeration order",
+            SinkKind::Report => "run-report serialization",
+            SinkKind::CexSelection => "counterexample selection",
+        }
+    }
+}
+
+/// Classifies a function as a sink by name (and receiver-type) heuristic.
+#[must_use]
+pub fn classify_sink(name: &str, self_type: Option<&str>) -> Option<SinkKind> {
+    if name.contains("fingerprint") {
+        return Some(SinkKind::Fingerprint);
+    }
+    if name == "iter_to_depth" || name.contains("canonical") {
+        return Some(SinkKind::EnumOrder);
+    }
+    if matches!(
+        name,
+        "to_json" | "to_json_string" | "to_json_normalized" | "json_tree" | "render_human"
+    ) || (name == "collect" && self_type.is_some_and(|t| t.contains("Report")))
+    {
+        return Some(SinkKind::Report);
+    }
+    if name.starts_with("explore")
+        || name.starts_with("shrink")
+        || name == "replay"
+        || name.contains("counterexample")
+    {
+        return Some(SinkKind::CexSelection);
+    }
+    None
+}
+
+/// One occurrence of a taint source inside a function body.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SourceSite {
+    /// What kind of nondeterminism it introduces.
+    pub kind: SourceKind,
+    /// 1-based line of the occurrence.
+    pub line: u32,
+    /// 1-based column of the occurrence.
+    pub col: u32,
+    /// The offending expression, for the diagnostic (`` `Instant::now` ``).
+    pub what: String,
+}
+
+/// One resolved call edge.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CallEdge {
+    /// Index of the callee in [`Workspace::fns`].
+    pub callee: usize,
+    /// 1-based line of the call site in the caller.
+    pub line: u32,
+    /// 1-based column of the call site in the caller.
+    pub col: u32,
+}
+
+/// One function in the workspace call graph.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FnNode {
+    /// Function name.
+    pub name: String,
+    /// `impl`/`trait` target, if a method or associated function.
+    pub self_type: Option<String>,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line of the definition.
+    pub line: u32,
+    /// 1-based column of the definition.
+    pub col: u32,
+    /// Defined inside a `mod tests` block (never a sink).
+    pub in_tests: bool,
+    /// Taint the body generates directly (bitset of [`SourceKind`]).
+    pub gen: u8,
+    /// The occurrences behind [`gen`](FnNode::gen), in scan order.
+    pub gen_sites: Vec<SourceSite>,
+    /// Resolved outgoing calls, in call-site order, deduped by callee.
+    pub calls: Vec<CallEdge>,
+    /// Sink classification, if any.
+    pub sink: Option<SinkKind>,
+}
+
+impl FnNode {
+    /// `Type::name` or bare `name`.
+    #[must_use]
+    pub fn qualified_name(&self) -> String {
+        match &self.self_type {
+            Some(t) => format!("{t}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// The workspace call graph: every parsed function with its taint
+/// generation set and resolved call edges.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// All functions, in (file, definition) order.
+    pub fns: Vec<FnNode>,
+}
+
+const WALL_CLOCK_TYPES: [&str; 2] = ["std::time::Instant", "std::time::SystemTime"];
+const RANDOM_STATE_TYPES: [&str; 2] = [
+    "std::collections::hash_map::RandomState",
+    "std::hash::RandomState",
+];
+const PTR_IDENTITY_FNS: [&str; 5] = [
+    "std::ptr::eq",
+    "std::ptr::hash",
+    "std::ptr::addr_of",
+    "std::ptr::addr_of_mut",
+    "std::ptr::from_ref",
+];
+/// Bare names worth resolving through glob imports for source detection.
+const NAMES_OF_INTEREST: [&str; 4] = ["Instant", "SystemTime", "RandomState", "HashMap"];
+
+/// Keywords and control-flow words that look like bare calls but are not.
+const NOT_A_CALL: [&str; 14] = [
+    "if", "match", "while", "for", "loop", "return", "break", "continue", "move", "in", "as",
+    "let", "else", "unsafe",
+];
+
+fn path_is(path: &str, targets: &[&str]) -> bool {
+    targets
+        .iter()
+        .any(|t| path == *t || (path.starts_with(t) && path[t.len()..].starts_with("::")))
+}
+
+/// Maps a resolved path occurrence to the source kind it introduces.
+fn classify_source_path(path: &str) -> Option<(SourceKind, String)> {
+    let path = path.strip_prefix("::").unwrap_or(path);
+    if path_is(path, &WALL_CLOCK_TYPES) {
+        return Some((SourceKind::WallClock, format!("`{path}`")));
+    }
+    if path_is(path, &RANDOM_STATE_TYPES) || path_is(path, &["std::env"]) {
+        return Some((SourceKind::AmbientEntropy, format!("`{path}`")));
+    }
+    if path == "std::thread::current" {
+        return Some((SourceKind::ThreadId, format!("`{path}`")));
+    }
+    if PTR_IDENTITY_FNS.contains(&path) {
+        return Some((SourceKind::AddressCast, format!("`{path}`")));
+    }
+    None
+}
+
+/// A call site before resolution.
+enum RawCall {
+    /// `seg::seg::name(…)` or aliased path call; `hints` are the resolved
+    /// leading segments.
+    Path { name: String, hints: Vec<String> },
+    /// `.name(…)` with an optional receiver-type hint.
+    Method { name: String, recv: Option<String> },
+    /// `name(…)` with no path qualifier.
+    Bare { name: String },
+}
+
+struct RawCallSite {
+    call: RawCall,
+    line: u32,
+    col: u32,
+}
+
+/// Per-file intermediate state.
+struct FileScan {
+    rel_path: String,
+    toks: Vec<Tok>,
+    code: Vec<usize>,
+    fns: Vec<FnDef>,
+    resolver: Resolver,
+    iter_sites: Vec<(u32, u32, String)>,
+}
+
+impl Workspace {
+    /// Builds the call graph over `files` (`(rel_path, source)` pairs).
+    #[must_use]
+    pub fn build(files: &[(String, String)]) -> Workspace {
+        let scans: Vec<FileScan> = files
+            .iter()
+            .map(|(rel_path, source)| {
+                let toks = tokenize(source);
+                let (resolver, _, _) = collect_uses(&toks);
+                let parsed = parse_file(&toks);
+                let iter_sites = unordered_iteration_sites(&toks, &resolver);
+                FileScan {
+                    rel_path: rel_path.clone(),
+                    toks,
+                    code: parsed.code,
+                    fns: parsed.fns,
+                    resolver,
+                    iter_sites,
+                }
+            })
+            .collect();
+
+        // Global fn table, in (file, definition) order.
+        let mut nodes: Vec<FnNode> = Vec::new();
+        let mut raw_calls: Vec<Vec<RawCallSite>> = Vec::new();
+        for scan in &scans {
+            for (fi, f) in scan.fns.iter().enumerate() {
+                let (gen_sites, calls) = scan_fn_body(scan, fi);
+                let mut gen = 0u8;
+                for s in &gen_sites {
+                    gen |= s.kind.bit();
+                }
+                nodes.push(FnNode {
+                    name: f.name.clone(),
+                    self_type: f.self_type.clone(),
+                    file: scan.rel_path.clone(),
+                    line: f.line,
+                    col: f.col,
+                    in_tests: f.in_tests,
+                    gen,
+                    gen_sites,
+                    calls: Vec::new(),
+                    sink: if f.in_tests {
+                        None
+                    } else {
+                        classify_sink(&f.name, f.self_type.as_deref())
+                    },
+                });
+                raw_calls.push(calls);
+            }
+        }
+
+        // Indices for resolution.
+        let mut by_name: DetMap<String, Vec<usize>> = DetMap::new();
+        let mut methods_by_name: DetMap<String, Vec<usize>> = DetMap::new();
+        let mut free_by_name: DetMap<String, Vec<usize>> = DetMap::new();
+        let mut by_file_name: DetMap<(String, String), Vec<usize>> = DetMap::new();
+        let mut fn_has_self: Vec<bool> = Vec::new();
+        {
+            let mut id = 0usize;
+            for scan in &scans {
+                for f in &scan.fns {
+                    by_name
+                        .get_or_insert_with(f.name.clone(), Vec::new)
+                        .push(id);
+                    if f.has_self {
+                        methods_by_name
+                            .get_or_insert_with(f.name.clone(), Vec::new)
+                            .push(id);
+                    }
+                    if f.self_type.is_none() {
+                        free_by_name
+                            .get_or_insert_with(f.name.clone(), Vec::new)
+                            .push(id);
+                    }
+                    by_file_name
+                        .get_or_insert_with((scan.rel_path.clone(), f.name.clone()), Vec::new)
+                        .push(id);
+                    fn_has_self.push(f.has_self);
+                    id += 1;
+                }
+            }
+        }
+
+        // Resolve raw calls into edges.
+        for (id, sites) in raw_calls.into_iter().enumerate() {
+            let file = nodes[id].file.clone();
+            let mut edges: Vec<CallEdge> = Vec::new();
+            let mut have: Vec<usize> = Vec::new();
+            for site in sites {
+                let callees: Vec<usize> = match &site.call {
+                    RawCall::Method { name, recv } => {
+                        let all = methods_by_name.get(name.as_str());
+                        match (all, recv) {
+                            (None, _) => Vec::new(),
+                            (Some(ids), Some(t)) => {
+                                let exact: Vec<usize> = ids
+                                    .iter()
+                                    .copied()
+                                    .filter(|&c| nodes[c].self_type.as_deref() == Some(t))
+                                    .collect();
+                                if exact.is_empty() {
+                                    ids.clone()
+                                } else {
+                                    exact
+                                }
+                            }
+                            (Some(ids), None) => ids.clone(),
+                        }
+                    }
+                    RawCall::Path { name, hints } => match by_name.get(name.as_str()) {
+                        None => Vec::new(),
+                        Some(ids) => ids
+                            .iter()
+                            .copied()
+                            .filter(|&c| hints.iter().any(|h| hint_matches(h, &nodes[c])))
+                            .collect(),
+                    },
+                    RawCall::Bare { name } => {
+                        if let Some(ids) = by_file_name.get(&(file.clone(), name.clone())) {
+                            ids.clone()
+                        } else if let Some(ids) = free_by_name.get(name.as_str()) {
+                            ids.clone()
+                        } else {
+                            Vec::new()
+                        }
+                    }
+                };
+                for c in callees {
+                    if c != id && !have.contains(&c) {
+                        have.push(c);
+                        edges.push(CallEdge {
+                            callee: c,
+                            line: site.line,
+                            col: site.col,
+                        });
+                    }
+                }
+            }
+            nodes[id].calls = edges;
+        }
+
+        // Side-channel summaries override the token-level view.
+        for node in &mut nodes {
+            match side_channel_override(&node.file, &node.name) {
+                Some(Override::Transparent) => {
+                    node.gen = 0;
+                    node.gen_sites.clear();
+                    node.calls.clear();
+                }
+                Some(Override::ForceGen(kind, what)) => {
+                    node.gen = kind.bit();
+                    node.gen_sites = vec![SourceSite {
+                        kind,
+                        line: node.line,
+                        col: node.col,
+                        what: what.to_owned(),
+                    }];
+                    node.calls.clear();
+                }
+                None => {}
+            }
+        }
+
+        Workspace { fns: nodes }
+    }
+}
+
+/// Does hint segment `h` plausibly name the item `c` belongs to? Matches
+/// the `impl` type, the file stem (`obs::report::…` → `report.rs`), or
+/// the crate name (`haec_core::…` → `crates/core`).
+fn hint_matches(h: &str, c: &FnNode) -> bool {
+    if h == "crate" || h == "super" || h == "self" {
+        return true;
+    }
+    if c.self_type.as_deref() == Some(h) {
+        return true;
+    }
+    let stem = file_stem(&c.file);
+    if h == stem {
+        return true;
+    }
+    let krate = crate_of(&c.file);
+    h == krate || h.strip_prefix("haec_") == Some(krate)
+}
+
+/// `crates/sim/src/obs/report.rs` → `report`; `…/obs/mod.rs` → `obs`.
+fn file_stem(file: &str) -> &str {
+    let mut parts = file.rsplit('/');
+    let last = parts.next().unwrap_or(file);
+    let stem = last.strip_suffix(".rs").unwrap_or(last);
+    if stem == "mod" || stem == "lib" || stem == "main" {
+        parts.next().unwrap_or(stem)
+    } else {
+        stem
+    }
+}
+
+/// `crates/sim/src/…` → `sim`; the facade `src/…` → `haec`.
+fn crate_of(file: &str) -> &str {
+    let mut it = file.split('/');
+    match it.next() {
+        Some("crates") => it.next().unwrap_or(""),
+        _ => "haec",
+    }
+}
+
+enum Override {
+    /// Returns its argument unchanged; generates nothing.
+    Transparent,
+    /// Returns a value of this source kind regardless of its body.
+    ForceGen(SourceKind, &'static str),
+}
+
+/// The side-channel summary registry (see module docs).
+fn side_channel_override(file: &str, name: &str) -> Option<Override> {
+    match (file, name) {
+        ("crates/core/src/spans.rs", "timed") => Some(Override::Transparent),
+        ("crates/core/src/spans.rs", "collect") => Some(Override::ForceGen(
+            SourceKind::WallClock,
+            "`spans::collect` (returns `SpanRecord`s carrying wall-clock `total_ns`)",
+        )),
+        _ => None,
+    }
+}
+
+/// Scans one function body for source occurrences and call sites.
+fn scan_fn_body(scan: &FileScan, fi: usize) -> (Vec<SourceSite>, Vec<RawCallSite>) {
+    let f = &scan.fns[fi];
+    let Some((bs, be)) = f.body else {
+        return (Vec::new(), Vec::new());
+    };
+    // The fn's own tokens: its body minus any nested fn bodies.
+    let nested: Vec<(usize, usize)> = scan
+        .fns
+        .iter()
+        .enumerate()
+        .filter(|&(gi, _)| gi != fi)
+        .filter_map(|(_, g)| g.body)
+        .filter(|&(s, e)| s >= bs && e <= be && (s, e) != (bs, be))
+        .collect();
+    let own: Vec<usize> = (bs..be)
+        .filter(|&k| !nested.iter().any(|&(s, e)| k >= s && k < e))
+        .collect();
+
+    let toks = &scan.toks;
+    let code = &scan.code;
+    let tok = |p: usize| -> Option<&Tok> { own.get(p).map(|&k| &toks[code[k]]) };
+    let ident = |p: usize| -> Option<&str> {
+        tok(p).and_then(|t| (t.kind == TokKind::Ident).then_some(t.text.as_str()))
+    };
+    let punct = |p: usize, c: char| -> bool { tok(p).is_some_and(|t| t.kind == TokKind::Punct(c)) };
+
+    // Receiver types: parameters, then `let` bindings scanned below.
+    let mut locals: DetMap<String, String> = DetMap::new();
+    for (n, t) in &f.params {
+        locals.insert(n.clone(), t.clone());
+    }
+    // First pass: `let [mut] x: T = …` / `let [mut] x = T::ctor(…)` /
+    // `let [mut] x = T { … }`.
+    let mut p = 0usize;
+    while p < own.len() {
+        if ident(p) == Some("let") {
+            let mut v = p + 1;
+            if ident(v) == Some("mut") {
+                v += 1;
+            }
+            if let Some(name) = ident(v) {
+                if punct(v + 1, ':') && !punct(v + 2, ':') {
+                    // Ascribed type: take the path's outer segment.
+                    let mut q = v + 2;
+                    while punct(q, '&')
+                        || ident(q) == Some("mut")
+                        || tok(q).is_some_and(|t| t.kind == TokKind::Lifetime)
+                    {
+                        q += 1;
+                    }
+                    let mut last = None;
+                    while let Some(seg) = ident(q) {
+                        last = Some(seg.to_owned());
+                        if punct(q + 1, ':') && punct(q + 2, ':') {
+                            q += 3;
+                        } else {
+                            break;
+                        }
+                    }
+                    if let Some(t) = last {
+                        locals.insert(name.to_owned(), t);
+                    }
+                } else if punct(v + 1, '=') && !punct(v + 2, '=') {
+                    // `= A::B::ctor(…)` → type B (segment before the fn
+                    // name); `= A { …` → type A. Anything else still
+                    // records the binding (type unknown, `?`) so bare
+                    // calls through shadowing locals — closures, fn
+                    // pointers — never resolve to workspace functions.
+                    let mut q = v + 2;
+                    let mut segs: Vec<&str> = Vec::new();
+                    while let Some(seg) = ident(q) {
+                        segs.push(seg);
+                        if punct(q + 1, ':') && punct(q + 2, ':') {
+                            q += 3;
+                        } else {
+                            break;
+                        }
+                    }
+                    let mut ty = None;
+                    if !segs.is_empty() {
+                        if punct(q + 1, '{') && starts_upper(segs[segs.len() - 1]) {
+                            ty = Some(segs[segs.len() - 1].to_owned());
+                        } else if punct(q + 1, '(')
+                            && segs.len() >= 2
+                            && starts_upper(segs[segs.len() - 2])
+                        {
+                            ty = Some(segs[segs.len() - 2].to_owned());
+                        }
+                    }
+                    locals.insert(name.to_owned(), ty.unwrap_or_else(|| "?".to_owned()));
+                }
+            }
+        }
+        p += 1;
+    }
+
+    let mut sites: Vec<SourceSite> = Vec::new();
+    let mut calls: Vec<RawCallSite> = Vec::new();
+
+    // UnorderedIter sites that land inside this fn's own lines.
+    let own_lines: Vec<u32> = own.iter().map(|&k| toks[code[k]].line).collect();
+    if let (Some(&lo), Some(&hi)) = (own_lines.iter().min(), own_lines.iter().max()) {
+        for (line, col, _) in &scan.iter_sites {
+            if *line >= lo && *line <= hi {
+                sites.push(SourceSite {
+                    kind: SourceKind::UnorderedIter,
+                    line: *line,
+                    col: *col,
+                    what: "hash-collection iteration".to_owned(),
+                });
+            }
+        }
+    }
+
+    let mut p = 0usize;
+    while p < own.len() {
+        let Some(t) = tok(p) else { break };
+        if t.kind != TokKind::Ident {
+            p += 1;
+            continue;
+        }
+        let text = t.text.clone();
+        let (line, col) = (t.line, t.col);
+
+        // Skip nested-fn headers: `fn name` (the body itself is excluded
+        // from `own`, but headers are not).
+        if text == "fn" {
+            p += 2;
+            continue;
+        }
+
+        // `as *const T` / `as *mut T` — a pointer-producing cast.
+        if text == "as" && punct(p + 1, '*') && matches!(ident(p + 2), Some("const") | Some("mut"))
+        {
+            sites.push(SourceSite {
+                kind: SourceKind::AddressCast,
+                line,
+                col,
+                what: "`as *const _` pointer cast".to_owned(),
+            });
+            p += 3;
+            continue;
+        }
+
+        // Method or field position.
+        if p > 0 && punct(p - 1, '.') {
+            if matches!(text.as_str(), "sort_unstable_by" | "sort_unstable_by_key")
+                && punct(p + 1, '(')
+            {
+                sites.push(SourceSite {
+                    kind: SourceKind::UnstableSort,
+                    line,
+                    col,
+                    what: format!("`.{text}()` (unstable under comparator ties)"),
+                });
+            } else if matches!(text.as_str(), "as_ptr" | "as_mut_ptr") && punct(p + 1, '(') {
+                sites.push(SourceSite {
+                    kind: SourceKind::AddressCast,
+                    line,
+                    col,
+                    what: format!("`.{text}()` address observation"),
+                });
+            }
+            // Method call edge (skip a `::<…>` turbofish if present).
+            let mut q = p + 1;
+            if punct(q, ':') && punct(q + 1, ':') && punct(q + 2, '<') {
+                let mut depth = 0i32;
+                q += 2;
+                while let Some(tq) = tok(q) {
+                    match tq.kind {
+                        TokKind::Punct('<') => depth += 1,
+                        TokKind::Punct('>') => {
+                            depth -= 1;
+                            if depth == 0 {
+                                q += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    q += 1;
+                }
+            }
+            if punct(q, '(') {
+                let recv = if p >= 2 {
+                    match ident(p - 2) {
+                        Some("self") => f.self_type.clone(),
+                        Some(v) => locals.get(v).filter(|t| *t != "?").cloned(),
+                        None => None,
+                    }
+                } else {
+                    None
+                };
+                calls.push(RawCallSite {
+                    call: RawCall::Method { name: text, recv },
+                    line,
+                    col,
+                });
+            }
+            p += 1;
+            continue;
+        }
+
+        // Path occurrence: collect `seg::seg::…` segments.
+        let mut segments = vec![text.clone()];
+        let mut q = p + 1;
+        while punct(q, ':') && punct(q + 1, ':') {
+            let Some(seg) = ident(q + 2) else { break };
+            segments.push(seg.to_owned());
+            q += 3;
+        }
+        // `Self::helper()` — substitute the enclosing impl type.
+        if segments[0] == "Self" {
+            if let Some(st) = &f.self_type {
+                segments[0] = st.clone();
+            }
+        }
+
+        // `Ordering::Relaxed` as a value (atomic access argument).
+        if segments.len() >= 2
+            && segments[segments.len() - 1] == "Relaxed"
+            && segments[segments.len() - 2] == "Ordering"
+        {
+            sites.push(SourceSite {
+                kind: SourceKind::RelaxedRead,
+                line,
+                col,
+                what: "`Ordering::Relaxed` atomic access".to_owned(),
+            });
+            p = q;
+            continue;
+        }
+
+        let resolved = scan.resolver.resolve(&segments, &NAMES_OF_INTEREST);
+        if segments[segments.len() - 1] == "Relaxed" && resolved.contains("::Ordering") {
+            sites.push(SourceSite {
+                kind: SourceKind::RelaxedRead,
+                line,
+                col,
+                what: "`Ordering::Relaxed` atomic access".to_owned(),
+            });
+            p = q;
+            continue;
+        }
+        if let Some((kind, what)) = classify_source_path(&resolved) {
+            sites.push(SourceSite {
+                kind,
+                line,
+                col,
+                what,
+            });
+            p = q;
+            continue;
+        }
+
+        // Call edge? Macros (`name!`) are not calls.
+        let is_macro = punct(q, '!');
+        if !is_macro && punct(q, '(') {
+            let name = segments[segments.len() - 1].clone();
+            if segments.len() == 1 {
+                // A bare call through a local binding (closure or fn
+                // pointer parameter, `let check = |…|`) is not a call to
+                // any workspace item of that name.
+                if !NOT_A_CALL.contains(&name.as_str())
+                    && !starts_upper(&name)
+                    && locals.get(name.as_str()).is_none()
+                {
+                    calls.push(RawCallSite {
+                        call: RawCall::Bare { name },
+                        line,
+                        col,
+                    });
+                }
+            } else {
+                let external = resolved.starts_with("std::")
+                    || resolved.starts_with("core::")
+                    || resolved.starts_with("alloc::");
+                if !external {
+                    let hints: Vec<String> = resolved
+                        .split("::")
+                        .map(str::to_owned)
+                        .collect::<Vec<_>>()
+                        .split_last()
+                        .map(|(_, h)| h.to_vec())
+                        .unwrap_or_default();
+                    calls.push(RawCallSite {
+                        call: RawCall::Path { name, hints },
+                        line,
+                        col,
+                    });
+                }
+            }
+        }
+        p = q.max(p + 1);
+    }
+
+    (sites, calls)
+}
+
+fn starts_upper(s: &str) -> bool {
+    s.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ws(src: &str) -> Workspace {
+        Workspace::build(&[("crates/core/src/x.rs".to_owned(), src.to_owned())])
+    }
+
+    fn node<'a>(w: &'a Workspace, name: &str) -> &'a FnNode {
+        w.fns.iter().find(|f| f.name == name).unwrap()
+    }
+
+    #[test]
+    fn wall_clock_gen_is_detected() {
+        let w = ws("use std::time::Instant;\nfn probe() -> u64 { let t = Instant::now(); 0 }");
+        let n = node(&w, "probe");
+        assert_eq!(n.gen, SourceKind::WallClock.bit());
+        assert_eq!(n.gen_sites[0].kind, SourceKind::WallClock);
+    }
+
+    #[test]
+    fn relaxed_ordering_gen_is_detected() {
+        let w = ws("use std::sync::atomic::{AtomicU64, Ordering};\n\
+             fn claim(next: &AtomicU64) -> u64 { next.fetch_add(1, Ordering::Relaxed) }");
+        assert_eq!(node(&w, "claim").gen, SourceKind::RelaxedRead.bit());
+        // SeqCst does not fire.
+        let w = ws("use std::sync::atomic::{AtomicU64, Ordering};\n\
+             fn claim(next: &AtomicU64) -> u64 { next.fetch_add(1, Ordering::SeqCst) }");
+        assert_eq!(node(&w, "claim").gen, 0);
+    }
+
+    #[test]
+    fn address_and_sort_gens_are_detected() {
+        let w = ws("fn addr(xs: &[u8]) -> usize { xs.as_ptr() as usize }");
+        assert_eq!(node(&w, "addr").gen, SourceKind::AddressCast.bit());
+        let w = ws("fn c(x: &u32) -> usize { x as *const u32 as usize }");
+        assert_eq!(node(&w, "c").gen, SourceKind::AddressCast.bit());
+        let w = ws("fn s(v: &mut Vec<u32>) { v.sort_unstable_by(|a, b| a.cmp(b)); }");
+        assert_eq!(node(&w, "s").gen, SourceKind::UnstableSort.bit());
+        // Plain sort_unstable (total order, no comparator) is clean.
+        let w = ws("fn s(v: &mut Vec<u32>) { v.sort_unstable(); }");
+        assert_eq!(node(&w, "s").gen, 0);
+    }
+
+    #[test]
+    fn bare_and_path_calls_resolve() {
+        let w = ws("fn leaf() -> u64 { 0 }\n\
+             fn mid() -> u64 { leaf() }\n\
+             fn top() -> u64 { mid() }");
+        let mid = node(&w, "mid");
+        let leaf_id = w.fns.iter().position(|f| f.name == "leaf").unwrap();
+        assert_eq!(mid.calls.len(), 1);
+        assert_eq!(mid.calls[0].callee, leaf_id);
+    }
+
+    #[test]
+    fn method_calls_resolve_by_receiver_type() {
+        let w = ws("struct A; struct B;\n\
+             impl A { fn go(&self) -> u64 { 1 } }\n\
+             impl B { fn go(&self) -> u64 { 2 } }\n\
+             fn f(a: &A) -> u64 { a.go() }");
+        let f = node(&w, "f");
+        assert_eq!(f.calls.len(), 1);
+        assert_eq!(w.fns[f.calls[0].callee].self_type.as_deref(), Some("A"));
+        // Unknown receiver over-approximates to both.
+        let w = ws("struct A; struct B;\n\
+             impl A { fn go(&self) -> u64 { 1 } }\n\
+             impl B { fn go(&self) -> u64 { 2 } }\n\
+             fn f(x: &Unknown) -> u64 { x.go() }");
+        assert_eq!(node(&w, "f").calls.len(), 2);
+    }
+
+    #[test]
+    fn self_calls_resolve_to_own_impl() {
+        let w = ws("struct S;\n\
+             impl S {\n\
+                 fn helper(&self) -> u64 { 0 }\n\
+                 fn entry(&self) -> u64 { self.helper() + Self::assoc() }\n\
+                 fn assoc() -> u64 { 0 }\n\
+             }");
+        let entry = node(&w, "entry");
+        let names: Vec<_> = entry
+            .calls
+            .iter()
+            .map(|e| w.fns[e.callee].name.as_str())
+            .collect();
+        assert!(names.contains(&"helper"), "{names:?}");
+        assert!(names.contains(&"assoc"), "{names:?}");
+    }
+
+    #[test]
+    fn calls_through_local_bindings_produce_no_edges() {
+        // `check` is a closure parameter shadowing a workspace free fn of
+        // the same name — calling it is not a call to that fn.
+        let w = ws("fn check() -> bool { true }\n\
+             fn run(check: impl Fn() -> bool) -> bool { check() }\n\
+             fn run2() -> bool { let probe = || true; probe() }\n\
+             fn run3() -> bool { check() }");
+        assert!(node(&w, "run").calls.is_empty());
+        assert!(node(&w, "run2").calls.is_empty());
+        assert_eq!(node(&w, "run3").calls.len(), 1, "direct call still links");
+    }
+
+    #[test]
+    fn std_calls_produce_no_edges() {
+        let w = ws("fn f(v: Vec<u32>) -> u64 { std::mem::size_of::<u32>() as u64 }");
+        assert!(node(&w, "f").calls.is_empty());
+    }
+
+    #[test]
+    fn macros_are_not_calls() {
+        let w = ws("fn fmt_ns() -> String { String::new() }\nfn f() -> String { format!(\"x\") }");
+        assert!(node(&w, "f").calls.is_empty());
+    }
+
+    #[test]
+    fn sink_classification() {
+        assert_eq!(
+            classify_sink("state_fingerprint", Some("DvvStore")),
+            Some(SinkKind::Fingerprint)
+        );
+        assert_eq!(
+            classify_sink("iter_to_depth", None),
+            Some(SinkKind::EnumOrder)
+        );
+        assert_eq!(
+            classify_sink("collect", Some("RunReport")),
+            Some(SinkKind::Report)
+        );
+        assert_eq!(classify_sink("collect", None), None);
+        assert_eq!(
+            classify_sink("explore_all_parallel", None),
+            Some(SinkKind::CexSelection)
+        );
+        assert_eq!(classify_sink("apply", Some("DvvStore")), None);
+    }
+
+    #[test]
+    fn test_module_fns_are_never_sinks() {
+        let w = ws("mod tests { fn explore_everything() {} }");
+        assert_eq!(node(&w, "explore_everything").sink, None);
+        assert!(node(&w, "explore_everything").in_tests);
+    }
+
+    #[test]
+    fn side_channel_overrides_apply() {
+        let files = [(
+            "crates/core/src/spans.rs".to_owned(),
+            "use std::time::Instant;\n\
+             pub fn timed<R>(name: &'static str, f: impl FnOnce() -> R) -> R {\n\
+                 let t = Instant::now(); f()\n\
+             }\n\
+             pub fn collect<R>(f: impl FnOnce() -> R) -> R { f() }"
+                .to_owned(),
+        )];
+        let w = Workspace::build(&files);
+        let timed = node(&w, "timed");
+        assert_eq!(timed.gen, 0, "timed is taint-transparent");
+        let collect = node(&w, "collect");
+        assert_eq!(collect.gen, SourceKind::WallClock.bit());
+    }
+
+    #[test]
+    fn cross_file_path_calls_resolve_via_crate_hint() {
+        let files = [
+            (
+                "crates/core/src/spans.rs".to_owned(),
+                "pub fn span_util() -> u64 { 0 }".to_owned(),
+            ),
+            (
+                "crates/sim/src/obs/report.rs".to_owned(),
+                "use haec_core::spans;\nfn gather() -> u64 { spans::span_util() }".to_owned(),
+            ),
+        ];
+        let w = Workspace::build(&files);
+        let gather = node(&w, "gather");
+        assert_eq!(gather.calls.len(), 1);
+        assert_eq!(w.fns[gather.calls[0].callee].name, "span_util");
+    }
+}

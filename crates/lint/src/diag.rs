@@ -48,6 +48,10 @@ impl fmt::Display for Diagnostic {
 pub struct LintReport {
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// The workspace-relative paths scanned, in walk (sorted) order. Not
+    /// serialized into the JSON report; the self-hosting gate asserts on
+    /// it directly.
+    pub files: Vec<String>,
     /// Every diagnostic, suppressed ones included, sorted by
     /// `(file, line, col, lint)`.
     pub diagnostics: Vec<Diagnostic>,
@@ -153,6 +157,7 @@ mod tests {
     fn clean_iff_no_unsuppressed() {
         let mut r = LintReport {
             files_scanned: 1,
+            files: Vec::new(),
             diagnostics: vec![d(1, Lint::StrayPrint, true)],
         };
         assert!(r.is_clean());
@@ -165,6 +170,7 @@ mod tests {
     fn human_summary_counts() {
         let r = LintReport {
             files_scanned: 2,
+            files: Vec::new(),
             diagnostics: vec![d(1, Lint::StrayPrint, true), d(2, Lint::WallClock, false)],
         };
         let text = r.render_human();
@@ -175,6 +181,7 @@ mod tests {
     fn json_round_trips_through_obs_parser() {
         let r = LintReport {
             files_scanned: 1,
+            files: Vec::new(),
             diagnostics: vec![d(1, Lint::AmbientEntropy, false)],
         };
         let v = Json::parse(&r.to_json_string()).expect("valid json");

@@ -1,14 +1,19 @@
-//! The lint driver: per-file pass, allow-comment handling, policy
-//! application and workspace walking.
+//! The lint driver: per-file token pass, interprocedural taint pass,
+//! allow-comment handling, policy application and workspace walking.
 //!
-//! Pipeline per file: tokenize → collect `haec-lint:` control comments →
+//! Pipeline: per file, tokenize → collect `haec-lint:` control comments →
 //! collect `use` declarations (each import is checked once, at the `use`
 //! site) → scan call sites for qualified paths, print macros and
-//! hash-collection iteration → suppress diagnostics covered by a
-//! well-formed allow comment → drop lints the crate's policy does not
-//! deny. The result is deterministic: files are walked in sorted order
-//! and diagnostics are sorted by position.
+//! hash-collection iteration. Then one workspace-wide semantic pass
+//! ([`crate::callgraph`] + [`crate::taint`]) adds source→sink flow
+//! diagnostics, attributed to the file holding the sink. Finally, per
+//! file: suppress diagnostics covered by a well-formed allow comment
+//! (tracking which allow legs actually suppressed something — unused legs
+//! raise `dead-allow`) → drop lints the crate's policy does not deny. The
+//! result is deterministic: files are walked in sorted order and
+//! diagnostics are sorted by position.
 
+use crate::callgraph::Workspace;
 use crate::diag::{Diagnostic, LintReport};
 use crate::lints::{crate_key, thread_exempt, wall_clock_exempt, Lint, Policy};
 use crate::resolve::{collect_uses, Resolver};
@@ -177,14 +182,41 @@ pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
     lint_source_with_policy(rel_path, source, Policy::for_crate(crate_key(rel_path)))
 }
 
-/// Lints one file under an explicit policy (fixtures use deny-all).
+/// Lints one file under an explicit policy (fixtures use deny-all). The
+/// taint pass runs file-locally here; `lint_workspace` runs it globally.
 #[must_use]
 pub fn lint_source_with_policy(rel_path: &str, source: &str, policy: Policy) -> Vec<Diagnostic> {
+    let (mut diags, allows) = token_pass(rel_path, source);
+    let ws = Workspace::build(&[(rel_path.to_owned(), source.to_owned())]);
+    diags.extend(crate::taint::analyze(&ws));
+    finish_file(rel_path, &policy, diags, &allows)
+}
+
+/// Lints one file with the token-level rules only — the PR 3 pass. Kept
+/// callable so tests can prove which findings *require* the taint pass.
+#[must_use]
+pub fn lint_source_token_level(rel_path: &str, source: &str, policy: &Policy) -> Vec<Diagnostic> {
+    let (diags, allows) = token_pass(rel_path, source);
+    finish_file(rel_path, policy, diags, &allows)
+}
+
+/// A well-formed `haec-lint: allow(…): reason` comment.
+pub(crate) struct AllowComment {
+    line: u32,
+    end_line: u32,
+    col: u32,
+    lints: Vec<Lint>,
+}
+
+/// The per-file token pass: control comments, import checks, call-site
+/// and iteration scans. Returns raw (unsuppressed, unfiltered)
+/// diagnostics plus the allow comments for [`finish_file`].
+fn token_pass(rel_path: &str, source: &str) -> (Vec<Diagnostic>, Vec<AllowComment>) {
     let toks = tokenize(source);
     let mut diags: Vec<Diagnostic> = Vec::new();
 
-    // Control comments: build the per-line allow table, flag malformed.
-    let mut allows: DetMap<u32, Vec<Lint>> = DetMap::new();
+    // Control comments: collect well-formed allows, flag malformed.
+    let mut allows: Vec<AllowComment> = Vec::new();
     for t in toks.iter().filter(|t| t.kind == TokKind::Comment) {
         match parse_allow(&t.text) {
             None => {}
@@ -196,13 +228,12 @@ pub fn lint_source_with_policy(rel_path: &str, source: &str, policy: Policy) -> 
                 message: format!("malformed haec-lint control comment: {why}"),
                 suppressed: false,
             }),
-            Some(Ok(lints)) => {
-                for line in t.line..=t.end_line {
-                    allows
-                        .get_or_insert_with(line, Vec::new)
-                        .extend(lints.iter().copied());
-                }
-            }
+            Some(Ok(lints)) => allows.push(AllowComment {
+                line: t.line,
+                end_line: t.end_line,
+                col: t.col,
+                lints,
+            }),
         }
     }
 
@@ -226,24 +257,68 @@ pub fn lint_source_with_policy(rel_path: &str, source: &str, policy: Policy) -> 
 
     scan_call_sites(rel_path, &toks, &resolver, &use_ranges, &mut diags);
     scan_unordered_iteration(rel_path, &toks, &resolver, &mut diags);
+    (diags, allows)
+}
+
+/// Suppression, the dead-allow meta-lint, policy filtering and sorting.
+///
+/// Order matters: exemptions and policy run *before* suppression so that
+/// allow-leg usage is counted only against findings that would actually
+/// be reported here — an allow for a lint the crate's policy never denies
+/// (or that a module exemption already silences) suppresses nothing and
+/// is flagged `dead-allow`.
+fn finish_file(
+    rel_path: &str,
+    policy: &Policy,
+    mut diags: Vec<Diagnostic>,
+    allows: &[AllowComment],
+) -> Vec<Diagnostic> {
+    diags.retain(|d| {
+        policy.denies(d.lint)
+            && !(d.lint == Lint::WallClock && wall_clock_exempt(rel_path))
+            && !(d.lint == Lint::TaintedFingerprint && wall_clock_exempt(rel_path))
+    });
 
     // Suppression: an allow on line L covers diagnostics on L (trailing
-    // comment) and L+1 (comment above the statement).
+    // comment) through L+1 (comment above the statement); block comments
+    // extend through their end line. Track which legs fired.
+    let mut used: Vec<Vec<bool>> = allows.iter().map(|a| vec![false; a.lints.len()]).collect();
     for d in &mut diags {
-        if d.lint == Lint::MalformedAllow {
+        if d.lint == Lint::MalformedAllow || d.lint == Lint::DeadAllow {
             continue;
         }
-        let covered = |line: u32| allows.get(&line).is_some_and(|ls| ls.contains(&d.lint));
-        if covered(d.line) || (d.line > 1 && covered(d.line - 1)) {
-            d.suppressed = true;
+        for (ai, a) in allows.iter().enumerate() {
+            if d.line >= a.line && d.line <= a.end_line + 1 {
+                for (li, l) in a.lints.iter().enumerate() {
+                    if *l == d.lint {
+                        d.suppressed = true;
+                        used[ai][li] = true;
+                    }
+                }
+            }
         }
     }
 
-    // Policy: keep only denied lints; honour the wall-clock module
-    // exemptions.
-    diags.retain(|d| {
-        policy.denies(d.lint) && !(d.lint == Lint::WallClock && wall_clock_exempt(rel_path))
-    });
+    // Dead-allow: every leg must earn its keep.
+    for (ai, a) in allows.iter().enumerate() {
+        for (li, l) in a.lints.iter().enumerate() {
+            if !used[ai][li] {
+                diags.push(Diagnostic {
+                    file: rel_path.to_owned(),
+                    line: a.line,
+                    col: a.col,
+                    lint: Lint::DeadAllow,
+                    message: format!(
+                        "allow({}) suppresses nothing — remove the stale suppression \
+                         so the inventory cannot rot",
+                        l.name()
+                    ),
+                    suppressed: false,
+                });
+            }
+        }
+    }
+
     diags.sort_by(|a, b| {
         (a.line, a.col, a.lint, &a.message).cmp(&(b.line, b.col, b.lint, &b.message))
     });
@@ -337,6 +412,25 @@ fn scan_unordered_iteration(
     resolver: &Resolver,
     diags: &mut Vec<Diagnostic>,
 ) {
+    for (line, col, message) in unordered_iteration_sites(toks, resolver) {
+        diags.push(Diagnostic {
+            file: rel_path.to_owned(),
+            line,
+            col,
+            lint: Lint::UnorderedIteration,
+            message,
+            suppressed: false,
+        });
+    }
+}
+
+/// The positions (and messages) where hash-order iteration occurs; the
+/// taint pass reuses these as `UnorderedIter` source sites.
+pub(crate) fn unordered_iteration_sites(
+    toks: &[Tok],
+    resolver: &Resolver,
+) -> Vec<(u32, u32, String)> {
+    let mut sites = Vec::new();
     let code: Vec<usize> = (0..toks.len())
         .filter(|&i| toks[i].kind != TokKind::Comment)
         .collect();
@@ -398,7 +492,7 @@ fn scan_unordered_iteration(
         k += 1;
     }
     if hash_vars.is_empty() {
-        return;
+        return sites;
     }
 
     let mut k = 0;
@@ -411,17 +505,14 @@ fn scan_unordered_iteration(
                 if let Some(m) = ident(k + 2) {
                     if ITER_METHODS.contains(&m) && punct(k + 3, '(') {
                         let t = &toks[code[k + 2]];
-                        diags.push(Diagnostic {
-                            file: rel_path.to_owned(),
-                            line: t.line,
-                            col: t.col,
-                            lint: Lint::UnorderedIteration,
-                            message: format!(
+                        sites.push((
+                            t.line,
+                            t.col,
+                            format!(
                                 "iterating hash collection `{name}` (`.{m}()`) has \
                                  nondeterministic order; use `haec_core::det` wrappers"
                             ),
-                            suppressed: false,
-                        });
+                        ));
                     }
                 }
             }
@@ -434,23 +525,21 @@ fn scan_unordered_iteration(
                 if let Some(target) = ident(v) {
                     if hash_vars.contains(target) && punct(v + 1, '{') {
                         let t = &toks[code[v]];
-                        diags.push(Diagnostic {
-                            file: rel_path.to_owned(),
-                            line: t.line,
-                            col: t.col,
-                            lint: Lint::UnorderedIteration,
-                            message: format!(
+                        sites.push((
+                            t.line,
+                            t.col,
+                            format!(
                                 "`for` over hash collection `{target}` has nondeterministic \
                                  order; use `haec_core::det` wrappers"
                             ),
-                            suppressed: false,
-                        });
+                        ));
                     }
                 }
             }
         }
         k += 1;
     }
+    sites
 }
 
 /// Recursively collects `.rs` files under `dir`, sorted.
@@ -494,10 +583,7 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
             }
         }
     }
-    let mut report = LintReport {
-        files_scanned: 0,
-        diagnostics: Vec::new(),
-    };
+    let mut inputs: Vec<(String, String)> = Vec::new();
     for path in files {
         let rel = path
             .strip_prefix(root)
@@ -507,8 +593,35 @@ pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
             .collect::<Vec<_>>()
             .join("/");
         let source = std::fs::read_to_string(&path)?;
-        report.diagnostics.extend(lint_source(&rel, &source));
+        inputs.push((rel, source));
+    }
+
+    // One global call graph: taint flows across crate boundaries; each
+    // finding is attributed to the file holding the sink.
+    let ws = Workspace::build(&inputs);
+    let mut taint_by_file: DetMap<String, Vec<Diagnostic>> = DetMap::new();
+    for d in crate::taint::analyze(&ws) {
+        taint_by_file
+            .get_or_insert_with(d.file.clone(), Vec::new)
+            .push(d);
+    }
+
+    let mut report = LintReport {
+        files_scanned: 0,
+        files: Vec::new(),
+        diagnostics: Vec::new(),
+    };
+    for (rel, source) in &inputs {
+        let (mut diags, allows) = token_pass(rel, source);
+        if let Some(taint) = taint_by_file.get(rel.as_str()) {
+            diags.extend(taint.iter().cloned());
+        }
+        let policy = Policy::for_crate(crate_key(rel));
+        report
+            .diagnostics
+            .extend(finish_file(rel, &policy, diags, &allows));
         report.files_scanned += 1;
+        report.files.push(rel.clone());
     }
     report
         .diagnostics
@@ -685,8 +798,17 @@ mod tests {
                    fn f() { let t = std::time::Instant::now(); }\n\
                    fn g() { println!(\"far away\"); }";
         let got = fire(src);
-        let unsuppressed: Vec<_> = got.iter().filter(|d| !d.suppressed).collect();
-        assert_eq!(unsuppressed.len(), 2); // wall-clock + far-away print
+        let unsuppressed: Vec<Lint> = got
+            .iter()
+            .filter(|d| !d.suppressed)
+            .map(|d| d.lint)
+            .collect();
+        // Wall-clock and the far-away print stay unsuppressed, and the
+        // allow that covered neither is itself flagged dead.
+        assert_eq!(
+            unsuppressed,
+            [Lint::DeadAllow, Lint::WallClock, Lint::StrayPrint]
+        );
     }
 
     #[test]
@@ -723,6 +845,59 @@ mod tests {
         assert!(got.is_empty());
         let got = lint_source("crates/bench/src/x.rs", "use std::collections::HashMap;");
         assert_eq!(got.len(), 1);
+    }
+
+    #[test]
+    fn taint_flow_fires_through_the_driver_but_not_token_level() {
+        // Cross-function address→fingerprint flow: invisible to the token
+        // pass, caught by the taint pass.
+        let src = "fn entropy() -> usize { let v = vec![1u8]; v.as_ptr() as usize }\n\
+                   fn state_fingerprint() -> u64 { entropy() as u64 }";
+        let got = lints_of(src);
+        assert_eq!(got, [Lint::AddressAsIdentity]);
+        let token_only = lint_source_token_level("crates/core/src/x.rs", src, &Policy::deny_all());
+        assert!(token_only.is_empty(), "{token_only:?}");
+    }
+
+    #[test]
+    fn allow_suppresses_taint_diagnostics_at_the_sink() {
+        let src = "fn entropy() -> usize { let v = vec![1u8]; v.as_ptr() as usize }\n\
+                   fn state_fingerprint() -> u64 {\n\
+                   // haec-lint: allow(address-as-identity): demo suppression\n\
+                   entropy() as u64\n\
+                   }";
+        let got = fire(src);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].suppressed);
+    }
+
+    #[test]
+    fn dead_allow_fires_per_unused_leg() {
+        // stray-print leg earns its keep; the wall-clock leg is dead.
+        let src = "// haec-lint: allow(stray-print, wall-clock): half stale\n\
+                   fn f() { println!(\"x\"); }";
+        let got = fire(src);
+        let dead: Vec<_> = got.iter().filter(|d| d.lint == Lint::DeadAllow).collect();
+        assert_eq!(dead.len(), 1, "{got:?}");
+        assert!(dead[0].message.contains("allow(wall-clock)"));
+        assert!(!dead[0].suppressed);
+        // With both legs live there is no dead-allow.
+        let src = "// haec-lint: allow(stray-print, wall-clock): both live\n\
+                   fn f() { let t = std::time::Instant::now(); println!(\"x\"); }";
+        assert!(fire(src).iter().all(|d| d.lint != Lint::DeadAllow));
+    }
+
+    #[test]
+    fn allow_for_a_lint_the_policy_never_denies_is_dead() {
+        // bench is a CLI crate: stray-print is not denied there, so the
+        // suppression is pointless and must be flagged.
+        let got = lint_source(
+            "crates/bench/src/x.rs",
+            "// haec-lint: allow(stray-print): pointless here\n\
+             fn f() { println!(\"report\"); }",
+        );
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].lint, Lint::DeadAllow);
     }
 
     #[test]

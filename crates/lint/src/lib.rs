@@ -10,14 +10,21 @@
 //! enforces that discipline *statically*, the way a sanitizer would in a
 //! training or inference stack: a small Rust tokenizer (comments, strings
 //! and raw strings handled correctly), a `use`-path resolver good enough
-//! for `std` paths, and a lint driver that walks `crates/*/src` and `src/`
-//! with per-crate policy.
+//! for `std` paths, an item/signature parser ([`parse`]) feeding a
+//! workspace call graph ([`callgraph`]), an interprocedural taint pass
+//! ([`taint`]) that chases nondeterminism from where it enters to where
+//! it decides something, and a lint driver that walks `crates/*/src` and
+//! `src/` with per-crate policy.
 //!
-//! The catalog ([`Lint`]): `nondeterministic-collection`, `wall-clock`,
-//! `ambient-entropy`, `stray-print`, `unordered-iteration`, plus the
-//! meta-lint `malformed-allow`. Suppressions are written in code as
-//! `// haec-lint: allow(<lint>): <reason>` and cover the comment's line
-//! and the next. See DESIGN.md §"Determinism contract & lint catalog".
+//! The catalog ([`Lint`]): the token-level `nondeterministic-collection`,
+//! `wall-clock`, `ambient-entropy`, `stray-print`, `unordered-iteration`;
+//! the interprocedural `tainted-fingerprint`, `unstable-order-sink`,
+//! `relaxed-ordering-decision`, `address-as-identity` (each diagnostic
+//! prints the full source→sink call path); and the meta-lints
+//! `malformed-allow` and `dead-allow`. Suppressions are written in code
+//! as `// haec-lint: allow(<lint>): <reason>` and cover the comment's
+//! line and the next; a suppression that suppresses nothing is itself a
+//! finding. See DESIGN.md §"Determinism contract & lint catalog".
 //!
 //! ```
 //! use haec_lint::{lint_source, Lint};
@@ -32,12 +39,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod callgraph;
 pub mod diag;
 pub mod driver;
 pub mod lints;
+pub mod parse;
 pub mod resolve;
+pub mod taint;
 pub mod tokenizer;
 
 pub use diag::{Diagnostic, LintReport};
-pub use driver::{lint_source, lint_source_with_policy, lint_workspace};
-pub use lints::{crate_key, wall_clock_exempt, Lint, Policy, ALL_LINTS};
+pub use driver::{lint_source, lint_source_token_level, lint_source_with_policy, lint_workspace};
+pub use lints::{crate_key, wall_clock_exempt, Lint, Policy, ALL_LINTS, TAINT_LINTS};

@@ -35,16 +35,54 @@ pub enum Lint {
     /// unknown lint, or omits the justification. Always denied: a typo in
     /// a suppression must not silently disable it.
     MalformedAllow,
+    /// Interprocedural: ambient nondeterminism (wall clock, environment,
+    /// thread identity) flows — possibly through several calls — into a
+    /// state fingerprint, run-report serialization or another
+    /// determinism-critical sink. The diagnostic prints the full
+    /// source→sink call path.
+    TaintedFingerprint,
+    /// Interprocedural: an unstable sort with a non-key comparator
+    /// (`sort_unstable_by`/`sort_unstable_by_key`) or hash-order iteration
+    /// orders data that reaches a canonical-enumeration, fingerprint or
+    /// counterexample-selection sink; tie order would become an
+    /// implementation artifact of the input permutation.
+    UnstableOrderSink,
+    /// Interprocedural: an `Ordering::Relaxed` atomic access feeds a
+    /// decision that selects a counterexample, orders an enumeration or
+    /// lands in a report — racy reads must never pick what gets reported.
+    RelaxedOrderingDecision,
+    /// Interprocedural: a pointer/address cast (`as *const _ as usize`,
+    /// `.as_ptr()`, `ptr::eq`) is used as identity or ordering material on
+    /// a path that reaches a fingerprint or other sink; addresses vary
+    /// between runs even when the abstract state is identical.
+    AddressAsIdentity,
+    /// Meta-lint: a well-formed `haec-lint: allow(..)` suppression that no
+    /// longer suppresses any finding. Dead allows rot the suppression
+    /// inventory; remove them (or the lint they name from their list).
+    DeadAllow,
 }
 
 /// All catalog lints, in diagnostic-sort order.
-pub const ALL_LINTS: [Lint; 6] = [
+pub const ALL_LINTS: [Lint; 11] = [
     Lint::NondeterministicCollection,
     Lint::WallClock,
     Lint::AmbientEntropy,
     Lint::StrayPrint,
     Lint::UnorderedIteration,
     Lint::MalformedAllow,
+    Lint::TaintedFingerprint,
+    Lint::UnstableOrderSink,
+    Lint::RelaxedOrderingDecision,
+    Lint::AddressAsIdentity,
+    Lint::DeadAllow,
+];
+
+/// The four flow-aware lint classes produced by the taint pass.
+pub const TAINT_LINTS: [Lint; 4] = [
+    Lint::TaintedFingerprint,
+    Lint::UnstableOrderSink,
+    Lint::RelaxedOrderingDecision,
+    Lint::AddressAsIdentity,
 ];
 
 impl Lint {
@@ -58,6 +96,11 @@ impl Lint {
             Lint::StrayPrint => "stray-print",
             Lint::UnorderedIteration => "unordered-iteration",
             Lint::MalformedAllow => "malformed-allow",
+            Lint::TaintedFingerprint => "tainted-fingerprint",
+            Lint::UnstableOrderSink => "unstable-order-sink",
+            Lint::RelaxedOrderingDecision => "relaxed-ordering-decision",
+            Lint::AddressAsIdentity => "address-as-identity",
+            Lint::DeadAllow => "dead-allow",
         }
     }
 
@@ -86,20 +129,40 @@ const DENY_ALL: &[Lint] = &[
     Lint::AmbientEntropy,
     Lint::StrayPrint,
     Lint::UnorderedIteration,
+    Lint::TaintedFingerprint,
+    Lint::UnstableOrderSink,
+    Lint::RelaxedOrderingDecision,
+    Lint::AddressAsIdentity,
 ];
 
 /// Timing crates: terminal output and env-driven configuration are their
 /// interface, but collections and the wall clock stay policed (the clock
-/// only inside the sanctioned module, see [`wall_clock_exempt`]).
+/// only inside the sanctioned module, see [`wall_clock_exempt`]). The
+/// flow-aware taint lints stay denied: the harness may *measure* time but
+/// must not let it order or fingerprint anything.
 const DENY_TESTKIT: &[Lint] = &[
     Lint::NondeterministicCollection,
     Lint::WallClock,
     Lint::UnorderedIteration,
+    Lint::TaintedFingerprint,
+    Lint::UnstableOrderSink,
+    Lint::RelaxedOrderingDecision,
+    Lint::AddressAsIdentity,
 ];
 
 /// CLI crates (`bench`, `lint` itself): printing results and reading args
-/// is the point; hash collections are still banned.
-const DENY_CLI: &[Lint] = &[Lint::NondeterministicCollection, Lint::UnorderedIteration];
+/// is the point; hash collections are still banned, and so are the
+/// order/identity taint flows — the self-hosting gate holds the lint
+/// crate to its own contract. `tainted-fingerprint` alone is relaxed
+/// here: a bench frontend's *job* is serializing measured wall time into
+/// its report.
+const DENY_CLI: &[Lint] = &[
+    Lint::NondeterministicCollection,
+    Lint::UnorderedIteration,
+    Lint::UnstableOrderSink,
+    Lint::RelaxedOrderingDecision,
+    Lint::AddressAsIdentity,
+];
 
 impl Policy {
     /// The policy for a crate, keyed by its directory name under
@@ -123,11 +186,13 @@ impl Policy {
         Policy { denied: DENY_ALL }
     }
 
-    /// Is `lint` denied under this policy? [`Lint::MalformedAllow`] is
-    /// denied everywhere, unconditionally.
+    /// Is `lint` denied under this policy? The meta-lints
+    /// [`Lint::MalformedAllow`] and [`Lint::DeadAllow`] are denied
+    /// everywhere, unconditionally: suppression hygiene has no
+    /// crate-local carve-outs.
     #[must_use]
     pub fn denies(&self, lint: Lint) -> bool {
-        lint == Lint::MalformedAllow || self.denied.contains(&lint)
+        lint == Lint::MalformedAllow || lint == Lint::DeadAllow || self.denied.contains(&lint)
     }
 }
 
@@ -243,6 +308,35 @@ mod tests {
         assert!(!thread_exempt("crates/sim/src/simulator.rs"));
         assert!(!thread_exempt("crates/core/src/spans.rs"));
         assert!(!thread_exempt("fixtures/thread_worker_pool_clean.rs"));
+    }
+
+    #[test]
+    fn taint_lints_follow_crate_policy() {
+        use crate::lints::TAINT_LINTS;
+        for key in [
+            "model", "stores", "sim", "core", "theory", "haec", "testkit",
+        ] {
+            let p = Policy::for_crate(key);
+            for l in TAINT_LINTS {
+                assert!(p.denies(l), "{key} must deny {l}");
+            }
+        }
+        // CLI crates serialize measured time by design; the order/identity
+        // flows stay denied there.
+        for key in ["bench", "lint"] {
+            let p = Policy::for_crate(key);
+            assert!(!p.denies(Lint::TaintedFingerprint));
+            assert!(p.denies(Lint::UnstableOrderSink));
+            assert!(p.denies(Lint::RelaxedOrderingDecision));
+            assert!(p.denies(Lint::AddressAsIdentity));
+        }
+    }
+
+    #[test]
+    fn dead_allow_is_denied_unconditionally() {
+        for key in ["model", "testkit", "bench", "lint", "brand-new"] {
+            assert!(Policy::for_crate(key).denies(Lint::DeadAllow), "{key}");
+        }
     }
 
     #[test]

@@ -1,0 +1,623 @@
+//! A hand-rolled item parser for the Rust subset the workspace uses.
+//!
+//! The token-level lints (PR 3) need no structure; the interprocedural
+//! taint pass does: it must know *which function* a source expression or
+//! call site lives in, which type an `impl` block targets (for
+//! receiver-type method resolution), and which parameter names carry
+//! which declared types. This module recovers exactly that much item
+//! structure from the token stream — `fn` items (free, in `impl`/`trait`
+//! blocks, and nested inside bodies), their parameter lists, and their
+//! body token ranges — and deliberately nothing more. Expressions stay
+//! flat token runs; the taint pass scans them directly.
+//!
+//! Like the tokenizer, the parser never fails: input it cannot make
+//! sense of degrades to "no item here", which at worst *misses* a
+//! function (and therefore misses lints inside it) — it cannot invent
+//! one.
+
+use crate::tokenizer::{Tok, TokKind};
+
+/// One parsed `fn` item.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// The `impl`/`trait` target type the function is defined on (last
+    /// path segment, generics stripped), or `None` for free functions.
+    pub self_type: Option<String>,
+    /// Whether the first parameter is a `self` receiver.
+    pub has_self: bool,
+    /// `(binding name, declared type's outer path segment)` for each
+    /// simple `name: Type` parameter. Pattern parameters and un-named
+    /// types are skipped.
+    pub params: Vec<(String, String)>,
+    /// `[start, end)` range into the comment-free code index vector for
+    /// the braced body; `None` for bodyless trait method declarations.
+    pub body: Option<(usize, usize)>,
+    /// Whether the item sits inside a `mod tests`/`mod test` block. Test
+    /// code is linted token-level but excluded from taint-sink status.
+    pub in_tests: bool,
+    /// 1-based line of the function's name token.
+    pub line: u32,
+    /// 1-based column of the function's name token.
+    pub col: u32,
+}
+
+/// All `fn` items recovered from one file, plus the comment-free code
+/// index (`code[i]` is an index into the token vector) the body ranges
+/// refer to.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct ParsedFile {
+    /// Every parsed function, in source order.
+    pub fns: Vec<FnDef>,
+    /// Indices of non-comment tokens; [`FnDef::body`] ranges index here.
+    pub code: Vec<usize>,
+}
+
+/// Parses the item structure of one tokenized file.
+#[must_use]
+pub fn parse_file(toks: &[Tok]) -> ParsedFile {
+    let code: Vec<usize> = (0..toks.len())
+        .filter(|&i| toks[i].kind != TokKind::Comment)
+        .collect();
+    let mut fns = Vec::new();
+    let mut k = 0usize;
+    parse_block(toks, &code, &mut k, None, false, &mut fns);
+    ParsedFile { fns, code }
+}
+
+/// Walks tokens from `*k` until end of input or an unmatched `}` (which
+/// is consumed by the caller), collecting `fn` items. `self_type` is the
+/// enclosing `impl`/`trait` target, if any.
+fn parse_block(
+    toks: &[Tok],
+    code: &[usize],
+    k: &mut usize,
+    self_type: Option<&str>,
+    in_tests: bool,
+    fns: &mut Vec<FnDef>,
+) {
+    while let Some(&i) = code.get(*k) {
+        match &toks[i].kind {
+            TokKind::Punct('{') => {
+                *k += 1;
+                parse_block(toks, code, k, None, in_tests, fns);
+                // Consume the closing `}` the recursion stopped at.
+                if code
+                    .get(*k)
+                    .is_some_and(|&n| toks[n].kind == TokKind::Punct('}'))
+                {
+                    *k += 1;
+                }
+            }
+            TokKind::Punct('}') => return, // caller consumes
+            TokKind::Ident if toks[i].text == "fn" => {
+                if !parse_fn(toks, code, k, self_type, in_tests, fns) {
+                    *k += 1;
+                }
+            }
+            TokKind::Ident if toks[i].text == "mod" => {
+                // `mod name { … }` — track the conventional test module.
+                let name = code
+                    .get(*k + 1)
+                    .filter(|&&n| toks[n].kind == TokKind::Ident)
+                    .map(|&n| toks[n].text.as_str());
+                if name.is_some()
+                    && code
+                        .get(*k + 2)
+                        .is_some_and(|&n| toks[n].kind == TokKind::Punct('{'))
+                {
+                    let nested = in_tests || matches!(name, Some("tests") | Some("test"));
+                    *k += 3;
+                    parse_block(toks, code, k, None, nested, fns);
+                    if code
+                        .get(*k)
+                        .is_some_and(|&n| toks[n].kind == TokKind::Punct('}'))
+                    {
+                        *k += 1;
+                    }
+                } else {
+                    *k += 1; // `mod name;` or malformed
+                }
+            }
+            TokKind::Ident if toks[i].text == "impl" || toks[i].text == "trait" => {
+                if let Some(ty) = parse_impl_header(toks, code, k) {
+                    // `*k` now sits just past the opening `{`.
+                    parse_block(toks, code, k, Some(&ty), in_tests, fns);
+                    // Consume the closing `}` of the impl body.
+                    if code
+                        .get(*k)
+                        .is_some_and(|&n| toks[n].kind == TokKind::Punct('}'))
+                    {
+                        *k += 1;
+                    }
+                } else {
+                    *k += 1;
+                }
+            }
+            _ => *k += 1,
+        }
+    }
+}
+
+/// Parses an `impl`/`trait` header starting at `*k` (which points at the
+/// keyword). On success returns the target type's last path segment and
+/// leaves `*k` just past the opening `{`; on failure leaves `*k`
+/// untouched and returns `None`.
+fn parse_impl_header(toks: &[Tok], code: &[usize], k: &mut usize) -> Option<String> {
+    let mut j = *k + 1;
+    let punct = |j: usize, c: char| -> bool {
+        code.get(j)
+            .is_some_and(|&i| toks[i].kind == TokKind::Punct(c))
+    };
+    // Optional generic parameter list on the keyword.
+    if punct(j, '<') {
+        j = skip_angle_group(toks, code, j)?;
+    }
+    // Walk the (possibly path-qualified, possibly generic) type; if a
+    // `for` keyword appears this was the trait name and the target type
+    // follows. Track the last plain path segment seen.
+    let mut last_seg: Option<String> = None;
+    loop {
+        match code.get(j).map(|&i| &toks[i]) {
+            Some(t) if t.kind == TokKind::Ident && t.text == "for" => {
+                last_seg = None;
+                j += 1;
+            }
+            Some(t) if t.kind == TokKind::Ident && t.text == "where" => {
+                // Where-clause: scan forward to the opening brace.
+                while !punct(j, '{') {
+                    code.get(j)?;
+                    j += 1;
+                }
+            }
+            Some(t) if t.kind == TokKind::Ident => {
+                if !matches!(t.text.as_str(), "dyn" | "mut" | "const") {
+                    last_seg = Some(t.text.clone());
+                }
+                j += 1;
+            }
+            Some(t) if t.kind == TokKind::Punct('<') => {
+                j = skip_angle_group(toks, code, j)?;
+            }
+            Some(t)
+                if matches!(
+                    t.kind,
+                    TokKind::Punct(':') | TokKind::Punct('&') | TokKind::Punct('\'')
+                ) =>
+            {
+                j += 1;
+            }
+            Some(t) if t.kind == TokKind::Lifetime => j += 1,
+            Some(t) if t.kind == TokKind::Punct('{') => {
+                *k = j + 1;
+                return Some(last_seg.unwrap_or_default());
+            }
+            Some(t) if t.kind == TokKind::Punct(';') => return None, // e.g. `impl Trait;`
+            _ => return None,
+        }
+    }
+}
+
+/// Skips a balanced `<…>` group starting at `*k==j` pointing at `<`.
+/// Returns the index just past the matching `>`, or `None` if unmatched.
+fn skip_angle_group(toks: &[Tok], code: &[usize], j: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut j = j;
+    while let Some(&i) = code.get(j) {
+        match toks[i].kind {
+            TokKind::Punct('<') => depth += 1,
+            TokKind::Punct('>') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j + 1);
+                }
+            }
+            // A `(`/`{`/`;` at angle depth 1 means this was a comparison,
+            // not generics — bail out rather than swallow the file.
+            TokKind::Punct(';') | TokKind::Punct('{') => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Skips a balanced delimiter group (`(`/`)`, `{`/`}`, `[`/`]`) starting
+/// at `j` pointing at the opener. Returns the index just past the
+/// matching closer.
+fn skip_balanced(toks: &[Tok], code: &[usize], j: usize, open: char, close: char) -> Option<usize> {
+    let mut depth = 0usize;
+    let mut j = j;
+    while let Some(&i) = code.get(j) {
+        match toks[i].kind {
+            TokKind::Punct(c) if c == open => depth += 1,
+            TokKind::Punct(c) if c == close => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j + 1);
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Parses one `fn` item starting at `*k` (pointing at the `fn` keyword).
+/// Returns `false` (leaving `*k` untouched) if this is not actually a
+/// function item — e.g. the `fn` of a function-pointer type.
+fn parse_fn(
+    toks: &[Tok],
+    code: &[usize],
+    k: &mut usize,
+    self_type: Option<&str>,
+    in_tests: bool,
+    fns: &mut Vec<FnDef>,
+) -> bool {
+    let mut j = *k + 1;
+    let Some(&name_i) = code.get(j) else {
+        return false;
+    };
+    if toks[name_i].kind != TokKind::Ident {
+        return false; // `fn(` pointer type, `fn` in prose, …
+    }
+    let name = toks[name_i].text.clone();
+    let (line, col) = (toks[name_i].line, toks[name_i].col);
+    j += 1;
+    // Optional generics.
+    if code
+        .get(j)
+        .is_some_and(|&i| toks[i].kind == TokKind::Punct('<'))
+    {
+        match skip_angle_group(toks, code, j) {
+            Some(next) => j = next,
+            None => return false,
+        }
+    }
+    // Parameter list.
+    if !code
+        .get(j)
+        .is_some_and(|&i| toks[i].kind == TokKind::Punct('('))
+    {
+        return false;
+    }
+    let params_start = j + 1;
+    let Some(past_params) = skip_balanced(toks, code, j, '(', ')') else {
+        return false;
+    };
+    let (has_self, params) = parse_params(toks, code, params_start, past_params - 1);
+    j = past_params;
+    // Return type / where clause: scan to the body `{` or a `;`.
+    let mut body = None;
+    while let Some(&i) = code.get(j) {
+        match toks[i].kind {
+            TokKind::Punct('{') => {
+                let Some(past_body) = skip_balanced(toks, code, j, '{', '}') else {
+                    // Unterminated body: take everything to EOF.
+                    body = Some((j + 1, code.len()));
+                    j = code.len();
+                    break;
+                };
+                body = Some((j + 1, past_body - 1));
+                j = past_body;
+                break;
+            }
+            TokKind::Punct(';') => {
+                j += 1;
+                break;
+            }
+            // Parenthesized/bracketed return types may contain `;` (e.g.
+            // `-> [u8; 4]`) — skip them wholesale.
+            TokKind::Punct('(') => match skip_balanced(toks, code, j, '(', ')') {
+                Some(next) => j = next,
+                None => return false,
+            },
+            TokKind::Punct('[') => match skip_balanced(toks, code, j, '[', ']') {
+                Some(next) => j = next,
+                None => return false,
+            },
+            _ => j += 1,
+        }
+    }
+    let def = FnDef {
+        name,
+        self_type: self_type.map(str::to_owned),
+        has_self,
+        params,
+        body,
+        in_tests,
+        line,
+        col,
+    };
+    // Nested items inside the body are parsed by the caller's walk; the
+    // taint scanner subtracts their ranges from this body when scanning.
+    let body_range = def.body;
+    fns.push(def);
+    if let Some((start, end)) = body_range {
+        let mut inner = start;
+        parse_block(toks, code, &mut inner, None, in_tests, fns);
+        let _ = end;
+    }
+    *k = j;
+    true
+}
+
+/// Parses a parameter list between code indices `[start, end)` (the
+/// parens excluded). Returns whether a `self` receiver leads, and the
+/// simple `name: Type` pairs.
+fn parse_params(
+    toks: &[Tok],
+    code: &[usize],
+    start: usize,
+    end: usize,
+) -> (bool, Vec<(String, String)>) {
+    // Split on top-level commas (respecting (), [], <> nesting).
+    let mut groups: Vec<(usize, usize)> = Vec::new();
+    let mut depth = 0i32;
+    let mut angle = 0i32;
+    let mut seg_start = start;
+    for j in start..end {
+        match toks[code[j]].kind {
+            TokKind::Punct('(') | TokKind::Punct('[') | TokKind::Punct('{') => depth += 1,
+            TokKind::Punct(')') | TokKind::Punct(']') | TokKind::Punct('}') => depth -= 1,
+            TokKind::Punct('<') => angle += 1,
+            TokKind::Punct('>') => angle = (angle - 1).max(0),
+            TokKind::Punct(',') if depth == 0 && angle == 0 => {
+                groups.push((seg_start, j));
+                seg_start = j + 1;
+            }
+            _ => {}
+        }
+    }
+    if seg_start < end {
+        groups.push((seg_start, end));
+    }
+
+    let mut has_self = false;
+    let mut params = Vec::new();
+    for (gi, &(s, e)) in groups.iter().enumerate() {
+        let idents: Vec<(usize, &str)> = (s..e)
+            .filter_map(|j| {
+                let t = &toks[code[j]];
+                (t.kind == TokKind::Ident).then_some((j, t.text.as_str()))
+            })
+            .collect();
+        if gi == 0 && idents.iter().any(|&(_, w)| w == "self") {
+            has_self = true;
+            continue;
+        }
+        // Simple `name: Type` — the binding is the first ident, and it
+        // must be directly followed by a single `:` (not a pattern).
+        let Some(&(j0, name)) = idents.first() else {
+            continue;
+        };
+        if name == "mut" {
+            // `mut name: Type`
+            if let Some(&(j1, real)) = idents.get(1) {
+                if is_single_colon(toks, code, j1, e) {
+                    if let Some(ty) = outer_type_segment(toks, code, j1 + 2, e) {
+                        params.push((real.to_owned(), ty));
+                    }
+                }
+            }
+            continue;
+        }
+        if is_single_colon(toks, code, j0, e) {
+            if let Some(ty) = outer_type_segment(toks, code, j0 + 2, e) {
+                params.push((name.to_owned(), ty));
+            }
+        }
+    }
+    (has_self, params)
+}
+
+/// Is the code token after `j` a single `:` (i.e. `: Type`, not `::`)?
+fn is_single_colon(toks: &[Tok], code: &[usize], j: usize, end: usize) -> bool {
+    j + 1 < end
+        && toks[code[j + 1]].kind == TokKind::Punct(':')
+        && !(j + 2 < end && toks[code[j + 2]].kind == TokKind::Punct(':'))
+}
+
+/// The outer type name of a type expression starting at `j`: strips
+/// `&`, `mut`, lifetimes, `dyn`, `impl`, then returns the *last* segment
+/// of the leading path (`haec_core::det::DetMap<…>` → `DetMap`).
+fn outer_type_segment(toks: &[Tok], code: &[usize], j: usize, end: usize) -> Option<String> {
+    let mut j = j;
+    loop {
+        match code.get(j).filter(|_| j < end).map(|&i| &toks[i]) {
+            // `&(dyn Fn(…) + Sync)` — step into the parenthesized type.
+            Some(t) if t.kind == TokKind::Punct('&') || t.kind == TokKind::Punct('(') => j += 1,
+            Some(t) if t.kind == TokKind::Lifetime => j += 1,
+            Some(t)
+                if t.kind == TokKind::Ident
+                    && matches!(t.text.as_str(), "mut" | "dyn" | "impl") =>
+            {
+                j += 1;
+            }
+            _ => break,
+        }
+    }
+    let mut last: Option<String> = None;
+    while j < end {
+        let t = &toks[code[j]];
+        match &t.kind {
+            TokKind::Ident => {
+                last = Some(t.text.clone());
+                j += 1;
+            }
+            TokKind::Punct(':') => j += 1,
+            _ => break,
+        }
+    }
+    last
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokenizer::tokenize;
+
+    fn fns(src: &str) -> Vec<FnDef> {
+        parse_file(&tokenize(src)).fns
+    }
+
+    #[test]
+    fn free_fn_with_body() {
+        let got = fns("fn add(a: u32, b: u32) -> u32 { a + b }");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].name, "add");
+        assert_eq!(got[0].self_type, None);
+        assert!(!got[0].has_self);
+        assert_eq!(
+            got[0].params,
+            vec![
+                ("a".to_owned(), "u32".to_owned()),
+                ("b".to_owned(), "u32".to_owned())
+            ]
+        );
+        assert!(got[0].body.is_some());
+    }
+
+    #[test]
+    fn impl_methods_carry_their_type() {
+        let got = fns("struct Store;\n\
+             impl Store {\n\
+                 fn new() -> Store { Store }\n\
+                 fn apply(&mut self, op: u32) -> u32 { op }\n\
+             }\n\
+             fn free() {}");
+        let names: Vec<_> = got.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["new", "apply", "free"]);
+        assert_eq!(got[0].self_type.as_deref(), Some("Store"));
+        assert!(!got[0].has_self);
+        assert_eq!(got[1].self_type.as_deref(), Some("Store"));
+        assert!(got[1].has_self);
+        assert_eq!(got[1].params, vec![("op".to_owned(), "u32".to_owned())]);
+        assert_eq!(got[2].self_type, None);
+    }
+
+    #[test]
+    fn trait_impl_for_type_targets_the_type() {
+        let got = fns("impl Machine for DvvStore {\n\
+                 fn state_fingerprint(&self) -> u64 { 0 }\n\
+             }");
+        assert_eq!(got[0].name, "state_fingerprint");
+        assert_eq!(got[0].self_type.as_deref(), Some("DvvStore"));
+        assert!(got[0].has_self);
+    }
+
+    #[test]
+    fn generic_impl_headers_parse() {
+        let got = fns("impl<K: Ord, V> DetMap<K, V> {\n\
+                 fn get(&self, k: &K) -> Option<&V> { None }\n\
+             }");
+        assert_eq!(got[0].self_type.as_deref(), Some("DetMap"));
+        let got = fns(
+            "impl<'a, T: Clone> Iterator for Iter<'a, T> where T: Ord {\n\
+                 fn next(&mut self) -> Option<T> { None }\n\
+             }",
+        );
+        assert_eq!(got[0].self_type.as_deref(), Some("Iter"));
+    }
+
+    #[test]
+    fn nested_fns_and_impls_inside_bodies() {
+        let got = fns("fn outer() {\n\
+                 struct Null;\n\
+                 impl Obs for Null { fn fork(&self) -> Null { Null } }\n\
+                 fn helper(x: u32) -> u32 { x }\n\
+                 helper(1);\n\
+             }");
+        let names: Vec<_> = got.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["outer", "fork", "helper"]);
+        assert_eq!(got[1].self_type.as_deref(), Some("Null"));
+        assert_eq!(got[2].self_type, None);
+    }
+
+    #[test]
+    fn fn_pointer_types_are_not_items() {
+        let got = fns("fn run(jobs: &[fn()]) { let f: fn(u32) -> u32 = id; f(1); }");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].name, "run");
+    }
+
+    #[test]
+    fn trait_decls_without_bodies() {
+        let got = fns("trait Machine {\n\
+                 fn state_fingerprint(&self) -> u64;\n\
+                 fn reset(&mut self) { }\n\
+             }");
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].name, "state_fingerprint");
+        assert_eq!(got[0].self_type.as_deref(), Some("Machine"));
+        assert!(got[0].body.is_none());
+        assert!(got[1].body.is_some());
+    }
+
+    #[test]
+    fn param_types_strip_refs_and_paths() {
+        let got = fns("fn f(m: &mut haec_core::det::DetMap<u32, u32>, s: &'a str) {}");
+        assert_eq!(
+            got[0].params,
+            vec![
+                ("m".to_owned(), "DetMap".to_owned()),
+                ("s".to_owned(), "str".to_owned())
+            ]
+        );
+        // Parenthesized trait-object types record their outer trait name.
+        let got = fns("fn g(check: &(dyn Fn(&Sim) -> bool + Sync)) {}");
+        assert_eq!(got[0].params, vec![("check".to_owned(), "Fn".to_owned())]);
+    }
+
+    #[test]
+    fn generic_fns_and_where_clauses() {
+        let got = fns("fn pick<T: Ord>(xs: &[T]) -> Option<&T> where T: Clone { xs.first() }");
+        assert_eq!(got[0].name, "pick");
+        assert!(got[0].body.is_some());
+    }
+
+    #[test]
+    fn body_ranges_cover_the_braced_region() {
+        let src = "fn f() { inner_marker(); } fn g() {}";
+        let toks = tokenize(src);
+        let parsed = parse_file(&toks);
+        let (s, e) = parsed.fns[0].body.unwrap();
+        let texts: Vec<_> = (s..e)
+            .filter_map(|k| {
+                let t = &toks[parsed.code[k]];
+                (t.kind == TokKind::Ident).then_some(t.text.as_str())
+            })
+            .collect();
+        assert_eq!(texts, ["inner_marker"]);
+    }
+
+    #[test]
+    fn test_modules_are_marked() {
+        let got = fns("fn prod() {}\n\
+             mod tests {\n\
+                 fn case_one() {}\n\
+                 mod inner { fn deep() {} }\n\
+             }\n\
+             mod helpers { fn util() {} }");
+        let flags: Vec<_> = got.iter().map(|f| (f.name.as_str(), f.in_tests)).collect();
+        assert_eq!(
+            flags,
+            [
+                ("prod", false),
+                ("case_one", true),
+                ("deep", true),
+                ("util", false)
+            ]
+        );
+    }
+
+    #[test]
+    fn malformed_input_degrades_quietly() {
+        assert!(fns("fn").is_empty());
+        assert!(fns("impl {").is_empty());
+        let got = fns("fn f( {");
+        assert!(got.len() <= 1); // no panic, no phantom items
+    }
+}

@@ -1,0 +1,276 @@
+//! Interprocedural taint analysis over the workspace call graph.
+//!
+//! Summaries are function-granularity: `taint(f) = gen(f) ∪ ⋃ taint(g)`
+//! over every resolved callee `g`, iterated to a fixpoint (the lattice is
+//! a 7-bit powerset, so the fixpoint is reached in at most 7·|fns|
+//! rounds; in practice 2–3). A function's summary answers "can a value
+//! this function computes depend on nondeterministic input?" — the
+//! deliberately coarse model from the determinism contract: no
+//! per-argument or per-return-value flow, no field sensitivity. What it
+//! buys is soundness under the workspace's style (sources are *introduced*
+//! by leaf expressions and *consumed* by a handful of well-named sinks)
+//! at a cost of over-approximation that the side-channel registry in
+//! [`crate::callgraph`] keeps tolerable.
+//!
+//! For every sink function whose summary is tainted, one diagnostic per
+//! lint class is emitted, positioned at the expression (or call edge)
+//! inside the sink that lets the taint in, with the full source→sink
+//! call path in the message. If the shortest tainted path passes through
+//! *another* sink of the same kind, the outer sink stays silent — the
+//! flow is reported once, at the sink closest to the source.
+
+use crate::callgraph::{SourceKind, Workspace};
+use crate::diag::Diagnostic;
+
+/// Computes the per-function taint summaries to fixpoint.
+#[must_use]
+pub fn summaries(ws: &Workspace) -> Vec<u8> {
+    let mut taint: Vec<u8> = ws.fns.iter().map(|f| f.gen).collect();
+    loop {
+        let mut changed = false;
+        for (i, f) in ws.fns.iter().enumerate() {
+            let mut t = taint[i];
+            for e in &f.calls {
+                t |= taint[e.callee];
+            }
+            if t != taint[i] {
+                taint[i] = t;
+                changed = true;
+            }
+        }
+        if !changed {
+            return taint;
+        }
+    }
+}
+
+/// BFS from `start` to the nearest function whose `gen` carries `bit`,
+/// walking only edges into callees whose summary carries `bit`. Returns
+/// the node path `[start, …, generator]`. Deterministic: edges are
+/// visited in call-site order.
+fn shortest_tainted_path(
+    ws: &Workspace,
+    taint: &[u8],
+    start: usize,
+    bit: u8,
+) -> Option<Vec<usize>> {
+    if ws.fns[start].gen & bit != 0 {
+        return Some(vec![start]);
+    }
+    let mut parent: Vec<Option<usize>> = vec![None; ws.fns.len()];
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(start);
+    parent[start] = Some(start);
+    while let Some(n) = queue.pop_front() {
+        for e in &ws.fns[n].calls {
+            let c = e.callee;
+            if parent[c].is_some() || taint[c] & bit == 0 {
+                continue;
+            }
+            parent[c] = Some(n);
+            if ws.fns[c].gen & bit != 0 {
+                let mut path = vec![c];
+                let mut cur = c;
+                while cur != start {
+                    cur = parent[cur].unwrap();
+                    path.push(cur);
+                }
+                path.reverse();
+                return Some(path);
+            }
+            queue.push_back(c);
+        }
+    }
+    None
+}
+
+/// Runs the taint analysis and renders diagnostics, one per
+/// (sink function, lint class), positioned inside the sink function.
+#[must_use]
+pub fn analyze(ws: &Workspace) -> Vec<Diagnostic> {
+    let taint = summaries(ws);
+    let mut diags = Vec::new();
+    for (i, f) in ws.fns.iter().enumerate() {
+        let Some(sink) = f.sink else { continue };
+        let mut seen_lints: Vec<crate::lints::Lint> = Vec::new();
+        for kind in SourceKind::ALL {
+            let bit = kind.bit();
+            if taint[i] & bit == 0 {
+                continue;
+            }
+            let lint = kind.lint();
+            if seen_lints.contains(&lint) {
+                continue;
+            }
+            let Some(path) = shortest_tainted_path(ws, &taint, i, bit) else {
+                continue;
+            };
+            // Report at the sink nearest the source: if an intermediate
+            // node (or the generator itself) is a same-kind sink, it owns
+            // this flow.
+            if path[1..].iter().any(|&n| ws.fns[n].sink == Some(sink)) {
+                continue;
+            }
+            seen_lints.push(lint);
+
+            let generator = &ws.fns[path[path.len() - 1]];
+            let site = generator
+                .gen_sites
+                .iter()
+                .find(|s| s.kind == kind)
+                .expect("generator carries a site for its gen bit");
+
+            let (line, col, route) = if path.len() == 1 {
+                // The sink generates the taint itself: point at the
+                // expression.
+                (site.line, site.col, String::new())
+            } else {
+                // Point at the call edge leaving the sink toward the
+                // taint.
+                let edge = f
+                    .calls
+                    .iter()
+                    .find(|e| e.callee == path[1])
+                    .expect("path step is an edge of the sink");
+                let mut hops: Vec<String> = Vec::new();
+                for &n in &path {
+                    let g = &ws.fns[n];
+                    hops.push(format!("{} ({}:{})", g.qualified_name(), g.file, g.line));
+                }
+                (
+                    edge.line,
+                    edge.col,
+                    format!("; path: {}", hops.join(" -> ")),
+                )
+            };
+
+            let message = format!(
+                "{} ({} at {}:{}) flows into {} `{}`{}",
+                kind.describe(),
+                site.what,
+                generator.file,
+                site.line,
+                sink.describe(),
+                f.qualified_name(),
+                route,
+            );
+            diags.push(Diagnostic {
+                file: f.file.clone(),
+                line,
+                col,
+                lint,
+                message,
+                suppressed: false,
+            });
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lints::Lint;
+
+    fn run(src: &str) -> Vec<Diagnostic> {
+        let ws = Workspace::build(&[("crates/core/src/x.rs".to_owned(), src.to_owned())]);
+        analyze(&ws)
+    }
+
+    #[test]
+    fn direct_gen_in_sink_fires() {
+        let got = run("use std::time::Instant;\n\
+             fn state_fingerprint() -> u64 { Instant::now().elapsed().as_nanos() as u64 }");
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].lint, Lint::TaintedFingerprint);
+        assert_eq!(got[0].line, 2, "points at the Instant expression");
+    }
+
+    #[test]
+    fn cross_function_flow_fires_with_path() {
+        let got = run(
+            "fn entropy() -> usize { let v = vec![1u8]; v.as_ptr() as usize }\n\
+             fn mix(x: usize) -> u64 { x as u64 }\n\
+             fn state_fingerprint() -> u64 { mix(entropy()) }",
+        );
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].lint, Lint::AddressAsIdentity);
+        assert_eq!(got[0].line, 3, "points at the call inside the sink");
+        assert!(got[0].message.contains("state_fingerprint"));
+        assert!(got[0].message.contains("entropy"), "{}", got[0].message);
+        assert!(got[0].message.contains(" -> "), "{}", got[0].message);
+    }
+
+    #[test]
+    fn clean_pipeline_is_silent() {
+        assert!(run("fn stable() -> u64 { 7 }\n\
+             fn state_fingerprint() -> u64 { stable() }")
+        .is_empty());
+    }
+
+    #[test]
+    fn inner_sink_owns_the_flow() {
+        // outer_fingerprint -> inner_fingerprint -> clock: report once,
+        // at the inner sink.
+        let got = run("use std::time::Instant;\n\
+             fn clock() -> u64 { Instant::now().elapsed().as_nanos() as u64 }\n\
+             fn inner_fingerprint() -> u64 { clock() }\n\
+             fn outer_fingerprint() -> u64 { inner_fingerprint() }");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert!(got[0].message.contains("`inner_fingerprint`"));
+    }
+
+    #[test]
+    fn one_diagnostic_per_lint_class_per_sink() {
+        // Two tainted-fingerprint sources (clock + env) → one diagnostic.
+        let got = run("use std::time::Instant;\n\
+             fn clock() -> u64 { Instant::now().elapsed().as_nanos() as u64 }\n\
+             fn env_read() -> u64 { std::env::vars().count() as u64 }\n\
+             fn state_fingerprint() -> u64 { clock() ^ env_read() }");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].lint, Lint::TaintedFingerprint);
+    }
+
+    #[test]
+    fn distinct_lint_classes_both_fire() {
+        let got = run("use std::time::Instant;\n\
+             fn clock() -> u64 { Instant::now().elapsed().as_nanos() as u64 }\n\
+             fn addr() -> usize { let v = vec![1u8]; v.as_ptr() as usize }\n\
+             fn state_fingerprint() -> u64 { clock() ^ addr() as u64 }");
+        assert_eq!(got.len(), 2, "{got:?}");
+        let lints: Vec<Lint> = got.iter().map(|d| d.lint).collect();
+        assert!(lints.contains(&Lint::TaintedFingerprint));
+        assert!(lints.contains(&Lint::AddressAsIdentity));
+    }
+
+    #[test]
+    fn relaxed_atomic_deciding_a_counterexample_fires() {
+        let got = run("use std::sync::atomic::{AtomicUsize, Ordering};\n\
+             fn claim(next: &AtomicUsize) -> usize { next.fetch_add(1, Ordering::Relaxed) }\n\
+             fn explore_units(next: &AtomicUsize) -> usize { claim(next) }");
+        assert_eq!(got.len(), 1, "{got:?}");
+        assert_eq!(got[0].lint, Lint::RelaxedOrderingDecision);
+        assert!(got[0].message.contains("counterexample selection"));
+    }
+
+    #[test]
+    fn taint_does_not_flow_caller_to_callee() {
+        // main reads env then calls the sink with plain data: the sink's
+        // own summary is clean (function-granularity models callee
+        // returns, not argument values from callers).
+        assert!(run("fn to_json() -> u64 { 0 }\n\
+             fn main() { let n = std::env::vars().count() as u64; let _ = to_json() + n; }")
+        .is_empty());
+    }
+
+    #[test]
+    fn summaries_reach_fixpoint_on_cycles() {
+        let src = "fn a() -> u64 { b() }\n\
+                   fn b() -> u64 { a() }\n\
+                   fn state_fingerprint() -> u64 { a() }";
+        let ws = Workspace::build(&[("crates/core/src/x.rs".to_owned(), src.to_owned())]);
+        let t = summaries(&ws);
+        assert!(t.iter().all(|&x| x == 0));
+        assert!(analyze(&ws).is_empty());
+    }
+}

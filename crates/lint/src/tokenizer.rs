@@ -93,6 +93,10 @@ impl Lexer {
 /// Tokenizes `src`. Never fails: malformed input degrades to puncts or a
 /// literal running to end of file, which at worst *misses* lints inside
 /// the malformed region — it cannot invent a firing.
+///
+/// A shebang line (`#!...` at the very start of the file, unless it is
+/// the start of an inner attribute `#![`) is skipped entirely, matching
+/// rustc's lexer.
 pub fn tokenize(src: &str) -> Vec<Tok> {
     let mut lx = Lexer {
         chars: src.chars().collect(),
@@ -100,6 +104,14 @@ pub fn tokenize(src: &str) -> Vec<Tok> {
         line: 1,
         col: 1,
     };
+    if src.starts_with("#!") && !src.starts_with("#![") {
+        while let Some(c) = lx.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            lx.bump();
+        }
+    }
     let mut toks = Vec::new();
     while let Some(c) = lx.peek(0) {
         let (line, col) = (lx.line, lx.col);
@@ -447,5 +459,91 @@ mod tests {
         // No panics, and nothing after the opening quote leaks as idents.
         assert_eq!(idents("let s = \"unterminated HashMap"), ["let", "s"]);
         assert_eq!(idents("a /* open HashMap"), ["a"]);
+    }
+
+    #[test]
+    fn shebang_line_is_skipped() {
+        // A leading `#!` line is not tokens — rustc skips it and so do we.
+        let toks = tokenize("#!/usr/bin/env run-cargo HashMap\nfn main() {}");
+        assert_eq!(toks[0].text, "fn");
+        assert_eq!(toks[0].line, 2);
+        assert_eq!(idents("#!/usr/bin/env x HashMap\nlet y = 1;"), ["let", "y"]);
+    }
+
+    #[test]
+    fn inner_attribute_is_not_a_shebang() {
+        // `#![forbid(...)]` starts with `#!` but is an attribute, not a
+        // shebang: its tokens must survive.
+        let toks = tokenize("#![forbid(unsafe_code)]\nfn f() {}");
+        assert_eq!(toks[0].kind, TokKind::Punct('#'));
+        assert!(toks.iter().any(|t| t.text == "forbid"));
+        assert!(toks.iter().any(|t| t.text == "fn"));
+    }
+
+    #[test]
+    fn shebang_only_at_file_start() {
+        // `#!` past the first byte is an inner attribute position.
+        let toks = tokenize("\n#!/not/a/shebang\nx");
+        assert!(toks.iter().any(|t| t.text == "not"));
+    }
+
+    #[test]
+    fn nested_raw_strings_with_multiple_fences() {
+        // An `r##"…"##` may contain `"#` without terminating; only the
+        // matching fence closes it.
+        assert_eq!(
+            idents(r####"let s = r##"inner "# quote HashMap "##; tail"####),
+            ["let", "s", "tail"]
+        );
+        // A raw string containing a complete shorter-fenced raw string.
+        assert_eq!(
+            idents(r####"let s = r##"outer r#"inner"# HashMap"##; end"####),
+            ["let", "s", "end"]
+        );
+        // Multi-line raw string advances the position correctly.
+        let toks = tokenize("let s = r#\"l1\nl2\"#; x");
+        let x = toks.iter().find(|t| t.text == "x").unwrap();
+        assert_eq!(x.line, 2);
+    }
+
+    #[test]
+    fn lifetime_vs_char_disambiguation_torture() {
+        // `'a` (lifetime) vs `'a'` (char) in close quarters.
+        let toks = tokenize("fn f<'a>(x: &'a str) -> char { 'a' }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.text == "a"));
+        assert_eq!(
+            toks.iter().filter(|t| t.kind == TokKind::Literal).count(),
+            1
+        );
+        // `'static` is a lifetime even though it is long.
+        assert!(tokenize("&'static str")
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "static"));
+        // Multi-char escapes: '\n', '\u{1F600}', '\x7f'.
+        assert_eq!(
+            idents(r"let c = '\n'; let d = '\u{1F600}'; e"),
+            ["let", "c", "let", "d", "e"]
+        );
+        // A labelled loop `'outer:` is a lifetime token, not a char.
+        assert!(tokenize("'outer: loop { break 'outer; }")
+            .iter()
+            .any(|t| t.kind == TokKind::Lifetime && t.text == "outer"));
+    }
+
+    #[test]
+    fn byte_string_torture() {
+        // Byte strings, raw byte strings with fences, and escapes hide
+        // their contents.
+        assert_eq!(
+            idents(r###"let a = b"HashMap \" still"; let b = br##"raw "# HashMap"##; x"###),
+            ["let", "a", "let", "b", "x"]
+        );
+        // A `b` identifier not followed by a quote is an ordinary ident.
+        assert_eq!(idents("let b = bare;"), ["let", "b", "bare"]);
     }
 }

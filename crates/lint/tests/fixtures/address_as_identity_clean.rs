@@ -1,0 +1,14 @@
+//! Non-firing: the same helper shape keyed on the value's contents
+//! instead of its address — stable across runs, so nothing flows.
+
+fn node_key(node: &Vec<u8>) -> usize {
+    node.len()
+}
+
+pub fn fingerprint(nodes: &[Vec<u8>]) -> u64 {
+    let mut acc = 0u64;
+    for n in nodes {
+        acc = acc.wrapping_mul(31).wrapping_add(node_key(n) as u64);
+    }
+    acc
+}

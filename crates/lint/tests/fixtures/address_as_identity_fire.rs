@@ -1,0 +1,17 @@
+//! Firing: pointer identity laundered through a helper into the state
+//! fingerprint. Token-level scanning sees nothing suspicious in either
+//! function — only the interprocedural taint pass connects the address
+//! to the sink. Allocator placement varies run to run, so the
+//! fingerprint does too.
+
+fn node_key(node: &Vec<u8>) -> usize {
+    node.as_ptr() as usize
+}
+
+pub fn fingerprint(nodes: &[Vec<u8>]) -> u64 {
+    let mut acc = 0u64;
+    for n in nodes {
+        acc = acc.wrapping_mul(31).wrapping_add(node_key(n) as u64);
+    }
+    acc
+}

@@ -1,0 +1,11 @@
+//! Non-firing: every suppression leg pays for itself — each allowed
+//! lint actually fires on the covered line.
+
+fn stamp() -> u64 {
+    // haec-lint: allow(wall-clock): fixture demonstrating a justified clock read
+    std::time::Instant::now().elapsed().as_nanos() as u64
+}
+
+fn trace(x: u32) {
+    println!("t = {} x = {x}", stamp()); // haec-lint: allow(stray-print): justified print
+}

@@ -1,0 +1,13 @@
+//! Firing: suppressions that suppress nothing. A stale allow is an
+//! inventory lie — the meta-lint forces its removal, per leg: a
+//! multi-lint allow with one real and one dead leg still fires.
+
+// haec-lint: allow(wall-clock): nothing below reads a clock any more
+fn stamp() -> u64 {
+    42
+}
+
+fn trace(x: u32) {
+    // haec-lint: allow(stray-print, wall-clock): only the print is real
+    println!("x = {x}");
+}

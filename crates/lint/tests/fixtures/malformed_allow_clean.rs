@@ -5,6 +5,6 @@
 fn trace(x: u32) -> u32 {
     // haec-lint: allow(stray-print): fixture demonstrating a justified print
     println!("x = {x}");
-    eprintln!("y = {x}"); // haec-lint: allow(stray-print, wall-clock): trailing multi-lint allow
+    eprintln!("t = {:?}", std::time::Instant::now()); // haec-lint: allow(stray-print, wall-clock): trailing multi-lint allow, both legs earn their keep
     x
 }

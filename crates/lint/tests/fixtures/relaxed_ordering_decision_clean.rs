@@ -1,0 +1,12 @@
+//! Non-firing: the same decision over a SeqCst load — every thread
+//! agrees on the order of updates, so the choice is reproducible.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn best_so_far(cell: &AtomicUsize) -> usize {
+    cell.load(Ordering::SeqCst)
+}
+
+pub fn explore(cell: &AtomicUsize, candidate: usize) -> usize {
+    candidate.min(best_so_far(cell))
+}

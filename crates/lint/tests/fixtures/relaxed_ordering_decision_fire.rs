@@ -1,0 +1,13 @@
+//! Firing: a Relaxed atomic load, read through a helper, deciding which
+//! counterexample the exploration keeps. Relaxed loads may observe
+//! stale values, so the surviving counterexample depends on timing.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn best_so_far(cell: &AtomicUsize) -> usize {
+    cell.load(Ordering::Relaxed)
+}
+
+pub fn explore(cell: &AtomicUsize, candidate: usize) -> usize {
+    candidate.min(best_so_far(cell))
+}

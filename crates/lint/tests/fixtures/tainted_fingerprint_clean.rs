@@ -1,0 +1,19 @@
+//! Non-firing: the same call shape as the firing twin, but the helper
+//! chain bottoms out in a constant — nothing nondeterministic reaches
+//! the fingerprint.
+
+fn sample_ns() -> u64 {
+    0x9e37_79b9
+}
+
+fn mix(seed: u64) -> u64 {
+    seed ^ sample_ns()
+}
+
+pub fn fingerprint(state: &[u64]) -> u64 {
+    let mut acc = mix(0);
+    for w in state {
+        acc = acc.wrapping_mul(31).wrapping_add(*w);
+    }
+    acc
+}

@@ -1,0 +1,20 @@
+//! Firing: a wall-clock read two calls away from a state fingerprint.
+//! The clock itself also fires the token-level wall-clock lint; the
+//! taint pass additionally reports the flow at the sink with its path.
+
+fn sample_ns() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+fn mix(seed: u64) -> u64 {
+    seed ^ sample_ns()
+}
+
+pub fn fingerprint(state: &[u64]) -> u64 {
+    let mut acc = mix(0);
+    for w in state {
+        acc = acc.wrapping_mul(31).wrapping_add(*w);
+    }
+    acc
+}

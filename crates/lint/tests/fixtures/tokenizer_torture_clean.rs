@@ -1,0 +1,18 @@
+#!/usr/bin/env run-cargo-script
+//! Torture fixture: shebang line, nested raw strings, lifetime-vs-char
+//! ambiguity, and byte strings. Every lintable name below lives inside
+//! a literal, so a correct tokenizer reports nothing at all.
+
+fn raw() -> &'static str {
+    r##"outer r#"inner println!("not a real print")"# still outer"##
+}
+
+fn bytes() -> (&'static [u8], u8, u8) {
+    (b"Instant::now() SystemTime::now()", b'\'', br#"HashMap::new()"#[0])
+}
+
+fn lifetimes<'a>(x: &'a str) -> (&'a str, char, char) {
+    let c: char = 'a';
+    let esc = '\'';
+    (x, c, esc)
+}

@@ -1,0 +1,12 @@
+//! Non-firing: the same pipeline with a keyless `sort_unstable` on a
+//! totally-ordered element type — instability cannot be observed, so
+//! the canonical order really is canonical.
+
+fn rank(xs: &mut Vec<u32>) {
+    xs.sort_unstable();
+}
+
+pub fn canonical_order(mut xs: Vec<u32>) -> Vec<u32> {
+    rank(&mut xs);
+    xs
+}

@@ -1,0 +1,12 @@
+//! Firing: a comparator-keyed unstable sort in a helper feeding the
+//! canonical enumeration order. Equal-keyed elements may land in any
+//! order, so the "canonical" order is not canonical at all.
+
+fn rank(xs: &mut Vec<(u32, String)>) {
+    xs.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+}
+
+pub fn canonical_order(mut xs: Vec<(u32, String)>) -> Vec<(u32, String)> {
+    rank(&mut xs);
+    xs
+}

@@ -1,0 +1,75 @@
+//! The self-hosting gate: the linter must hold itself to the same
+//! standard it holds the rest of the workspace to.
+//!
+//! `lint_workspace` over the real repository root must come back clean
+//! (every remaining diagnostic suppressed, with a reason, and every
+//! suppression leg alive — `dead-allow` polices the latter), and the
+//! scanned file list must include this crate's own sources, so "clean"
+//! cannot be achieved by quietly skipping the linter.
+
+use haec_lint::lint_workspace;
+use std::path::PathBuf;
+
+fn repo_root() -> PathBuf {
+    // crates/lint -> crates -> repo root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("repo root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_lint_clean() {
+    let report = lint_workspace(&repo_root()).expect("workspace scan");
+    let loud: Vec<_> = report
+        .diagnostics
+        .iter()
+        .filter(|d| !d.suppressed)
+        .collect();
+    assert!(
+        report.is_clean(),
+        "workspace has unsuppressed findings:\n{loud:#?}"
+    );
+}
+
+#[test]
+fn the_linter_lints_itself() {
+    let report = lint_workspace(&repo_root()).expect("workspace scan");
+    for own in [
+        "crates/lint/src/driver.rs",
+        "crates/lint/src/callgraph.rs",
+        "crates/lint/src/taint.rs",
+        "crates/lint/src/parse.rs",
+        "crates/lint/src/tokenizer.rs",
+    ] {
+        assert!(
+            report.files.iter().any(|f| f == own),
+            "self-hosting hole: {own} was not scanned (scanned {} files)",
+            report.files.len()
+        );
+    }
+}
+
+#[test]
+fn every_workspace_suppression_carries_a_reason() {
+    // `malformed-allow` already rejects reason-less allows at parse time;
+    // this test pins the end state: whatever *is* suppressed in the real
+    // tree got there through a well-formed, justified allow.
+    let report = lint_workspace(&repo_root()).expect("workspace scan");
+    for d in report.diagnostics.iter().filter(|d| d.suppressed) {
+        assert!(
+            !d.message.is_empty(),
+            "suppressed diagnostic with no surviving message: {d:?}"
+        );
+    }
+    // The one sanctioned flow today: span wall-clock telemetry into the
+    // run report, zeroed by `to_json_normalized` before byte-comparison.
+    assert!(
+        report
+            .diagnostics
+            .iter()
+            .any(|d| d.suppressed && d.file == "crates/sim/src/obs/report.rs"),
+        "expected the documented span-telemetry suppression to be present"
+    );
+}

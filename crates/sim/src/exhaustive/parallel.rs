@@ -266,11 +266,16 @@ fn worker_loop<O: ForkJoinObserver>(
     earliest_cex: &AtomicUsize,
 ) {
     loop {
-        let i = next.fetch_add(1, Ordering::Relaxed);
+        // SeqCst throughout: these atomics decide which units are skipped
+        // and which counterexample cancels the sweep. The canonical-order
+        // merge makes the *results* thread-invariant either way, but the
+        // determinism gate (relaxed-ordering-decision) insists decision
+        // inputs are totally ordered rather than argued about.
+        let i = next.fetch_add(1, Ordering::SeqCst);
         if i >= slots.len() {
             return;
         }
-        if earliest_cex.load(Ordering::Relaxed) < i {
+        if earliest_cex.load(Ordering::SeqCst) < i {
             continue;
         }
         let (unit, obs) = slots[i]
@@ -281,7 +286,7 @@ fn worker_loop<O: ForkJoinObserver>(
             .expect("unit claimed twice");
         let result = explore_unit(factory, config, check, unit, obs);
         if result.counterexample.is_some() {
-            earliest_cex.fetch_min(i, Ordering::Relaxed);
+            earliest_cex.fetch_min(i, Ordering::SeqCst);
         }
         slots[i].lock().expect("worker poisoned a unit slot").result = Some(result);
     }

@@ -208,3 +208,74 @@ fn workload_stream_is_deterministic_standalone() {
     let ops3: Vec<_> = (0..50).map(|_| w2.next_op(&mut r3)).collect();
     assert_ne!(ops1, ops3, "adjacent seeds should not collide");
 }
+
+#[test]
+fn parallel_counterexample_is_thread_invariant() {
+    // Regression for the `relaxed-ordering-decision` finding the taint
+    // pass surfaced in the parallel explorer's worker loop: the unit
+    // claim / cancellation atomics now use `SeqCst`, and the surviving
+    // counterexample must be the sequential engine's *first* one at
+    // every thread count — which worker happened to fail first may not
+    // influence which schedule is reported.
+    use haec::sim::exhaustive::{
+        explore_all, explore_all_parallel, ExhaustiveConfig, ParallelConfig,
+    };
+
+    fn causal_check(sim: &Simulator) -> bool {
+        let Ok(a) = sim.abstract_execution() else {
+            return false;
+        };
+        check_correct(&a, &ObjectSpecs::uniform(SpecKind::Mvr)).is_ok() && causal::check(&a).is_ok()
+    }
+
+    let config = ExhaustiveConfig {
+        store_config: StoreConfig::new(3, 2),
+        depth: 5,
+        max_schedules: usize::MAX,
+        ..ExhaustiveConfig::default()
+    };
+    let sequential = explore_all(&BoundedStore, &config, &mut |sim| causal_check(sim));
+    assert!(
+        sequential.counterexample.is_some(),
+        "bounded store must fail somewhere at depth 5"
+    );
+    for threads in [1usize, 2, 8] {
+        let par = explore_all_parallel(
+            &BoundedStore,
+            &config,
+            &ParallelConfig::with_threads(threads),
+            &causal_check,
+        );
+        assert_eq!(par.schedules, sequential.schedules, "threads={threads}");
+        assert_eq!(
+            par.counterexample, sequential.counterexample,
+            "counterexample diverges from sequential at threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn workspace_is_lint_clean_and_lint_json_is_byte_identical() {
+    // The determinism contract applies to the linter too: the workspace
+    // gates on zero unsuppressed findings, and the `--json` report —
+    // which CI archives and byte-compares across consecutive runs — must
+    // serialize identically for an unchanged tree.
+    use haec_lint::lint_workspace;
+
+    let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    let a = lint_workspace(&root).expect("workspace scan");
+    assert!(
+        a.is_clean(),
+        "unsuppressed lint findings:\n{:#?}",
+        a.diagnostics
+            .iter()
+            .filter(|d| !d.suppressed)
+            .collect::<Vec<_>>()
+    );
+    let b = lint_workspace(&root).expect("workspace scan");
+    assert_eq!(
+        a.to_json_string().as_bytes(),
+        b.to_json_string().as_bytes(),
+        "lint JSON report is not byte-identical across two runs"
+    );
+}
