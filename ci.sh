@@ -44,9 +44,9 @@ echo "== report smoke (fixed seed, JSON must re-parse) =="
 cargo run -q --release --locked --offline -p haec-bench --bin report -- \
     --json --check --seed 42 > /dev/null
 
-echo "== explore smoke (all engines incl. par-2 must agree at depth 3) =="
+echo "== explore smoke (all engines incl. par-2 agree at depth 3; reduced engines match dfs-dedup verdicts on all seven stores) =="
 cargo bench -q --locked --offline -p haec-bench --bench explore -- \
-    --smoke --threads 2 > /dev/null
+    --smoke --threads 2 --por --symmetry > /dev/null
 
 echo "== scenario smoke (fixture families enumerate, family sweep seq==par-2) =="
 cargo bench -q --locked --offline -p haec-bench --bench scenario -- \

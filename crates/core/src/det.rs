@@ -251,6 +251,23 @@ impl<T: Ord> DetSet<T> {
     pub fn iter(&self) -> btree_set::Iter<'_, T> {
         self.inner.iter()
     }
+
+    /// The smallest element, if any.
+    #[must_use]
+    pub fn first(&self) -> Option<&T> {
+        self.inner.first()
+    }
+
+    /// Iterates, in ascending order, the elements within `range` —
+    /// logarithmic seek, so successor queries need not walk the prefix.
+    pub fn range<Q, R>(&self, range: R) -> btree_set::Range<'_, T>
+    where
+        T: Borrow<Q>,
+        Q: Ord + ?Sized,
+        R: std::ops::RangeBounds<Q>,
+    {
+        self.inner.range(range)
+    }
 }
 
 impl<T: Ord + fmt::Debug> fmt::Debug for DetSet<T> {

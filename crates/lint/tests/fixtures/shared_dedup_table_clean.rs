@@ -1,0 +1,34 @@
+//! Non-firing: the same dedup table under the sanctioned orderings —
+//! `SeqCst` slot accesses, value published before key, first-write-wins
+//! claim — the shared parallel dedup table's discipline. Every worker
+//! observes the same committed slots, so the skip-or-visit decision is
+//! reproducible at any thread count.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct SharedTable {
+    keys: Vec<AtomicU64>,
+    vals: Vec<AtomicU64>,
+}
+
+impl SharedTable {
+    fn probe(&self, slot: usize) -> u64 {
+        self.keys[slot].load(Ordering::SeqCst)
+    }
+
+    pub fn publish(&self, slot: usize, key: u64, val: u64) {
+        self.vals[slot].store(val, Ordering::SeqCst);
+        let _ = self.keys[slot]
+            .compare_exchange(0, key, Ordering::SeqCst, Ordering::SeqCst);
+    }
+
+    pub fn explore_with_table(&self, key: u64, candidate: u64) -> u64 {
+        let mut best = candidate;
+        for slot in 0..self.keys.len() {
+            if self.probe(slot) == key {
+                best = best.min(self.vals[slot].load(Ordering::SeqCst));
+            }
+        }
+        best
+    }
+}

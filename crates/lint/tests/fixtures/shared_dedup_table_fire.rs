@@ -1,0 +1,27 @@
+//! Firing: a lock-free dedup table probed with `Relaxed` loads feeding
+//! the explorer's skip-or-visit decision. A stale slot read lets two
+//! workers disagree about whether a subtree is already explored, so the
+//! surviving counterexample depends on worker timing.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub struct SharedTable {
+    keys: Vec<AtomicU64>,
+    vals: Vec<AtomicU64>,
+}
+
+impl SharedTable {
+    fn probe(&self, slot: usize) -> u64 {
+        self.keys[slot].load(Ordering::Relaxed)
+    }
+
+    pub fn explore_with_table(&self, key: u64, candidate: u64) -> u64 {
+        let mut best = candidate;
+        for slot in 0..self.keys.len() {
+            if self.probe(slot) == key {
+                best = best.min(self.vals[slot].load(Ordering::Relaxed));
+            }
+        }
+        best
+    }
+}

@@ -204,6 +204,44 @@ pub trait ReplicaMachine: Send {
     fn state_bits(&self) -> usize {
         0
     }
+
+    /// A fingerprint of the replica state under the replica-id renaming
+    /// `perm` (`perm[old] = new`), or `None` if the store does not support
+    /// symmetry reduction.
+    ///
+    /// Two machines `a` and `b` are *π-related* when `b`'s state equals
+    /// `a`'s with every embedded replica id `r` replaced by `perm[r]`
+    /// (version-vector entries permuted, dots renamed, and any id-ordered
+    /// collections re-canonicalised under the new ids). The contract is:
+    /// `a.state_fingerprint_renamed(π) == b.state_fingerprint_renamed(id)`
+    /// whenever `a` and `b` are π-related — which is what lets the
+    /// exhaustive explorer's symmetry quotient (`ExhaustiveConfig::
+    /// symmetry` in `haec-sim`) take the minimum over all renamings as a
+    /// canonical state key. The machine's *own* replica id must not be
+    /// folded in: it is implicit in the machine's position within the
+    /// renamed global vector.
+    ///
+    /// Stores whose behaviour is not equivariant under replica renaming
+    /// (e.g. those breaking ties on raw replica ids in arbitration) must
+    /// keep the default `None`, which disables symmetry reduction for the
+    /// store. Implementors must also implement
+    /// [`payload_fingerprint_renamed`](Self::payload_fingerprint_renamed).
+    fn state_fingerprint_renamed(&self, _perm: &[u32]) -> Option<u64> {
+        None
+    }
+
+    /// A fingerprint of a wire payload under the replica-id renaming
+    /// `perm`, or `None` if the store does not support symmetry reduction.
+    ///
+    /// Must be a pure function of `(payload, perm)` and the static store
+    /// configuration — independent of the receiving machine's state — so
+    /// the explorer may evaluate it on any machine instance. Same contract
+    /// as [`state_fingerprint_renamed`](Self::state_fingerprint_renamed):
+    /// π-related payloads (same bits with embedded replica ids renamed)
+    /// must collide with the identity fingerprint of the renamed payload.
+    fn payload_fingerprint_renamed(&self, _payload: &Payload, _perm: &[u32]) -> Option<u64> {
+        None
+    }
 }
 
 /// A factory spawning one [`ReplicaMachine`] per replica of a store

@@ -27,12 +27,38 @@
 //! is a *heuristic* for history-dependent checkers — see
 //! `DESIGN.md` §exploration-engine for the soundness argument and its
 //! caveat; the differential suite pins the equivalence empirically.
+//!
+//! ## Reductions
+//!
+//! Two further reductions shrink the tree itself (DESIGN.md §12):
+//!
+//! * [`ExhaustiveConfig::por`] — dynamic partial-order reduction via
+//!   *sleep sets*: after exploring action `a` at a node, every sibling
+//!   subtree puts `a` to sleep as long as only actions independent of `a`
+//!   execute, pruning schedules that are equal to an explored one up to
+//!   commuting adjacent independent actions. Two actions are independent
+//!   when they touch disjoint replicas. Under POR the *reported schedule
+//!   count legitimately shrinks*; counterexample existence is preserved
+//!   (every Mazurkiewicz trace class keeps a representative), pinned by
+//!   the coverage-completeness suite.
+//! * [`ExhaustiveConfig::symmetry`] — replica-permutation symmetry
+//!   canonicalization of the dedup key: the global fingerprint becomes the
+//!   minimum over all replica renamings π of the renamed state (per-store
+//!   [`state_fingerprint_renamed`](haec_model::ReplicaMachine::state_fingerprint_renamed)
+//!   hooks), renamed in-flight multiset, and renamed sleep set, so
+//!   π-related states share one memo entry. Requires `dedup`; stores that
+//!   do not implement the renaming hooks silently fall back to the plain
+//!   fingerprint. Symmetry changes *which* nodes are expanded, never the
+//!   reported count: credits are count-preserving bijections, so
+//!   POR, POR+dedup and POR+dedup+symmetry all report the same count.
 
 use crate::obs::{Observer, Observers};
 use crate::simulator::Simulator;
 use haec_core::det::DetMap;
-use haec_model::{ObjectId, Op, ReplicaId, StoreConfig, StoreFactory};
+use haec_model::{MsgId, ObjectId, Op, ReplicaId, StoreConfig, StoreFactory};
+use std::collections::hash_map::DefaultHasher;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 pub mod parallel;
 
@@ -84,6 +110,19 @@ pub struct ExhaustiveConfig {
     /// explorer visits exactly the nodes the replay reference visits, in
     /// the same order.
     pub dedup: bool,
+    /// Dynamic partial-order reduction via sleep sets (see the module
+    /// docs). Prunes schedules equal to an explored one up to commuting
+    /// adjacent actions on disjoint replicas, so the reported schedule
+    /// count shrinks while counterexample existence is preserved. Off by
+    /// default. Composes with [`dedup`](Self::dedup): the memo key then
+    /// folds in a canonical hash of the sleep set so subtree counts stay
+    /// context-exact.
+    pub por: bool,
+    /// Replica-permutation symmetry canonicalization of the dedup key
+    /// (see the module docs). Requires [`dedup`](Self::dedup); rejected by
+    /// [`validate`](Self::validate) otherwise. No-op (plain fingerprints)
+    /// for stores that do not implement the renaming hooks.
+    pub symmetry: bool,
 }
 
 /// Default exploration parameters: a 2-replica, 1-object cluster whose
@@ -97,6 +136,8 @@ impl Default for ExhaustiveConfig {
             depth: 5,
             max_schedules: 1_000_000,
             dedup: false,
+            por: false,
+            symmetry: false,
         }
     }
 }
@@ -108,6 +149,9 @@ pub enum ExhaustiveConfigError {
     ZeroDepth,
     /// `max_schedules` was 0.
     ZeroMaxSchedules,
+    /// `symmetry` was set without `dedup` (the quotient lives in the memo
+    /// key, so there is nothing to canonicalise without one).
+    SymmetryWithoutDedup,
 }
 
 impl fmt::Display for ExhaustiveConfigError {
@@ -116,6 +160,9 @@ impl fmt::Display for ExhaustiveConfigError {
             ExhaustiveConfigError::ZeroDepth => write!(f, "depth must be nonzero"),
             ExhaustiveConfigError::ZeroMaxSchedules => {
                 write!(f, "max_schedules must be nonzero")
+            }
+            ExhaustiveConfigError::SymmetryWithoutDedup => {
+                write!(f, "symmetry requires dedup")
             }
         }
     }
@@ -140,6 +187,9 @@ impl ExhaustiveConfig {
         }
         if self.max_schedules == 0 {
             return Err(ExhaustiveConfigError::ZeroMaxSchedules);
+        }
+        if self.symmetry && !self.dedup {
+            return Err(ExhaustiveConfigError::SymmetryWithoutDedup);
         }
         Ok(())
     }
@@ -218,8 +268,6 @@ pub fn replay(
 /// they index the transcript, not the state. The explorer caches this and
 /// recomputes it only after actions that touch the in-flight list.
 fn inflight_fingerprint(sim: &Simulator) -> u64 {
-    use std::collections::hash_map::DefaultHasher;
-    use std::hash::{Hash, Hasher};
     let mut h = DefaultHasher::new();
     let mut inflight: Vec<(usize, &[u8], usize)> = sim
         .inflight()
@@ -240,8 +288,6 @@ fn inflight_fingerprint(sim: &Simulator) -> u64 {
 /// re-hashes only the one machine it touched, and the in-flight summary
 /// only when the action was a flush or a delivery.
 fn global_fingerprint(fps: &[u64], inflight_fp: u64) -> u64 {
-    use std::collections::hash_map::DefaultHasher;
-    use std::hash::{Hash, Hasher};
     let mut h = DefaultHasher::new();
     fps.hash(&mut h);
     inflight_fp.hash(&mut h);
@@ -282,11 +328,48 @@ pub fn explore_all_observed(
     check: &mut dyn FnMut(&Simulator) -> bool,
     obs: &mut dyn Observer,
 ) -> ExhaustiveReport {
+    explore_all_inner(factory, config, check, obs, None)
+}
+
+/// Like [`explore_all`], but additionally fires `trace` once per visited
+/// node with the node's schedule prefix — including the prefixes the
+/// reductions keep, and excluding the ones they prune. This is the
+/// coverage-completeness suite's window into the reduced tree: at small
+/// depths it checks every Mazurkiewicz trace class of the unreduced tree
+/// keeps a representative under [`ExhaustiveConfig::por`].
+///
+/// # Panics
+///
+/// Panics if `config` fails [`ExhaustiveConfig::validate`].
+pub fn explore_all_traced(
+    factory: &dyn StoreFactory,
+    config: &ExhaustiveConfig,
+    check: &mut dyn FnMut(&Simulator) -> bool,
+    trace: &mut dyn FnMut(&[Action]),
+) -> ExhaustiveReport {
+    explore_all_inner(factory, config, check, &mut Observers::new(), Some(trace))
+}
+
+/// Per-node schedule-prefix hook, as threaded through the DFS.
+type TraceHook<'a> = &'a mut dyn FnMut(&[Action]);
+
+fn explore_all_inner<'a>(
+    factory: &dyn StoreFactory,
+    config: &'a ExhaustiveConfig,
+    check: &'a mut dyn FnMut(&Simulator) -> bool,
+    obs: &'a mut dyn Observer,
+    trace: Option<TraceHook<'a>>,
+) -> ExhaustiveReport {
     config.validate().expect("invalid ExhaustiveConfig");
     let mut sim = Simulator::new(factory, config.store_config);
     let fps = (0..config.store_config.n_replicas)
         .map(|r| sim.machine(ReplicaId::new(r as u32)).state_fingerprint())
         .collect();
+    let sym = if config.symmetry {
+        Symmetry::try_new(&sim, config)
+    } else {
+        None
+    };
     let mut dfs = Dfs {
         config,
         check,
@@ -298,11 +381,14 @@ pub fn explore_all_observed(
         memo: DetMap::new(),
         fps,
         inflight_fp: inflight_fingerprint(&sim),
+        sym,
+        shared: None,
+        trace,
         hits: 0,
         misses: 0,
         done: false,
     };
-    dfs.visit(&mut sim);
+    dfs.visit(&mut sim, &[]);
     ExhaustiveReport {
         schedules: dfs.schedules,
         counterexample: dfs.counterexample,
@@ -331,6 +417,16 @@ struct Dfs<'a> {
     fps: Vec<u64>,
     /// Cached [`inflight_fingerprint`], refreshed only after flush/deliver.
     inflight_fp: u64,
+    /// Symmetry caches; `Some` only when `config.symmetry` and the store
+    /// implements the renaming hooks.
+    sym: Option<Symmetry>,
+    /// Shared cross-unit dedup table (parallel engine only). Probed
+    /// read-only after the private memo; published between levels by the
+    /// orchestrator, never written by workers.
+    shared: Option<&'a parallel::SharedTable>,
+    /// Optional per-node hook receiving every visited schedule prefix
+    /// (the coverage-completeness suite's window into the reduced tree).
+    trace: Option<TraceHook<'a>>,
     hits: u64,
     misses: u64,
     done: bool,
@@ -372,11 +468,345 @@ fn touched_by(sim: &Simulator, action: &Action) -> (ReplicaId, bool) {
     }
 }
 
+/// The branch-stable identity of an enabled action, the currency of the
+/// sleep-set reduction. `Do` is identified by (replica, object, op index in
+/// `config.ops`); `Deliver` by the in-flight copy's (message id, addressee)
+/// — positional `Deliver(i)` indices shift as the in-flight list mutates,
+/// but message ids are stable along a branch because the transcript is
+/// append-only and `undo_step` restores it exactly.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub(crate) enum SleepKey {
+    /// (replica, object, index of the op in `config.ops`).
+    Do(u32, u32, u32),
+    /// (replica).
+    Flush(u32),
+    /// (message, addressee).
+    Deliver(MsgId, u32),
+}
+
+/// The stable identity of `action`, enabled in the current state of `sim`.
+fn sleep_key(config: &ExhaustiveConfig, sim: &Simulator, action: &Action) -> SleepKey {
+    match action {
+        Action::Do(r, o, op) => {
+            let idx = config
+                .ops
+                .iter()
+                .position(|p| p == op)
+                .expect("child ops are drawn from config.ops");
+            SleepKey::Do(r.index() as u32, o.index() as u32, idx as u32)
+        }
+        Action::Flush(r) => SleepKey::Flush(r.index() as u32),
+        Action::Deliver(i) => {
+            let f = sim.inflight()[*i];
+            SleepKey::Deliver(f.msg, f.to.index() as u32)
+        }
+    }
+}
+
+/// The replica an action (by stable identity) mutates.
+fn sleep_replica(key: SleepKey) -> u32 {
+    match key {
+        SleepKey::Do(r, _, _) => r,
+        SleepKey::Flush(r) => r,
+        SleepKey::Deliver(_, to) => to,
+    }
+}
+
+/// The independence relation underlying the sleep sets: two enabled actions
+/// are independent when they touch disjoint replicas. Each explorer action
+/// mutates exactly one machine ([`touched_by`]); disjoint-replica pairs
+/// commute *exactly* on the in-flight list too (a flush appends copies at
+/// the end, a delivery removes one pre-existing copy by order-preserving
+/// `Vec::remove`, so either order yields the same sequence), and neither
+/// can enable or disable the other (pending-message status only changes
+/// through same-replica actions; a copy is consumed only by its own
+/// delivery; `Do` is always enabled). "Neither delivers a message the
+/// other sends" is automatic here: a sleeping `Deliver` always references
+/// a message that already existed when it went to sleep.
+fn independent(a: SleepKey, b: SleepKey) -> bool {
+    sleep_replica(a) != sleep_replica(b)
+}
+
+/// Prunes the sleeping children of a node in place (no-op with POR off)
+/// and returns the kept children's stable keys. `sleep` must be sorted.
+/// Shared by the sequential DFS and the parallel prefix walk so both
+/// reduce the same canonical tree.
+fn reduce_children(
+    config: &ExhaustiveConfig,
+    sim: &Simulator,
+    children: &mut Vec<Action>,
+    sleep: &[SleepKey],
+) -> Vec<SleepKey> {
+    if !config.por {
+        return Vec::new();
+    }
+    children.retain(|a| sleep.binary_search(&sleep_key(config, sim, a)).is_err());
+    children.iter().map(|a| sleep_key(config, sim, a)).collect()
+}
+
+/// The sleep set a child edge inherits: everything sleeping or already
+/// explored at the parent that is independent of the edge's action —
+/// those subtrees need only be explored on one side of the commutation.
+/// Sorted, so the child can filter by binary search.
+fn child_sleep(sleep: &[SleepKey], done: &[SleepKey], action: SleepKey) -> Vec<SleepKey> {
+    let mut z: Vec<SleepKey> = sleep
+        .iter()
+        .chain(done.iter())
+        .copied()
+        .filter(|&b| independent(b, action))
+        .collect();
+    z.sort_unstable();
+    z
+}
+
+/// Content hash of a payload — the branch-stable stand-in for a message id
+/// in dedup keys (message ids index the transcript, not the state).
+fn payload_content_hash(p: &haec_model::Payload) -> u64 {
+    let mut h = DefaultHasher::new();
+    p.bytes().hash(&mut h);
+    p.bits().hash(&mut h);
+    h.finish()
+}
+
+/// Branch-stable hash of a sleep set for the POR dedup key: per-entry
+/// hashes (Deliver entries by addressee + payload *content*), sorted so
+/// accumulation order cancels out. Two nodes with equal global fingerprint
+/// and equal sleep hash filter the same child multiset and therefore root
+/// equally-sized subtrees, which is what makes memoised counts reusable
+/// under POR.
+fn sleep_set_hash(sim: &Simulator, sleep: &[SleepKey]) -> u64 {
+    let mut entries: Vec<u64> = sleep
+        .iter()
+        .map(|k| {
+            let mut eh = DefaultHasher::new();
+            match *k {
+                SleepKey::Do(r, o, op) => {
+                    0u8.hash(&mut eh);
+                    (r, o, op).hash(&mut eh);
+                }
+                SleepKey::Flush(r) => {
+                    1u8.hash(&mut eh);
+                    r.hash(&mut eh);
+                }
+                SleepKey::Deliver(m, to) => {
+                    2u8.hash(&mut eh);
+                    to.hash(&mut eh);
+                    payload_content_hash(&sim.execution().message(m).payload).hash(&mut eh);
+                }
+            }
+            eh.finish()
+        })
+        .collect();
+    entries.sort_unstable();
+    let mut h = DefaultHasher::new();
+    entries.hash(&mut h);
+    h.finish()
+}
+
+/// All permutations of `0..n` in lexicographic order (so index 0 is the
+/// identity), as renaming maps `perm[old] = new`.
+fn all_perms(n: usize) -> Vec<Vec<u32>> {
+    fn go(n: usize, cur: &mut Vec<u32>, used: &mut [bool], out: &mut Vec<Vec<u32>>) {
+        if cur.len() == n {
+            out.push(cur.clone());
+            return;
+        }
+        for i in 0..n {
+            if !used[i] {
+                used[i] = true;
+                cur.push(i as u32);
+                go(n, cur, used, out);
+                cur.pop();
+                used[i] = false;
+            }
+        }
+    }
+    let mut out = Vec::new();
+    go(n, &mut Vec::new(), &mut vec![false; n], &mut out);
+    out
+}
+
+/// The symmetry-canonicalization state: per-permutation renamed replica
+/// fingerprints and in-flight summaries, maintained incrementally alongside
+/// the explorer's plain `fps`/`inflight_fp` caches.
+struct Symmetry {
+    /// All `n!` renaming maps; `perms[0]` is the identity.
+    perms: Vec<Vec<u32>>,
+    /// Inverse maps: `pinvs[p][new] = old`.
+    pinvs: Vec<Vec<u32>>,
+    /// `ren_fps[p][r]`: fingerprint of machine `r`'s state renamed under
+    /// `perms[p]`.
+    ren_fps: Vec<Vec<u64>>,
+    /// `ren_inflight[p]`: hash of the renamed in-flight multiset under
+    /// `perms[p]`.
+    ren_inflight: Vec<u64>,
+    /// Payload content hash → per-permutation renamed payload
+    /// fingerprints. Content-keyed, so entries stay valid across
+    /// backtracking and are never invalidated.
+    payload_cache: DetMap<u64, Vec<u64>>,
+}
+
+impl Symmetry {
+    /// Probes the store for renaming support (identity permutation on
+    /// machine 0 — all machines of a store answer alike) and initialises
+    /// the caches from the simulator's initial state. `None` when the
+    /// store keeps the default opt-out hooks.
+    fn try_new(sim: &Simulator, config: &ExhaustiveConfig) -> Option<Symmetry> {
+        let n = config.store_config.n_replicas;
+        let perms = all_perms(n);
+        sim.machine(ReplicaId::new(0))
+            .state_fingerprint_renamed(&perms[0])?;
+        let pinvs: Vec<Vec<u32>> = perms
+            .iter()
+            .map(|p| {
+                let mut inv = vec![0u32; n];
+                for (old, &new) in p.iter().enumerate() {
+                    inv[new as usize] = old as u32;
+                }
+                inv
+            })
+            .collect();
+        let np = perms.len();
+        let mut sym = Symmetry {
+            perms,
+            pinvs,
+            ren_fps: vec![vec![0; n]; np],
+            ren_inflight: vec![0; np],
+            payload_cache: DetMap::new(),
+        };
+        for r in 0..n {
+            sym.refresh_machine(sim, ReplicaId::new(r as u32));
+        }
+        sym.refresh_inflight(sim);
+        Some(sym)
+    }
+
+    /// Re-hashes one machine's renamed fingerprints (one column of
+    /// `ren_fps`) after an action touched it.
+    fn refresh_machine(&mut self, sim: &Simulator, r: ReplicaId) {
+        let machine = sim.machine(r);
+        for (p, perm) in self.perms.iter().enumerate() {
+            self.ren_fps[p][r.index()] = machine
+                .state_fingerprint_renamed(perm)
+                .expect("store advertised symmetry support at init");
+        }
+    }
+
+    /// Rebuilds the renamed in-flight summaries after a flush/delivery.
+    fn refresh_inflight(&mut self, sim: &Simulator) {
+        let copies: Vec<(usize, u64)> = sim
+            .inflight()
+            .iter()
+            .map(|f| {
+                let p = &sim.execution().message(f.msg).payload;
+                let ck = payload_content_hash(p);
+                if self.payload_cache.get(&ck).is_none() {
+                    let probe = sim.machine(ReplicaId::new(0));
+                    let fps: Vec<u64> = self
+                        .perms
+                        .iter()
+                        .map(|perm| {
+                            probe
+                                .payload_fingerprint_renamed(p, perm)
+                                .expect("store advertised symmetry support at init")
+                        })
+                        .collect();
+                    self.payload_cache.insert(ck, fps);
+                }
+                (f.to.index(), ck)
+            })
+            .collect();
+        for (p, perm) in self.perms.iter().enumerate() {
+            let mut ren: Vec<(u32, u64)> = copies
+                .iter()
+                .map(|&(to, ck)| {
+                    (
+                        perm[to],
+                        self.payload_cache.get(&ck).expect("cached above")[p],
+                    )
+                })
+                .collect();
+            ren.sort_unstable();
+            let mut h = DefaultHasher::new();
+            ren.hash(&mut h);
+            self.ren_inflight[p] = h.finish();
+        }
+    }
+
+    /// The canonical dedup key: the minimum over all renamings π of the
+    /// hash of (renamed global state vector, renamed in-flight summary,
+    /// renamed sleep set). The state vector under π places machine `old`'s
+    /// renamed fingerprint at position `π(old)`, so π-related global
+    /// states — and their π-related sleep contexts — collapse to one key.
+    fn canonical_key(&self, sim: &Simulator, sleep: &[SleepKey]) -> u64 {
+        let n = self.pinvs[0].len();
+        let mut best = u64::MAX;
+        for (p, perm) in self.perms.iter().enumerate() {
+            let mut h = DefaultHasher::new();
+            for j in 0..n {
+                self.ren_fps[p][self.pinvs[p][j] as usize].hash(&mut h);
+            }
+            self.ren_inflight[p].hash(&mut h);
+            let mut entries: Vec<u64> = sleep
+                .iter()
+                .map(|k| {
+                    let mut eh = DefaultHasher::new();
+                    match *k {
+                        SleepKey::Do(r, o, op) => {
+                            0u8.hash(&mut eh);
+                            (perm[r as usize], o, op).hash(&mut eh);
+                        }
+                        SleepKey::Flush(r) => {
+                            1u8.hash(&mut eh);
+                            perm[r as usize].hash(&mut eh);
+                        }
+                        SleepKey::Deliver(m, to) => {
+                            2u8.hash(&mut eh);
+                            perm[to as usize].hash(&mut eh);
+                            let ck = payload_content_hash(&sim.execution().message(m).payload);
+                            self.payload_cache
+                                .get(&ck)
+                                .expect("sleeping message was in flight, hence cached")[p]
+                                .hash(&mut eh);
+                        }
+                    }
+                    eh.finish()
+                })
+                .collect();
+            entries.sort_unstable();
+            entries.hash(&mut h);
+            best = best.min(h.finish());
+        }
+        best
+    }
+}
+
 impl Dfs<'_> {
-    /// Visits the node the simulator currently sits on; returns the number
+    /// The dedup key of the current state in its sleep context. With
+    /// symmetry: the canonical (minimum-over-renamings) key. Without:
+    /// the plain global fingerprint, folded with the sleep-set hash when
+    /// POR is on (so a memoised count is only reused where the same child
+    /// multiset is filtered).
+    fn dedup_key(&self, sim: &Simulator, sleep: &[SleepKey]) -> u64 {
+        if let Some(sym) = &self.sym {
+            return sym.canonical_key(sim, sleep);
+        }
+        let g = global_fingerprint(&self.fps, self.inflight_fp);
+        if self.config.por {
+            let mut h = DefaultHasher::new();
+            g.hash(&mut h);
+            sleep_set_hash(sim, sleep).hash(&mut h);
+            h.finish()
+        } else {
+            g
+        }
+    }
+
+    /// Visits the node the simulator currently sits on, with the given
+    /// sleep set (`&[]` at the root; must be sorted); returns the number
     /// of schedules in its subtree (meaningful only when the subtree was
     /// fully explored, i.e. `!self.done`).
-    fn visit(&mut self, sim: &mut Simulator) -> usize {
+    fn visit(&mut self, sim: &mut Simulator, sleep: &[SleepKey]) -> usize {
         self.queued -= 1;
         if self.schedules >= self.config.max_schedules || self.counterexample.is_some() {
             self.done = true;
@@ -384,6 +814,9 @@ impl Dfs<'_> {
         }
         self.obs.on_search_node(self.prefix.len(), self.queued);
         self.schedules += 1;
+        if let Some(trace) = self.trace.as_mut() {
+            trace(&self.prefix);
+        }
         if !(self.check)(sim) {
             self.counterexample = Some(self.prefix.clone());
             self.done = true;
@@ -392,13 +825,23 @@ impl Dfs<'_> {
         if self.prefix.len() >= self.config.depth {
             return 1;
         }
-        let children = children(self.config, sim);
+        let mut children = children(self.config, sim);
+        // Sleeping actions are pruned before they count toward the
+        // frontier: their subtrees are commutations of ones an explored
+        // sibling already covers.
+        let keys = reduce_children(self.config, sim, &mut children, sleep);
         self.queued += children.len();
+        let mut done_keys: Vec<SleepKey> = Vec::new();
         let mut count = 1usize;
-        for action in children {
+        for (ci, action) in children.into_iter().enumerate() {
             if self.done {
                 break;
             }
+            let child_sleep: Vec<SleepKey> = if self.config.por {
+                child_sleep(sleep, &done_keys, keys[ci])
+            } else {
+                Vec::new()
+            };
             // Each explorer action mutates exactly one replica's machine,
             // so a per-step undo (one machine clone, moved back afterwards)
             // beats a full checkpoint of the whole cluster.
@@ -407,19 +850,35 @@ impl Dfs<'_> {
             apply(sim, &action, self.prefix.len());
             let saved_fp = self.fps[touched.index()];
             let saved_inflight_fp = self.inflight_fp;
+            let mut saved_sym: Option<(Vec<u64>, Vec<u64>)> = None;
             if self.config.dedup {
                 self.fps[touched.index()] = sim.machine(touched).state_fingerprint();
                 if saves_inflight {
                     self.inflight_fp = inflight_fingerprint(sim);
                 }
+                if let Some(sym) = self.sym.as_mut() {
+                    saved_sym = Some((
+                        sym.ren_fps.iter().map(|row| row[touched.index()]).collect(),
+                        sym.ren_inflight.clone(),
+                    ));
+                    sym.refresh_machine(sim, touched);
+                    if saves_inflight {
+                        sym.refresh_inflight(sim);
+                    }
+                }
             }
             self.prefix.push(action);
             if self.config.dedup {
                 let key = (
-                    global_fingerprint(&self.fps, self.inflight_fp),
+                    self.dedup_key(sim, &child_sleep),
                     self.config.depth - self.prefix.len(),
                 );
-                if let Some(&sub) = self.memo.get(&key) {
+                let cached = self.memo.get(&key).copied().or_else(|| {
+                    self.shared
+                        .and_then(|table| table.get(key.0, key.1))
+                        .map(|sub| sub as usize)
+                });
+                if let Some(sub) = cached {
                     self.hits += 1;
                     self.obs.on_dedup_lookup(true);
                     self.queued -= 1;
@@ -431,19 +890,28 @@ impl Dfs<'_> {
                 } else {
                     self.misses += 1;
                     self.obs.on_dedup_lookup(false);
-                    let sub = self.visit(sim);
+                    let sub = self.visit(sim, &child_sleep);
                     if !self.done {
                         self.memo.insert(key, sub);
                     }
                     count += sub;
                 }
             } else {
-                count += self.visit(sim);
+                count += self.visit(sim, &child_sleep);
             }
             self.prefix.pop();
             self.fps[touched.index()] = saved_fp;
             self.inflight_fp = saved_inflight_fp;
+            if let (Some(sym), Some((col, infl))) = (self.sym.as_mut(), saved_sym) {
+                for (row, v) in sym.ren_fps.iter_mut().zip(col) {
+                    row[touched.index()] = v;
+                }
+                sym.ren_inflight = infl;
+            }
             sim.undo_step(undo);
+            if self.config.por {
+                done_keys.push(keys[ci]);
+            }
         }
         count
     }
@@ -591,6 +1059,8 @@ mod tests {
             depth: 5,
             max_schedules: 500_000,
             dedup: false,
+            por: false,
+            symmetry: false,
         };
         let report = explore_all(&DvvMvrStore, &config, &mut causal_check);
         assert!(
@@ -613,6 +1083,8 @@ mod tests {
             depth: 4,
             max_schedules: 500_000,
             dedup: false,
+            por: false,
+            symmetry: false,
         };
         let report = explore_all(&DvvMvrStore, &config, &mut causal_check);
         assert!(report.all_passed(), "{:?}", report.counterexample);
@@ -628,6 +1100,8 @@ mod tests {
             depth: 6,
             max_schedules: 500_000,
             dedup: false,
+            por: false,
+            symmetry: false,
         };
         let report = explore_all(&BoundedStore, &config, &mut causal_check);
         assert!(
@@ -781,10 +1255,163 @@ mod tests {
             depth: 4,
             max_schedules: usize::MAX,
             dedup: false,
+            por: false,
+            symmetry: false,
         };
         let fast = explore_all(&DvvMvrStore, &config, &mut causal_check);
         let slow = explore_all_replay(&DvvMvrStore, &config, &mut causal_check);
         assert_eq!(fast.schedules, slow.schedules);
         assert_eq!(fast.counterexample, slow.counterexample);
+    }
+
+    #[test]
+    fn symmetry_requires_dedup() {
+        let config = ExhaustiveConfig {
+            symmetry: true,
+            dedup: false,
+            ..ExhaustiveConfig::default()
+        };
+        assert_eq!(
+            config.validate().unwrap_err(),
+            ExhaustiveConfigError::SymmetryWithoutDedup
+        );
+        assert!(config.validate().unwrap_err().to_string().contains("dedup"));
+    }
+
+    #[test]
+    fn por_reduces_schedules_and_preserves_the_passing_verdict() {
+        let config = ExhaustiveConfig {
+            depth: 5,
+            max_schedules: usize::MAX,
+            ..ExhaustiveConfig::default()
+        };
+        let plain = explore_all(&DvvMvrStore, &config, &mut causal_check);
+        let por = explore_all(
+            &DvvMvrStore,
+            &ExhaustiveConfig {
+                por: true,
+                ..config.clone()
+            },
+            &mut causal_check,
+        );
+        assert!(plain.all_passed() && por.all_passed());
+        assert!(
+            por.schedules < plain.schedules,
+            "sleep sets pruned nothing: {} vs {}",
+            por.schedules,
+            plain.schedules
+        );
+    }
+
+    #[test]
+    fn por_schedule_count_is_invariant_under_dedup_and_symmetry() {
+        // Dedup credits whole memoised subtrees and symmetry coarsens the
+        // dedup key, so both change *work* (misses) but neither may change
+        // the schedule count the reduced tree reports.
+        let config = ExhaustiveConfig {
+            store_config: StoreConfig::new(3, 1),
+            ops: vec![Op::Write(Value(0)), Op::Read],
+            depth: 4,
+            max_schedules: usize::MAX,
+            dedup: false,
+            por: true,
+            symmetry: false,
+        };
+        let por = explore_all(&DvvMvrStore, &config, &mut causal_check);
+        let por_dedup = explore_all(
+            &DvvMvrStore,
+            &ExhaustiveConfig {
+                dedup: true,
+                ..config.clone()
+            },
+            &mut causal_check,
+        );
+        let por_sym = explore_all(
+            &DvvMvrStore,
+            &ExhaustiveConfig {
+                dedup: true,
+                symmetry: true,
+                ..config.clone()
+            },
+            &mut causal_check,
+        );
+        assert_eq!(por.schedules, por_dedup.schedules);
+        assert_eq!(por.schedules, por_sym.schedules);
+        assert_eq!(por.counterexample, por_dedup.counterexample);
+        assert_eq!(por.counterexample, por_sym.counterexample);
+        // The symmetry quotient can only coarsen the dedup key: with three
+        // interchangeable replicas it must strictly cut unique states.
+        assert!(
+            por_sym.dedup_misses < por_dedup.dedup_misses,
+            "canonicalization collapsed nothing: {} vs {}",
+            por_sym.dedup_misses,
+            por_dedup.dedup_misses
+        );
+    }
+
+    #[test]
+    fn por_finds_a_replayable_counterexample_when_one_exists() {
+        // POR's first counterexample generally differs from the unreduced
+        // engine's (commuted schedules get different uniquified values),
+        // but existence must agree and the cex must replay to a failure.
+        let config = ExhaustiveConfig {
+            store_config: StoreConfig::new(3, 2),
+            ops: vec![Op::Write(Value(0)), Op::Read],
+            depth: 6,
+            max_schedules: 500_000,
+            dedup: true,
+            por: true,
+            symmetry: false,
+        };
+        let report = explore_all(&BoundedStore, &config, &mut causal_check);
+        let cex = report
+            .counterexample
+            .expect("POR missed the bounded store's violation");
+        let sim = replay(&BoundedStore, &config, &cex);
+        assert!(!causal_check(&sim), "POR counterexample does not replay");
+    }
+
+    #[test]
+    fn symmetry_falls_back_silently_on_unsupported_stores() {
+        // The LWW store keeps raw replica-id tie-breaks and opts out of the
+        // renaming hooks: symmetry must degrade to plain dedup, changing
+        // nothing.
+        use haec_stores::LwwStore;
+        let config = ExhaustiveConfig {
+            depth: 4,
+            max_schedules: usize::MAX,
+            dedup: true,
+            ..ExhaustiveConfig::default()
+        };
+        let plain = explore_all(&LwwStore, &config, &mut |_| true);
+        let sym = explore_all(
+            &LwwStore,
+            &ExhaustiveConfig {
+                symmetry: true,
+                ..config.clone()
+            },
+            &mut |_| true,
+        );
+        assert_eq!(plain.schedules, sym.schedules);
+        assert_eq!(plain.dedup_hits, sym.dedup_hits);
+        assert_eq!(plain.dedup_misses, sym.dedup_misses);
+    }
+
+    #[test]
+    fn traced_exploration_yields_every_visited_prefix() {
+        let config = ExhaustiveConfig {
+            depth: 3,
+            max_schedules: usize::MAX,
+            ..ExhaustiveConfig::default()
+        };
+        let mut prefixes: Vec<Vec<Action>> = Vec::new();
+        let report = explore_all_traced(&DvvMvrStore, &config, &mut |_| true, &mut |p| {
+            prefixes.push(p.to_vec())
+        });
+        assert_eq!(prefixes.len(), report.schedules);
+        assert_eq!(prefixes[0], Vec::new(), "root fires first");
+        // Prefix lengths never exceed the depth and parents precede
+        // children (pre-order).
+        assert!(prefixes.iter().all(|p| p.len() <= 3));
     }
 }

@@ -12,12 +12,18 @@
 //!    simulator state there, and the frontier offset the sequential engine
 //!    would carry into that subtree. The partition is a pure function of
 //!    the config — no thread count, no clocks.
-//! 2. **Explore.** Workers drain the unit list. Each unit is explored by
-//!    the *same* incremental DFS as the sequential engine, on a private
-//!    [`Simulator`](crate::simulator::Simulator) rebuilt from the
-//!    snapshot, with a share-nothing dedup table and a forked
-//!    ([`ForkJoinObserver::fork`]) observer. Nothing mutable is shared
-//!    between workers, so scheduling order cannot leak into results.
+//! 2. **Explore.** Workers drain the unit list **level by level**: units
+//!    are chunked in canonical order into levels of
+//!    [`ParallelConfig::level_width`], one `thread::scope` per level. Each
+//!    unit is explored by the *same* incremental DFS as the sequential
+//!    engine, on a private [`Simulator`](crate::simulator::Simulator)
+//!    rebuilt from the snapshot, with a private memo table, a forked
+//!    ([`ForkJoinObserver::fork`]) observer — and, with dedup on, a
+//!    **shared cross-unit dedup table** ([`SharedTable`]) that workers
+//!    probe *read-only*. Between levels the orchestrator publishes every
+//!    completed unit's memo entries into the shared table, in canonical
+//!    unit order with first-write-wins collisions, so the table a level
+//!    reads is a pure function of the config — never of worker timing.
 //! 3. **Merge.** Worker results are folded in **canonical subtree order**
 //!    (the order the sequential DFS visits the units), never completion
 //!    order: schedule counts accumulate, the first counterexample in
@@ -29,14 +35,16 @@
 //! bit-identical to [`explore_all`](super::explore_all) for every thread
 //! count — the differential suite and `tests/determinism.rs` pin this.
 //! With dedup **on**, schedule counts and counterexamples still match the
-//! sequential engine exactly (memoisation never changes either), but the
-//! hit/miss *statistics* are those of the per-unit tables: a cross-subtree
-//! hit that a single global table would score depends on sequential
-//! exploration order, which is precisely what a share-nothing partition
-//! gives up. Those statistics are still a pure function of the config and
-//! split depth, hence identical for every thread count; `split_depth = 0`
-//! (one unit rooted at the empty schedule) degenerates to exact sequential
-//! semantics including dedup statistics.
+//! sequential engine exactly (memoisation never changes either), and the
+//! hit/miss *statistics* are **thread-invariant** too: a unit's probes see
+//! exactly its private memo plus the entries published at the level
+//! barriers before it ran, both pure functions of the config and split
+//! depth. (They can differ from the *sequential* engine's statistics —
+//! the level structure scores cross-unit hits the sequential table would
+//! score within one walk and vice versa; `split_depth = 0` degenerates to
+//! one unit, an empty shared table, and exact sequential semantics
+//! including statistics. `tests/determinism.rs` pins the run-report JSON,
+//! dedup counters included, byte-identical across thread counts.)
 //!
 //! A finite [`max_schedules`](ExhaustiveConfig::max_schedules) cap is
 //! honoured at merge time with unit granularity: the reported count is
@@ -51,15 +59,17 @@
 //! the policy rationale.
 
 use super::{
-    apply, children, inflight_fingerprint, touched_by, Action, Dfs, ExhaustiveConfig,
-    ExhaustiveReport,
+    apply, child_sleep, children, inflight_fingerprint, reduce_children, touched_by, Action, Dfs,
+    ExhaustiveConfig, ExhaustiveReport, SleepKey, Symmetry,
 };
 use crate::obs::{ForkJoinObserver, Observer};
 use crate::scenario::{FamilyConfig, FamilyReport, Scenario};
 use crate::simulator::{SimSnapshot, Simulator};
 use haec_core::det::DetMap;
 use haec_model::{ReplicaId, StoreFactory};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Parameters of the parallel exploration, on top of an
@@ -78,13 +88,25 @@ pub struct ParallelConfig {
     /// typical configs, enough to load-balance without snapshot overhead
     /// dominating.
     pub split_depth: Option<usize>,
+    /// Number of work units per publication level (see the module docs):
+    /// the shared dedup table gains the memo entries of levels `< L`
+    /// before any unit of level `L` runs. Smaller levels publish sooner
+    /// (more cross-unit hits) at the cost of more barriers; the value
+    /// changes dedup *statistics* (deterministically) but never counts,
+    /// counterexamples, or observer streams. Must be nonzero. Irrelevant
+    /// with dedup off.
+    pub level_width: usize,
 }
+
+/// The default number of work units per shared-table publication level.
+pub const DEFAULT_LEVEL_WIDTH: usize = 64;
 
 impl Default for ParallelConfig {
     fn default() -> Self {
         ParallelConfig {
             threads: 1,
             split_depth: None,
+            level_width: DEFAULT_LEVEL_WIDTH,
         }
     }
 }
@@ -94,7 +116,7 @@ impl ParallelConfig {
     pub fn with_threads(threads: usize) -> Self {
         ParallelConfig {
             threads,
-            split_depth: None,
+            ..ParallelConfig::default()
         }
     }
 
@@ -103,6 +125,91 @@ impl ParallelConfig {
         self.split_depth
             .unwrap_or_else(|| depth.saturating_sub(1).min(2))
             .min(depth)
+    }
+}
+
+/// The cross-unit dedup table: a fixed-capacity, open-addressed hash map
+/// from `(fingerprint, remaining depth)` to the memoised subtree schedule
+/// count. Reads are lock-free and wait-free (a bounded linear probe over
+/// atomics); writes happen only at level barriers, from the single
+/// orchestrator thread, in canonical unit order with first-write-wins
+/// collision policy and a bounded probe neighbourhood (a full
+/// neighbourhood deterministically drops the entry). Key 0 marks an empty
+/// slot; the slot key is a nonzero hash of the pair, so distinct pairs
+/// colliding on all 64 bits alias — the same accepted risk tier as the
+/// fingerprint memo itself.
+pub(crate) struct SharedTable {
+    keys: Vec<AtomicU64>,
+    vals: Vec<AtomicU64>,
+    mask: usize,
+}
+
+/// Shared-table capacity (slots). Power of two; at 16 bytes per slot the
+/// table is 4 MiB — comfortably above the memo population of any in-repo
+/// configuration, so drops are rare.
+const SHARED_TABLE_CAP: usize = 1 << 18;
+/// Bounded linear-probe length for both reads and writes.
+const SHARED_PROBE_LIMIT: usize = 32;
+
+impl SharedTable {
+    fn new() -> SharedTable {
+        SharedTable {
+            keys: (0..SHARED_TABLE_CAP).map(|_| AtomicU64::new(0)).collect(),
+            vals: (0..SHARED_TABLE_CAP).map(|_| AtomicU64::new(0)).collect(),
+            mask: SHARED_TABLE_CAP - 1,
+        }
+    }
+
+    /// Nonzero slot key of a `(fingerprint, remaining)` pair.
+    fn slot_key(fp: u64, remaining: usize) -> u64 {
+        let mut h = DefaultHasher::new();
+        fp.hash(&mut h);
+        remaining.hash(&mut h);
+        h.finish().max(1)
+    }
+
+    /// Looks up a memoised subtree count. Workers call this concurrently;
+    /// SeqCst loads because the outcome decides reported dedup counters
+    /// and schedule credits (see `relaxed-ordering-decision` in haec-lint).
+    /// Publication is level-barriered, so everything visible here was
+    /// written before this worker's level began.
+    pub(crate) fn get(&self, fp: u64, remaining: usize) -> Option<u64> {
+        let k = Self::slot_key(fp, remaining);
+        let mut i = (k as usize) & self.mask;
+        for _ in 0..SHARED_PROBE_LIMIT {
+            let cur = self.keys[i].load(Ordering::SeqCst);
+            if cur == 0 {
+                return None;
+            }
+            if cur == k {
+                return Some(self.vals[i].load(Ordering::SeqCst));
+            }
+            i = (i + 1) & self.mask;
+        }
+        None
+    }
+
+    /// Publishes one entry. Only the orchestrator calls this, strictly
+    /// between worker levels, in canonical order — first write wins, and
+    /// a full probe neighbourhood drops the entry (deterministically,
+    /// since publication order is deterministic). The value is stored
+    /// before the key so a slot whose key is visible always carries its
+    /// count.
+    fn put(&self, fp: u64, remaining: usize, count: u64) {
+        let k = Self::slot_key(fp, remaining);
+        let mut i = (k as usize) & self.mask;
+        for _ in 0..SHARED_PROBE_LIMIT {
+            let cur = self.keys[i].load(Ordering::SeqCst);
+            if cur == 0 {
+                self.vals[i].store(count, Ordering::SeqCst);
+                self.keys[i].store(k, Ordering::SeqCst);
+                return;
+            }
+            if cur == k {
+                return;
+            }
+            i = (i + 1) & self.mask;
+        }
     }
 }
 
@@ -115,6 +222,10 @@ struct Unit {
     /// frontier counter here so every `on_search_node` frontier value
     /// matches the sequential engine's global counter exactly.
     offset: usize,
+    /// The sleep set the sequential engine would carry into this subtree
+    /// (sorted; empty with POR off). Message ids stay valid because the
+    /// snapshot preserves the transcript they index.
+    sleep: Vec<SleepKey>,
 }
 
 /// What the prefix walk buffers, in the sequential engine's pre-order.
@@ -138,6 +249,10 @@ struct UnitResult<O> {
     counterexample: Option<Vec<Action>>,
     hits: u64,
     misses: u64,
+    /// The unit's private memo entries `(fingerprint, remaining, count)`,
+    /// in deterministic (BTree) key order — the orchestrator publishes
+    /// these into the shared table at the next level barrier.
+    inserts: Vec<(u64, usize, u64)>,
     obs: O,
 }
 
@@ -165,7 +280,7 @@ struct PrefixWalk<'a> {
 }
 
 impl PrefixWalk<'_> {
-    fn visit(&mut self, sim: &mut Simulator, prefix: &mut Vec<Action>) {
+    fn visit(&mut self, sim: &mut Simulator, prefix: &mut Vec<Action>, sleep: &[SleepKey]) {
         self.queued -= 1;
         let failed = !(self.check)(sim);
         self.items.push(Item::Node {
@@ -177,12 +292,21 @@ impl PrefixWalk<'_> {
             self.stopped = true;
             return;
         }
-        let children = children(self.config, sim);
+        let mut children = children(self.config, sim);
+        // Same POR reduction as `Dfs::visit`, so the partition shards the
+        // same (reduced) canonical tree the sequential engine walks.
+        let keys = reduce_children(self.config, sim, &mut children, sleep);
         self.queued += children.len();
-        for action in children {
+        let mut done_keys: Vec<SleepKey> = Vec::new();
+        for (ci, action) in children.into_iter().enumerate() {
             if self.stopped {
                 return;
             }
+            let next_sleep: Vec<SleepKey> = if self.config.por {
+                child_sleep(sleep, &done_keys, keys[ci])
+            } else {
+                Vec::new()
+            };
             let (touched, saves_inflight) = touched_by(sim, &action);
             let undo = sim.begin_step(touched, saves_inflight);
             apply(sim, &action, prefix.len());
@@ -197,24 +321,30 @@ impl PrefixWalk<'_> {
                     prefix: prefix.clone(),
                     snap: sim.snapshot(),
                     offset: self.queued,
+                    sleep: next_sleep,
                 });
                 self.items.push(Item::Unit(self.units.len() - 1));
             } else {
-                self.visit(sim, prefix);
+                self.visit(sim, prefix, &next_sleep);
             }
             prefix.pop();
             sim.undo_step(undo);
+            if self.config.por {
+                done_keys.push(keys[ci]);
+            }
         }
     }
 }
 
 /// Explores one unit's subtree with the sequential engine's incremental
-/// DFS: private simulator from the snapshot, fresh dedup table, forked
-/// observer, frontier counter primed with the unit's offset.
+/// DFS: private simulator from the snapshot, fresh dedup table (backed
+/// read-only by the shared table), forked observer, frontier counter
+/// primed with the unit's offset.
 fn explore_unit<O: ForkJoinObserver>(
     factory: &dyn StoreFactory,
     config: &ExhaustiveConfig,
     check: &(dyn Fn(&Simulator) -> bool + Sync),
+    table: Option<&SharedTable>,
     unit: Unit,
     mut obs: O,
 ) -> UnitResult<O> {
@@ -223,6 +353,11 @@ fn explore_unit<O: ForkJoinObserver>(
         .map(|r| sim.machine(ReplicaId::new(r as u32)).state_fingerprint())
         .collect();
     let inflight_fp = inflight_fingerprint(&sim);
+    let sym = if config.symmetry {
+        Symmetry::try_new(&sim, config)
+    } else {
+        None
+    };
     let mut local_check = |sim: &Simulator| check(sim);
     let mut dfs = Dfs {
         config,
@@ -235,34 +370,48 @@ fn explore_unit<O: ForkJoinObserver>(
         memo: DetMap::new(),
         fps,
         inflight_fp,
+        sym,
+        shared: table,
+        trace: None,
         hits: 0,
         misses: 0,
         done: false,
     };
-    dfs.visit(&mut sim);
+    dfs.visit(&mut sim, &unit.sleep);
     let schedules = dfs.schedules;
     let counterexample = dfs.counterexample.take();
     let hits = dfs.hits;
     let misses = dfs.misses;
+    let inserts = dfs
+        .memo
+        .iter()
+        .map(|(&(fp, rem), &count)| (fp, rem, count as u64))
+        .collect();
     UnitResult {
         schedules,
         counterexample,
         hits,
         misses,
+        inserts,
         obs,
     }
 }
 
-/// Worker loop: claim the next unclaimed unit, explore it, store the
-/// result. Units canonically after a unit already known to hold a
-/// counterexample are skipped — the merge can never read them, so skipping
-/// is invisible to the results and only saves work.
+/// Worker loop over one publication level `[start, end)`: claim the next
+/// unclaimed unit of the level, explore it, store the result. Units
+/// canonically after a unit already known to hold a counterexample are
+/// skipped — the cex also stops the level loop before the next
+/// publication, so neither the merge nor a later level can observe the
+/// skip (or the timing-dependent set of in-level inserts it suppresses).
+#[allow(clippy::too_many_arguments)]
 fn worker_loop<O: ForkJoinObserver>(
     factory: &dyn StoreFactory,
     config: &ExhaustiveConfig,
     check: &(dyn Fn(&Simulator) -> bool + Sync),
+    table: Option<&SharedTable>,
     slots: &[Mutex<Slot<O>>],
     next: &AtomicUsize,
+    end: usize,
     earliest_cex: &AtomicUsize,
 ) {
     loop {
@@ -272,7 +421,7 @@ fn worker_loop<O: ForkJoinObserver>(
         // determinism gate (relaxed-ordering-decision) insists decision
         // inputs are totally ordered rather than argued about.
         let i = next.fetch_add(1, Ordering::SeqCst);
-        if i >= slots.len() {
+        if i >= end {
             return;
         }
         if earliest_cex.load(Ordering::SeqCst) < i {
@@ -284,7 +433,7 @@ fn worker_loop<O: ForkJoinObserver>(
             .work
             .take()
             .expect("unit claimed twice");
-        let result = explore_unit(factory, config, check, unit, obs);
+        let result = explore_unit(factory, config, check, table, unit, obs);
         if result.counterexample.is_some() {
             earliest_cex.fetch_min(i, Ordering::SeqCst);
         }
@@ -340,6 +489,10 @@ pub fn explore_all_parallel_observed<O: ForkJoinObserver + Send>(
 ) -> ExhaustiveReport {
     config.validate().expect("invalid ExhaustiveConfig");
     assert!(par.threads > 0, "ParallelConfig::threads must be nonzero");
+    assert!(
+        par.level_width > 0,
+        "ParallelConfig::level_width must be nonzero"
+    );
     let split = par.split_for(config.depth);
 
     // Phase 1: canonical partition of the tree into prefix items and work
@@ -360,11 +513,12 @@ pub fn explore_all_parallel_observed<O: ForkJoinObserver + Send>(
             prefix: Vec::new(),
             snap: sim.snapshot(),
             offset: walk.queued,
+            sleep: Vec::new(),
         });
         walk.items.push(Item::Unit(0));
     } else {
         let mut prefix = Vec::new();
-        walk.visit(&mut sim, &mut prefix);
+        walk.visit(&mut sim, &mut prefix, &[]);
     }
     drop(sim);
 
@@ -387,16 +541,50 @@ pub fn explore_all_parallel_observed<O: ForkJoinObserver + Send>(
         max_schedules: usize::MAX,
         ..config.clone()
     };
-    let next = AtomicUsize::new(0);
+    let table = config.dedup.then(SharedTable::new);
     let earliest_cex = AtomicUsize::new(usize::MAX);
-    let threads = par.threads.min(slots.len()).max(1);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| {
-                worker_loop(factory, &worker_config, check, &slots, &next, &earliest_cex)
-            });
+    let mut start = 0usize;
+    while start < slots.len() {
+        let end = (start + par.level_width).min(slots.len());
+        let next = AtomicUsize::new(start);
+        let threads = par.threads.min(end - start).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| {
+                    worker_loop(
+                        factory,
+                        &worker_config,
+                        check,
+                        table.as_ref(),
+                        &slots,
+                        &next,
+                        end,
+                        &earliest_cex,
+                    )
+                });
+            }
+        });
+        // A counterexample anywhere before the next level makes every
+        // later unit unreachable by the canonical merge — stop without
+        // publishing this level's (possibly skip-truncated) memo entries,
+        // so the shared table never depends on in-level timing.
+        if earliest_cex.load(Ordering::SeqCst) < end {
+            break;
         }
-    });
+        if let Some(table) = &table {
+            for slot in &slots[start..end] {
+                let slot = slot.lock().expect("worker poisoned a unit slot");
+                let result = slot
+                    .result
+                    .as_ref()
+                    .expect("level barrier reached an unexplored unit");
+                for &(fp, rem, count) in &result.inserts {
+                    table.put(fp, rem, count);
+                }
+            }
+        }
+        start = end;
+    }
 
     // Phase 3: canonical-order merge. Replays the exact accounting of the
     // sequential engine over buffered prefix nodes and whole units.
@@ -629,6 +817,7 @@ mod tests {
             &ParallelConfig {
                 threads: 2,
                 split_depth: Some(0),
+                ..ParallelConfig::default()
             },
             &causal_check,
         );
@@ -666,6 +855,98 @@ mod tests {
             assert_eq!(par.dedup_hits, baseline.dedup_hits, "threads={threads}");
             assert_eq!(par.dedup_misses, baseline.dedup_misses);
         }
+    }
+
+    #[test]
+    fn reduced_engines_match_sequential_for_every_thread_count() {
+        // POR and POR+symmetry shard across the same canonical (reduced)
+        // tree: schedule counts and counterexample verdicts must match the
+        // sequential reduced engine at every thread count and level width.
+        for (por, symmetry, dedup) in [(true, false, false), (true, true, true)] {
+            let config = ExhaustiveConfig {
+                por,
+                symmetry,
+                dedup,
+                ..depth_config(4)
+            };
+            let sequential = explore_all(&DvvMvrStore, &config, &mut causal_check);
+            for threads in [1, 2, 8] {
+                for level_width in [1, 3, DEFAULT_LEVEL_WIDTH] {
+                    let par = explore_all_parallel(
+                        &DvvMvrStore,
+                        &config,
+                        &ParallelConfig {
+                            threads,
+                            split_depth: None,
+                            level_width,
+                        },
+                        &causal_check,
+                    );
+                    assert_eq!(
+                        par.schedules, sequential.schedules,
+                        "por={por} symmetry={symmetry} threads={threads} width={level_width}"
+                    );
+                    assert_eq!(par.counterexample, sequential.counterexample);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shared_table_stats_are_thread_invariant_per_level_width() {
+        // The dedup statistics are a pure function of (config, split,
+        // level_width): changing the thread count must not move a single
+        // hit or miss, for narrow and wide levels alike.
+        let config = ExhaustiveConfig {
+            dedup: true,
+            ..depth_config(4)
+        };
+        for level_width in [1, 2, DEFAULT_LEVEL_WIDTH] {
+            let baseline = explore_all_parallel(
+                &DvvMvrStore,
+                &config,
+                &ParallelConfig {
+                    threads: 1,
+                    split_depth: None,
+                    level_width,
+                },
+                &causal_check,
+            );
+            for threads in [2, 8] {
+                let par = explore_all_parallel(
+                    &DvvMvrStore,
+                    &config,
+                    &ParallelConfig {
+                        threads,
+                        split_depth: None,
+                        level_width,
+                    },
+                    &causal_check,
+                );
+                assert_eq!(par.schedules, baseline.schedules);
+                assert_eq!(par.counterexample, baseline.counterexample);
+                assert_eq!(
+                    par.dedup_hits, baseline.dedup_hits,
+                    "threads={threads} width={level_width}"
+                );
+                assert_eq!(par.dedup_misses, baseline.dedup_misses);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "level_width must be nonzero")]
+    fn zero_level_width_panics() {
+        explore_all_parallel(
+            &DvvMvrStore,
+            &ExhaustiveConfig::default(),
+            &ParallelConfig {
+                threads: 1,
+                split_depth: None,
+                level_width: 0,
+            },
+            &|_| true,
+        );
     }
 
     #[test]
@@ -775,6 +1056,7 @@ mod tests {
                 &ParallelConfig {
                     threads: 2,
                     split_depth: Some(split),
+                    ..ParallelConfig::default()
                 },
                 &causal_check,
             );
@@ -892,6 +1174,7 @@ mod tests {
             &ParallelConfig {
                 threads: 0,
                 split_depth: None,
+                ..ParallelConfig::default()
             },
             &|_| true,
         );

@@ -536,6 +536,8 @@ mod tests {
             depth: 2,
             max_schedules: usize::MAX,
             dedup: true,
+            por: false,
+            symmetry: false,
         };
         let mut stats = StatsObserver::new();
         let report = explore_all_observed(&DvvMvrStore, &config, &mut |_| true, &mut stats);

@@ -10,13 +10,14 @@
 use haec_core::{causal, check_correct, ObjectSpecs, SpecKind};
 use haec_model::{ObjectId, Op, ReplicaId, StoreConfig, StoreFactory, Value};
 use haec_sim::exhaustive::{
-    explore_all, explore_all_parallel, explore_all_replay, replay, Action, ExhaustiveConfig,
-    ParallelConfig,
+    explore_all, explore_all_parallel, explore_all_replay, explore_all_traced, replay, Action,
+    ExhaustiveConfig, ParallelConfig,
 };
 use haec_sim::Simulator;
 use haec_stores::{
     BoundedStore, CausalRegisterStore, CopsStore, DvvMvrStore, EwFlagStore, LwwStore, OrSetStore,
 };
+use std::collections::BTreeSet;
 
 fn r(i: u32) -> ReplicaId {
     ReplicaId::new(i)
@@ -116,6 +117,93 @@ fn assert_engines_agree(
             );
         }
     }
+
+    // The reduced engines prune interleavings, so they cannot promise the
+    // same schedule count or the same first counterexample — but the
+    // *verdict* must agree with the oracle on every store, the reduced
+    // count can never exceed the unreduced one, the count must be
+    // invariant across por / por+dedup / por+dedup+symmetry, and any
+    // counterexample they report must replay to a failing state.
+    let por = explore_all(
+        factory,
+        &ExhaustiveConfig {
+            por: true,
+            ..config.clone()
+        },
+        &mut check_against(spec),
+    );
+    assert!(
+        por.schedules <= reference.schedules,
+        "{}: POR explored more than the full tree",
+        factory.name()
+    );
+    assert_eq!(
+        reference.counterexample.is_some(),
+        por.counterexample.is_some(),
+        "{}: POR changes the verdict",
+        factory.name()
+    );
+    if let Some(cex) = &por.counterexample {
+        let sim = replay(factory, config, cex);
+        assert!(
+            !check_against(spec)(&sim),
+            "{}: POR counterexample does not replay to a failure",
+            factory.name()
+        );
+    }
+    let por_dedup = explore_all(
+        factory,
+        &ExhaustiveConfig {
+            por: true,
+            dedup: true,
+            ..config.clone()
+        },
+        &mut check_against(spec),
+    );
+    let por_sym = explore_all(
+        factory,
+        &ExhaustiveConfig {
+            por: true,
+            dedup: true,
+            symmetry: true,
+            ..config.clone()
+        },
+        &mut check_against(spec),
+    );
+    for (name, reduced) in [("por+dedup", &por_dedup), ("por+dedup+symmetry", &por_sym)] {
+        assert_eq!(
+            por.schedules,
+            reduced.schedules,
+            "{}: {name} changes the reduced schedule count",
+            factory.name()
+        );
+        assert_eq!(
+            por.counterexample,
+            reduced.counterexample,
+            "{}: {name} changes the reduced counterexample",
+            factory.name()
+        );
+    }
+    // The parallel engine shards the same reduced canonical tree.
+    let par = explore_all_parallel(
+        factory,
+        &ExhaustiveConfig {
+            por: true,
+            dedup: true,
+            symmetry: true,
+            ..config.clone()
+        },
+        &ParallelConfig::with_threads(2),
+        &check_against_sync(spec),
+    );
+    assert_eq!(
+        por.schedules,
+        par.schedules,
+        "{}: parallel reduced engine diverges",
+        factory.name()
+    );
+    assert_eq!(por.counterexample, par.counterexample);
+
     reference.schedules
 }
 
@@ -126,6 +214,8 @@ fn register_config(depth: usize) -> ExhaustiveConfig {
         depth,
         max_schedules: usize::MAX,
         dedup: false,
+        por: false,
+        symmetry: false,
     }
 }
 
@@ -306,6 +396,170 @@ fn snapshot_op_restore_is_identity_for_every_store() {
             );
         }
     }
+}
+
+/// Symbolic action for Mazurkiewicz trace-class identity: positional
+/// `Deliver(i)` indices are rewritten into stable message-copy identities
+/// `(origin, per-origin flush ordinal, recipient)` so that commuted
+/// schedules map to the same alphabet.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+enum Sym {
+    /// `(replica, object, index of the op in `config.ops`)`.
+    Do(u32, u32, u32),
+    /// `(origin, per-origin flush ordinal)`.
+    Flush(u32, u32),
+    /// `(origin, per-origin flush ordinal, recipient)`.
+    Deliver(u32, u32, u32),
+}
+
+/// Rewrites a schedule prefix into its symbolic word by simulating the
+/// in-flight list (flush appends one copy per other replica in recipient
+/// order; deliver removes positionally — the exact simulator semantics).
+fn symbolic_word(config: &ExhaustiveConfig, prefix: &[Action]) -> Vec<Sym> {
+    let n = config.store_config.n_replicas as u32;
+    let mut flushes = vec![0u32; n as usize];
+    let mut inflight: Vec<(u32, u32, u32)> = Vec::new();
+    let mut out = Vec::with_capacity(prefix.len());
+    for action in prefix {
+        match action {
+            Action::Do(r, o, op) => {
+                let oi = config
+                    .ops
+                    .iter()
+                    .position(|p| p == op)
+                    .expect("op not in config.ops") as u32;
+                out.push(Sym::Do(r.index() as u32, o.index() as u32, oi));
+            }
+            Action::Flush(r) => {
+                let r = r.index() as u32;
+                let j = flushes[r as usize];
+                flushes[r as usize] += 1;
+                for to in 0..n {
+                    if to != r {
+                        inflight.push((r, j, to));
+                    }
+                }
+                out.push(Sym::Flush(r, j));
+            }
+            Action::Deliver(i) => {
+                let (o, j, to) = inflight.remove(*i);
+                out.push(Sym::Deliver(o, j, to));
+            }
+        }
+    }
+    out
+}
+
+/// The dependence relation the independence proof in the exploration
+/// module is the complement of: two actions are dependent when they touch
+/// the same replica, plus the creation edge from a flush to the deliveries
+/// of its copies.
+fn dependent(a: Sym, b: Sym) -> bool {
+    fn touched(s: Sym) -> u32 {
+        match s {
+            Sym::Do(r, _, _) | Sym::Flush(r, _) => r,
+            Sym::Deliver(_, _, to) => to,
+        }
+    }
+    if touched(a) == touched(b) {
+        return true;
+    }
+    matches!(
+        (a, b),
+        (Sym::Flush(o, j), Sym::Deliver(p, k, _)) | (Sym::Deliver(p, k, _), Sym::Flush(o, j))
+            if o == p && j == k
+    )
+}
+
+/// Canonical representative of a word's Mazurkiewicz class: the
+/// lexicographically least linearisation of its dependence poset, computed
+/// greedily (always emit the smallest ready action). Two words get the
+/// same canonical form iff they are trace-equivalent.
+fn canonical_trace(word: &[Sym]) -> Vec<Sym> {
+    let n = word.len();
+    let mut used = vec![false; n];
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut best: Option<usize> = None;
+        for i in 0..n {
+            if used[i] {
+                continue;
+            }
+            let ready = (0..i).all(|j| used[j] || !dependent(word[j], word[i]));
+            if ready && best.is_none_or(|b| word[i] < word[b]) {
+                best = Some(i);
+            }
+        }
+        let b = best.expect("dependence poset has a ready element");
+        used[b] = true;
+        out.push(word[b]);
+    }
+    out
+}
+
+/// Brute-force soundness oracle for the sleep-set reduction: at small
+/// depths, the reduced tree must keep at least one representative of
+/// *every* Mazurkiewicz trace class the unreduced tree explores — for
+/// every prefix length, not just maximal words — while exploring strictly
+/// fewer schedules.
+#[test]
+fn por_keeps_a_representative_of_every_trace_class() {
+    for depth in [3, 4] {
+        let config = register_config(depth);
+        let mut full: BTreeSet<Vec<Sym>> = BTreeSet::new();
+        let mut full_prefixes = 0usize;
+        explore_all_traced(&DvvMvrStore, &config, &mut |_| true, &mut |p| {
+            full.insert(canonical_trace(&symbolic_word(&config, p)));
+            full_prefixes += 1;
+        });
+        let por_config = ExhaustiveConfig {
+            por: true,
+            ..config.clone()
+        };
+        let mut reduced: BTreeSet<Vec<Sym>> = BTreeSet::new();
+        let mut reduced_prefixes = 0usize;
+        explore_all_traced(&DvvMvrStore, &por_config, &mut |_| true, &mut |p| {
+            reduced.insert(canonical_trace(&symbolic_word(&config, p)));
+            reduced_prefixes += 1;
+        });
+        // Soundness: nothing new, nothing lost.
+        assert!(
+            reduced.is_subset(&full),
+            "depth {depth}: POR explored a class outside the full tree"
+        );
+        let missing: Vec<_> = full.difference(&reduced).take(3).collect();
+        assert!(
+            missing.is_empty(),
+            "depth {depth}: POR lost trace classes, e.g. {missing:?}"
+        );
+        // Effectiveness: the classes are covered with fewer words.
+        assert!(
+            reduced_prefixes < full_prefixes,
+            "depth {depth}: sleep sets pruned nothing ({reduced_prefixes} vs {full_prefixes})"
+        );
+    }
+}
+
+/// Known-answer pin for the reduced engine: the exact schedule count of
+/// the sleep-set exploration on the default register workload. Any change
+/// to the child order, the independence relation, or the sleep-set
+/// propagation moves this number — bump it only with a differential rerun
+/// (`por_keeps_a_representative_of_every_trace_class`) in hand.
+#[test]
+fn por_schedule_count_known_answer() {
+    let config = register_config(4);
+    let unreduced = explore_all(&DvvMvrStore, &config, &mut check_against(SpecKind::Mvr));
+    let por = explore_all(
+        &DvvMvrStore,
+        &ExhaustiveConfig {
+            por: true,
+            ..config.clone()
+        },
+        &mut check_against(SpecKind::Mvr),
+    );
+    assert_eq!(unreduced.schedules, 567);
+    assert_eq!(por.schedules, 230);
+    assert!(por.counterexample.is_none());
 }
 
 /// Applies an action the same way the explorers do (without uniquification,

@@ -20,7 +20,47 @@ use crate::vv::VersionVector;
 use crate::wire::{gamma_len, width_for, BitReader, BitWriter, DecodeError};
 use haec_model::{Dot, ObjectId, Payload, ReplicaId, StoreConfig, Value};
 use std::collections::hash_map::DefaultHasher;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
+
+/// Renames a dot under the replica permutation `perm` (`perm[old] = new`).
+pub(crate) fn rename_dot(d: Dot, perm: &[u32]) -> Dot {
+    Dot::new(ReplicaId::new(perm[d.replica.index()]), d.seq)
+}
+
+/// Renames a version vector: the entry of replica `old` moves to slot
+/// `perm[old]`.
+pub(crate) fn rename_vv(vv: &VersionVector, perm: &[u32]) -> VersionVector {
+    let mut out = VersionVector::new(vv.len());
+    for (i, &e) in vv.entries().iter().enumerate() {
+        out.set(ReplicaId::new(perm[i]), e);
+    }
+    out
+}
+
+/// Renames every dot and re-sorts into canonical (renamed-id) order, so the
+/// result is independent of the order the original list was accumulated in.
+pub(crate) fn rename_dots(dots: &[Dot], perm: &[u32]) -> Vec<Dot> {
+    let mut out: Vec<Dot> = dots.iter().map(|&d| rename_dot(d, perm)).collect();
+    out.sort_unstable();
+    out
+}
+
+/// Renames an update record: its dot, its dependency vector, and any dots
+/// embedded in the operation (observed add-instances / enables, re-sorted
+/// into canonical order).
+fn rename_update(u: &Update, perm: &[u32]) -> Update {
+    let op = match &u.op {
+        UpdateOp::Remove(v, dots) => UpdateOp::Remove(*v, rename_dots(dots, perm)),
+        UpdateOp::Disable(dots) => UpdateOp::Disable(rename_dots(dots, perm)),
+        other => other.clone(),
+    };
+    Update {
+        dot: rename_dot(u.dot, perm),
+        obj: u.obj,
+        op,
+        deps: rename_vv(&u.deps, perm),
+    }
+}
 
 /// The update operations carried in messages.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
@@ -327,6 +367,39 @@ impl CausalEngine {
     /// Returns `true` if there are buffered (not yet applicable) updates.
     pub fn has_buffered(&self) -> bool {
         !self.buffer.is_empty()
+    }
+
+    /// Hash of the engine state under the replica renaming `perm`, feeding
+    /// the store-level `state_fingerprint_renamed` implementations. The
+    /// buffer is sorted by *renamed* dot so π-related buffers hash equal
+    /// regardless of arrival order under the old ids.
+    pub fn hash_renamed_into(&self, perm: &[u32], h: &mut DefaultHasher) {
+        rename_vv(&self.vv, perm).hash(h);
+        // Outbox order is program order — invariant under renaming.
+        for u in &self.outbox {
+            rename_update(u, perm).hash(h);
+        }
+        self.outbox.len().hash(h);
+        let mut buf: Vec<Update> = self.buffer.iter().map(|u| rename_update(u, perm)).collect();
+        buf.sort_by_key(|u| u.dot);
+        buf.hash(h);
+    }
+
+    /// Fingerprint of a wire payload under the replica renaming `perm`.
+    /// Pure in `(payload, perm, config)` — decodes the update sequence,
+    /// renames each record, and hashes the renamed sequence. `None` if the
+    /// payload does not decode (the identity fingerprint of a π-related
+    /// payload would fail identically, so collision safety is preserved).
+    pub fn payload_fingerprint_renamed(&self, payload: &Payload, perm: &[u32]) -> Option<u64> {
+        let mut r = BitReader::new(payload);
+        let count = r.read_gamma0().ok()?;
+        let mut h = DefaultHasher::new();
+        count.hash(&mut h);
+        for _ in 0..count {
+            let u = Update::decode(&mut r, self.config).ok()?;
+            rename_update(&u, perm).hash(&mut h);
+        }
+        Some(h.finish())
     }
 }
 

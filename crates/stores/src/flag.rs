@@ -6,7 +6,7 @@
 //! the shared causal engine: write-propagating, causally and eventually
 //! consistent.
 
-use crate::engine::{CausalEngine, Update, UpdateOp};
+use crate::engine::{rename_dot, CausalEngine, Update, UpdateOp};
 use crate::wire::{gamma_len, width_for};
 use haec_model::{
     DoOutcome, Dot, ObjectId, Op, Payload, ReplicaId, ReplicaMachine, ReturnValue, StoreConfig,
@@ -142,6 +142,24 @@ impl ReplicaMachine for EwFlagReplica {
             .map(|d| width_for(cfg.n_replicas) as usize + gamma_len(u64::from(d.seq)))
             .sum();
         self.engine.state_bits() + inst_bits
+    }
+
+    fn state_fingerprint_renamed(&self, perm: &[u32]) -> Option<u64> {
+        let mut h = DefaultHasher::new();
+        self.engine.hash_renamed_into(perm, &mut h);
+        self.flags.len().hash(&mut h);
+        for (obj, live) in &self.flags {
+            obj.hash(&mut h);
+            // Enable instances are dots; re-sort under the renamed ids.
+            let mut renamed: Vec<Dot> = live.iter().map(|&d| rename_dot(d, perm)).collect();
+            renamed.sort_unstable();
+            renamed.hash(&mut h);
+        }
+        Some(h.finish())
+    }
+
+    fn payload_fingerprint_renamed(&self, payload: &Payload, perm: &[u32]) -> Option<u64> {
+        self.engine.payload_fingerprint_renamed(payload, perm)
     }
 }
 

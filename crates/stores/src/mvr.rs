@@ -15,7 +15,7 @@
 //! joins the rest. Causal delivery (via [`CausalEngine`]) guarantees a write
 //! never arrives before a write it supersedes.
 
-use crate::engine::{CausalEngine, Update, UpdateOp};
+use crate::engine::{rename_dot, CausalEngine, Update, UpdateOp};
 use crate::wire::{gamma_len, width_for};
 use haec_model::{
     DoOutcome, ObjectId, Op, Payload, ReplicaMachine, ReturnValue, StoreConfig, StoreFactory, Value,
@@ -137,6 +137,28 @@ impl ReplicaMachine for MvrReplica {
             })
             .sum();
         self.engine.state_bits() + sibling_bits
+    }
+
+    fn state_fingerprint_renamed(&self, perm: &[u32]) -> Option<u64> {
+        let mut h = DefaultHasher::new();
+        self.engine.hash_renamed_into(perm, &mut h);
+        self.objects.len().hash(&mut h);
+        for (obj, siblings) in &self.objects {
+            obj.hash(&mut h);
+            // Sibling order is dot order, which is not renaming-invariant:
+            // re-sort under the renamed dots.
+            let mut renamed: Vec<(Dot, Value)> = siblings
+                .iter()
+                .map(|&(d, v)| (rename_dot(d, perm), v))
+                .collect();
+            renamed.sort_unstable();
+            renamed.hash(&mut h);
+        }
+        Some(h.finish())
+    }
+
+    fn payload_fingerprint_renamed(&self, payload: &Payload, perm: &[u32]) -> Option<u64> {
+        self.engine.payload_fingerprint_renamed(payload, perm)
     }
 }
 

@@ -5,7 +5,7 @@
 //! `remove(v)` records the dots of the instances it observed; concurrent
 //! adds are unaffected — "add wins".
 
-use crate::engine::{CausalEngine, Update, UpdateOp};
+use crate::engine::{rename_dot, CausalEngine, Update, UpdateOp};
 use crate::wire::{gamma_len, width_for};
 use haec_model::{
     DoOutcome, Dot, ObjectId, Op, Payload, ReplicaId, ReplicaMachine, ReturnValue, StoreConfig,
@@ -152,6 +152,28 @@ impl ReplicaMachine for OrSetReplica {
             .sum();
         self.engine.state_bits() + inst_bits
     }
+
+    fn state_fingerprint_renamed(&self, perm: &[u32]) -> Option<u64> {
+        let mut h = DefaultHasher::new();
+        self.engine.hash_renamed_into(perm, &mut h);
+        self.objects.len().hash(&mut h);
+        for (obj, inst) in &self.objects {
+            obj.hash(&mut h);
+            // Instances are keyed by dot; re-key (and re-sort) under the
+            // renamed dots.
+            let mut renamed: Vec<(Dot, Value)> = inst
+                .iter()
+                .map(|(&d, &v)| (rename_dot(d, perm), v))
+                .collect();
+            renamed.sort_unstable();
+            renamed.hash(&mut h);
+        }
+        Some(h.finish())
+    }
+
+    fn payload_fingerprint_renamed(&self, payload: &Payload, perm: &[u32]) -> Option<u64> {
+        self.engine.payload_fingerprint_renamed(payload, perm)
+    }
 }
 
 /// Factory for an operation-based counter store (extension object).
@@ -230,6 +252,18 @@ impl ReplicaMachine for CounterReplica {
     fn state_bits(&self) -> usize {
         let count_bits: usize = self.counts.values().map(|&c| gamma_len(c + 1)).sum();
         self.engine.state_bits() + count_bits
+    }
+
+    fn state_fingerprint_renamed(&self, perm: &[u32]) -> Option<u64> {
+        let mut h = DefaultHasher::new();
+        self.engine.hash_renamed_into(perm, &mut h);
+        // Counts carry no replica ids — renaming-invariant as stored.
+        self.counts.hash(&mut h);
+        Some(h.finish())
+    }
+
+    fn payload_fingerprint_renamed(&self, payload: &Payload, perm: &[u32]) -> Option<u64> {
+        self.engine.payload_fingerprint_renamed(payload, perm)
     }
 }
 

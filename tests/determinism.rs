@@ -149,6 +149,8 @@ fn parallel_exploration_report_json_is_byte_identical_across_thread_counts() {
         depth: 4,
         max_schedules: usize::MAX,
         dedup: false,
+        por: false,
+        symmetry: false,
     };
     let report_json = |stats: StatsObserver| {
         let mut rep = RunReport::collect(&DvvMvrStore, &ReportConfig::default(), 7);
@@ -176,6 +178,62 @@ fn parallel_exploration_report_json_is_byte_identical_across_thread_counts() {
             par_json.as_bytes(),
             "report JSON diverges from sequential at threads={threads}"
         );
+    }
+}
+
+#[test]
+fn reduced_search_json_with_dedup_counters_is_thread_invariant() {
+    // The shared dedup table's contract, serialized: with POR, symmetry
+    // canonicalization, and dedup all on, the run-report JSON — including
+    // the `search` section's dedup_hits / dedup_misses counters, which
+    // before the level-barrier table depended on worker timing — is
+    // byte-identical at thread counts 1, 2, and 8 for a fixed
+    // (config, split_depth, level_width).
+    use haec::sim::exhaustive::{explore_all_parallel_observed, ExhaustiveConfig, ParallelConfig};
+    use haec::sim::obs::stats::StatsObserver;
+    use haec::sim::{ReportConfig, RunReport};
+
+    let config = ExhaustiveConfig {
+        store_config: StoreConfig::new(3, 2),
+        ops: vec![Op::Write(Value::new(0)), Op::Read],
+        depth: 4,
+        max_schedules: usize::MAX,
+        dedup: true,
+        por: true,
+        symmetry: true,
+    };
+    let mut baseline: Option<(String, u64, u64)> = None;
+    for threads in [1usize, 2, 8] {
+        let mut stats = StatsObserver::new();
+        explore_all_parallel_observed(
+            &DvvMvrStore,
+            &config,
+            &ParallelConfig::with_threads(threads),
+            &|_| true,
+            &mut stats,
+        );
+        let (hits, misses) = (stats.dedup_hits(), stats.dedup_misses());
+        let mut rep = RunReport::collect(&DvvMvrStore, &ReportConfig::default(), 7);
+        rep.stats = stats;
+        let json = rep.to_json_normalized();
+        match &baseline {
+            None => {
+                assert!(misses > 0, "dedup must be exercised for the pin to bite");
+                baseline = Some((json, hits, misses));
+            }
+            Some((base_json, base_hits, base_misses)) => {
+                assert_eq!(
+                    (&hits, &misses),
+                    (base_hits, base_misses),
+                    "threads={threads}"
+                );
+                assert_eq!(
+                    base_json.as_bytes(),
+                    json.as_bytes(),
+                    "search JSON diverges at threads={threads}"
+                );
+            }
+        }
     }
 }
 

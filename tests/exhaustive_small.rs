@@ -23,6 +23,8 @@ fn orset_store_exhaustive_depth4() {
         depth: 4,
         max_schedules: 400_000,
         dedup: false,
+        por: false,
+        symmetry: false,
     };
     let report = explore_all(&OrSetStore, &config, &mut check_against(SpecKind::OrSet));
     assert!(
@@ -41,6 +43,8 @@ fn ewflag_store_exhaustive_depth4() {
         depth: 4,
         max_schedules: 400_000,
         dedup: false,
+        por: false,
+        symmetry: false,
     };
     let report = explore_all(
         &haec::stores::EwFlagStore,
@@ -62,6 +66,8 @@ fn counter_store_exhaustive_depth4() {
         depth: 4,
         max_schedules: 400_000,
         dedup: false,
+        por: false,
+        symmetry: false,
     };
     let report = explore_all(
         &CounterStore,
@@ -83,6 +89,8 @@ fn cops_store_exhaustive_depth4() {
         depth: 4,
         max_schedules: 400_000,
         dedup: false,
+        por: false,
+        symmetry: false,
     };
     let report = explore_all(
         &haec::stores::CopsStore,
@@ -106,6 +114,8 @@ fn arbitration_store_exhaustively_caught_as_mvr_imposter() {
         depth: 6,
         max_schedules: 400_000,
         dedup: false,
+        por: false,
+        symmetry: false,
     };
     let report = explore_all(
         &ArbitrationStore,
