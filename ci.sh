@@ -56,6 +56,20 @@ echo "== stream smoke (online checkers: sublinear residency, lossless feed clean
 cargo bench -q --locked --offline -p haec-bench --bench stream -- \
     --smoke > /dev/null
 
+echo "== service smoke (sharded batched service: exact wire accounting, run-to-run byte-identical JSON) =="
+# Two runs, byte-compared: --smoke zeroes the wall-clock fields, so any
+# difference means the service pipeline (sharding, batching, open-loop
+# workload, reconciliation, observers) picked up nondeterminism.
+mkdir -p target/service
+cargo bench -q --locked --offline -p haec-bench --bench service -- \
+    --smoke --json > target/service/smoke.json
+cargo bench -q --locked --offline -p haec-bench --bench service -- \
+    --smoke --json > target/service/smoke-again.json
+cmp target/service/smoke.json target/service/smoke-again.json || {
+    echo "ci: service --smoke --json is not byte-identical across two runs" >&2
+    exit 1
+}
+
 echo "== fmt =="
 cargo fmt --check
 

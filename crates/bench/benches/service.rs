@@ -1,0 +1,197 @@
+//! Service-layer throughput: the sharded, batched store service under an
+//! open-loop workload, swept over shard counts {1, 2, 4, 8}.
+//!
+//! Each row drives [`haec_sim::run_service`] — consistent-hash sharding,
+//! envelope-batched wire traffic, write-repair reconciliation, a faulty
+//! delivery schedule — with thousands of open-loop clients, and reports
+//! ops/sec (wall clock, this binary's only nondeterminism), p50/p99 read
+//! staleness and visibility lag (virtual-time ticks, from the merged
+//! per-shard histograms), and exact bytes/op from the bit-exact wire
+//! accounting (`message_bits == Σ shard payload bits + envelope
+//! overhead`), which every row re-asserts.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo bench --bench service                 # human-readable sweep
+//! cargo bench --bench service -- --json       # JSON (for BENCH_service.json)
+//! cargo bench --bench service -- --smoke      # small run, wall times zeroed
+//! cargo bench --bench service -- --ops 50000  # override ops per row
+//! ```
+//!
+//! `--smoke` zeroes the timing fields, so two smoke runs emit
+//! byte-identical JSON — ci.sh compares them to pin the whole pipeline's
+//! determinism end to end.
+
+use haec_sim::service::{run_service, ServiceRunConfig};
+use haec_stores::service::{Reconciliation, ServiceConfig};
+use haec_stores::DvvMvrStore;
+use std::time::Instant;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const SEED: u64 = 0xBEEF_CAFE;
+
+struct Row {
+    shards: usize,
+    ops: u64,
+    seconds: f64,
+    messages: u64,
+    message_bits: u64,
+    overhead_bits: u64,
+    staleness_p50: u64,
+    staleness_p99: u64,
+    lag_p50: u64,
+    lag_p99: u64,
+    converged: bool,
+}
+
+impl Row {
+    fn ops_per_sec(&self) -> f64 {
+        if self.seconds > 0.0 {
+            self.ops as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+
+    fn bytes_per_op(&self) -> f64 {
+        self.message_bits as f64 / 8.0 / self.ops as f64
+    }
+}
+
+fn run_row(n_shards: usize, ops: usize, clients: u32, smoke: bool) -> Row {
+    let cfg = ServiceRunConfig {
+        service: ServiceConfig {
+            n_replicas: 3,
+            n_shards,
+            n_objects: 256,
+            vnodes: 32,
+            reconciliation: Reconciliation::WriteRepair,
+        },
+        ops,
+        n_clients: clients,
+        seed: SEED,
+        ..ServiceRunConfig::default()
+    };
+    let t0 = Instant::now();
+    let report = run_service(&DvvMvrStore, &cfg);
+    let seconds = if smoke {
+        0.0
+    } else {
+        t0.elapsed().as_secs_f64()
+    };
+
+    // Exact accounting, re-pinned at benchmark scale.
+    let shard_bits: u64 = report.per_shard.iter().map(|s| s.payload_bits).sum();
+    assert_eq!(
+        report.message_bits,
+        shard_bits + report.envelope_overhead_bits,
+        "wire accounting must be exact at {n_shards} shards"
+    );
+    let shard_ops: u64 = report.per_shard.iter().map(|s| s.ops).sum();
+    assert_eq!(
+        shard_ops, report.ops,
+        "every op routed to exactly one shard"
+    );
+    assert!(report.converged, "fault-free service run must converge");
+
+    let q = |h: &haec_sim::obs::hist::Histogram, p: f64| h.quantile(p).unwrap_or(0);
+    Row {
+        shards: n_shards,
+        ops: report.ops,
+        seconds,
+        messages: report.messages,
+        message_bits: report.message_bits,
+        overhead_bits: report.envelope_overhead_bits,
+        staleness_p50: q(&report.read_staleness, 0.5),
+        staleness_p99: q(&report.read_staleness, 0.99),
+        lag_p50: q(&report.visibility_lag, 0.5),
+        lag_p99: q(&report.visibility_lag, 0.99),
+        converged: report.converged,
+    }
+}
+
+fn main() {
+    let mut json = false;
+    let mut smoke = false;
+    let mut ops_override: Option<usize> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--smoke" => smoke = true,
+            "--ops" => ops_override = args.next().and_then(|v| v.parse().ok()),
+            _ => {}
+        }
+    }
+    let (ops, clients) = if smoke {
+        (2_000, 100)
+    } else {
+        (250_000, 2_000)
+    };
+    let ops = ops_override.unwrap_or(ops);
+
+    let rows: Vec<Row> = SHARD_COUNTS
+        .iter()
+        .map(|&s| run_row(s, ops, clients, smoke))
+        .collect();
+
+    if json {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"suite\": \"service\",\n");
+        out.push_str("  \"store\": \"dvv-mvr\",\n");
+        out.push_str("  \"reconciliation\": \"write-repair\",\n");
+        out.push_str("  \"batched\": true,\n");
+        out.push_str("  \"replicas\": 3,\n");
+        out.push_str("  \"objects\": 256,\n");
+        out.push_str(&format!("  \"clients\": {clients},\n"));
+        out.push_str("  \"rows\": [\n");
+        for (i, r) in rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"shards\": {}, \"ops\": {}, \"seconds\": {:.6}, \
+                 \"ops_per_sec\": {:.1}, \"messages\": {}, \"message_bits\": {}, \
+                 \"envelope_overhead_bits\": {}, \"bytes_per_op\": {:.2}, \
+                 \"staleness_p50\": {}, \"staleness_p99\": {}, \
+                 \"visibility_lag_p50\": {}, \"visibility_lag_p99\": {}, \
+                 \"converged\": {}}}{}\n",
+                r.shards,
+                r.ops,
+                r.seconds,
+                r.ops_per_sec(),
+                r.messages,
+                r.message_bits,
+                r.overhead_bits,
+                r.bytes_per_op(),
+                r.staleness_p50,
+                r.staleness_p99,
+                r.lag_p50,
+                r.lag_p99,
+                r.converged,
+                if i + 1 < rows.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        print!("{out}");
+    } else {
+        println!(
+            "service: dvv-mvr, write-repair, batched, 3 replicas, {clients} clients{}",
+            if smoke { " (smoke)" } else { "" }
+        );
+        for r in &rows {
+            println!(
+                "  {:>2} shards  {:>8} ops  {:>8.3} s  {:>10.0} ops/s  \
+                 {:>7.1} B/op  staleness p50/p99 {:>3}/{:<4}  lag p50/p99 {:>3}/{:<4}",
+                r.shards,
+                r.ops,
+                r.seconds,
+                r.ops_per_sec(),
+                r.bytes_per_op(),
+                r.staleness_p50,
+                r.staleness_p99,
+                r.lag_p50,
+                r.lag_p99,
+            );
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//@ lint-path: crates/sim/src/service.rs
+//! Clean: the identical sweep fan-out source as
+//! `service_sweep_fire.rs`, linted under the service driver's path where
+//! the scoped `std::thread` allowance applies (see `thread_exempt`).
+//! Only the path differs — proving the exemption is keyed on the module,
+//! not on the code.
+
+fn sweep(configs: &[u64]) -> Vec<u64> {
+    let workers = 4usize.min(configs.len());
+    let per_worker: Vec<Vec<(usize, u64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    configs
+                        .iter()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(workers)
+                        .map(|(i, c)| (i, c.wrapping_mul(3)))
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut out = vec![0; configs.len()];
+    for (i, v) in per_worker.into_iter().flatten() {
+        out[i] = v;
+    }
+    out
+}

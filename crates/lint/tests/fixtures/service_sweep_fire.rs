@@ -1,0 +1,31 @@
+//! Firing: a service-sweep-shaped fan-out outside the sanctioned sweep
+//! module. Same source as `service_sweep_clean.rs`, which pins itself
+//! (via `//@ lint-path`) to `crates/sim/src/service.rs` — the sweep
+//! driver whose thread use is structurally deterministic (share-nothing
+//! configs, results placed by index). Anywhere else, including here, the
+//! ambient-entropy gate still fires.
+
+fn sweep(configs: &[u64]) -> Vec<u64> {
+    let workers = 4usize.min(configs.len());
+    let per_worker: Vec<Vec<(usize, u64)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|w| {
+                scope.spawn(move || {
+                    configs
+                        .iter()
+                        .enumerate()
+                        .skip(w)
+                        .step_by(workers)
+                        .map(|(i, c)| (i, c.wrapping_mul(3)))
+                        .collect()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let mut out = vec![0; configs.len()];
+    for (i, v) in per_worker.into_iter().flatten() {
+        out[i] = v;
+    }
+    out
+}

@@ -190,6 +190,20 @@ pub trait ReplicaMachine: Send {
     /// A fingerprint (hash) of the complete replica state `σ`.
     fn state_fingerprint(&self) -> u64;
 
+    /// A fingerprint of the *replicated* portion of the state — what must
+    /// agree across replicas once every message has been delivered and
+    /// every outbox drained. Defaults to the full state fingerprint, which
+    /// is correct for stores whose entire state converges (version
+    /// vectors, object values, empty buffers). Stores that keep
+    /// sender-local bookkeeping which legitimately differs between
+    /// replicas at quiescence — e.g. a dot-issue counter that tracks how
+    /// many updates *this* replica originated — must override this to
+    /// exclude it, or quiescent-agreement checks would report divergence
+    /// between replicas that agree on everything observable.
+    fn converged_fingerprint(&self) -> u64 {
+        self.state_fingerprint()
+    }
+
     /// Clones the machine, including its complete state `σ`, behind a fresh
     /// box. This is the snapshot capability the incremental explorer builds
     /// on: the clone must be observationally indistinguishable from the

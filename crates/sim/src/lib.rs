@@ -33,6 +33,7 @@ pub mod metrics;
 pub mod obs;
 pub mod scenario;
 pub mod scheduler;
+pub mod service;
 mod simulator;
 pub mod trace;
 pub mod workload;
@@ -53,5 +54,9 @@ pub use scenario::{
     ScenarioFilter,
 };
 pub use scheduler::{run_schedule, DeliveryPolicy, Partition, ScheduleConfig};
+pub use service::{
+    reports_json, run_service, run_service_sweep, ServicePartition, ServiceReport,
+    ServiceRunConfig, ShardReport, StreamVerdicts,
+};
 pub use simulator::{FaultKind, FaultRecord, InFlight, Simulator};
-pub use workload::{KeyDistribution, Workload};
+pub use workload::{ClientOp, KeyDistribution, OpenLoop, Workload};

@@ -130,6 +130,28 @@ impl Histogram {
         }
     }
 
+    /// The value at quantile `q ∈ [0, 1]`, at bucket resolution: the upper
+    /// bound of the first bucket whose cumulative count reaches
+    /// `ceil(q · count)` (clamped to the observed maximum, so `quantile(1.0)`
+    /// is exactly [`max`](Self::max)). `None` when empty. Deterministic —
+    /// the same samples give the same answer in any insertion order — which
+    /// is what lets benchmark reports quote p50/p99 and stay byte-stable.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        let mut acc = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            acc += c;
+            if acc >= target {
+                return Some(Self::bucket_range(i).1.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
     /// Non-empty buckets as `(lo, hi, count)` triples, in increasing value
     /// order.
     pub fn buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
@@ -230,6 +252,30 @@ mod tests {
         assert_eq!(empty, whole);
         whole.merge(&Histogram::new());
         assert_eq!(whole, empty);
+    }
+
+    #[test]
+    fn quantiles_walk_the_buckets() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Bucket resolution: the answer is a bucket upper bound ≥ the exact
+        // quantile and < 2× it (power-of-two buckets).
+        for (q, exact) in [(0.5, 50u64), (0.99, 99), (0.1, 10)] {
+            let got = h.quantile(q).unwrap();
+            assert!(got >= exact && got < exact * 2, "q={q}: {got} vs {exact}");
+        }
+        assert_eq!(h.quantile(1.0), Some(100), "p100 is the observed max");
+        assert_eq!(h.quantile(0.0), Some(1), "p0 lands in the first bucket");
+        // Out-of-range inputs clamp rather than panic.
+        assert_eq!(h.quantile(7.0), Some(100));
+        assert_eq!(h.quantile(-1.0), Some(1));
+        // Single-value histograms answer that value everywhere.
+        let mut one = Histogram::new();
+        one.record(42);
+        assert_eq!(one.quantile(0.5), Some(42));
     }
 
     #[test]

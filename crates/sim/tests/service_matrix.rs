@@ -1,0 +1,177 @@
+//! The service layer across the store×fault matrix.
+//!
+//! Two pillars:
+//!
+//! 1. **Batched-vs-unbatched visibility equivalence** over the seven
+//!    conformance-matrix stores: with a constant network delay, whether a
+//!    replica's pending shards travel as one coalescing envelope or as
+//!    one message per shard must not change *anything* observable —
+//!    per-shard op routing, payload bits, visibility-lag and staleness
+//!    histograms, convergence. The only permitted difference is the
+//!    envelope framing overhead, and even that is pinned exactly:
+//!    `batched.message_bits == unbatched.message_bits + overhead`.
+//! 2. **Reconciliation × fault determinism**: every strategy under every
+//!    fault regime yields byte-identical reports on repeated runs, and
+//!    regimes that lose nothing (clean, duplicates, healing partitions)
+//!    converge.
+
+use haec_model::ReplicaId;
+use haec_sim::service::{run_service, ServicePartition, ServiceRunConfig};
+use haec_stores::conformance_matrix;
+use haec_stores::service::{Reconciliation, ServiceConfig};
+use haec_stores::DvvMvrStore;
+
+fn matrix_config(spec: haec_core::SpecKind, batched: bool) -> ServiceRunConfig {
+    ServiceRunConfig {
+        service: ServiceConfig {
+            n_replicas: 3,
+            n_shards: 4,
+            n_objects: 32,
+            vnodes: 16,
+            reconciliation: Reconciliation::WriteRepair,
+        },
+        spec,
+        ops: 300,
+        n_clients: 12,
+        read_ratio: 0.4,
+        batched,
+        // Constant delay: `bounded(1)` is always 0, so both wire modes
+        // deliver every flushed group at t+1 and stay tick-for-tick
+        // comparable even though they draw different fault-rng counts.
+        delay_max: 1,
+        seed: 0x7EA_5E7,
+        ..ServiceRunConfig::default()
+    }
+}
+
+#[test]
+fn batched_and_unbatched_are_visibility_equivalent_across_the_matrix() {
+    for (factory, conformance) in conformance_matrix() {
+        let batched = run_service(factory.as_ref(), &matrix_config(conformance.spec, true));
+        let unbatched = run_service(factory.as_ref(), &matrix_config(conformance.spec, false));
+        let name = factory.name();
+        assert_eq!(
+            batched.per_shard, unbatched.per_shard,
+            "{name}: same routing, same payload bits per shard"
+        );
+        assert_eq!(
+            batched.visibility_lag, unbatched.visibility_lag,
+            "{name}: same visibility timeline"
+        );
+        assert_eq!(
+            batched.read_staleness, unbatched.read_staleness,
+            "{name}: same staleness"
+        );
+        assert_eq!(batched.updates, unbatched.updates, "{name}");
+        assert_eq!(
+            batched.converged, unbatched.converged,
+            "{name}: same quiescent outcome"
+        );
+        assert!(batched.converged, "{name}: fault-free runs converge");
+        // Exact cross-mode accounting: coalescing costs exactly the
+        // envelope framing, not one payload bit more.
+        assert_eq!(unbatched.envelope_overhead_bits, 0, "{name}");
+        assert_eq!(
+            batched.message_bits,
+            unbatched.message_bits + batched.envelope_overhead_bits,
+            "{name}: batching adds framing bits only"
+        );
+        assert!(batched.messages <= unbatched.messages, "{name}: coalescing");
+    }
+}
+
+#[test]
+fn per_shard_determinism_holds_for_every_store_in_the_matrix() {
+    for (factory, conformance) in conformance_matrix() {
+        let cfg = matrix_config(conformance.spec, true);
+        let a = run_service(factory.as_ref(), &cfg).to_json_string();
+        let b = run_service(factory.as_ref(), &cfg).to_json_string();
+        assert_eq!(a, b, "{} report must be reproducible", factory.name());
+    }
+}
+
+#[test]
+fn reconciliation_by_fault_matrix_is_deterministic_and_converges_when_lossless() {
+    let strategies = [
+        Reconciliation::WriteRepair,
+        Reconciliation::ReadRepair,
+        Reconciliation::AntiEntropy { period: 16 },
+    ];
+    #[derive(Clone, Copy, PartialEq, Debug)]
+    enum Fault {
+        Clean,
+        Drop,
+        Duplicate,
+        Partition,
+    }
+    let faults = [
+        Fault::Clean,
+        Fault::Drop,
+        Fault::Duplicate,
+        Fault::Partition,
+    ];
+    for strategy in strategies {
+        for fault in faults {
+            let cfg = ServiceRunConfig {
+                service: ServiceConfig {
+                    n_replicas: 3,
+                    n_shards: 2,
+                    n_objects: 16,
+                    vnodes: 16,
+                    reconciliation: strategy,
+                },
+                ops: 320,
+                n_clients: 12,
+                drop_prob: if fault == Fault::Drop { 0.25 } else { 0.0 },
+                dup_prob: if fault == Fault::Duplicate { 0.4 } else { 0.0 },
+                partition: (fault == Fault::Partition).then(|| ServicePartition {
+                    from_op: 60,
+                    to_op: 220,
+                    group: vec![ReplicaId::new(0)],
+                }),
+                seed: 0xFA_117,
+                ..ServiceRunConfig::default()
+            };
+            let label = format!("{} × {fault:?}", strategy.name());
+            let a = run_service(&DvvMvrStore, &cfg);
+            let b = run_service(&DvvMvrStore, &cfg);
+            assert_eq!(
+                a.to_json_string(),
+                b.to_json_string(),
+                "{label}: reports must be byte-identical"
+            );
+            match fault {
+                Fault::Drop => assert!(a.dropped > 0, "{label}: drops happen"),
+                Fault::Duplicate => {
+                    assert!(a.duplicated > 0, "{label}: duplicates happen");
+                    assert!(a.converged, "{label}: duplicates are idempotent");
+                }
+                Fault::Partition => {
+                    assert!(a.delayed_by_partition > 0, "{label}: cut is exercised");
+                    assert!(a.converged, "{label}: partitions heal, nothing lost");
+                }
+                Fault::Clean => assert!(a.converged, "{label}: clean runs converge"),
+            }
+        }
+    }
+}
+
+#[test]
+fn stream_checkers_hold_for_causal_stores_under_clean_service_runs() {
+    for (factory, conformance) in conformance_matrix() {
+        if !conformance.causal {
+            continue; // LWW is eventually, not causally, consistent.
+        }
+        let cfg = ServiceRunConfig {
+            stream_window: Some(1 << 20),
+            ..matrix_config(conformance.spec, true)
+        };
+        let report = run_service(factory.as_ref(), &cfg);
+        let name = factory.name();
+        let v = report.stream.expect("verdicts requested");
+        assert_eq!(report.stream_errors, 0, "{name}: witnesses resolve");
+        assert!(v.causal, "{name}: per-shard causal consistency");
+        assert!(v.eventual, "{name}: windowed eventual consistency");
+        assert!(v.sessions, "{name}: session guarantees");
+    }
+}

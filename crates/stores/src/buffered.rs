@@ -251,7 +251,14 @@ impl ReplicaMachine for CopsReplica {
         self.vv.hash(&mut h);
         self.outbox.hash(&mut h);
         self.objects.hash(&mut h);
-        self.fresh_context.hash(&mut h);
+        // `fresh_context` is only consulted when the outbox is non-empty
+        // (an empty outbox forces a new sub-batch regardless), so two
+        // states differing only in this flag are observationally
+        // equivalent once the outbox drains. Hash the canonical form, or
+        // quiescent replicas that agree on every object would still
+        // fingerprint apart (and the explorer would treat bisimilar
+        // states as distinct).
+        (self.fresh_context && !self.outbox.is_empty()).hash(&mut h);
         let mut buf = self.buffer.clone();
         buf.sort_by_key(|b| b.writes.first().map(|w| w.0));
         buf.hash(&mut h);

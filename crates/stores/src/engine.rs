@@ -16,6 +16,7 @@
 //!
 //! [`wire`]: crate::wire
 
+use crate::service::batch::{self, BatchDecodeError};
 use crate::vv::VersionVector;
 use crate::wire::{gamma_len, width_for, BitReader, BitWriter, DecodeError};
 use haec_model::{Dot, ObjectId, Payload, ReplicaId, StoreConfig, Value};
@@ -107,7 +108,7 @@ pub struct Update {
 impl Update {
     /// Encodes the update into `w` using the configured replica/object
     /// widths.
-    fn encode(&self, w: &mut BitWriter, config: StoreConfig) {
+    pub(crate) fn encode(&self, w: &mut BitWriter, config: StoreConfig) {
         w.write_bits(
             self.dot.replica.as_u32() as u64,
             width_for(config.n_replicas),
@@ -152,7 +153,10 @@ impl Update {
         }
     }
 
-    fn decode(r: &mut BitReader<'_>, config: StoreConfig) -> Result<Update, DecodeError> {
+    pub(crate) fn decode(
+        r: &mut BitReader<'_>,
+        config: StoreConfig,
+    ) -> Result<Update, DecodeError> {
         let replica = ReplicaId::new(r.read_bits(width_for(config.n_replicas))? as u32);
         let seq = r.read_gamma()? as u32;
         let obj = ObjectId::new(r.read_bits(width_for(config.n_objects))? as u32);
@@ -262,18 +266,16 @@ impl CausalEngine {
     }
 
     /// The message that would be broadcast from the current state: the
-    /// encoded outbox, or `None` when the outbox is empty (no message
+    /// encoded outbox as one update batch (shared header + N records, see
+    /// [`service::batch`]), or `None` when the outbox is empty (no message
     /// pending). Deterministic in the state.
+    ///
+    /// [`service::batch`]: crate::service::batch
     pub fn pending_message(&self) -> Option<Payload> {
         if self.outbox.is_empty() {
             return None;
         }
-        let mut w = BitWriter::new();
-        w.write_gamma0(self.outbox.len() as u64);
-        for u in &self.outbox {
-            u.encode(&mut w, self.config);
-        }
-        Some(w.finish())
+        Some(batch::encode_batch(&self.outbox, self.config))
     }
 
     /// Size in bits of the pending message, if any.
@@ -297,24 +299,31 @@ impl CausalEngine {
 
     /// Decodes a received message, buffers its updates, and returns the
     /// updates that became applicable, in causal order. Duplicates (dots
-    /// already covered) are dropped; malformed payloads are ignored (the
-    /// network is untrusted, the engine is not).
+    /// already covered) are dropped; malformed payloads are ignored *in
+    /// their entirety* (the network is untrusted, the engine is not): the
+    /// decode is all-or-nothing, so a truncated batch never applies a
+    /// prefix of its updates.
     pub fn on_receive(&mut self, payload: &Payload) -> Vec<Update> {
-        let mut r = BitReader::new(payload);
-        let Ok(count) = r.read_gamma0() else {
-            return Vec::new();
-        };
-        for _ in 0..count {
-            match Update::decode(&mut r, self.config) {
-                Ok(u) => {
-                    if !self.vv.contains(u.dot) && !self.buffer.iter().any(|b| b.dot == u.dot) {
-                        self.buffer.push(u);
-                    }
-                }
-                Err(_) => return self.drain_ready(),
+        self.try_receive(payload).unwrap_or_default()
+    }
+
+    /// [`on_receive`](Self::on_receive) with the failure surfaced: a
+    /// corrupt or truncated batch returns the [`BatchDecodeError`] naming
+    /// the failing update index, and the engine state is untouched — fail
+    /// closed, no partial application.
+    ///
+    /// # Errors
+    ///
+    /// Returns the batch decode error; the engine buffers nothing on
+    /// error.
+    pub fn try_receive(&mut self, payload: &Payload) -> Result<Vec<Update>, BatchDecodeError> {
+        let updates = batch::decode_batch(payload, self.config)?;
+        for u in updates {
+            if !self.vv.contains(u.dot) && !self.buffer.iter().any(|b| b.dot == u.dot) {
+                self.buffer.push(u);
             }
         }
-        self.drain_ready()
+        Ok(self.drain_ready())
     }
 
     fn drain_ready(&mut self) -> Vec<Update> {
@@ -533,6 +542,46 @@ mod tests {
         let junk = Payload::from_bytes(vec![0xFF, 0xFF, 0xFF]);
         let applied = e.on_receive(&junk);
         assert!(applied.is_empty());
+    }
+
+    /// Fail-closed delivery: a batch truncated inside its second record
+    /// applies *nothing* — the decodable first record must not slip
+    /// through (it used to: the engine buffered records as it decoded
+    /// them and kept the prefix on error).
+    #[test]
+    fn truncated_batch_applies_nothing() {
+        use crate::wire::BitReader;
+        let mut a = CausalEngine::new(r(0), cfg());
+        let u1 = a.local_update(x(0), UpdateOp::Write(v(1)));
+        a.local_update(x(1), UpdateOp::Write(v(2)));
+        let msg = a.pending_message().unwrap();
+        let cut = msg.bits() - (msg.bits() - batch::header_bits(2) - u1.encoded_bits(cfg())) / 2;
+        let truncated = BitReader::new(&msg).read_payload(cut).unwrap();
+
+        let mut b = CausalEngine::new(r(1), cfg());
+        let err = b.try_receive(&truncated).unwrap_err();
+        assert_eq!(err.index, Some(1), "the second record is the culprit");
+        assert_eq!(b.vv().get(r(0)), 0, "no prefix applied");
+        assert!(!b.has_buffered(), "no prefix buffered");
+        assert!(b.on_receive(&truncated).is_empty());
+        // The intact batch still delivers both updates afterwards.
+        assert_eq!(b.on_receive(&msg).len(), 2);
+    }
+
+    /// The engine's broadcast is exactly the batch codec over its outbox.
+    #[test]
+    fn pending_message_is_the_batch_encoding() {
+        let mut e = CausalEngine::new(r(0), cfg());
+        e.local_update(x(0), UpdateOp::Inc);
+        e.local_update(x(1), UpdateOp::Enable);
+        let msg = e.pending_message().unwrap();
+        let expected_bits = batch::header_bits(2)
+            + batch::decode_batch(&msg, cfg())
+                .unwrap()
+                .iter()
+                .map(|u| u.encoded_bits(cfg()))
+                .sum::<usize>();
+        assert_eq!(msg.bits(), expected_bits);
     }
 
     #[test]

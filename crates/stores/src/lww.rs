@@ -188,6 +188,18 @@ impl ReplicaMachine for LwwReplica {
         h.finish()
     }
 
+    fn converged_fingerprint(&self) -> u64 {
+        // `next_seq` counts updates *originated here* and so differs
+        // across replicas even at quiescence; `clock` converges to the
+        // global maximum timestamp once every write is delivered.
+        let mut h = DefaultHasher::new();
+        self.clock.hash(&mut h);
+        self.objects.hash(&mut h);
+        self.applied.hash(&mut h);
+        self.outbox.hash(&mut h);
+        h.finish()
+    }
+
     fn state_bits(&self) -> usize {
         let per_obj: usize = self
             .objects

@@ -1,0 +1,120 @@
+//! The store *service*: sharding, wire batching and reconciliation in
+//! front of any [`StoreFactory`].
+//!
+//! The theorem experiments measure single stores under a test scheduler;
+//! this module is the production-shaped layer the ROADMAP's north star
+//! asks for, built from four pieces:
+//!
+//! * [`ring`] — a deterministic consistent-hash ring with virtual nodes
+//!   splits the keyspace across independent store instances
+//!   ([`ShardMap`] precomputes global→(shard, local) routing).
+//! * [`batch`] — the update-batch codec (one gamma header + N update
+//!   records) the [`CausalEngine`] broadcasts; exact accounting
+//!   `batch bits == header + Σ update bits`, fail-closed decode.
+//! * [`envelope`] — cross-shard coalescing: one wire message per
+//!   destination carrying every pending shard payload bit-exactly.
+//! * [`cluster`] — [`ServiceCluster`], the `n_replicas × n_shards`
+//!   machine grid with flush/deliver in both batched (envelope) and
+//!   unbatched (per-shard) modes.
+//!
+//! The three [`Reconciliation`] strategies name *when* replicas exchange
+//! messages — they are scheduler-visible behaviors: `haec_sim::service`
+//! turns each into a concrete flush schedule inside the simulated
+//! network (with drops, duplicates, delays and partitions), which is how
+//! the service slots into the store×fault matrix.
+//!
+//! [`CausalEngine`]: crate::engine::CausalEngine
+//! [`StoreFactory`]: haec_model::StoreFactory
+
+pub mod batch;
+pub mod cluster;
+pub mod envelope;
+pub mod ring;
+
+pub use batch::{decode_batch, encode_batch, BatchDecodeError};
+pub use cluster::ServiceCluster;
+pub use envelope::{decode_envelope, encode_envelope, EnvelopeDecodeError};
+pub use ring::{HashRing, ShardMap};
+
+/// When replicas reconcile: the survey's three-point taxonomy of sync
+/// strategies, each realized as a flush schedule the simulated scheduler
+/// can see and perturb.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Reconciliation {
+    /// Repair at write time: the origin flushes (broadcasts) the owning
+    /// shard immediately after every update, so all copies are repaired
+    /// eagerly and staleness is dominated by network delay.
+    WriteRepair,
+    /// Repair at read time: updates sit in their origin's outbox until
+    /// *some* replica reads an object of that shard, which triggers every
+    /// replica holding pending updates for the shard to flush them. Reads
+    /// pay the repair; write-only keys can stay divergent indefinitely.
+    ReadRepair,
+    /// Background repair: every `period` ticks of virtual time, all
+    /// replicas flush all pending shards. Decouples repair from the
+    /// client path entirely; staleness is bounded by the period plus
+    /// network delay.
+    AntiEntropy {
+        /// Flush period in virtual-time ticks (one client op per tick).
+        period: usize,
+    },
+}
+
+impl Reconciliation {
+    /// Short stable name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Reconciliation::WriteRepair => "write-repair",
+            Reconciliation::ReadRepair => "read-repair",
+            Reconciliation::AntiEntropy { .. } => "anti-entropy",
+        }
+    }
+}
+
+/// Static configuration of one service deployment.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ServiceConfig {
+    /// Number of replica nodes (each hosts every shard).
+    pub n_replicas: usize,
+    /// Number of shards the keyspace splits into.
+    pub n_shards: usize,
+    /// Number of global objects.
+    pub n_objects: usize,
+    /// Virtual nodes per shard on the hash ring.
+    pub vnodes: usize,
+    /// The reconciliation strategy.
+    pub reconciliation: Reconciliation,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            n_replicas: 3,
+            n_shards: 4,
+            n_objects: 64,
+            vnodes: 16,
+            reconciliation: Reconciliation::WriteRepair,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reconciliation_names_are_stable() {
+        assert_eq!(Reconciliation::WriteRepair.name(), "write-repair");
+        assert_eq!(Reconciliation::ReadRepair.name(), "read-repair");
+        assert_eq!(
+            Reconciliation::AntiEntropy { period: 8 }.name(),
+            "anti-entropy"
+        );
+    }
+
+    #[test]
+    fn default_config_is_well_formed() {
+        let c = ServiceConfig::default();
+        assert!(c.n_replicas > 0 && c.n_shards > 0 && c.n_objects > 0 && c.vnodes > 0);
+    }
+}

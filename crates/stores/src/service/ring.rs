@@ -1,0 +1,230 @@
+//! Deterministic consistent hashing: the multi-shard keyspace map.
+//!
+//! The service splits the object space across `n_shards` independent
+//! store instances with a classic consistent-hash ring: each shard owns
+//! `vnodes` points on a 64-bit ring, and a (global) object belongs to the
+//! shard owning the first point at or clockwise-after the object's hashed
+//! position. Virtual nodes smooth the split (the standard Dynamo-style
+//! load-balancing device), and the point hash is a fixed SplitMix64-style
+//! mixer, so the placement is a pure function of `(n_shards, vnodes,
+//! object id)` — the same on every platform, every run, forever. That
+//! determinism is what lets the per-shard determinism suite pin
+//! byte-identical reports across thread counts.
+//!
+//! Because each shard is a complete store instance with its own dense
+//! object space, the ring also fixes the *local* renumbering: the objects
+//! a shard owns are ranked by global id, and rank `i` becomes the shard's
+//! local `ObjectId(i)`. [`ShardMap`] precomputes both directions.
+
+use haec_model::ObjectId;
+
+/// A fixed 64-bit mixer (SplitMix64's finalizer): statistically strong,
+/// platform-independent, and frozen — ring placement is part of the
+/// service's determinism contract.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A consistent-hash ring over `n_shards` shards.
+#[derive(Clone, Debug)]
+pub struct HashRing {
+    /// Ring points sorted by position: `(position, shard)`.
+    points: Vec<(u64, u32)>,
+    n_shards: usize,
+}
+
+impl HashRing {
+    /// Builds the ring with `vnodes` virtual nodes per shard.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero.
+    pub fn new(n_shards: usize, vnodes: usize) -> Self {
+        assert!(n_shards > 0, "need at least one shard");
+        assert!(vnodes > 0, "need at least one virtual node per shard");
+        let mut points = Vec::with_capacity(n_shards * vnodes);
+        for shard in 0..n_shards as u64 {
+            for v in 0..vnodes as u64 {
+                // Distinct tag spaces for (shard, vnode) pairs; collisions
+                // between two shards' points are broken by shard id so the
+                // ring is well-defined regardless.
+                points.push((mix(shard << 20 | v), shard as u32));
+            }
+        }
+        points.sort_unstable();
+        HashRing { points, n_shards }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// The shard owning ring position `pos`: the first point clockwise at
+    /// or after it, wrapping at the top.
+    fn owner_of_position(&self, pos: u64) -> u32 {
+        let i = self.points.partition_point(|&(p, _)| p < pos);
+        self.points[i % self.points.len()].1
+    }
+
+    /// The shard owning (global) object `obj`.
+    pub fn shard_of(&self, obj: ObjectId) -> usize {
+        self.owner_of_position(mix(0x0B1E_C700_0000_0000 ^ u64::from(obj.as_u32()))) as usize
+    }
+}
+
+/// The precomputed two-way object map for one service keyspace: global
+/// object → `(shard, local object)` and back.
+#[derive(Clone, Debug)]
+pub struct ShardMap {
+    /// Global object index → owning shard.
+    shard_of: Vec<u32>,
+    /// Global object index → local object id within its shard.
+    local_of: Vec<u32>,
+    /// Per shard: owned global object ids, in increasing order (so local
+    /// id `i` is `owned[shard][i]`).
+    owned: Vec<Vec<ObjectId>>,
+}
+
+impl ShardMap {
+    /// Routes `n_objects` global objects through `ring`.
+    pub fn new(ring: &HashRing, n_objects: usize) -> Self {
+        assert!(n_objects > 0, "need at least one object");
+        let mut shard_of = Vec::with_capacity(n_objects);
+        let mut local_of = vec![0u32; n_objects];
+        let mut owned: Vec<Vec<ObjectId>> = vec![Vec::new(); ring.n_shards()];
+        for (obj, local) in local_of.iter_mut().enumerate() {
+            let s = ring.shard_of(ObjectId::new(obj as u32));
+            shard_of.push(s as u32);
+            *local = owned[s].len() as u32;
+            owned[s].push(ObjectId::new(obj as u32));
+        }
+        ShardMap {
+            shard_of,
+            local_of,
+            owned,
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.owned.len()
+    }
+
+    /// Number of global objects routed.
+    pub fn n_objects(&self) -> usize {
+        self.shard_of.len()
+    }
+
+    /// `(shard, local object)` for a global object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obj` is outside the routed range.
+    pub fn route(&self, obj: ObjectId) -> (usize, ObjectId) {
+        let i = obj.index();
+        (self.shard_of[i] as usize, ObjectId::new(self.local_of[i]))
+    }
+
+    /// The global objects a shard owns, in local-id order.
+    pub fn owned(&self, shard: usize) -> &[ObjectId] {
+        &self.owned[shard]
+    }
+
+    /// Per-shard object counts — the effective `n_objects` of each shard's
+    /// store instance. Shards owning nothing still spawn a 1-object store
+    /// (a `StoreConfig` cannot be empty); they simply never see traffic.
+    pub fn shard_object_counts(&self) -> Vec<usize> {
+        self.owned.iter().map(|o| o.len().max(1)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn placement_is_deterministic_and_total() {
+        let ring = HashRing::new(4, 16);
+        let again = HashRing::new(4, 16);
+        for obj in 0..256 {
+            let s = ring.shard_of(ObjectId::new(obj));
+            assert!(s < 4);
+            assert_eq!(s, again.shard_of(ObjectId::new(obj)));
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        let ring = HashRing::new(1, 8);
+        let map = ShardMap::new(&ring, 32);
+        for obj in 0..32 {
+            assert_eq!(map.route(ObjectId::new(obj)), (0, ObjectId::new(obj)));
+        }
+        assert_eq!(map.owned(0).len(), 32);
+    }
+
+    #[test]
+    fn vnodes_balance_the_split() {
+        let ring = HashRing::new(4, 64);
+        let map = ShardMap::new(&ring, 1024);
+        let counts: Vec<usize> = (0..4).map(|s| map.owned(s).len()).collect();
+        assert_eq!(counts.iter().sum::<usize>(), 1024);
+        for (s, &c) in counts.iter().enumerate() {
+            // Perfect split is 256; with 64 vnodes the skew stays well
+            // within a factor of two.
+            assert!((128..=512).contains(&c), "shard {s} owns {c} of 1024");
+        }
+    }
+
+    #[test]
+    fn local_ids_are_dense_ranks() {
+        let ring = HashRing::new(3, 16);
+        let map = ShardMap::new(&ring, 64);
+        for shard in 0..3 {
+            for (rank, &obj) in map.owned(shard).iter().enumerate() {
+                assert_eq!(map.route(obj), (shard, ObjectId::new(rank as u32)));
+            }
+            // Owned lists are sorted and disjoint by construction.
+            let owned = map.owned(shard);
+            assert!(owned.windows(2).all(|w| w[0] < w[1]));
+        }
+        let total: usize = (0..3).map(|s| map.owned(s).len()).sum();
+        assert_eq!(total, 64);
+    }
+
+    /// Consistent hashing's defining property: growing the ring moves few
+    /// keys — an object keeps its shard unless a new point lands between
+    /// it and its old owner. We pin a loose version: going from 4 to 5
+    /// shards remaps well under half the keys.
+    #[test]
+    fn growing_the_ring_moves_a_minority_of_keys() {
+        let before = HashRing::new(4, 64);
+        let after = HashRing::new(5, 64);
+        let moved = (0..2048)
+            .filter(|&o| {
+                let obj = ObjectId::new(o);
+                let b = before.shard_of(obj);
+                let a = after.shard_of(obj);
+                a != b && a != 4
+            })
+            .count();
+        let to_new = (0..2048)
+            .filter(|&o| after.shard_of(ObjectId::new(o)) == 4)
+            .count();
+        assert!(to_new > 100, "the new shard takes real load: {to_new}");
+        assert!(
+            moved < 1024,
+            "only churn beyond the new shard's share: {moved}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one shard")]
+    fn zero_shards_panics() {
+        let _ = HashRing::new(0, 8);
+    }
+}

@@ -54,17 +54,34 @@ impl BitWriter {
 
     /// Appends the low `width` bits of `value`, least-significant first.
     ///
+    /// The full closed width range `0..=64` is supported: `width == 0`
+    /// writes nothing (and requires `value == 0`), `width == 64` writes the
+    /// whole word. No shift ever reaches the word size, so the edge widths
+    /// cannot trip the debug-mode shift-overflow checks.
+    ///
     /// # Panics
     ///
     /// Panics if `width > 64` or `value` does not fit in `width` bits.
     pub fn write_bits(&mut self, value: u64, width: u32) {
         assert!(width <= 64, "width too large");
         assert!(
-            width == 64 || value < (1u64 << width),
+            width == 64 || value >> width == 0,
             "value {value} does not fit in {width} bits"
         );
-        for i in 0..width {
-            self.write_bit(value >> i & 1 == 1);
+        // Byte-at-a-time: fill the partial tail byte, then whole bytes.
+        let mut v = value;
+        let mut remaining = width as usize;
+        while remaining > 0 {
+            let off = self.bits % 8;
+            if off == 0 {
+                self.buf.push(0);
+            }
+            let take = (8 - off).min(remaining);
+            let chunk = (v & ((1u64 << take) - 1)) as u8;
+            self.buf[self.bits / 8] |= chunk << off;
+            v >>= take;
+            self.bits += take;
+            remaining -= take;
         }
     }
 
@@ -88,6 +105,20 @@ impl BitWriter {
     /// Gamma-codes `value + 1`, allowing zero.
     pub fn write_gamma0(&mut self, value: u64) {
         self.write_gamma(value + 1);
+    }
+
+    /// Appends every bit of `p`, preserving its exact bit length. This is
+    /// how envelope formats embed opaque sub-payloads without rounding
+    /// them up to byte boundaries.
+    pub fn append_payload(&mut self, p: &Payload) {
+        let mut r = BitReader::new(p);
+        let mut left = p.bits();
+        while left > 0 {
+            let take = left.min(64) as u32;
+            let chunk = r.read_bits(take).expect("append_payload stays in bounds");
+            self.write_bits(chunk, take);
+            left -= take as usize;
+        }
     }
 
     /// Finishes the stream.
@@ -133,6 +164,11 @@ impl<'a> BitReader<'a> {
         self.payload.bits().saturating_sub(self.pos)
     }
 
+    /// Current bit offset from the start of the stream.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
     /// Reads one bit.
     ///
     /// # Errors
@@ -148,19 +184,57 @@ impl<'a> BitReader<'a> {
         Ok(bit)
     }
 
-    /// Reads `width` bits, least-significant first.
+    /// Reads `width` bits, least-significant first. Like the writer, the
+    /// full closed range `0..=64` is supported without any full-word
+    /// shift.
     ///
     /// # Errors
     ///
-    /// Returns an error at end of stream.
+    /// Returns an error at end of stream (the stream position is left at
+    /// the end; decode errors are terminal).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width > 64`.
     pub fn read_bits(&mut self, width: u32) -> Result<u64, DecodeError> {
+        assert!(width <= 64, "width too large");
+        if self.remaining() < width as usize {
+            self.pos = self.payload.bits();
+            return Err(DecodeError { at_bit: self.pos });
+        }
         let mut out = 0u64;
-        for i in 0..width {
-            if self.read_bit()? {
-                out |= 1u64 << i;
-            }
+        let mut got = 0usize;
+        while got < width as usize {
+            let off = self.pos % 8;
+            let take = (8 - off).min(width as usize - got);
+            let byte = self.payload.bytes()[self.pos / 8];
+            let chunk = u64::from(byte >> off) & ((1u64 << take) - 1);
+            out |= chunk << got;
+            self.pos += take;
+            got += take;
         }
         Ok(out)
+    }
+
+    /// Extracts the next `bits` bits as a standalone [`Payload`] — the
+    /// inverse of [`BitWriter::append_payload`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if fewer than `bits` bits remain.
+    pub fn read_payload(&mut self, bits: usize) -> Result<Payload, DecodeError> {
+        if self.remaining() < bits {
+            self.pos = self.payload.bits();
+            return Err(DecodeError { at_bit: self.pos });
+        }
+        let mut w = BitWriter::new();
+        let mut left = bits;
+        while left > 0 {
+            let take = left.min(64) as u32;
+            w.write_bits(self.read_bits(take)?, take);
+            left -= take as usize;
+        }
+        Ok(w.finish())
     }
 
     /// Reads an Elias-gamma-coded positive integer.
@@ -192,15 +266,33 @@ impl<'a> BitReader<'a> {
 }
 
 /// Number of bits needed to store values `0..n` (at least 1).
+///
+/// The function is exactly `max(1, ⌈lg n⌉)`, so it is consistent at
+/// power-of-two boundaries: `width_for(2^k) == k` (values `0..2^k` fit in
+/// `k` bits) and `width_for(2^k + 1) == k + 1` for every `k ≥ 1`, with the
+/// floor `width_for(0) == width_for(1) == width_for(2) == 1` (a domain of
+/// at most two values still occupies one bit on the wire).
 pub fn width_for(n: usize) -> u32 {
     let n = n.max(2) - 1;
     64 - (n as u64).leading_zeros()
 }
 
 /// The length in bits of the gamma code of `value ≥ 1`.
+///
+/// # Panics
+///
+/// Panics if `value == 0` (mirroring [`BitWriter::write_gamma`], instead
+/// of the debug-mode arithmetic underflow the unguarded formula hits).
 pub fn gamma_len(value: u64) -> usize {
+    assert!(value >= 1, "gamma coding requires value >= 1");
     let n = 63 - value.leading_zeros() as usize;
     2 * n + 1
+}
+
+/// The length in bits of the zero-based gamma code written by
+/// [`BitWriter::write_gamma0`].
+pub fn gamma0_len(value: u64) -> usize {
+    gamma_len(value + 1)
 }
 
 #[cfg(test)]
@@ -318,5 +410,155 @@ mod tests {
         assert_eq!(p.bits(), 0);
         let mut r = BitReader::new(&p);
         assert!(r.read_bit().is_err());
+    }
+
+    #[test]
+    fn width_zero_and_sixty_four_edges() {
+        let mut w = BitWriter::new();
+        w.write_bits(0, 0); // width 0 is a no-op, not a panic
+        w.write_bits(u64::MAX, 64);
+        w.write_bits(0, 0);
+        w.write_bits(0, 64);
+        let p = w.finish();
+        assert_eq!(p.bits(), 128);
+        let mut r = BitReader::new(&p);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+        assert_eq!(r.read_bits(64).unwrap(), u64::MAX);
+        assert_eq!(r.read_bits(64).unwrap(), 0);
+        assert_eq!(r.read_bits(0).unwrap(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not fit")]
+    fn width_zero_rejects_nonzero_value() {
+        BitWriter::new().write_bits(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width too large")]
+    fn read_width_over_64_panics() {
+        let p = Payload::from_bytes(vec![0; 16]);
+        let _ = BitReader::new(&p).read_bits(65);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires value >= 1")]
+    fn gamma_len_zero_panics() {
+        let _ = gamma_len(0);
+    }
+
+    #[test]
+    fn width_for_power_of_two_boundaries() {
+        assert_eq!(width_for(0), 1);
+        assert_eq!(width_for(1), 1);
+        for k in 1..=32u32 {
+            let n = 1usize << k;
+            assert_eq!(width_for(n), k, "width_for(2^{k})");
+            assert_eq!(width_for(n + 1), k + 1, "width_for(2^{k}+1)");
+            assert_eq!(width_for(n - 1), k.max(1), "width_for(2^{k}-1)");
+        }
+    }
+
+    #[test]
+    fn payload_append_extract_roundtrip() {
+        let mut inner = BitWriter::new();
+        inner.write_gamma(12345);
+        inner.write_bits(0b1011, 4);
+        let inner = inner.finish();
+        let mut w = BitWriter::new();
+        w.write_bits(0b101, 3);
+        w.append_payload(&inner);
+        w.write_gamma0(9);
+        let outer = w.finish();
+        assert_eq!(outer.bits(), 3 + inner.bits() + gamma0_len(9));
+        let mut r = BitReader::new(&outer);
+        assert_eq!(r.read_bits(3).unwrap(), 0b101);
+        let extracted = r.read_payload(inner.bits()).unwrap();
+        assert_eq!(extracted, inner);
+        assert_eq!(r.read_gamma0().unwrap(), 9);
+        assert_eq!(r.remaining(), 0);
+        // Extracting past the end fails closed.
+        assert!(BitReader::new(&inner)
+            .read_payload(inner.bits() + 1)
+            .is_err());
+    }
+
+    /// Exhaustive width sweep: every width 0..=64 round-trips randomly
+    /// drawn values (masked to the width), interleaved in one stream, with
+    /// exact bit accounting.
+    #[test]
+    fn prop_roundtrip_every_width() {
+        use haec_testkit::prop::{self, u64s, vecs};
+        prop::check(
+            "bits roundtrip widths 0..=64",
+            &vecs(u64s(0..u64::MAX), 1..8),
+            |raw| {
+                let mut w = BitWriter::new();
+                let mut expect = Vec::new();
+                let mut bits = 0usize;
+                for (i, &v) in raw.iter().enumerate() {
+                    for width in 0..=64u32 {
+                        let masked = if width == 64 {
+                            v
+                        } else {
+                            v.rotate_left(i as u32) & ((1u64 << width) - 1)
+                        };
+                        w.write_bits(masked, width);
+                        bits += width as usize;
+                        expect.push((masked, width));
+                    }
+                }
+                let p = w.finish();
+                haec_testkit::prop_assert_eq!(p.bits(), bits);
+                let mut r = BitReader::new(&p);
+                for &(masked, width) in &expect {
+                    haec_testkit::prop_assert_eq!(r.read_bits(width).unwrap(), masked);
+                }
+                haec_testkit::prop_assert_eq!(r.remaining(), 0);
+                Ok(())
+            },
+        );
+    }
+
+    /// Gamma and gamma0 codes round-trip across the full u64 range with
+    /// lengths matching `gamma_len`/`gamma0_len`.
+    #[test]
+    fn prop_roundtrip_gamma_codes() {
+        use haec_testkit::prop::{self, u64s, vecs};
+        prop::check("gamma roundtrip", &vecs(u64s(0..u64::MAX), 1..12), |raw| {
+            let mut w = BitWriter::new();
+            let mut bits = 0usize;
+            for &v in raw {
+                let g = v | 1; // gamma needs >= 1
+                w.write_gamma(g);
+                bits += gamma_len(g);
+                w.write_gamma0(v >> 1);
+                bits += gamma0_len(v >> 1);
+            }
+            let p = w.finish();
+            haec_testkit::prop_assert_eq!(p.bits(), bits);
+            let mut r = BitReader::new(&p);
+            for &v in raw {
+                haec_testkit::prop_assert_eq!(r.read_gamma().unwrap(), v | 1);
+                haec_testkit::prop_assert_eq!(r.read_gamma0().unwrap(), v >> 1);
+            }
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn gamma_extremes_roundtrip() {
+        // The largest encodable values at both conventions.
+        for v in [1, 2, u64::MAX - 1, u64::MAX] {
+            let mut w = BitWriter::new();
+            w.write_gamma(v);
+            let p = w.finish();
+            assert_eq!(p.bits(), gamma_len(v));
+            assert_eq!(BitReader::new(&p).read_gamma().unwrap(), v);
+        }
+        let mut w = BitWriter::new();
+        w.write_gamma0(u64::MAX - 1);
+        let p = w.finish();
+        assert_eq!(BitReader::new(&p).read_gamma0().unwrap(), u64::MAX - 1);
     }
 }
